@@ -1,0 +1,75 @@
+"""E10 benchmark — greedy ingredient ablation (extension).
+
+Times each ablated variant on the same instance and attaches its completion
+relative to the full algorithm, so the benchmark report doubles as the
+ablation table.
+"""
+
+import random
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import reverse_leaves
+from repro.experiments.ablation import greedy_with_insertion_order, random_attachment
+from repro.workloads.clusters import two_class_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+N = 64
+
+
+def _instance():
+    n_slow = (N + 1) // 3
+    nodes = two_class_cluster(N + 1 - n_slow, n_slow)
+    return multicast_from_cluster(nodes, latency=1, source="slowest")
+
+
+def _full(mset):
+    return reverse_leaves(greedy_schedule(mset))
+
+
+def _no_reversal(mset):
+    return greedy_schedule(mset)
+
+
+def _reverse_sorted(mset):
+    return reverse_leaves(
+        greedy_with_insertion_order(mset, list(range(mset.n, 0, -1)))
+    )
+
+
+def _random_insertion(mset):
+    order = list(range(1, mset.n + 1))
+    random.Random(17).shuffle(order)
+    return reverse_leaves(greedy_with_insertion_order(mset, order))
+
+
+def _random_attach(mset):
+    return reverse_leaves(random_attachment(mset, seed=17))
+
+
+VARIANTS = {
+    "full": _full,
+    "no-reversal": _no_reversal,
+    "reverse-sorted-insertion": _reverse_sorted,
+    "random-insertion": _random_insertion,
+    "random-attachment": _random_attach,
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_ablation_variant(benchmark, variant):
+    mset = _instance()
+    schedule = benchmark(VARIANTS[variant], mset)
+    full_value = _full(mset).reception_completion
+    rel = schedule.reception_completion / full_value
+    benchmark.extra_info["vs_full"] = round(rel, 4)
+    assert rel >= 1.0 - 1e-9  # no ablation may beat the full algorithm
+
+
+def test_ablation_ordering():
+    """Non-timed: random attachment is the worst ablation, full the best."""
+    mset = _instance()
+    values = {name: fn(mset).reception_completion for name, fn in VARIANTS.items()}
+    assert values["full"] == min(values.values())
+    assert values["random-attachment"] == max(values.values())

@@ -1,0 +1,50 @@
+"""E1 benchmark — Figure 1: schedules (a)/(b) and the paper's algorithms.
+
+Regenerates the Figure 1 numbers (completions 10 and 9, narrated receptions
+4/6/7/10, true optimum 8) while timing the constructions.
+"""
+
+import pytest
+
+from repro.core.dp import solve_dp
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import greedy_with_reversal
+from repro.experiments.fig1 import (
+    PAPER_COMPLETION_A,
+    PAPER_COMPLETION_B,
+    figure1_schedule_a,
+    figure1_schedule_b,
+)
+
+
+def test_figure1_schedule_a(benchmark, fig1_mset):
+    schedule = benchmark(figure1_schedule_a, fig1_mset)
+    assert schedule.reception_completion == PAPER_COMPLETION_A
+    benchmark.extra_info["completion"] = schedule.reception_completion
+    benchmark.extra_info["paper_value"] = PAPER_COMPLETION_A
+
+
+def test_figure1_schedule_b(benchmark, fig1_mset):
+    schedule = benchmark(figure1_schedule_b, fig1_mset)
+    assert schedule.reception_completion == PAPER_COMPLETION_B
+    benchmark.extra_info["completion"] = schedule.reception_completion
+    benchmark.extra_info["paper_value"] = PAPER_COMPLETION_B
+
+
+def test_figure1_greedy(benchmark, fig1_mset):
+    schedule = benchmark(greedy_schedule, fig1_mset)
+    assert schedule.reception_completion == 10  # ties Figure 1(a)
+    assert sorted(schedule.reception_times[1:]) == [4, 6, 7, 10]
+    benchmark.extra_info["completion"] = schedule.reception_completion
+
+
+def test_figure1_greedy_with_reversal(benchmark, fig1_mset):
+    schedule = benchmark(greedy_with_reversal, fig1_mset)
+    assert schedule.reception_completion == 8  # optimal
+    benchmark.extra_info["completion"] = schedule.reception_completion
+
+
+def test_figure1_dp_optimum(benchmark, fig1_mset):
+    solution = benchmark(solve_dp, fig1_mset)
+    assert solution.value == 8
+    benchmark.extra_info["optimum"] = solution.value

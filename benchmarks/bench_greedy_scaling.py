@@ -1,0 +1,47 @@
+"""E3 benchmark — Lemma 1: greedy is O(n log n).
+
+The timed kernel is exactly the greedy; normalized cost per (n log2 n) is
+attached per size so the flatness claim is visible in the report.
+"""
+
+import math
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.workloads.clusters import bounded_ratio_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+SIZES = [256, 1024, 4096, 16384]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_greedy_scaling(benchmark, n):
+    nodes = bounded_ratio_cluster(n + 1, seed=0)
+    mset = multicast_from_cluster(nodes, latency=2, source="slowest")
+    schedule = benchmark(greedy_schedule, mset)
+    assert schedule.is_layered()
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["per_nlogn_ns"] = round(
+        benchmark.stats["mean"] / (n * math.log2(n)) * 1e9, 3
+    )
+
+
+def test_greedy_nlogn_shape():
+    """Non-timed assertion: the n log n model fits the measured curve."""
+    import time
+
+    from repro.analysis.complexity import fit_nlogn
+
+    times = []
+    for n in SIZES:
+        nodes = bounded_ratio_cluster(n + 1, seed=0)
+        mset = multicast_from_cluster(nodes, latency=2)
+        samples = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            greedy_schedule(mset)
+            samples.append(time.perf_counter() - t0)
+        times.append(sorted(samples)[1])
+    fit = fit_nlogn(SIZES, times)
+    assert fit.r_squared > 0.95, f"n log n fit R^2 = {fit.r_squared:.4f}"

@@ -1,0 +1,34 @@
+"""E9 benchmark — Corollary 1 exhaustive verification cost.
+
+Times the exhaustive layered enumeration against a single greedy run on the
+same instance — the 'theorem vs brute force' cost gap — and asserts the
+Corollary 1 equality.
+"""
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.layered import min_layered_delivery_completion
+from repro.workloads.clusters import bounded_ratio_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+
+def _instance(n=6, seed=0):
+    nodes = bounded_ratio_cluster(n + 1, seed)
+    return multicast_from_cluster(nodes, latency=2)
+
+
+def test_exhaustive_layered_minimum(benchmark):
+    mset = _instance()
+    best = benchmark(min_layered_delivery_completion, mset)
+    assert best == pytest.approx(greedy_schedule(mset).delivery_completion)
+    benchmark.extra_info["min_layered_D"] = best
+
+
+def test_greedy_same_answer(benchmark):
+    mset = _instance()
+    schedule = benchmark(greedy_schedule, mset)
+    assert schedule.delivery_completion == pytest.approx(
+        min_layered_delivery_completion(mset)
+    )
+    benchmark.extra_info["greedy_D"] = schedule.delivery_completion

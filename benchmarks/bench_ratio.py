@@ -1,0 +1,47 @@
+"""E2 benchmark — Theorem 1: greedy vs optimal under bounded ratios.
+
+Times the greedy on the Theorem 1 habitat while attaching the measured
+approximation ratios (vs branch-and-bound optimum for small n, certified
+lower bound for larger n).  The paper's inequality is asserted on every
+exactly-solved instance.
+"""
+
+import pytest
+
+from repro.core.bounds import certified_lower_bound, theorem1_bound
+from repro.core.brute_force import solve_exact
+from repro.core.greedy import greedy_schedule
+from repro.workloads.clusters import bounded_ratio_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+SMALL = [(4, 0), (6, 1), (8, 2)]
+LARGE = [(64, 0), (256, 1)]
+
+
+@pytest.mark.parametrize("n,seed", SMALL)
+def test_ratio_vs_exact_optimum(benchmark, n, seed):
+    nodes = bounded_ratio_cluster(n + 1, seed)
+    mset = multicast_from_cluster(nodes, latency=2)
+    schedule = benchmark(greedy_schedule, mset)
+    opt = solve_exact(mset).value
+    greedy = schedule.reception_completion
+    assert greedy < theorem1_bound(mset, opt)  # Theorem 1, strict
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["ratio"] = round(greedy / opt, 4)
+    benchmark.extra_info["theorem1_guarantee"] = theorem1_bound(mset, opt)
+
+
+@pytest.mark.parametrize("n,seed", LARGE)
+def test_ratio_vs_certified_lower_bound(benchmark, n, seed):
+    nodes = bounded_ratio_cluster(n + 1, seed)
+    mset = multicast_from_cluster(nodes, latency=2)
+    schedule = benchmark(greedy_schedule, mset)
+    lb = certified_lower_bound(mset)
+    ratio_upper = schedule.reception_completion / lb
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["ratio_upper_bound"] = round(ratio_upper, 4)
+    # sanity: even against a lower bound the measured ratio stays far
+    # below the Theorem 1 factor
+    from repro.core.bounds import theorem1_factor
+
+    assert ratio_upper < theorem1_factor(mset) + mset.beta / lb

@@ -1,0 +1,36 @@
+"""Simulator benchmark — testbed-substitute throughput.
+
+Not tied to a single paper artifact: this times the discrete-event executor
+that validates every experiment, at realistic sizes, and asserts the
+exactness contract (simulated == analytic) that the substitution in
+DESIGN.md relies on.
+"""
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import reverse_leaves
+from repro.simulation.executor import simulate_schedule
+from repro.workloads.clusters import bounded_ratio_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+SIZES = [128, 1024]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_simulate_greedy_schedule(benchmark, n):
+    nodes = bounded_ratio_cluster(n + 1, seed=1)
+    mset = multicast_from_cluster(nodes, latency=2)
+    schedule = reverse_leaves(greedy_schedule(mset))
+    result = benchmark(simulate_schedule, schedule)
+    assert result.reception_completion == schedule.reception_completion
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["events"] = result.events_processed
+
+
+def test_simulator_event_rate(benchmark):
+    nodes = bounded_ratio_cluster(2049, seed=2)
+    mset = multicast_from_cluster(nodes, latency=2)
+    schedule = greedy_schedule(mset)
+    result = benchmark(simulate_schedule, schedule)
+    benchmark.extra_info["events_per_run"] = result.events_processed

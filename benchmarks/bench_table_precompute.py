@@ -1,0 +1,49 @@
+"""E8 benchmark — Theorem 2 closing note: build once, query in O(1).
+
+Times (a) the full-table build, (b) a post-build query, and (c) a fresh DP
+solve of the same query, so the report shows the amortization directly.
+"""
+
+import pytest
+
+from repro.core.dp import solve_dp
+from repro.core.dp_table import OptimalTable
+from repro.workloads.clusters import limited_type_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+TYPES = [(1, 1), (3, 5)]
+COUNTS = [12, 12]
+
+
+def test_table_build(benchmark):
+    def build():
+        return OptimalTable(TYPES, COUNTS, latency=1).build()
+
+    table = benchmark(build)
+    benchmark.extra_info["entries"] = table.entries
+
+
+def test_table_query_after_build(benchmark):
+    table = OptimalTable(TYPES, COUNTS, latency=1).build()
+    value = benchmark(table.completion, 1, (12, 11))
+    assert value > 0
+    benchmark.extra_info["optimum"] = value
+
+
+def test_fresh_dp_solve_same_query(benchmark):
+    nodes = limited_type_cluster(TYPES, [12, 12])
+    mset = multicast_from_cluster(nodes, latency=1, source="slowest")
+    solution = benchmark(solve_dp, mset)
+    table = OptimalTable(TYPES, COUNTS, latency=1).build()
+    assert solution.value == pytest.approx(table.completion(1, (12, 11)))
+    benchmark.extra_info["optimum"] = solution.value
+
+
+def test_schedule_materialization(benchmark):
+    table = OptimalTable(TYPES, COUNTS, latency=1).build()
+    nodes = limited_type_cluster(TYPES, [12, 12])
+    mset = multicast_from_cluster(nodes, latency=1, source="slowest")
+    schedule = benchmark(table.schedule_for, mset)
+    assert schedule.reception_completion == pytest.approx(
+        table.completion(1, (12, 11))
+    )

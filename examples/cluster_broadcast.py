@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Broadcast on a realistic mixed-generation NOW (the paper's motivation).
+
+Section 1 motivates HNOW multicast with clusters that accumulate machine
+generations.  This example builds a LAN of profiled workstations (four
+generations spanning the published receive-send ratio range 1.05-1.85),
+folds the affine costs at several message sizes (paper footnote 1), and
+compares every scheduler in the library under the receive-send model.
+
+Run:  python examples/cluster_broadcast.py
+"""
+
+from repro.algorithms import available_schedulers, get_scheduler
+from repro.analysis import Table
+from repro.model import instantiate, lan_network
+from repro.viz import render_tree
+
+
+def main() -> None:
+    # a 12-machine cluster: 4 new, 4 mid-generation, 4 old
+    network = lan_network(
+        {"ultra": 4, "pentium_ii": 3, "sparc5": 3, "sparc1": 2}
+    )
+    print(f"cluster of {len(network.machines)} machines; broadcast from the "
+          f"oldest machine (sparc10)\n")
+
+    for message_length in (256, 4096, 65536):
+        mset = instantiate(network, "sparc10", message_length)
+        table = Table(
+            f"broadcast completion, message = {message_length} bytes "
+            f"(L = {mset.latency:g}, ratios in "
+            f"[{mset.alpha_min:.2f}, {mset.alpha_max:.2f}])",
+            ["algorithm", "completion", "vs best"],
+        )
+        results = {
+            name: get_scheduler(name)(mset).reception_completion
+            for name in available_schedulers()
+        }
+        best = min(results.values())
+        for name, value in sorted(results.items(), key=lambda kv: kv[1]):
+            table.add_row([name, value, f"{value / best:.3f}x"])
+        print(table.render())
+        print()
+
+    # show the winning tree for the mid-size message
+    mset = instantiate(network, "sparc10", 4096)
+    winner = get_scheduler("greedy+reversal")(mset)
+    print("greedy+reversal schedule at 4096 bytes:")
+    print(render_tree(winner))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Beyond multicast: the Section 5 'future work' collectives.
+
+The paper closes by asking for algorithms for other collective operations.
+This example tours the constructions the library provides on top of the
+multicast machinery:
+
+* **reduce** via the overhead-swap / time-reversal duality,
+* **scatter**/**gather** under the affine (message-size dependent) model,
+  comparing the star (minimum bytes) against the binomial tree (pipelined
+  forwarding) across payload sizes.
+
+Run:  python examples/collectives_tour.py
+"""
+
+from repro.analysis import Table
+from repro.collectives import (
+    binomial_children,
+    gather_completion,
+    reduce_completion_forward,
+    reduce_plan,
+    scatter_completion,
+    star_children,
+)
+from repro.model import lan_network
+from repro.workloads import bounded_ratio_cluster, multicast_from_cluster
+
+
+def main() -> None:
+    # --- reduce: duality in action ------------------------------------------
+    nodes = bounded_ratio_cluster(12, seed=5)
+    mset = multicast_from_cluster(nodes, latency=2, source="slowest")
+    plan = reduce_plan(mset)
+    forward = reduce_completion_forward(mset, plan)
+    print(
+        "reduce onto the slowest machine:\n"
+        f"  dual multicast completion: {plan.completion:g}\n"
+        f"  independent forward timing: {forward:g} (must match)\n"
+    )
+    assert forward == plan.completion
+
+    # --- scatter & gather: star vs binomial across payload sizes -------------
+    network = lan_network({"ultra": 4, "sparc5": 2, "sparc1": 2})
+    n = len(network.machines)
+    table = Table(
+        "scatter / gather completion: star vs binomial (per-machine payload)",
+        ["payload (B)", "scatter star", "scatter binomial", "gather star",
+         "gather binomial"],
+    )
+    for payload in (64, 1024, 16384):
+        payloads = [0.0] + [float(payload)] * (n - 1)
+        s_star = scatter_completion(network, star_children(n), payloads)
+        s_tree = scatter_completion(network, binomial_children(n), payloads)
+        g_star = gather_completion(network, star_children(n), payloads)
+        g_tree = gather_completion(network, binomial_children(n), payloads)
+        table.add_row(
+            [payload, f"{s_star.completion:.0f}", f"{s_tree.completion:.0f}",
+             f"{g_star.completion:.0f}", f"{g_tree.completion:.0f}"]
+        )
+    print(table.render())
+    print(
+        "\nSmall payloads: fixed overheads dominate, the pipelined tree "
+        "competes.  Large payloads: forwarded bytes dominate and the star "
+        "(each byte sent once) pulls ahead — the classic scatter trade-off, "
+        "reproduced by the affine cost model of footnote 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Why the receive-send model matters (the paper's Section 1 argument).
+
+Banikazemi et al. [3] argued that the earlier heterogeneous *node* model —
+one initiation cost per node, no receive overhead, no latency — is too
+coarse for real NOWs.  This example makes the argument quantitative:
+
+1. schedule with the node-model greedy of [2, 9] (it sees only send
+   overheads),
+2. schedule with the paper's receive-send-aware greedy,
+3. execute both under the full receive-send model and compare,
+4. sweep the receive/send ratio to show the gap growing with exactly the
+   effect the node model ignores.
+
+Run:  python examples/model_comparison.py
+"""
+
+from repro import greedy_with_reversal
+from repro.analysis import Table
+from repro.model import node_model_schedule
+from repro.workloads import bounded_ratio_cluster, multicast_from_cluster
+
+
+def main() -> None:
+    table = Table(
+        "node-model greedy [2] vs the paper's greedy, executed under the "
+        "receive-send model (mean over 5 seeds, n = 24, L = 3)",
+        ["receive/send ratio band", "node-model R_T", "paper R_T", "penalty"],
+    )
+    for band in [(1.0, 1.05), (1.05, 1.85), (1.85, 3.0), (3.0, 5.0)]:
+        ours, theirs = [], []
+        for seed in range(5):
+            nodes = bounded_ratio_cluster(
+                25, seed, send_range=(8, 40), ratio_range=band
+            )
+            mset = multicast_from_cluster(nodes, latency=3, source="slowest")
+            theirs.append(node_model_schedule(mset).reception_completion)
+            ours.append(greedy_with_reversal(mset).reception_completion)
+        mean_theirs = sum(theirs) / len(theirs)
+        mean_ours = sum(ours) / len(ours)
+        table.add_row(
+            [
+                f"[{band[0]:.2f}, {band[1]:.2f}]",
+                f"{mean_theirs:.1f}",
+                f"{mean_ours:.1f}",
+                f"+{(mean_theirs / mean_ours - 1) * 100:.1f}%",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nThe node model's blind spot (receive overheads) costs more as "
+        "ratios grow — the paper's motivation for the richer model of [3]."
+    )
+
+
+if __name__ == "__main__":
+    main()

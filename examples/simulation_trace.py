@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Executing schedules on the simulated HNOW, with latency-jitter sensitivity.
+
+The reproduction's testbed substitute: every schedule can be *run* on a
+discrete-event simulation of the receive-send model.  Unperturbed runs must
+match the analytic recurrences exactly; with seeded latency jitter the same
+machinery answers a question the paper leaves open — how robust are greedy
+schedules to network noise?
+
+Run:  python examples/simulation_trace.py
+"""
+
+from repro import greedy_with_reversal
+from repro.analysis import Table, summarize
+from repro.simulation import proportional_jitter, simulate_schedule
+from repro.viz import render_gantt
+from repro.workloads import bounded_ratio_cluster, multicast_from_cluster
+
+
+def main() -> None:
+    nodes = bounded_ratio_cluster(10, seed=7)
+    mset = multicast_from_cluster(nodes, latency=4, source="slowest")
+    schedule = greedy_with_reversal(mset)
+
+    # --- exact execution ----------------------------------------------------
+    result = simulate_schedule(schedule)
+    print(
+        f"exact run: R_T = {result.reception_completion:g} "
+        f"== analytic {schedule.reception_completion:g} "
+        f"({result.events_processed} events)\n"
+    )
+    names = [mset.node(v).name for v in range(mset.n + 1)]
+    print(render_gantt(result.trace, node_names=names, width=68))
+    print()
+
+    # --- utilization: where does the time go? -------------------------------
+    horizon = result.reception_completion
+    util = Table("node utilization over the multicast", ["node", "busy fraction"])
+    for v in range(mset.n + 1):
+        util.add_row([names[v], f"{result.trace.utilization(v, horizon):.2f}"])
+    print(util.render())
+    print()
+
+    # --- jitter sensitivity --------------------------------------------------
+    table = Table(
+        "completion under latency jitter (100 seeded runs each)",
+        ["jitter (fraction of L)", "mean R_T", "p95 R_T", "max R_T", "slowdown"],
+    )
+    base = schedule.reception_completion
+    for fraction in (0.05, 0.15, 0.30):
+        completions = [
+            simulate_schedule(
+                schedule,
+                jitter=proportional_jitter(mset.latency, fraction, seed),
+                verify=False,
+            ).reception_completion
+            for seed in range(100)
+        ]
+        stats = summarize(completions)
+        table.add_row(
+            [
+                f"{fraction:.0%}",
+                f"{stats.mean:.2f}",
+                f"{stats.p95:.2f}",
+                f"{stats.maximum:.2f}",
+                f"{(stats.mean / base - 1) * 100:+.2f}%",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nGreedy trees are shallow, so jitter accumulates over few hops: "
+        "mean slowdown stays near the jitter mean (zero), and the tail is "
+        "bounded by amplitude x depth."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Two extensions beyond the paper: long-haul clusters and segmentation.
+
+**Part 1 — WAN clusters (Bhat et al. [5] regime).**  The paper's model has
+one global latency; its related work points at networks where long-haul
+links are far slower than the LAN.  We schedule a three-campus network two
+ways — the paper's greedy run blind to locality, and a two-phase hierarchy
+(gateways first, clusters second) — and sweep the WAN/LAN latency ratio to
+find the crossover where locality-awareness starts paying.
+
+**Part 2 — message segmentation (Park et al. [14] direction).**  Folding
+message length into scalar overheads (footnote 1) treats the payload as
+one unit; segmenting it pipelines the tree.  We sweep the segment count on
+a binomial tree and locate the U-shaped optimum.
+
+Run:  python examples/wan_and_pipelining.py
+"""
+
+from repro.algorithms.binomial import binomial_tree_children
+from repro.analysis import Table
+from repro.collectives import optimal_segmentation, pipelined_completion
+from repro.model import lan_network
+from repro.model.wan import WanNetwork, cluster_aware_wan, flat_greedy_wan
+from repro.workloads import bounded_ratio_cluster
+
+
+def wan_part() -> None:
+    nodes = bounded_ratio_cluster(15, seed=9)
+    clusters = {
+        "campus-a": nodes[:5],
+        "campus-b": nodes[5:10],
+        "campus-c": nodes[10:],
+    }
+    source = nodes[0].name
+    table = Table(
+        "three campuses, 5 machines each; completion by WAN/LAN latency ratio",
+        ["wan latency", "flat greedy", "wan edges", "cluster-aware", "wan edges ",
+         "aware wins?"],
+    )
+    for wan_latency in (2, 8, 32, 128, 512):
+        net = WanNetwork(clusters, local_latency=2, wan_latency=wan_latency)
+        flat = flat_greedy_wan(net, source)
+        aware = cluster_aware_wan(net, source)
+        table.add_row(
+            [
+                wan_latency,
+                flat.reception_completion,
+                flat.wan_edge_count(),
+                aware.reception_completion,
+                aware.wan_edge_count(),
+                aware.reception_completion < flat.reception_completion,
+            ]
+        )
+    print(table.render())
+    print(
+        "\nThe hierarchy pays one long-haul transmission per remote campus; "
+        "the flat greedy crosses campuses freely and loses once WAN latency "
+        "dominates.\n"
+    )
+
+
+def pipeline_part() -> None:
+    network = lan_network({"ultra": 3, "sparc5": 2, "sparc1": 1})
+    tree = binomial_tree_children(list(range(len(network.machines))))
+    table = Table(
+        "segmented multicast of a 64 KiB message over a binomial tree",
+        ["segments", "completion", "vs unsegmented"],
+    )
+    base = pipelined_completion(network, tree, 65536, 1).completion
+    best, curve = optimal_segmentation(network, tree, 65536)
+    for segments in sorted(curve):
+        marker = "  <- best" if segments == best else ""
+        table.add_row(
+            [segments, f"{curve[segments]:.0f}",
+             f"{curve[segments] / base:.3f}{marker}"]
+        )
+    print(table.render())
+    print(
+        "\nFew segments leave the pipeline empty; many segments pay the "
+        "fixed per-message overheads repeatedly — the classic U-shape, with "
+        f"the sweet spot at {best} segments here."
+    )
+
+
+if __name__ == "__main__":
+    wan_part()
+    pipeline_part()

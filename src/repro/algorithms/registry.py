@@ -1,0 +1,74 @@
+"""Scheduler registry: look up multicast algorithms by name.
+
+Every scheduler in the library has signature
+``(MulticastSet) -> Schedule`` and registers itself under a short name so
+experiments, benchmarks and the CLI can sweep over algorithm sets without
+hard-coding imports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+from repro.exceptions import ReproError
+
+__all__ = ["Scheduler", "register", "get_scheduler", "available_schedulers", "scheduler_items"]
+
+Scheduler = Callable[[MulticastSet], Schedule]
+
+_REGISTRY: Dict[str, Tuple[Scheduler, str]] = {}
+
+
+def register(name: str, description: str) -> Callable[[Scheduler], Scheduler]:
+    """Decorator: register a scheduler under ``name``.
+
+    >>> @register("noop-star", "example")        # doctest: +SKIP
+    ... def my_star(mset): ...
+    """
+
+    def deco(fn: Scheduler) -> Scheduler:
+        if name in _REGISTRY:
+            raise ReproError(f"scheduler {name!r} registered twice")
+        _REGISTRY[name] = (fn, description)
+        return fn
+
+    return deco
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """The scheduler registered under ``name`` (raises on unknown names)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        raise ReproError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+
+
+def available_schedulers() -> List[str]:
+    """Sorted names of every registered scheduler."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def scheduler_items() -> Iterator[Tuple[str, Scheduler, str]]:
+    """Iterate ``(name, scheduler, description)`` in sorted name order."""
+    _ensure_loaded()
+    for name in sorted(_REGISTRY):
+        fn, desc = _REGISTRY[name]
+        yield name, fn, desc
+
+
+def _ensure_loaded() -> None:
+    """Import the modules whose import side-effect is registration."""
+    from repro.algorithms import (  # noqa: F401
+        baselines,
+        binomial,
+        fnf,
+        local_search,
+        paper,
+        postal,
+    )

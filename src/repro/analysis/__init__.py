@@ -1,0 +1,33 @@
+"""Measurement and reporting helpers for the experiment harness."""
+
+from repro.analysis.metrics import (
+    Summary,
+    approximation_ratio,
+    critical_path,
+    speedup,
+    summarize,
+)
+from repro.analysis.complexity import (
+    COST_MODELS,
+    FitResult,
+    best_model,
+    fit_model,
+    fit_nlogn,
+    fit_power,
+)
+from repro.analysis.tables import Table
+
+__all__ = [
+    "approximation_ratio",
+    "speedup",
+    "critical_path",
+    "Summary",
+    "summarize",
+    "COST_MODELS",
+    "FitResult",
+    "fit_model",
+    "fit_nlogn",
+    "fit_power",
+    "best_model",
+    "Table",
+]

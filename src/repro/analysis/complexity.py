@@ -1,0 +1,86 @@
+"""Empirical complexity fitting for the scaling experiments (E3, E4).
+
+Lemma 1 claims the greedy runs in ``O(n log n)``; Theorem 2 claims the DP
+runs in ``O(n^{2k})``.  We validate these shapes by least-squares fitting
+measured runtimes against candidate cost models and comparing fit quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+__all__ = ["FitResult", "fit_model", "fit_nlogn", "fit_power", "best_model", "COST_MODELS"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A least-squares fit of ``time ~ coeff * model(n) (+ intercept)``."""
+
+    model: str
+    coeff: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        return self.coeff * COST_MODELS[self.model](n) + self.intercept
+
+
+COST_MODELS: Dict[str, Callable[[float], float]] = {
+    "n": lambda n: n,
+    "nlogn": lambda n: n * np.log2(max(n, 2.0)),
+    "n^2": lambda n: n**2,
+    "n^3": lambda n: n**3,
+    "n^4": lambda n: n**4,
+    "n^6": lambda n: n**6,
+}
+
+
+def fit_model(
+    sizes: Sequence[float], times: Sequence[float], model: str
+) -> FitResult:
+    """Fit ``times ~ a * model(sizes) + b`` by linear least squares."""
+    if model not in COST_MODELS:
+        raise ReproError(f"unknown cost model {model!r}; have {sorted(COST_MODELS)}")
+    if len(sizes) != len(times) or len(sizes) < 2:
+        raise ReproError("need >= 2 aligned (size, time) samples")
+    fn = COST_MODELS[model]
+    x = np.array([fn(float(n)) for n in sizes], dtype=float)
+    y = np.asarray(times, dtype=float)
+    design = np.column_stack([x, np.ones_like(x)])
+    (coeff, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+    predicted = design @ np.array([coeff, intercept])
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return FitResult(model=model, coeff=float(coeff), intercept=float(intercept), r_squared=r2)
+
+
+def fit_nlogn(sizes: Sequence[float], times: Sequence[float]) -> FitResult:
+    """Convenience: the Lemma 1 cost model."""
+    return fit_model(sizes, times, "nlogn")
+
+
+def fit_power(sizes: Sequence[float], times: Sequence[float]) -> Tuple[float, float]:
+    """Fit ``time ~ c * n^p`` in log-log space; returns ``(p, c)``.
+
+    Used by E4 to estimate the DP's polynomial degree and compare it with
+    Theorem 2's ``2k``.
+    """
+    if len(sizes) != len(times) or len(sizes) < 2:
+        raise ReproError("need >= 2 aligned (size, time) samples")
+    x = np.log(np.asarray(sizes, dtype=float))
+    y = np.log(np.asarray(times, dtype=float))
+    design = np.column_stack([x, np.ones_like(x)])
+    (p, logc), *_ = np.linalg.lstsq(design, y, rcond=None)
+    return float(p), float(np.exp(logc))
+
+
+def best_model(sizes: Sequence[float], times: Sequence[float]) -> FitResult:
+    """The cost model with the highest R^2 on this sample."""
+    fits = [fit_model(sizes, times, m) for m in COST_MODELS]
+    return max(fits, key=lambda f: f.r_squared)

@@ -1,0 +1,80 @@
+"""Schedule-quality metrics and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.exceptions import ReproError
+
+__all__ = ["approximation_ratio", "speedup", "Summary", "summarize", "critical_path"]
+
+
+def approximation_ratio(value: float, optimum: float) -> float:
+    """``value / optimum`` with sanity checks (both positive, ratio >= 1-eps)."""
+    if optimum <= 0 or value <= 0:
+        raise ReproError(f"completion times must be positive: {value}, {optimum}")
+    ratio = value / optimum
+    if ratio < 1 - 1e-9:
+        raise ReproError(
+            f"'optimum' {optimum} exceeds the evaluated value {value}; "
+            f"arguments are probably swapped"
+        )
+    return ratio
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times faster ``improved`` completes than ``baseline``."""
+    if baseline <= 0 or improved <= 0:
+        raise ReproError("completion times must be positive")
+    return baseline / improved
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample (mean, sd, min, median, p95, max)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} sd={self.std:.3g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} "
+            f"p95={self.p95:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    if len(values) == 0:
+        raise ReproError("cannot summarize an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )
+
+
+def critical_path(schedule: Schedule) -> list[int]:
+    """The chain of nodes realizing ``R_T`` (source ... last receiver)."""
+    mset = schedule.multicast
+    last = max(range(1, mset.n + 1), key=lambda v: (schedule.reception_time(v), v))
+    path = [last]
+    while path[-1] != 0:
+        path.append(schedule.parent_of(path[-1]))
+    path.reverse()
+    return path

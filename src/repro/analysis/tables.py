@@ -1,0 +1,86 @@
+"""Plain-text result tables (the paper-style rows of EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["Table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled, aligned text table with markdown export.
+
+    >>> t = Table("demo", ["a", "b"])
+    >>> t.add_row([1, 2.5]); print(t.render())       # doctest: +SKIP
+    """
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        if len(values) != len(self.headers):
+            raise ReproError(
+                f"row has {len(values)} cells, table {self.title!r} has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[str]:
+        """All cells of one column (by header name)."""
+        try:
+            idx = self.headers.index(name)
+        except ValueError:
+            raise ReproError(f"no column {name!r} in table {self.title!r}") from None
+        return [row[idx] for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        widths = [
+            max(len(h), *(len(r[i]) for r in self.rows)) if self.rows else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

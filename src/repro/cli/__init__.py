@@ -1,0 +1,5 @@
+"""Command-line front-end (``hnow-multicast`` / ``python -m repro``)."""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["main", "build_parser"]

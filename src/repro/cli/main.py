@@ -1,0 +1,222 @@
+"""Command-line interface: ``hnow-multicast`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``    write a random instance to JSON
+``schedule``    schedule an instance with a chosen algorithm
+``simulate``    execute a schedule on the discrete-event simulator
+``compare``     run every scheduler on one instance
+``experiment``  run the E1..E9 reproduction experiments
+``fig1``        pretty-print the Figure 1 reproduction
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms.registry import available_schedulers, get_scheduler
+from repro.core.brute_force import solve_exact
+from repro.core.dp import solve_dp
+from repro.exceptions import ReproError, SolverError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hnow-multicast",
+        description=(
+            "Multicast scheduling for heterogeneous networks of workstations "
+            "(reproduction of Libeskind-Hadas & Hartline, ICPP 2000)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a random instance (JSON to stdout/file)")
+    gen.add_argument("--kind", default="bounded-ratio",
+                     choices=["bounded-ratio", "two-class", "pareto"], help="cluster family")
+    gen.add_argument("-n", type=int, default=8, help="number of destinations")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--latency", type=float, default=1.0)
+    gen.add_argument("--source", default="slowest",
+                     choices=["fastest", "slowest", "median", "random", "first"])
+    gen.add_argument("-o", "--output", default=None, help="output path (default stdout)")
+
+    sch = sub.add_parser("schedule", help="schedule an instance from JSON")
+    sch.add_argument("instance", help="instance JSON path")
+    sch.add_argument("--algorithm", default="greedy+reversal",
+                     choices=available_schedulers() + ["dp", "exact"])
+    sch.add_argument("--tree", action="store_true", help="print the schedule tree")
+    sch.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    sch.add_argument("-o", "--output", default=None, help="write the schedule JSON here")
+
+    sim = sub.add_parser("simulate", help="execute a schedule JSON on the simulator")
+    sim.add_argument("schedule", help="schedule JSON path")
+    sim.add_argument("--jitter", type=float, default=0.0,
+                     help="latency jitter amplitude (0 = exact model)")
+    sim.add_argument("--seed", type=int, default=0, help="jitter seed")
+
+    cmp_ = sub.add_parser("compare", help="run every scheduler on an instance")
+    cmp_.add_argument("instance", help="instance JSON path")
+
+    exp = sub.add_parser("experiment", help="run reproduction experiments")
+    exp.add_argument("names", nargs="*", default=[],
+                     help="experiment ids (E1..E9); default: all")
+    exp.add_argument("--markdown", action="store_true", help="emit markdown")
+
+    sub.add_parser("fig1", help="print the Figure 1 reproduction")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.io.serialization import multicast_to_dict
+    from repro.workloads.clusters import bounded_ratio_cluster, pareto_cluster, two_class_cluster
+    from repro.workloads.generator import multicast_from_cluster
+
+    if args.kind == "bounded-ratio":
+        nodes = bounded_ratio_cluster(args.n + 1, args.seed)
+    elif args.kind == "two-class":
+        n_slow = max(1, (args.n + 1) // 3)
+        nodes = two_class_cluster(args.n + 1 - n_slow, n_slow)
+    else:
+        nodes = pareto_cluster(args.n + 1, args.seed)
+    mset = multicast_from_cluster(
+        nodes, latency=args.latency, source=args.source, seed=args.seed
+    )
+    payload = json.dumps(multicast_to_dict(mset), indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.io.serialization import load_multicast, save_json
+    from repro.viz.ascii_tree import render_tree
+    from repro.viz.gantt import gantt_for_schedule
+
+    mset = load_multicast(args.instance)
+    if args.algorithm == "dp":
+        schedule = solve_dp(mset).schedule
+    elif args.algorithm == "exact":
+        schedule = solve_exact(mset).schedule
+    else:
+        schedule = get_scheduler(args.algorithm)(mset)
+    print(
+        f"algorithm={args.algorithm} n={mset.n} R_T={schedule.reception_completion:g} "
+        f"D_T={schedule.delivery_completion:g} layered={schedule.is_layered()}"
+    )
+    if args.tree:
+        print(render_tree(schedule))
+    if args.gantt:
+        print(gantt_for_schedule(schedule))
+    if args.output:
+        save_json(schedule, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.io.serialization import load_schedule
+    from repro.simulation.executor import simulate_schedule
+    from repro.simulation.jitter import uniform_jitter
+
+    schedule = load_schedule(args.schedule)
+    if args.jitter > 0:
+        result = simulate_schedule(
+            schedule, jitter=uniform_jitter(args.jitter, args.seed), verify=False
+        )
+        print(
+            f"simulated R_T={result.reception_completion:g} "
+            f"(analytic {schedule.reception_completion:g}, jitter ±{args.jitter:g})"
+        )
+    else:
+        result = simulate_schedule(schedule)
+        print(
+            f"simulated R_T={result.reception_completion:g} == analytic "
+            f"{schedule.reception_completion:g} "
+            f"({result.events_processed} events, verified)"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import Table
+    from repro.io.serialization import load_multicast
+
+    mset = load_multicast(args.instance)
+    table = Table(f"schedulers on {args.instance} (n={mset.n})",
+                  ["algorithm", "R_T", "vs best"])
+    values = {}
+    for name in available_schedulers():
+        values[name] = get_scheduler(name)(mset).reception_completion
+    try:
+        values["dp (optimal)"] = solve_dp(mset).value
+    except SolverError:
+        pass
+    best = min(values.values())
+    for name, value in sorted(values.items(), key=lambda kv: kv[1]):
+        table.add_row([name, value, f"{value / best:.3f}x"])
+    print(table.render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import render_report, run_all
+
+    names = args.names or None
+    print(render_report(run_all(names), markdown=args.markdown))
+    return 0
+
+
+def _cmd_fig1(_args: argparse.Namespace) -> int:
+    from repro.experiments.fig1 import (
+        figure1_instance,
+        figure1_schedule_a,
+        figure1_schedule_b,
+        run,
+    )
+    from repro.viz.ascii_tree import render_tree
+
+    for table in run():
+        print(table.render())
+        print()
+    mset = figure1_instance()
+    print("Figure 1(a):")
+    print(render_tree(figure1_schedule_a(mset)))
+    print()
+    print("Figure 1(b) reconstruction:")
+    print(render_tree(figure1_schedule_b(mset)))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "schedule": _cmd_schedule,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+    "fig1": _cmd_fig1,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

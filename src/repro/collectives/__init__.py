@@ -1,0 +1,44 @@
+"""Collective operations built on multicast scheduling (Section 5 extension).
+
+The paper closes by asking for "polynomial time algorithms and
+approximation algorithms ... for other collective communication
+operations"; this package provides the natural constructions:
+
+* :mod:`~repro.collectives.broadcast` — multicast to everyone;
+* :mod:`~repro.collectives.reduce` — reduction via the overhead-swap /
+  time-reversal duality;
+* :mod:`~repro.collectives.scatter` / :mod:`~repro.collectives.gather` —
+  personalized payloads under the affine (footnote 1) cost model.
+"""
+
+from repro.collectives.broadcast import broadcast_completion, broadcast_schedule
+from repro.collectives.reduce import ReducePlan, reduce_completion_forward, reduce_plan
+from repro.collectives.scatter import (
+    ScatterResult,
+    binomial_children,
+    scatter_completion,
+    star_children,
+)
+from repro.collectives.gather import GatherResult, gather_completion
+from repro.collectives.pipeline import (
+    PipelineResult,
+    optimal_segmentation,
+    pipelined_completion,
+)
+
+__all__ = [
+    "PipelineResult",
+    "pipelined_completion",
+    "optimal_segmentation",
+    "broadcast_schedule",
+    "broadcast_completion",
+    "ReducePlan",
+    "reduce_plan",
+    "reduce_completion_forward",
+    "ScatterResult",
+    "scatter_completion",
+    "star_children",
+    "binomial_children",
+    "GatherResult",
+    "gather_completion",
+]

@@ -1,0 +1,75 @@
+"""Gather under the affine overhead model — the scatter's time mirror.
+
+Gather concentrates per-node payloads at the root.  Like scatter it moves
+size-dependent bundles, so it uses the affine model; like reduce it is the
+time-reversal of its distribution twin.  Internal nodes *concatenate* — a
+parent forwards its children's bytes plus its own (contrast reduce, where
+combining keeps messages fixed-size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.exceptions import ModelError
+from repro.model.linear import NetworkSpec
+
+__all__ = ["GatherResult", "gather_completion"]
+
+
+@dataclass(frozen=True)
+class GatherResult:
+    """Timing of one gather execution."""
+
+    completion: float
+    send_start: Tuple[float, ...]  # when each machine begins its upward send
+
+
+def gather_completion(
+    network: NetworkSpec,
+    children: Mapping[int, Sequence[int]],
+    payloads: Sequence[float],
+    *,
+    integral: bool = False,
+) -> GatherResult:
+    """Time a gather over the tree ``children`` (indices into the network).
+
+    Children deliver to their parent sequentially (the parent receives one
+    bundle at a time, later children waiting as needed); a node starts its
+    upward send only after collecting its whole subtree.
+    """
+    machines = network.machines
+    if len(payloads) != len(machines):
+        raise ModelError("payloads must align with network.machines")
+    if any(p < 0 for p in payloads):
+        raise ModelError("payloads must be non-negative")
+
+    send_start: List[float] = [0.0] * len(machines)
+
+    def collect(v: int) -> Tuple[float, float]:
+        """Returns (time v has its full bundle, bundle size in bytes)."""
+        spec = machines[v]
+        bundle = float(payloads[v])
+        recv_free = 0.0
+        ready = 0.0
+        arrivals = []
+        for c in children.get(v, ()):
+            child_ready, child_bytes = collect(c)
+            send_busy = machines[c].send.at(child_bytes, integral=integral)
+            wire = network.latency.at(child_bytes, integral=integral)
+            send_start[c] = child_ready
+            arrivals.append((child_ready + send_busy + wire, child_bytes))
+            bundle += child_bytes
+        # the parent receives bundles in arrival order, one at a time
+        for arrive, child_bytes in sorted(arrivals):
+            recv_busy = spec.receive.at(child_bytes, integral=integral)
+            recv_free = max(recv_free, arrive) + recv_busy
+            ready = recv_free
+        return max(ready, 0.0), bundle
+
+    completion, total = collect(0)
+    expected = float(sum(payloads))
+    if abs(total - expected) > 1e-9:  # pragma: no cover - internal invariant
+        raise ModelError("gather lost bytes")
+    return GatherResult(completion=completion, send_start=tuple(send_start))

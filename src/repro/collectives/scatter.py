@@ -1,0 +1,117 @@
+"""Scatter under the affine overhead model (Section 5 extension).
+
+Scatter (one distinct payload per destination) breaks the fixed-overhead
+abstraction: an internal node forwards a *bundle* of payloads whose size is
+its subtree's demand, so overheads must be evaluated per transfer through
+the affine model of :mod:`repro.model.linear` (paper footnote 1 un-folded).
+
+Timing of a scatter over a tree, with the root sending to children in
+order::
+
+    ready(root) = 0
+    A transfer to child c carries bytes(c) = sum of payloads in c's subtree.
+    The sender is busy send_cost(bytes(c)); the wire adds latency(bytes(c));
+    the receiver is busy recv_cost(bytes(c)).
+    Children receive their bundles in order, the sender back-to-back;
+    a child forwards onward only after fully receiving its bundle.
+
+Star, binomial and greedy-shaped trees are compared in the E-suite: large
+fan-out minimizes forwarded bytes (star sends each payload once), deep
+trees pipeline but re-send bytes — the classic scatter trade-off, which the
+affine model reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import ModelError
+from repro.model.linear import MachineSpec, NetworkSpec
+
+__all__ = ["ScatterResult", "scatter_completion", "star_children", "binomial_children"]
+
+
+@dataclass(frozen=True)
+class ScatterResult:
+    """Timing of one scatter execution."""
+
+    completion: float
+    receive_done: Tuple[float, ...]  # per machine index (root = 0.0)
+    bytes_sent: Tuple[float, ...]  # total bytes each machine transmitted
+
+
+def _subtree_bytes(
+    children: Mapping[int, Sequence[int]], payloads: Sequence[float], v: int
+) -> float:
+    total = payloads[v]
+    for c in children.get(v, ()):
+        total += _subtree_bytes(children, payloads, c)
+    return total
+
+
+def scatter_completion(
+    network: NetworkSpec,
+    children: Mapping[int, Sequence[int]],
+    payloads: Sequence[float],
+    *,
+    integral: bool = False,
+) -> ScatterResult:
+    """Time a scatter over ``children`` (indices into ``network.machines``).
+
+    ``payloads[i]`` is the byte count destined for machine ``i``
+    (``payloads[0]`` is the root's own share, usually 0).
+    """
+    machines = network.machines
+    if len(payloads) != len(machines):
+        raise ModelError("payloads must align with network.machines")
+    if any(p < 0 for p in payloads):
+        raise ModelError("payloads must be non-negative")
+
+    receive_done: List[float] = [0.0] * len(machines)
+    bytes_sent: List[float] = [0.0] * len(machines)
+
+    def run(v: int, ready: float) -> None:
+        spec: MachineSpec = machines[v]
+        send_free = ready
+        for c in children.get(v, ()):
+            bundle = _subtree_bytes(children, payloads, c)
+            if bundle <= 0:
+                raise ModelError(f"empty bundle for subtree of machine {c}")
+            send_busy = spec.send.at(bundle, integral=integral)
+            wire = network.latency.at(bundle, integral=integral)
+            recv_busy = machines[c].receive.at(bundle, integral=integral)
+            depart = send_free + send_busy
+            arrive = depart + wire
+            receive_done[c] = arrive + recv_busy
+            bytes_sent[v] += bundle
+            send_free = depart  # sender continues with the next child
+            run(c, receive_done[c])
+
+    run(0, 0.0)
+    missing = [
+        i for i in range(1, len(machines)) if payloads[i] > 0 and receive_done[i] == 0.0
+    ]
+    if missing:
+        raise ModelError(f"machines with payloads never reached: {missing}")
+    return ScatterResult(
+        completion=max(receive_done),
+        receive_done=tuple(receive_done),
+        bytes_sent=tuple(bytes_sent),
+    )
+
+
+def star_children(n_machines: int) -> Dict[int, List[int]]:
+    """Root sends every payload directly (minimum bytes, no pipelining)."""
+    if n_machines < 2:
+        raise ModelError("need at least two machines")
+    return {0: list(range(1, n_machines))}
+
+
+def binomial_children(n_machines: int) -> Dict[int, List[int]]:
+    """Binomial scatter tree (forwarded bundles, logarithmic depth)."""
+    from repro.algorithms.binomial import binomial_tree_children
+
+    if n_machines < 2:
+        raise ModelError("need at least two machines")
+    return binomial_tree_children(list(range(n_machines)))

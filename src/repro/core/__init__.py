@@ -1,0 +1,89 @@
+"""Core algorithms of the paper: model, greedy, DP, exact solvers, proofs.
+
+The public surface of the reproduction's primary contribution:
+
+* :class:`~repro.core.node.Node`, :class:`~repro.core.multicast.MulticastSet`
+  — the heterogeneous receive-send model (Section 2);
+* :class:`~repro.core.schedule.Schedule` — ordered multicast trees with the
+  paper's timing recurrences;
+* :func:`~repro.core.greedy.greedy_schedule` — the ``O(n log n)`` greedy
+  algorithm (Lemma 1);
+* :func:`~repro.core.leaf_reversal.reverse_leaves` — the practical leaf
+  refinement (end of Section 3);
+* :func:`~repro.core.dp.solve_dp` / :class:`~repro.core.dp_table.OptimalTable`
+  — optimal multicast for limited heterogeneity (Section 4, Theorem 2);
+* :func:`~repro.core.brute_force.solve_exact` — exact branch-and-bound
+  validation oracle;
+* :mod:`~repro.core.transform` — Lemma 3 exchange and Theorem 1 rounding;
+* :mod:`~repro.core.bounds` — Theorem 1's bound and certified lower bounds.
+"""
+
+from repro.core.node import Node, overhead_key, same_type
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+from repro.core.greedy import greedy_schedule, greedy_completion, GreedyTrace, GreedyStep
+from repro.core.leaf_reversal import reverse_leaves, greedy_with_reversal, leaf_slots
+from repro.core.dp import TypeSystem, DPSolution, solve_dp, optimal_completion_dp
+from repro.core.dp_table import OptimalTable
+from repro.core.brute_force import ExactSolution, solve_exact, optimal_completion_exact
+from repro.core.layered import (
+    enumerate_layered_schedules,
+    count_layered_schedules,
+    min_layered_delivery_completion,
+)
+from repro.core.transform import (
+    uniform_ratio,
+    round_up_instance,
+    next_power_of_two,
+    exchange,
+    swap_same_type,
+    layer_schedule,
+)
+from repro.core.bounds import (
+    theorem1_factor,
+    theorem1_bound,
+    first_hop_lower_bound,
+    homogeneous_relaxation_lower_bound,
+    certified_lower_bound,
+    BoundReport,
+    bound_report,
+)
+
+__all__ = [
+    "Node",
+    "overhead_key",
+    "same_type",
+    "MulticastSet",
+    "Schedule",
+    "greedy_schedule",
+    "greedy_completion",
+    "GreedyTrace",
+    "GreedyStep",
+    "reverse_leaves",
+    "greedy_with_reversal",
+    "leaf_slots",
+    "TypeSystem",
+    "DPSolution",
+    "solve_dp",
+    "optimal_completion_dp",
+    "OptimalTable",
+    "ExactSolution",
+    "solve_exact",
+    "optimal_completion_exact",
+    "enumerate_layered_schedules",
+    "count_layered_schedules",
+    "min_layered_delivery_completion",
+    "uniform_ratio",
+    "round_up_instance",
+    "next_power_of_two",
+    "exchange",
+    "swap_same_type",
+    "layer_schedule",
+    "theorem1_factor",
+    "theorem1_bound",
+    "first_hop_lower_bound",
+    "homogeneous_relaxation_lower_bound",
+    "certified_lower_bound",
+    "BoundReport",
+    "bound_report",
+]

@@ -1,0 +1,150 @@
+"""Approximation bounds and certified lower bounds (Section 3).
+
+Theorem 1: the greedy schedule's reception completion time satisfies
+
+.. code-block:: text
+
+    GREEDY_R  <  2 * ceil(alpha_max) / alpha_min * OPT_R  +  beta
+
+with ``alpha_i = o_receive(p_i) / o_send(p_i)`` ranging over *all* nodes
+(including the source) and ``beta`` the spread of the *destination* receive
+overheads.  The ``ceil`` follows the proof's rounding step
+(``o_receive' = ceil(alpha_max) * o_send'``); for the paper's special case
+``alpha_max = alpha_min = 1`` the factor collapses to 2, matching the
+statement "the bound becomes 2 x OPT_R + beta".
+
+For instances too large for exact solvers, we bound the approximation ratio
+using *certified lower bounds* on ``OPT_R``:
+
+* **first-hop bound** — every destination's message chain starts with the
+  source busy for ``o_send(p_0)`` and ends with a latency plus its own
+  receive overhead, so ``OPT_R >= o_send(p_0) + L + max_dest o_receive``;
+* **homogeneous relaxation** — replacing every node's overheads by the
+  network-wide minima only decreases all schedule times (the recurrences are
+  monotone), and the relaxed instance has one type, so its optimum is
+  computed exactly by the Section 4 DP in ``O(n^2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.dp import solve_dp
+from repro.core.multicast import MulticastSet
+
+__all__ = [
+    "theorem1_factor",
+    "theorem1_bound",
+    "first_hop_lower_bound",
+    "homogeneous_relaxation_lower_bound",
+    "certified_lower_bound",
+    "BoundReport",
+]
+
+
+def theorem1_factor(mset: MulticastSet) -> float:
+    """The multiplicative constant ``C = 2 * ceil(alpha_max) / alpha_min``."""
+    return 2.0 * math.ceil(mset.alpha_max) / mset.alpha_min
+
+
+def theorem1_bound(mset: MulticastSet, opt_value: float) -> float:
+    """Theorem 1's guarantee evaluated at a given ``OPT_R`` (or lower bound).
+
+    When ``opt_value`` is a lower bound on the optimum the returned value is
+    *not* an upper bound on greedy — use it only with exact optima for
+    verification; with lower bounds use :class:`BoundReport` which keeps the
+    pieces separate.
+    """
+    return theorem1_factor(mset) * opt_value + mset.beta
+
+
+def first_hop_lower_bound(mset: MulticastSet) -> float:
+    """``o_send(p_0) + L + max_dest o_receive`` — always a valid LB."""
+    return (
+        mset.send(0)
+        + mset.latency
+        + max(d.receive_overhead for d in mset.destinations)
+    )
+
+
+def homogeneous_relaxation_lower_bound(mset: MulticastSet) -> float:
+    """Exact optimum of the all-minimum-overheads relaxation.
+
+    The relaxation replaces every node (source included) by one with the
+    network minimum send and receive overheads; any schedule's times only
+    shrink, so the relaxed optimum lower-bounds the true optimum.  With a
+    single type, the DP solves the relaxation exactly in ``O(n^2)``.
+    """
+    min_send = min(nd.send_overhead for nd in mset.nodes)
+    min_recv = min(nd.receive_overhead for nd in mset.nodes)
+    relaxed = MulticastSet.from_overheads(
+        (min_send, min_recv),
+        [(min_send, min_recv)] * mset.n,
+        mset.latency,
+    )
+    return solve_dp(relaxed).value
+
+
+def certified_lower_bound(mset: MulticastSet) -> float:
+    """The best lower bound this module can certify for ``OPT_R``."""
+    return max(
+        first_hop_lower_bound(mset),
+        homogeneous_relaxation_lower_bound(mset),
+    )
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """Everything Theorem 1 says about one instance, plus measurements.
+
+    ``ratio_upper_bound`` is an upper bound on the true approximation ratio
+    ``greedy / OPT`` obtained from the certified lower bound; when an exact
+    optimum is supplied the two coincide.
+    """
+
+    n: int
+    alpha_min: float
+    alpha_max: float
+    beta: float
+    factor: float
+    greedy_value: float
+    opt_value: float
+    opt_is_exact: bool
+
+    @property
+    def guarantee(self) -> float:
+        """``factor * OPT + beta`` (meaningful when ``opt_is_exact``)."""
+        return self.factor * self.opt_value + self.beta
+
+    @property
+    def measured_ratio(self) -> float:
+        """``greedy / opt`` — an upper bound on the ratio when opt is a LB."""
+        return self.greedy_value / self.opt_value
+
+    @property
+    def within_guarantee(self) -> bool:
+        """Whether greedy respects Theorem 1 (strict inequality).
+
+        With an exact optimum this is the theorem's claim; with a lower
+        bound the guarantee is only larger, so a ``True`` here is still a
+        sound (if weaker) statement, while ``False`` would be meaningless —
+        callers should check :attr:`opt_is_exact`.
+        """
+        return self.greedy_value < self.guarantee
+
+
+def bound_report(
+    mset: MulticastSet, greedy_value: float, opt_value: float, *, opt_is_exact: bool
+) -> BoundReport:
+    """Assemble a :class:`BoundReport` (convenience constructor)."""
+    return BoundReport(
+        n=mset.n,
+        alpha_min=mset.alpha_min,
+        alpha_max=mset.alpha_max,
+        beta=mset.beta,
+        factor=theorem1_factor(mset),
+        greedy_value=greedy_value,
+        opt_value=opt_value,
+        opt_is_exact=opt_is_exact,
+    )

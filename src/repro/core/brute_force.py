@@ -1,0 +1,172 @@
+"""Exact optimal multicast by branch-and-bound (validation oracle).
+
+The optimal multicast problem is NP-complete in the strong sense (Section 2,
+citing [12]), so no polynomial exact algorithm is expected for arbitrary
+heterogeneity.  For *small* instances, however, exhaustive search is cheap
+and gives the ground truth against which Theorem 1's approximation ratio and
+the Section 4 DP are validated.
+
+Search space
+------------
+Any schedule can be built by inserting destinations one at a time in
+non-decreasing delivery-time order, each insertion appending the new node as
+the next child of some node already in the tree.  We therefore search over
+such insertion sequences, which enumerates every canonical schedule at least
+once (and, with the non-decreasing-delivery discipline, essentially once).
+
+Pruning
+-------
+* **best-so-far**: seeded with greedy + leaf reversal, an excellent upper
+  bound;
+* **lower bound**: ``max(current max reception, earliest possible next
+  delivery + largest remaining receive overhead)``;
+* **receiver symmetry**: among remaining destinations, only the
+  lowest-indexed node of each workstation type is tried;
+* **sender symmetry**: senders with identical ``(next delivery time,
+  o_send)`` are interchangeable — only one is tried;
+* **delivery monotonicity**: the next delivery must not precede the previous
+  one (every tree has such an insertion order, so no optimum is lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import reverse_leaves
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+from repro.exceptions import SolverError
+
+__all__ = ["solve_exact", "ExactSolution", "optimal_completion_exact"]
+
+
+@dataclass(frozen=True)
+class ExactSolution:
+    """Result of an exhaustive solve."""
+
+    value: float
+    schedule: Schedule
+    nodes_expanded: int
+
+
+def solve_exact(
+    mset: MulticastSet,
+    *,
+    max_destinations: int = 10,
+    node_budget: int = 50_000_000,
+) -> ExactSolution:
+    """Find a provably optimal schedule for a small instance.
+
+    Parameters
+    ----------
+    mset:
+        The instance; ``mset.n`` must not exceed ``max_destinations`` (the
+        search is exponential — raise the cap knowingly).
+    node_budget:
+        Hard cap on search-tree expansions; exceeding it raises
+        :class:`~repro.exceptions.SolverError` (never silently returns a
+        non-optimal answer).
+    """
+    n = mset.n
+    if n > max_destinations:
+        raise SolverError(
+            f"exhaustive search limited to {max_destinations} destinations, got {n}; "
+            f"pass max_destinations explicitly to override"
+        )
+    L = mset.latency
+    send = [mset.send(i) for i in range(n + 1)]
+    recv = [mset.receive(i) for i in range(n + 1)]
+    type_key = [mset.node(i).type_key for i in range(n + 1)]
+
+    seed = reverse_leaves(greedy_schedule(mset))
+    best_value = seed.reception_completion
+    best_children: Optional[Dict[int, Tuple[int, ...]]] = {
+        p: tuple(c for c, _s in kids) for p, kids in seed.children.items()
+    }
+
+    # mutable search state
+    children: List[List[int]] = [[] for _ in range(n + 1)]
+    reception: List[float] = [0.0] * (n + 1)
+    in_tree: List[int] = [0]
+    remaining: List[bool] = [False] + [True] * n
+    expanded = 0
+
+    def next_delivery(v: int) -> float:
+        return reception[v] + (len(children[v]) + 1) * send[v] + L
+
+    def dfs(num_remaining: int, cur_max_r: float, last_delivery: float) -> None:
+        nonlocal best_value, best_children, expanded
+        if num_remaining == 0:
+            if cur_max_r < best_value:
+                best_value = cur_max_r
+                best_children = {
+                    v: tuple(children[v]) for v in range(n + 1) if children[v]
+                }
+            return
+        expanded += 1
+        if expanded > node_budget:
+            raise SolverError(
+                f"exhaustive search exceeded node budget ({node_budget})"
+            )
+        # candidate receivers: one representative per remaining type
+        receivers: List[int] = []
+        seen_types = set()
+        max_remaining_recv = 0.0
+        for i in range(1, n + 1):
+            if remaining[i]:
+                if recv[i] > max_remaining_recv:
+                    max_remaining_recv = recv[i]
+                if type_key[i] not in seen_types:
+                    seen_types.add(type_key[i])
+                    receivers.append(i)
+        # candidate senders: dedupe by (next delivery, send overhead)
+        senders: List[Tuple[float, int]] = []
+        seen_senders = set()
+        for v in in_tree:
+            nd = next_delivery(v)
+            sig = (nd, send[v])
+            if sig not in seen_senders:
+                seen_senders.add(sig)
+                senders.append((nd, v))
+        senders.sort()
+        earliest = senders[0][0]
+        # lower bound: someone still has to receive after the earliest
+        # possible future delivery
+        lb = max(cur_max_r, earliest + max_remaining_recv)
+        if lb >= best_value:
+            return
+        for nd, v in senders:
+            if nd < last_delivery:
+                continue  # enforce non-decreasing delivery order
+            if nd + max_remaining_recv >= best_value:
+                # senders are sorted by next delivery; the slowest remaining
+                # receiver must be delivered at >= nd in this branch, so no
+                # later sender can help either
+                break
+            for i in receivers:
+                r_i = nd + recv[i]
+                new_max = max(cur_max_r, r_i)
+                if new_max >= best_value:
+                    continue
+                children[v].append(i)
+                reception[i] = r_i
+                in_tree.append(i)
+                remaining[i] = False
+                dfs(num_remaining - 1, new_max, nd)
+                remaining[i] = True
+                in_tree.pop()
+                children[v].pop()
+
+    dfs(n, 0.0, 0.0)
+    assert best_children is not None
+    schedule = Schedule(mset, best_children)
+    if abs(schedule.reception_completion - best_value) > 1e-9:  # pragma: no cover
+        raise SolverError("branch-and-bound bookkeeping inconsistent")
+    return ExactSolution(value=best_value, schedule=schedule, nodes_expanded=expanded)
+
+
+def optimal_completion_exact(mset: MulticastSet, **kwargs) -> float:
+    """Optimal ``R_T`` via :func:`solve_exact` (convenience wrapper)."""
+    return solve_exact(mset, **kwargs).value

@@ -1,0 +1,216 @@
+"""Optimal multicast for limited heterogeneity (Section 4, Theorem 2).
+
+For ``k`` distinct workstation types, the paper defines
+``tau(s, i_1, ..., i_k)`` = minimum reception completion time of a multicast
+from a source of type ``s`` to ``i_j`` destinations of type ``j``, and proves
+(Lemma 4)::
+
+    tau(s, 0, ..., 0) = 0
+    tau(s, i) = min over first-child types l (i_l >= 1) and splits y
+                (0 <= y_j <= i_j, y_l <= i_l - 1) of
+        max( tau(l, y)             + S(s) + L + R(l),
+             tau(s, i - y - e_l)   + S(s) )
+
+The first term is the subtree rooted at the source's *first* child (a node
+of type ``l`` that receives at ``S(s) + L + R(l)``); the second term is the
+rest of the multicast, performed by the same source after its first send
+overhead has elapsed.  Dynamic programming over all ``O(k * n^k)`` states,
+each scanned in ``O(k * n^k)``, gives ``O(n^{2k})`` for constant ``k``.
+
+This module solves single instances and reconstructs an explicit optimal
+:class:`~repro.core.schedule.Schedule`.  The full-network precomputed table
+of the Theorem 2 closing note lives in :mod:`repro.core.dp_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+from repro.exceptions import SolverError
+
+__all__ = ["TypeSystem", "DPSolution", "solve_dp", "optimal_completion_dp"]
+
+Counts = Tuple[int, ...]
+Choice = Optional[Tuple[int, Counts]]  # (first-child type l, subtree split y)
+
+
+@dataclass(frozen=True)
+class TypeSystem:
+    """The type structure of an instance: distinct ``(S, R)`` pairs, ascending.
+
+    ``S(i)``/``R(i)`` follow the paper's notation: sending and receiving
+    overheads of a node of type ``i`` (0-based here, 1-based in the paper).
+    """
+
+    overheads: Tuple[Tuple[float, float], ...]
+
+    @classmethod
+    def of(cls, mset: MulticastSet) -> "TypeSystem":
+        return cls(mset.type_keys())
+
+    @property
+    def k(self) -> int:
+        return len(self.overheads)
+
+    def send(self, t: int) -> float:
+        """``S(t)``."""
+        return self.overheads[t][0]
+
+    def receive(self, t: int) -> float:
+        """``R(t)``."""
+        return self.overheads[t][1]
+
+
+@dataclass(frozen=True)
+class DPSolution:
+    """Result of a DP solve: the optimum and the memo for reuse."""
+
+    value: float
+    schedule: Schedule
+    states_computed: int
+
+
+class _DPCore:
+    """Shared recurrence engine; also the backend of ``dp_table``."""
+
+    def __init__(self, types: TypeSystem, latency: float) -> None:
+        self.types = types
+        self.latency = latency
+        self.memo: Dict[Tuple[int, Counts], Tuple[float, Choice]] = {}
+
+    def tau(self, s: int, counts: Counts) -> float:
+        """``tau(s, i_1..i_k)`` with memoization (recursive form)."""
+        got = self.memo.get((s, counts))
+        if got is not None:
+            return got[0]
+        if not any(counts):
+            self.memo[(s, counts)] = (0.0, None)
+            return 0.0
+        value, choice = self._best(s, counts)
+        self.memo[(s, counts)] = (value, choice)
+        return value
+
+    def _best(self, s: int, counts: Counts) -> Tuple[float, Choice]:
+        ts = self.types
+        L = self.latency
+        S_s = ts.send(s)
+        best = float("inf")
+        best_choice: Choice = None
+        k = ts.k
+        for ell in range(k):
+            if counts[ell] < 1:
+                continue
+            first_fixed = S_s + L + ts.receive(ell)
+            # enumerate subtree splits y: 0 <= y_j <= i_j, y_ell <= i_ell - 1
+            ranges = [
+                range(counts[j] + 1) if j != ell else range(counts[ell])
+                for j in range(k)
+            ]
+            for y in product(*ranges):
+                rest = tuple(
+                    counts[j] - y[j] - (1 if j == ell else 0) for j in range(k)
+                )
+                candidate = max(
+                    self.tau(ell, y) + first_fixed,
+                    self.tau(s, rest) + S_s,
+                )
+                if candidate < best:
+                    best = candidate
+                    best_choice = (ell, y)
+        return best, best_choice
+
+    # ------------------------------------------------------------------
+    # schedule reconstruction
+    # ------------------------------------------------------------------
+    def typed_children(self, s: int, counts: Counts) -> List[Tuple[int, Counts]]:
+        """Delivery-ordered children of a type-``s`` root covering ``counts``.
+
+        Each entry is ``(child type, child subtree counts)``.  The recurrence
+        nests "rest" subproblems on the same source; unrolling that nesting
+        yields the root's full delivery-ordered child list.
+        """
+        out: List[Tuple[int, Counts]] = []
+        cur = counts
+        while any(cur):
+            value_choice = self.memo.get((s, cur))
+            if value_choice is None:
+                self.tau(s, cur)
+                value_choice = self.memo[(s, cur)]
+            choice = value_choice[1]
+            assert choice is not None
+            ell, y = choice
+            out.append((ell, y))
+            cur = tuple(cur[j] - y[j] - (1 if j == ell else 0) for j in range(self.types.k))
+        return out
+
+
+def _bind_schedule(
+    core: _DPCore, mset: MulticastSet, source_type: int, counts: Counts
+) -> Schedule:
+    """Materialize the optimal typed tree onto the concrete node indices."""
+    pools: Dict[int, List[int]] = {
+        t: list(reversed(idxs)) for t, idxs in mset.destinations_by_type().items()
+    }
+    children: Dict[int, List[int]] = {}
+
+    def expand(node_index: int, node_type: int, node_counts: Counts) -> None:
+        kids = core.typed_children(node_type, node_counts)
+        bound: List[Tuple[int, int, Counts]] = []
+        for child_type, child_counts in kids:
+            child_index = pools[child_type].pop()
+            bound.append((child_index, child_type, child_counts))
+        children[node_index] = [b[0] for b in bound]
+        for child_index, child_type, child_counts in bound:
+            expand(child_index, child_type, child_counts)
+
+    expand(0, source_type, counts)
+    return Schedule(mset, {p: kids for p, kids in children.items() if kids})
+
+
+def solve_dp(mset: MulticastSet, *, max_states: int = 20_000_000) -> DPSolution:
+    """Solve ``mset`` optimally via the Section 4 dynamic program.
+
+    Parameters
+    ----------
+    mset:
+        The instance.  Its type count ``k`` is discovered automatically;
+        complexity is ``O(n^{2k})``, so this is practical for small ``k``.
+    max_states:
+        Guard rail: estimated state count ``k * prod(n_j + 1)`` above which a
+        :class:`~repro.exceptions.SolverError` is raised rather than melting
+        the machine.
+
+    Returns
+    -------
+    DPSolution with the optimal reception completion time and an explicit
+    optimal schedule whose ``reception_completion`` equals the DP value.
+    """
+    types = TypeSystem.of(mset)
+    counts = mset.destination_type_counts()
+    est = types.k
+    for c in counts:
+        est *= c + 1
+    if est > max_states:
+        raise SolverError(
+            f"DP state space too large: ~{est} states for k={types.k}, n={mset.n} "
+            f"(limit {max_states}); use greedy or raise max_states"
+        )
+    core = _DPCore(types, mset.latency)
+    source_type = mset.type_of(0)
+    value = core.tau(source_type, counts)
+    schedule = _bind_schedule(core, mset, source_type, counts)
+    if abs(schedule.reception_completion - value) > 1e-9:
+        raise SolverError(
+            "DP reconstruction inconsistent with DP value: "
+            f"{schedule.reception_completion} != {value}"
+        )  # pragma: no cover - internal invariant
+    return DPSolution(value=value, schedule=schedule, states_computed=len(core.memo))
+
+
+def optimal_completion_dp(mset: MulticastSet, **kwargs) -> float:
+    """Optimal ``R_T`` by DP (convenience wrapper around :func:`solve_dp`)."""
+    return solve_dp(mset, **kwargs).value

@@ -1,0 +1,194 @@
+"""Precomputed optimal-multicast tables (Theorem 2, closing note).
+
+    "for a network with small k it may be desirable to precompute the
+    dynamic programming table and annotate each entry in the table with the
+    optimal schedule.  In this way, an optimal schedule can subsequently be
+    found in constant time for any multicast in this network."
+
+:class:`OptimalTable` realizes exactly that: given the *network* (the type
+overheads, how many nodes of each type exist, and the latency), it fills the
+entire DP table ``tau(s, i_1..i_k)`` for every source type ``s`` and every
+count vector ``i <= n`` bottom-up.  Afterwards:
+
+* :meth:`OptimalTable.completion` answers any multicast's optimal value in
+  O(1) (a dict lookup);
+* :meth:`OptimalTable.schedule_for` materializes an optimal schedule for a
+  concrete :class:`~repro.core.multicast.MulticastSet` drawn from the
+  network in time linear in the schedule size (the table stores the argmin
+  choice per entry — the paper's "annotate each entry").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.dp import TypeSystem, _DPCore
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+from repro.exceptions import SolverError
+
+__all__ = ["OptimalTable"]
+
+Counts = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _NetworkSpec:
+    """The network a table covers: type overheads + max count per type."""
+
+    types: TypeSystem
+    max_counts: Counts
+    latency: float
+
+
+class OptimalTable:
+    """Full table of optimal multicast completions for one HNOW network.
+
+    Parameters
+    ----------
+    type_overheads:
+        The distinct workstation types as ``(o_send, o_receive)`` pairs.
+    max_counts:
+        ``n_j``: how many workstations of each type the network contains.
+    latency:
+        The network latency ``L``.
+    """
+
+    def __init__(
+        self,
+        type_overheads: Sequence[Tuple[float, float]],
+        max_counts: Sequence[int],
+        latency: float,
+    ) -> None:
+        overheads = tuple(sorted(tuple(t) for t in type_overheads))
+        if len(set(overheads)) != len(overheads):
+            raise SolverError("type overheads must be distinct")
+        if len(max_counts) != len(overheads):
+            raise SolverError("max_counts must align with type_overheads")
+        if any(c < 0 for c in max_counts):
+            raise SolverError("max_counts must be non-negative")
+        self.spec = _NetworkSpec(
+            types=TypeSystem(overheads),
+            max_counts=tuple(int(c) for c in max_counts),
+            latency=latency,
+        )
+        self._core = _DPCore(self.spec.types, latency)
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self) -> "OptimalTable":
+        """Fill the whole table bottom-up (idempotent).
+
+        Iterates count vectors in non-decreasing total order so that every
+        sub-state is already memoized when visited — this keeps the recursion
+        of :class:`_DPCore` from ever growing a deep stack.
+        """
+        if self._built:
+            return self
+        k = self.spec.types.k
+        vectors = sorted(
+            product(*(range(c + 1) for c in self.spec.max_counts)),
+            key=sum,
+        )
+        for counts in vectors:
+            for s in range(k):
+                self._core.tau(s, counts)
+        self._built = True
+        return self
+
+    @property
+    def entries(self) -> int:
+        """Number of table entries currently materialized."""
+        return len(self._core.memo)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _check_counts(self, counts: Sequence[int]) -> Counts:
+        counts = tuple(int(c) for c in counts)
+        if len(counts) != self.spec.types.k:
+            raise SolverError(
+                f"expected {self.spec.types.k} counts, got {len(counts)}"
+            )
+        if any(c < 0 or c > m for c, m in zip(counts, self.spec.max_counts)):
+            raise SolverError(
+                f"counts {counts} outside network capacity {self.spec.max_counts}"
+            )
+        return counts
+
+    def completion(self, source_type: int, counts: Sequence[int]) -> float:
+        """Optimal ``R_T`` for a multicast from ``source_type`` to ``counts``.
+
+        After :meth:`build` this is a dictionary lookup ("constant time" in
+        the paper's phrasing).  Before :meth:`build`, missing entries are
+        computed on demand and cached.
+        """
+        counts = self._check_counts(counts)
+        if not 0 <= source_type < self.spec.types.k:
+            raise SolverError(f"unknown source type {source_type}")
+        return self._core.tau(source_type, counts)
+
+    def schedule_for(self, mset: MulticastSet) -> Schedule:
+        """An optimal schedule for a concrete multicast from this network.
+
+        The multicast's type system must be a sub-system of the network's
+        (every node's ``(o_send, o_receive)`` appears among the table types
+        — note the *instance* may use fewer types than the network has).
+        """
+        if mset.latency != self.spec.latency:
+            raise SolverError(
+                f"instance latency {mset.latency} != table latency {self.spec.latency}"
+            )
+        table_keys = {key: t for t, key in enumerate(self.spec.types.overheads)}
+        try:
+            source_type = table_keys[mset.node(0).type_key]
+        except KeyError:
+            raise SolverError(
+                f"source type {mset.node(0).type_key} not in the network"
+            ) from None
+        counts = [0] * self.spec.types.k
+        for dest in mset.destinations:
+            t = table_keys.get(dest.type_key)
+            if t is None:
+                raise SolverError(f"type {dest.type_key} not in the network")
+            counts[t] += 1
+        counts = self._check_counts(counts)
+        # _bind_schedule works over the *instance's* type ids; build a small
+        # shim multicast-view: the instance types may be a subset of the
+        # table's, so translate via a counts vector in table-type space and
+        # an index-pool in instance space keyed by table type ids.
+        return _TableBinder(self._core, table_keys).bind(mset, source_type, counts)
+
+
+class _TableBinder:
+    """Binds a table-typed optimal tree onto a concrete instance."""
+
+    def __init__(self, core: _DPCore, table_keys: Dict[Tuple[float, float], int]):
+        self.core = core
+        self.table_keys = table_keys
+
+    def bind(self, mset: MulticastSet, source_type: int, counts: Counts) -> Schedule:
+        pools: Dict[int, List[int]] = {}
+        for i, dest in enumerate(mset.destinations, start=1):
+            pools.setdefault(self.table_keys[dest.type_key], []).append(i)
+        for idxs in pools.values():
+            idxs.reverse()
+        children: Dict[int, List[int]] = {}
+
+        def expand(node_index: int, node_type: int, node_counts: Counts) -> None:
+            kids = self.core.typed_children(node_type, node_counts)
+            bound: List[Tuple[int, int, Counts]] = []
+            for child_type, child_counts in kids:
+                child_index = pools[child_type].pop()
+                bound.append((child_index, child_type, child_counts))
+            if bound:
+                children[node_index] = [b[0] for b in bound]
+            for child_index, child_type, child_counts in bound:
+                expand(child_index, child_type, child_counts)
+
+        expand(0, source_type, tuple(counts))
+        return Schedule(mset, children)

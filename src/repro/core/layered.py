@@ -1,0 +1,65 @@
+"""Layered schedules: predicate helpers and exhaustive enumeration.
+
+A schedule is *layered* (Section 2) when faster nodes take delivery no later
+than slower nodes.  The greedy algorithm always produces layered schedules,
+and Corollary 1 states it attains the minimum delivery completion time
+``D_T`` among all layered schedules.  This module provides an exhaustive
+enumerator over layered schedules for small instances so that Corollary 1
+(and Lemma 2's dominance) can be verified directly.
+
+Enumeration strategy: insert destinations in canonical sorted order
+``p_1..p_n``, each appended as the next child of any node already in the
+tree — ``n!`` candidate trees — then keep those satisfying the layered
+predicate.  Every layered schedule is generated up to tie-equivalence
+(schedules that differ only in the placement of equal-overhead nodes or
+equal-time deliveries), which is sufficient for optimality comparisons since
+tie-equivalent schedules share all completion times.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+
+__all__ = ["enumerate_layered_schedules", "count_layered_schedules", "min_layered_delivery_completion"]
+
+
+def _enumerate_trees(mset: MulticastSet) -> Iterator[Schedule]:
+    """All trees built by inserting ``p_1..p_n`` in order, appending children."""
+    n = mset.n
+    children: List[List[int]] = [[] for _ in range(n + 1)]
+
+    def rec(i: int) -> Iterator[Schedule]:
+        if i > n:
+            yield Schedule(
+                mset, {v: list(kids) for v, kids in enumerate(children) if kids}
+            )
+            return
+        for parent in range(i):  # nodes 0..i-1 are in the tree
+            children[parent].append(i)
+            yield from rec(i + 1)
+            children[parent].pop()
+
+    yield from rec(1)
+
+
+def enumerate_layered_schedules(mset: MulticastSet) -> Iterator[Schedule]:
+    """Yield every layered schedule of ``mset`` (up to tie-equivalence).
+
+    Intended for ``n <= 7`` (the candidate set has ``n!`` members).
+    """
+    for schedule in _enumerate_trees(mset):
+        if schedule.is_layered():
+            yield schedule
+
+
+def count_layered_schedules(mset: MulticastSet) -> int:
+    """Number of layered schedules among the canonical insertion trees."""
+    return sum(1 for _ in enumerate_layered_schedules(mset))
+
+
+def min_layered_delivery_completion(mset: MulticastSet) -> float:
+    """``min D_T`` over all layered schedules — Corollary 1's right-hand side."""
+    return min(s.delivery_completion for s in enumerate_layered_schedules(mset))

@@ -1,0 +1,254 @@
+"""Multicast problem instances.
+
+A *multicast set* (paper Section 2) is ``S = {p_0, p_1, ..., p_n}`` where
+``p_0`` is the source and ``p_1..p_n`` are destinations indexed in
+non-decreasing order of overhead.  This module provides
+:class:`MulticastSet`, which owns:
+
+* the source node and the destinations in canonical sorted order,
+* the global network latency ``L``,
+* validation of the paper's assumptions (positive parameters; the
+  overhead-correlation assumption).
+
+Node indices used throughout the library refer to positions in
+:attr:`MulticastSet.nodes`: index ``0`` is the source, indices ``1..n`` are
+the destinations in canonical order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.node import Node, Number, overhead_key
+from repro.exceptions import CorrelationError, ModelError
+
+__all__ = ["MulticastSet"]
+
+
+def _validate_correlation(nodes: Sequence[Node]) -> None:
+    """Enforce ``o_send(p) < o_send(q) <=> o_receive(p) < o_receive(q)``.
+
+    Checking all pairs is quadratic; instead sort by send overhead and demand
+    that receive overheads are (a) non-decreasing along the sorted order and
+    (b) equal exactly when send overheads are equal.  This is equivalent to
+    the pairwise condition.
+    """
+    ordered = sorted(nodes, key=lambda nd: nd.send_overhead)
+    for prev, cur in zip(ordered, ordered[1:]):
+        if prev.send_overhead == cur.send_overhead:
+            if prev.receive_overhead != cur.receive_overhead:
+                raise CorrelationError(
+                    "correlation assumption violated: nodes "
+                    f"{prev.name!r} and {cur.name!r} have equal send overheads "
+                    f"({prev.send_overhead:g}) but different receive overheads "
+                    f"({prev.receive_overhead:g} vs {cur.receive_overhead:g})"
+                )
+        elif prev.receive_overhead >= cur.receive_overhead:
+            raise CorrelationError(
+                "correlation assumption violated: "
+                f"{prev.name!r} sends faster than {cur.name!r} "
+                f"({prev.send_overhead:g} < {cur.send_overhead:g}) but does not "
+                f"receive faster ({prev.receive_overhead:g} >= {cur.receive_overhead:g})"
+            )
+
+
+@dataclass(frozen=True)
+class MulticastSet:
+    """An instance of the optimal multicast problem.
+
+    Parameters
+    ----------
+    source:
+        The node ``p_0`` holding the message at time 0.
+    destinations:
+        The nodes ``p_1..p_n`` that must receive the message.  They are
+        stored in the paper's canonical non-decreasing overhead order
+        regardless of the order supplied (a stable sort, so equal-overhead
+        nodes keep their relative input order).
+    latency:
+        The global network latency ``L`` (positive).
+    validate_correlation:
+        When ``True`` (default) enforce the paper's correlation assumption
+        across *all* nodes including the source.  Disable only for
+        experiments that deliberately step outside the paper's model; the
+        greedy algorithm then still runs (sorting by ``(o_send, o_receive)``)
+        but Theorem 1's guarantee no longer applies.
+    """
+
+    source: Node
+    destinations: Tuple[Node, ...]
+    latency: Number
+    correlated: bool
+
+    def __init__(
+        self,
+        source: Node,
+        destinations: Iterable[Node],
+        latency: Number = 1,
+        *,
+        validate_correlation: bool = True,
+    ) -> None:
+        dests = tuple(sorted(destinations, key=overhead_key))
+        if not isinstance(latency, (int, float)) or isinstance(latency, bool):
+            raise ModelError(f"latency must be a number, got {latency!r}")
+        if not latency > 0 or latency != latency or latency == float("inf"):
+            raise ModelError(f"latency must be positive and finite, got {latency!r}")
+        if not dests:
+            raise ModelError("a multicast needs at least one destination")
+        names = [source.name] + [d.name for d in dests]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ModelError(f"node names must be unique, duplicated: {dupes}")
+        correlated = True
+        try:
+            _validate_correlation((source, *dests))
+        except CorrelationError:
+            if validate_correlation:
+                raise
+            correlated = False
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "destinations", dests)
+        object.__setattr__(self, "latency", latency)
+        object.__setattr__(self, "correlated", correlated)
+        # O(1) accessor caches (the greedy's inner loop reads overheads per
+        # heap operation; rebuilding tuples there would cost O(n) per read)
+        nodes = (source, *dests)
+        object.__setattr__(self, "_nodes", nodes)
+        object.__setattr__(self, "_sends", tuple(nd.send_overhead for nd in nodes))
+        object.__setattr__(self, "_receives", tuple(nd.receive_overhead for nd in nodes))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_overheads(
+        cls,
+        source: Tuple[Number, Number],
+        destinations: Sequence[Tuple[Number, Number]],
+        latency: Number = 1,
+        *,
+        validate_correlation: bool = True,
+    ) -> "MulticastSet":
+        """Build an instance from raw ``(o_send, o_receive)`` pairs.
+
+        Nodes are auto-named ``p0`` (source) and ``d1..dn`` (destinations in
+        the *input* order; canonical sorting happens afterwards as usual).
+        """
+        src = Node("p0", *source)
+        dests = [Node(f"d{i}", s, r) for i, (s, r) in enumerate(destinations, start=1)]
+        return cls(src, dests, latency, validate_correlation=validate_correlation)
+
+    # ------------------------------------------------------------------
+    # basic views
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of destinations (the paper's ``n``)."""
+        return len(self.destinations)
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes: index 0 is the source, 1..n the sorted destinations."""
+        return self._nodes
+
+    def node(self, index: int) -> Node:
+        """The node at a library index (0 = source)."""
+        return self._nodes[index]
+
+    def send(self, index: int) -> Number:
+        """``o_send`` of the node at ``index`` (O(1))."""
+        return self._sends[index]
+
+    def receive(self, index: int) -> Number:
+        """``o_receive`` of the node at ``index`` (O(1))."""
+        return self._receives[index]
+
+    def index_of(self, name: str) -> int:
+        """Index of the node with the given name (``KeyError`` if absent)."""
+        for i, nd in enumerate(self.nodes):
+            if nd.name == name:
+                return i
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # type structure (Section 4)
+    # ------------------------------------------------------------------
+    def type_keys(self) -> Tuple[Tuple[Number, Number], ...]:
+        """Distinct ``(o_send, o_receive)`` pairs over all nodes, ascending."""
+        return tuple(sorted({nd.type_key for nd in self.nodes}))
+
+    @property
+    def num_types(self) -> int:
+        """The paper's ``k``: number of distinct workstation types."""
+        return len(self.type_keys())
+
+    def type_of(self, index: int) -> int:
+        """Type id (position in :meth:`type_keys`) of the node at ``index``."""
+        return self.type_keys().index(self.nodes[index].type_key)
+
+    def destination_type_counts(self) -> Tuple[int, ...]:
+        """How many *destinations* there are of each type, by type id."""
+        keys = self.type_keys()
+        counts: Dict[Tuple[Number, Number], int] = {k: 0 for k in keys}
+        for d in self.destinations:
+            counts[d.type_key] += 1
+        return tuple(counts[k] for k in keys)
+
+    def destinations_by_type(self) -> Dict[int, List[int]]:
+        """Destination indices grouped by type id, each list ascending."""
+        keys = self.type_keys()
+        groups: Dict[int, List[int]] = {t: [] for t in range(len(keys))}
+        for i, d in enumerate(self.destinations, start=1):
+            groups[keys.index(d.type_key)].append(i)
+        return groups
+
+    # ------------------------------------------------------------------
+    # Theorem 1 quantities
+    # ------------------------------------------------------------------
+    @property
+    def alpha_min(self) -> float:
+        """Minimum receive-send ratio over all nodes including the source."""
+        return min(nd.ratio for nd in self.nodes)
+
+    @property
+    def alpha_max(self) -> float:
+        """Maximum receive-send ratio over all nodes including the source."""
+        return max(nd.ratio for nd in self.nodes)
+
+    @property
+    def beta(self) -> Number:
+        """``beta``: spread of destination receive overheads (Theorem 1)."""
+        recvs = [d.receive_overhead for d in self.destinations]
+        return max(recvs) - min(recvs)
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def with_latency(self, latency: Number) -> "MulticastSet":
+        """Copy of this instance with a different network latency."""
+        return MulticastSet(
+            self.source,
+            self.destinations,
+            latency,
+            validate_correlation=self.correlated,
+        )
+
+    def swapped_overheads(self) -> "MulticastSet":
+        """Instance with send/receive roles exchanged on every node.
+
+        This realizes the multicast/reduce duality used by
+        :mod:`repro.collectives.reduce`.
+        """
+        return MulticastSet(
+            self.source.swapped(),
+            [d.swapped() for d in self.destinations],
+            self.latency,
+            validate_correlation=False,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"MulticastSet(n={self.n}, L={self.latency:g}, "
+            f"source={self.source}, k={self.num_types})"
+        )

@@ -1,0 +1,285 @@
+"""Multicast schedules: ordered (optionally slotted) trees with timing.
+
+A :class:`Schedule` binds a tree to a :class:`~repro.core.multicast.MulticastSet`
+and exposes the paper's quantities:
+
+* ``delivery_time(v)``  — the paper's ``d_T(v)``,
+* ``reception_time(v)`` — the paper's ``r_T(v) = d_T(v) + o_receive(v)``,
+* ``delivery_completion`` — ``D_T = max_v d_T(v)``,
+* ``reception_completion`` — ``R_T = max_v r_T(v)``, the objective.
+
+Construction accepts either plain child lists (``{parent: [child, ...]}``,
+slot = position, the paper's canonical no-idle form) or explicit
+``(child, slot)`` pairs as produced by Lemma 3's exchange transformation.
+Schedules are immutable; transformation helpers return new objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple, Union
+
+from repro.core.multicast import MulticastSet
+from repro.core.timing import compute_times, validate_tree
+from repro.exceptions import InvalidScheduleError
+
+__all__ = ["Schedule"]
+
+ChildSpec = Union[int, Tuple[int, int]]
+
+
+def _normalize_children(
+    n: int, children: Mapping[int, Sequence[ChildSpec]]
+) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+    norm: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+    for parent, kids in children.items():
+        out: List[Tuple[int, int]] = []
+        for pos, spec in enumerate(kids, start=1):
+            if isinstance(spec, tuple):
+                child, slot = spec
+                out.append((int(child), int(slot)))
+            else:
+                out.append((int(spec), pos))
+        if out:
+            norm[int(parent)] = tuple(out)
+    return norm
+
+
+class Schedule:
+    """An immutable multicast schedule for a given problem instance.
+
+    Parameters
+    ----------
+    multicast:
+        The problem instance (nodes, latency).
+    children:
+        Mapping from parent index to its delivery-ordered children.  Each
+        entry is either a bare child index (slot = its position, the
+        canonical form) or an explicit ``(child, slot)`` pair.
+    """
+
+    __slots__ = ("_mset", "_children", "_delivery", "_reception", "_parent")
+
+    def __init__(
+        self,
+        multicast: MulticastSet,
+        children: Mapping[int, Sequence[ChildSpec]],
+    ) -> None:
+        self._mset = multicast
+        self._children = _normalize_children(multicast.n, children)
+        validate_tree(multicast.n, self._children)
+        delivery, reception = compute_times(multicast, self._children)
+        self._delivery = tuple(delivery)
+        self._reception = tuple(reception)
+        parent = [-1] * (multicast.n + 1)
+        for p, kids in self._children.items():
+            for child, _slot in kids:
+                parent[child] = p
+        self._parent = tuple(parent)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def multicast(self) -> MulticastSet:
+        """The problem instance this schedule solves."""
+        return self._mset
+
+    @property
+    def children(self) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+        """Per-parent delivery-ordered ``(child, slot)`` tuples (a copy)."""
+        return dict(self._children)
+
+    def children_of(self, v: int) -> Tuple[Tuple[int, int], ...]:
+        """The ``(child, slot)`` pairs of node ``v`` in delivery order."""
+        return self._children.get(v, ())
+
+    def parent_of(self, v: int) -> int:
+        """Parent index of ``v`` (``-1`` for the root)."""
+        return self._parent[v]
+
+    def slot_of(self, v: int) -> int:
+        """The send slot of ``v`` under its parent (root raises)."""
+        p = self._parent[v]
+        if p < 0:
+            raise InvalidScheduleError("the source has no slot")
+        for child, slot in self._children[p]:
+            if child == v:
+                return slot
+        raise AssertionError("parent/child tables inconsistent")  # pragma: no cover
+
+    def leaves(self) -> Tuple[int, ...]:
+        """Non-root nodes with no children, ascending by index."""
+        return tuple(
+            v for v in range(1, self._mset.n + 1) if not self._children.get(v)
+        )
+
+    def internal_nodes(self) -> Tuple[int, ...]:
+        """Nodes (possibly including the root) that send at least once."""
+        return tuple(sorted(p for p, kids in self._children.items() if kids))
+
+    def descendants(self, v: int) -> Tuple[int, ...]:
+        """All strict descendants of ``v`` in preorder."""
+        out: List[int] = []
+        stack = [c for c, _ in reversed(self._children.get(v, ()))]
+        while stack:
+            u = stack.pop()
+            out.append(u)
+            stack.extend(c for c, _ in reversed(self._children.get(u, ())))
+        return tuple(out)
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(parent, child, slot)`` triples in preorder."""
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for child, slot in self._children.get(v, ()):
+                yield (v, child, slot)
+                stack.append(child)
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def delivery_time(self, v: int) -> float:
+        """``d_T(v)``; 0.0 for the source by convention."""
+        return self._delivery[v]
+
+    def reception_time(self, v: int) -> float:
+        """``r_T(v) = d_T(v) + o_receive(v)``; 0 for the source."""
+        return self._reception[v]
+
+    @property
+    def delivery_times(self) -> Tuple[float, ...]:
+        """All ``d_T`` values, indexed by node (source entry = 0.0)."""
+        return self._delivery
+
+    @property
+    def reception_times(self) -> Tuple[float, ...]:
+        """All ``r_T`` values, indexed by node."""
+        return self._reception
+
+    @property
+    def delivery_completion(self) -> float:
+        """``D_T = max_v d_T(v)`` over the destinations."""
+        return max(self._delivery[1:])
+
+    @property
+    def reception_completion(self) -> float:
+        """``R_T = max_v r_T(v)`` — the paper's objective."""
+        return max(self._reception)
+
+    def send_completion_times(self, v: int) -> Tuple[float, ...]:
+        """Times at which ``v`` completes each of its transmissions.
+
+        ``v`` completes delivery to its child at slot ``s`` at
+        ``r(v) + s*o_send(v) + L``; the *send busy period* for that slot is
+        ``[r(v) + (s-1)*o_send(v), r(v) + s*o_send(v))`` — used by the
+        discrete-event executor and the Gantt renderer.
+        """
+        r_v = self._reception[v]
+        o = self._mset.send(v)
+        L = self._mset.latency
+        return tuple(r_v + slot * o + L for _child, slot in self._children.get(v, ()))
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def is_layered(self) -> bool:
+        """Layered property (Section 2): faster nodes receive no later.
+
+        The paper states the strict form ``o_send(u) < o_send(v) =>
+        d_T(u) < d_T(v)``; we use the non-strict ``<=`` on delivery times so
+        that simultaneous deliveries by different senders (which the paper's
+        proofs treat via its tie-interchange argument) do not flip the
+        predicate.  See DESIGN.md, "Design decisions".
+        """
+        # group destinations by send overhead; layered means every strictly
+        # faster group finishes its deliveries no later than any slower group
+        # starts (checking adjacent groups suffices by transitivity)
+        by_send: Dict[float, List[float]] = {}
+        for v in range(1, self._mset.n + 1):
+            by_send.setdefault(self._mset.send(v), []).append(self._delivery[v])
+        ordered = sorted(by_send.items())
+        for (_, fast_ds), (_, slow_ds) in zip(ordered, ordered[1:]):
+            if max(fast_ds) > min(slow_ds):
+                return False
+        return True
+
+    def is_canonical(self) -> bool:
+        """``True`` when every parent's slots are exactly ``1..deg`` (no idle)."""
+        return all(
+            [slot for _c, slot in kids] == list(range(1, len(kids) + 1))
+            for kids in self._children.values()
+        )
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def compact(self) -> "Schedule":
+        """Remove idle time: reassign each parent's slots to ``1..deg``.
+
+        This is the paper's WLOG step — no delivery time increases (slots
+        only shrink), and the result is canonical.
+        """
+        squeezed = {
+            parent: [child for child, _slot in kids]
+            for parent, kids in self._children.items()
+        }
+        return Schedule(self._mset, squeezed)
+
+    def with_children(
+        self, children: Mapping[int, Sequence[ChildSpec]]
+    ) -> "Schedule":
+        """A schedule over the same instance with a different tree."""
+        return Schedule(self._mset, children)
+
+    def relabeled(self, mapping: Mapping[int, int]) -> "Schedule":
+        """Apply a node relabeling (used for same-type swaps).
+
+        ``mapping`` sends old indices to new ones; indices not present map to
+        themselves.  The caller is responsible for only exchanging nodes of
+        identical type if times are to be preserved.
+        """
+        def m(v: int) -> int:
+            return mapping.get(v, v)
+
+        new_children = {
+            m(parent): [(m(child), slot) for child, slot in kids]
+            for parent, kids in self._children.items()
+        }
+        return Schedule(self._mset, new_children)
+
+    def to_networkx(self):
+        """Export to a ``networkx.DiGraph`` with timing attributes."""
+        import networkx as nx
+
+        g = nx.DiGraph(latency=self._mset.latency)
+        for v in range(self._mset.n + 1):
+            node = self._mset.node(v)
+            g.add_node(
+                v,
+                name=node.name,
+                send_overhead=node.send_overhead,
+                receive_overhead=node.receive_overhead,
+                delivery=self._delivery[v],
+                reception=self._reception[v],
+            )
+        for parent, child, slot in self.edges():
+            g.add_edge(parent, child, slot=slot)
+        return g
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._mset == other._mset and self._children == other._children
+
+    def __hash__(self) -> int:
+        return hash((self._mset, tuple(sorted(self._children.items()))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Schedule(n={self._mset.n}, R_T={self.reception_completion:g}, "
+            f"D_T={self.delivery_completion:g}, layered={self.is_layered()})"
+        )

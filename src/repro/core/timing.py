@@ -1,0 +1,113 @@
+"""Timing recurrences of the heterogeneous receive-send model (Section 2).
+
+Given a schedule tree rooted at the source, delivery and reception times are
+
+.. code-block:: text
+
+    r(root)      = 0
+    d(w at slot s under v) = r(v) + s * o_send(v) + L
+    r(w)         = d(w) + o_receive(w)
+
+where *slot* generalizes the paper's child index ``i``: the paper assumes
+WLOG that nodes never idle between transmissions (``slot = position`` in the
+delivery-ordered child list), but Lemma 3's exchange transformation naturally
+produces schedules where a sender skips send opportunities.  A slotted tree
+assigns each child a strictly increasing positive integer slot; slot ``s``
+means the child's transmission is the one *completing* at
+``r(v) + s * o_send(v) + L``.
+
+This module is deliberately free of the :class:`~repro.core.schedule.Schedule`
+class so exact solvers can call the recurrences on raw adjacency data without
+constructing full schedule objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.multicast import MulticastSet
+from repro.exceptions import InvalidScheduleError
+
+__all__ = ["compute_times", "SlottedChildren", "validate_tree"]
+
+# children representation: parent index -> ((child index, slot), ...)
+SlottedChildren = Mapping[int, Sequence[Tuple[int, int]]]
+
+
+def validate_tree(n: int, children: SlottedChildren) -> None:
+    """Check that ``children`` encodes a spanning ordered tree rooted at 0.
+
+    Requirements (raises :class:`InvalidScheduleError` otherwise):
+
+    * every index in ``1..n`` appears exactly once as a child,
+    * the root (index 0) never appears as a child,
+    * slots within each parent are strictly increasing positive integers,
+    * all listed parents/children are valid indices,
+    * the structure is connected (reachable from the root) — which together
+      with the uniqueness of parents is implied, but verified defensively.
+    """
+    seen_child: Dict[int, int] = {}
+    for parent, kids in children.items():
+        if not 0 <= parent <= n:
+            raise InvalidScheduleError(f"parent index {parent} out of range 0..{n}")
+        prev_slot = 0
+        for child, slot in kids:
+            if not 1 <= child <= n:
+                raise InvalidScheduleError(
+                    f"child index {child} out of range 1..{n} (0 is the source)"
+                )
+            if not isinstance(slot, int) or isinstance(slot, bool):
+                raise InvalidScheduleError(f"slot {slot!r} must be an int")
+            if slot <= prev_slot:
+                raise InvalidScheduleError(
+                    f"slots of parent {parent} must be strictly increasing "
+                    f"positive integers, got {slot} after {prev_slot}"
+                )
+            prev_slot = slot
+            if child in seen_child:
+                raise InvalidScheduleError(
+                    f"node {child} has two parents: {seen_child[child]} and {parent}"
+                )
+            seen_child[child] = parent
+    missing = set(range(1, n + 1)) - seen_child.keys()
+    if missing:
+        raise InvalidScheduleError(f"nodes never receive the message: {sorted(missing)}")
+    # connectivity: walk from the root
+    reached = 0
+    stack = [0]
+    while stack:
+        v = stack.pop()
+        for child, _slot in children.get(v, ()):
+            reached += 1
+            stack.append(child)
+    if reached != n:
+        raise InvalidScheduleError(
+            f"tree not connected: reached {reached} of {n} destinations from root"
+        )
+
+
+def compute_times(
+    mset: MulticastSet, children: SlottedChildren
+) -> Tuple[List[float], List[float]]:
+    """Evaluate the Section 2 recurrences on a (slotted) tree.
+
+    Returns ``(delivery, reception)`` lists indexed by node.  The source has
+    ``delivery[0] = 0.0`` by convention (its delivery time is undefined in
+    the paper; 0 keeps the arrays aligned) and ``reception[0] = 0.0`` by
+    definition.
+    """
+    n = mset.n
+    L = mset.latency
+    delivery = [0.0] * (n + 1)
+    reception = [0.0] * (n + 1)
+    stack = [0]
+    while stack:
+        v = stack.pop()
+        r_v = reception[v]
+        o_send = mset.send(v)
+        for child, slot in children.get(v, ()):
+            d = r_v + slot * o_send + L
+            delivery[child] = d
+            reception[child] = d + mset.receive(child)
+            stack.append(child)
+    return delivery, reception

@@ -1,0 +1,260 @@
+"""Lemma 3 exchange transformation and Theorem 1 instance rounding.
+
+Theorem 1's proof works on a *rounded* instance ``S'`` in which every send
+overhead is a power of two and every node has the same integer receive-send
+ratio ``C = ceil(alpha_max)``.  On such instances, Lemma 3 exchanges a
+slower-but-earlier-delivered node ``u`` with a faster-but-later node ``v``
+(``o_send(u) = e * o_send(v)``, integer ``e >= 2``) without increasing any
+delivery time outside their subtrees and without increasing the delivery
+completion time ``D_T``.  Repeated exchanges turn an arbitrary (e.g.
+optimal) schedule into a *layered* one — which by Corollary 1 the greedy
+algorithm dominates.  That chain of inequalities is the approximation bound.
+
+This module implements all three pieces so the proof is executable:
+
+* :func:`round_up_instance` — the ``S -> S'`` construction;
+* :func:`exchange` — one Lemma 3 swap (slot-level, supporting the idle
+  "gaps" the construction creates);
+* :func:`layer_schedule` — the repeated-exchange layering procedure.
+
+All Lemma 3 properties are asserted by the test-suite on randomized inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node
+from repro.core.schedule import Schedule
+from repro.exceptions import TransformError
+
+__all__ = [
+    "uniform_ratio",
+    "round_up_instance",
+    "next_power_of_two",
+    "exchange",
+    "swap_same_type",
+    "layer_schedule",
+]
+
+
+def uniform_ratio(mset: MulticastSet, *, tol: float = 1e-12) -> Optional[float]:
+    """The common ratio ``C`` with ``o_receive = C * o_send`` everywhere.
+
+    Returns ``None`` when the instance does not have a uniform ratio.
+    """
+    ratios = [nd.ratio for nd in mset.nodes]
+    first = ratios[0]
+    if all(abs(r - first) <= tol * max(1.0, abs(first)) for r in ratios):
+        return first
+    return None
+
+
+def next_power_of_two(x: float) -> float:
+    """Smallest ``2**k`` (integer ``k``) with ``2**k >= x`` (``x > 0``)."""
+    if x <= 0:
+        raise TransformError(f"next_power_of_two needs x > 0, got {x}")
+    k = math.ceil(math.log2(x))
+    p = 2.0 ** k
+    # guard against log2 rounding on exact powers / near-powers
+    while p < x:
+        p *= 2.0
+    while p / 2.0 >= x:
+        p /= 2.0
+    if float(p).is_integer():
+        return int(p)
+    return p
+
+
+def round_up_instance(mset: MulticastSet) -> MulticastSet:
+    """Theorem 1's ``S -> S'`` rounding.
+
+    For each node: ``o_send' = `` smallest power of two ``>= o_send`` and
+    ``o_receive' = ceil(alpha_max) * o_send'``.  Guarantees (tested):
+
+    * ``o_send <= o_send' < 2 * o_send``,
+    * ``o_receive <= o_receive' < 2 * (ceil(alpha_max)/alpha_min) * o_receive``,
+    * every node of ``S'`` has the same integer ratio ``C = ceil(alpha_max)``,
+    * distinct send overheads in ``S'`` differ by integer factors ``2**j``.
+    """
+    c = math.ceil(mset.alpha_max)
+
+    def rounded(node: Node) -> Node:
+        send = next_power_of_two(node.send_overhead)
+        return node.with_overheads(send, c * send)
+
+    return MulticastSet(
+        rounded(mset.source),
+        [rounded(d) for d in mset.destinations],
+        mset.latency,
+    )
+
+
+# ----------------------------------------------------------------------
+# Lemma 3 exchange
+# ----------------------------------------------------------------------
+def _position(schedule: Schedule, v: int) -> Tuple[int, int]:
+    return (schedule.parent_of(v), schedule.slot_of(v))
+
+
+def exchange(schedule: Schedule, u: int, v: int) -> Schedule:
+    """Perform one Lemma 3 exchange of nodes ``u`` and ``v``.
+
+    Preconditions (checked, :class:`~repro.exceptions.TransformError` on
+    violation):
+
+    * the instance has a uniform positive-integer ratio ``C``;
+    * ``u`` and ``v`` are non-root nodes with ``d_T(u) < d_T(v)``;
+    * ``o_send(u) = e * o_send(v)`` for an integer ``e >= 2``.
+
+    Postconditions (Lemma 3; asserted in tests):
+
+    1. ``d_T'(v) = d_T(u)`` and ``d_T'(u) = d_T(v)``;
+    2. nodes that are descendants of neither ``u`` nor ``v`` keep their
+       delivery times;
+    3. ``D_T' <= D_T``; moreover every old child of ``u`` and every *moved*
+       child of ``v`` keeps its delivery time exactly, and every *kept*
+       child of ``v`` strictly improves.
+    """
+    mset = schedule.multicast
+    ratio = uniform_ratio(mset)
+    if ratio is None or ratio != int(ratio) or ratio < 1:
+        raise TransformError(
+            "Lemma 3 requires a uniform positive integer receive-send ratio; "
+            f"instance ratios span [{mset.alpha_min:g}, {mset.alpha_max:g}]"
+        )
+    C = int(ratio)
+    if u == 0 or v == 0 or u == v:
+        raise TransformError("u and v must be distinct non-root nodes")
+    d_u, d_v = schedule.delivery_time(u), schedule.delivery_time(v)
+    if not d_u < d_v:
+        raise TransformError(f"requires d(u) < d(v); got d({u})={d_u}, d({v})={d_v}")
+    ratio_e = mset.send(u) / mset.send(v)
+    if abs(ratio_e - round(ratio_e)) > 1e-9 or round(ratio_e) < 2:
+        raise TransformError(
+            f"requires o_send(u) = e*o_send(v) with integer e >= 2; "
+            f"got o_send({u})={mset.send(u)}, o_send({v})={mset.send(v)}"
+        )
+    e = int(round(ratio_e))
+
+    children: Dict[int, List[Tuple[int, int]]] = {
+        p: list(kids) for p, kids in schedule.children.items()
+    }
+    parent_u, slot_u = _position(schedule, u)
+    parent_v, slot_v = _position(schedule, v)
+    u_kids = list(children.get(u, []))
+    v_kids = list(children.get(v, []))
+    v_is_child_of_u = parent_v == u
+
+    def t_slot(i: int) -> int:
+        # t_i = (C + i) * e - C - 1; the new slot is t_i + 1
+        return (C + i) * e - C - 1
+
+    # --- children redistribution -------------------------------------
+    v_kids_by_slot = {slot: child for child, slot in v_kids}
+    new_v_children: List[Tuple[int, int]] = []
+    new_u_children: List[Tuple[int, int]] = []
+    moved_to_u_slots = set()
+    for child, i in u_kids:
+        target = t_slot(i) + 1
+        if v_is_child_of_u and child == v:
+            # u itself takes the place of this transmission (special case)
+            new_v_children.append((u, target))
+        else:
+            new_v_children.append((child, target))
+        swapped_back = v_kids_by_slot.get(target)
+        if swapped_back is not None:
+            new_u_children.append((swapped_back, i))
+            moved_to_u_slots.add(target)
+    for child, j in v_kids:
+        if j not in moved_to_u_slots:
+            new_v_children.append((child, j))
+    new_v_children.sort(key=lambda cs: cs[1])
+    new_u_children.sort(key=lambda cs: cs[1])
+
+    # --- reattach u and v at each other's positions -------------------
+    def replace_child(parent: int, slot: int, new_child: int) -> None:
+        kids = children[parent]
+        for idx, (child, s) in enumerate(kids):
+            if s == slot:
+                kids[idx] = (new_child, s)
+                return
+        raise AssertionError("position table inconsistent")  # pragma: no cover
+
+    children[u] = []
+    children[v] = []
+    if v_is_child_of_u:
+        # v moves to u's old position; u becomes a child of v (handled above)
+        replace_child(parent_u, slot_u, v)
+    else:
+        replace_child(parent_u, slot_u, v)
+        replace_child(parent_v, slot_v, u)
+    children[v] = new_v_children
+    children[u] = new_u_children
+
+    return Schedule(mset, {p: kids for p, kids in children.items() if kids})
+
+
+def swap_same_type(schedule: Schedule, a: int, b: int) -> Schedule:
+    """Swap the tree positions of two *same-type* nodes (times unchanged).
+
+    The paper invokes this silently ("two nodes with identical overhead
+    parameters can be interchanged without affecting delivery times",
+    Lemma 2 proof); the layering procedure needs it for equal-overhead
+    pairs, where Lemma 3's ``e >= 2`` premise cannot hold.
+    """
+    mset = schedule.multicast
+    if mset.node(a).type_key != mset.node(b).type_key:
+        raise TransformError(
+            f"nodes {a} and {b} are of different types; use exchange() instead"
+        )
+    return schedule.relabeled({a: b, b: a})
+
+
+def layer_schedule(schedule: Schedule, *, max_passes: Optional[int] = None) -> Schedule:
+    """Make a schedule layered by repeated Lemma 3 exchanges.
+
+    This is the constructive step in Theorem 1's proof: starting from any
+    schedule of a rounded instance (uniform integer ratio, power-of-two
+    sends), repeatedly give the fastest not-yet-fixed destination the
+    earliest remaining delivery.  ``D_T`` never increases (Lemma 3), and the
+    result is layered, hence (Corollary 1) dominated by greedy on ``D_T``.
+
+    Raises :class:`~repro.exceptions.TransformError` if the instance does
+    not satisfy Lemma 3's premises or if the procedure fails to converge
+    within ``max_passes`` full sweeps (default ``2n + 2``; the paper shows
+    one sweep of at most ``n`` exchanges suffices, extra headroom is for
+    tie-handling).
+    """
+    mset = schedule.multicast
+    n = mset.n
+    if max_passes is None:
+        max_passes = 2 * n + 2
+    current = schedule
+    for _sweep in range(max_passes):
+        if current.is_layered():
+            return current
+        changed = False
+        for i in range(1, n + 1):
+            # the node among p_i..p_n with the earliest delivery (ties:
+            # prefer p_i itself, then smallest index, for determinism)
+            deliveries = [(current.delivery_time(j), j != i, j) for j in range(i, n + 1)]
+            _, _, m = min(deliveries)
+            if m == i:
+                continue
+            d_m = current.delivery_time(m)
+            d_i = current.delivery_time(i)
+            if d_m == d_i:
+                continue  # tie: non-strict layering tolerates this
+            if mset.send(m) == mset.send(i):
+                current = swap_same_type(current, m, i)
+            else:
+                current = exchange(current, m, i)
+            changed = True
+        if not changed and not current.is_layered():  # pragma: no cover
+            break
+    if not current.is_layered():  # pragma: no cover - safety net
+        raise TransformError("layering procedure failed to converge")
+    return current

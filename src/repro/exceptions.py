@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ModelError(ReproError):
+    """An instance violates the communication model's requirements."""
+
+
+class CorrelationError(ModelError):
+    """The overhead-correlation assumption of the paper (Section 2) fails.
+
+    The paper assumes for any two nodes ``p, q``::
+
+        o_send(p) < o_send(q)  <=>  o_receive(p) < o_receive(q)
+
+    which also forces equal receive overheads whenever send overheads are
+    equal.  Raised by :class:`repro.core.multicast.MulticastSet` validation.
+    """
+
+
+class InvalidScheduleError(ReproError):
+    """A schedule tree is structurally or numerically invalid."""
+
+
+class TransformError(ReproError):
+    """A Lemma 3 exchange was requested on inputs violating its premises."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation detected an inconsistency.
+
+    For example a node asked to perform two overlapping communication
+    operations, or simulated times disagreeing with the analytic recurrence.
+    """
+
+
+class SolverError(ReproError):
+    """An exact solver was used outside its supported regime."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received unsatisfiable parameters."""

@@ -1,0 +1,143 @@
+"""E10 — ablation: which of the greedy's ingredients buy what.
+
+The paper's algorithm stacks three design choices:
+
+1. **sorted insertion** — destinations join in non-decreasing overhead
+   order (this is what makes schedules layered and powers Lemma 2);
+2. **earliest-completion attachment** — each destination attaches where
+   delivery completes soonest (the priority-queue greedy core);
+3. **leaf reversal** — the Section 3 post-pass.
+
+This experiment knocks each ingredient out independently:
+
+* ``reverse-sorted`` / ``random-order`` insertion (ablates 1),
+* ``random-attach`` — sorted insertion but uniformly random parents
+  (ablates 2),
+* with/without the reversal post-pass (ablates 3),
+* plus the library's local-search extension on top (how much is left on
+  the table).
+
+Expected shape: removing earliest-completion attachment hurts most;
+unsorted insertion hurts increasingly with heterogeneity; reversal is
+worth a consistent single-digit percentage; local search adds little —
+greedy's structure is already near-optimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.tables import Table
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import reverse_leaves
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+from repro.workloads.suites import suite
+
+__all__ = ["run", "DEFAULTS", "greedy_with_insertion_order", "random_attachment"]
+
+DEFAULTS: Dict[str, object] = {
+    "suites": ("two-class", "bounded-ratio"),
+    "max_n": 64,
+}
+
+
+def greedy_with_insertion_order(
+    mset: MulticastSet, order: Sequence[int]
+) -> Schedule:
+    """The greedy loop with an arbitrary destination insertion order.
+
+    Identical to the paper's algorithm except destinations join in
+    ``order`` instead of the canonical non-decreasing overhead order —
+    the 'ablate the sort' variant.  With ``order = 1..n`` this *is* the
+    paper's greedy (asserted in tests).
+    """
+    if sorted(order) != list(range(1, mset.n + 1)):
+        raise ValueError("order must be a permutation of 1..n")
+    L = mset.latency
+    children: Dict[int, List[int]] = {}
+    heap: List[Tuple[float, int, int]] = []
+    tick = 0
+    heapq.heappush(heap, (mset.send(0) + L, tick, 0))
+    for i in order:
+        c, _t, p = heapq.heappop(heap)
+        children.setdefault(p, []).append(i)
+        tick += 1
+        heapq.heappush(heap, (c + mset.receive(i) + mset.send(i) + L, tick, i))
+        tick += 1
+        heapq.heappush(heap, (c + mset.send(p), tick, p))
+    return Schedule(mset, children)
+
+
+def random_attachment(mset: MulticastSet, seed: int = 0) -> Schedule:
+    """Sorted insertion, random parent choice (ablates the greedy core)."""
+    rng = random.Random(seed)
+    children: Dict[int, List[int]] = {}
+    in_tree = [0]
+    for i in range(1, mset.n + 1):
+        parent = rng.choice(in_tree)
+        children.setdefault(parent, []).append(i)
+        in_tree.append(i)
+    return Schedule(mset, children)
+
+
+def _variants(mset: MulticastSet) -> Dict[str, float]:
+    rng = random.Random(17)
+    n = mset.n
+    sorted_order = list(range(1, n + 1))
+    random_order = sorted_order[:]
+    rng.shuffle(random_order)
+    full = reverse_leaves(greedy_schedule(mset))
+    out = {
+        "full (greedy+rev)": full.reception_completion,
+        "no reversal": greedy_schedule(mset).reception_completion,
+        "reverse-sorted insertion": reverse_leaves(
+            greedy_with_insertion_order(mset, sorted_order[::-1])
+        ).reception_completion,
+        "random insertion": reverse_leaves(
+            greedy_with_insertion_order(mset, random_order)
+        ).reception_completion,
+        "random attachment": reverse_leaves(
+            random_attachment(mset, seed=17)
+        ).reception_completion,
+    }
+    if n <= 48:  # local search is cubic-ish; keep the sweep fast
+        from repro.algorithms.local_search import improve_schedule
+
+        out["+ local search"] = improve_schedule(full).schedule.reception_completion
+    return out
+
+
+def run(suites=DEFAULTS["suites"], max_n: int = DEFAULTS["max_n"]) -> List[Table]:
+    """Knock out each ingredient; report mean relative completion."""
+    tables: List[Table] = []
+    for suite_name in suites:
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for n, _seed, mset in suite(suite_name).instances():
+            if n > max_n:
+                continue
+            values = _variants(mset)
+            base = values["full (greedy+rev)"]
+            for variant, value in values.items():
+                sums[variant] = sums.get(variant, 0.0) + value / base
+                counts[variant] = counts.get(variant, 0) + 1
+        table = Table(
+            f"E10 — greedy ingredient ablation on suite '{suite_name}' "
+            f"(mean R_T relative to full algorithm)",
+            ["variant", "relative completion", "instances"],
+        )
+        for variant in sorted(sums, key=lambda v: sums[v] / counts[v]):
+            table.add_row(
+                [variant, f"{sums[variant] / counts[variant]:.3f}", counts[variant]]
+            )
+        table.add_note(
+            "expected shape: local search <= full <= every ablation, with "
+            "random attachment worst; adversarial (reverse-sorted) insertion "
+            "hurts more than random insertion, which keeps the attachment "
+            "rule and loses only layering quality"
+        )
+        tables.append(table)
+    return tables

@@ -1,0 +1,114 @@
+"""E1 — Figure 1 reproduction.
+
+The paper's Figure 1 shows two schedules for the same instance — a multicast
+from a slow node to three fast destinations and one slow destination, with
+fast = (send 1, receive 1), slow = (send 2, receive 3), latency 1:
+
+* schedule (a): the source sends to two fast nodes; the first fast node
+  sends to the remaining fast node and then to the slow node.  The paper
+  narrates the reception times 4, 6, 7 and 10 — completing at **10**;
+* schedule (b): completes at **9**.  The figure image is not in the
+  available text; we reconstruct (b) as the same tree with the first fast
+  node serving the *slow* node first — reception times 4, 6, 8, 9 (see
+  DESIGN.md, "Substitutions").
+
+This module builds both schedules, checks every narrated number, and also
+reports what the paper's algorithms do on the instance: plain greedy ties
+schedule (a) at 10, greedy + leaf reversal reaches **8**, which the
+Section 4 DP (k = 2 types) certifies as optimal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import Table
+from repro.core.dp import solve_dp
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import greedy_with_reversal
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "figure1_instance",
+    "figure1_schedule_a",
+    "figure1_schedule_b",
+    "PAPER_NARRATED_RECEPTIONS",
+    "PAPER_COMPLETION_A",
+    "PAPER_COMPLETION_B",
+    "run",
+]
+
+#: Reception times the Section 1 narrative walks through for schedule (a).
+PAPER_NARRATED_RECEPTIONS: Tuple[float, ...] = (4.0, 6.0, 7.0, 10.0)
+PAPER_COMPLETION_A: float = 10.0
+PAPER_COMPLETION_B: float = 9.0
+
+DEFAULTS: Dict[str, object] = {}
+
+
+def figure1_instance() -> MulticastSet:
+    """The Figure 1 instance (canonical order: d1..d3 fast, d4 slow)."""
+    return MulticastSet.from_overheads(
+        source=(2, 3),
+        destinations=[(1, 1), (1, 1), (1, 1), (2, 3)],
+        latency=1,
+    )
+
+
+def figure1_schedule_a(mset: MulticastSet | None = None) -> Schedule:
+    """Figure 1(a): source -> {fast1, fast2}; fast1 -> {fast3, slow}."""
+    mset = mset or figure1_instance()
+    return Schedule(mset, {0: [1, 2], 1: [3, 4]})
+
+
+def figure1_schedule_b(mset: MulticastSet | None = None) -> Schedule:
+    """Figure 1(b) reconstruction: fast1 serves the slow node first."""
+    mset = mset or figure1_instance()
+    return Schedule(mset, {0: [1, 2], 1: [4, 3]})
+
+
+def run() -> List[Table]:
+    """Reproduce Figure 1 and report the algorithmic comparison."""
+    mset = figure1_instance()
+    sched_a = figure1_schedule_a(mset)
+    sched_b = figure1_schedule_b(mset)
+    greedy = greedy_schedule(mset)
+    refined = greedy_with_reversal(mset)
+    optimal = solve_dp(mset)
+
+    times = Table(
+        "E1 / Figure 1 — reception times per destination",
+        ["schedule", "fast1", "fast2", "fast3", "slow", "completes at", "paper says"],
+    )
+    for label, sched, paper in (
+        ("(a)", sched_a, PAPER_COMPLETION_A),
+        ("(b) reconstruction", sched_b, PAPER_COMPLETION_B),
+    ):
+        times.add_row(
+            [
+                label,
+                sched.reception_time(1),
+                sched.reception_time(2),
+                sched.reception_time(3),
+                sched.reception_time(4),
+                sched.reception_completion,
+                paper,
+            ]
+        )
+    narrated = sorted(sched_a.reception_times[1:])
+    times.add_note(
+        f"schedule (a) narrated receptions {PAPER_NARRATED_RECEPTIONS} vs "
+        f"measured {tuple(narrated)}"
+    )
+
+    algos = Table(
+        "E1 — the paper's algorithms on the Figure 1 instance",
+        ["algorithm", "R_T", "layered", "optimal?"],
+    )
+    algos.add_row(["figure 1(a)", sched_a.reception_completion, sched_a.is_layered(), sched_a.reception_completion == optimal.value])
+    algos.add_row(["figure 1(b)", sched_b.reception_completion, sched_b.is_layered(), sched_b.reception_completion == optimal.value])
+    algos.add_row(["greedy", greedy.reception_completion, greedy.is_layered(), greedy.reception_completion == optimal.value])
+    algos.add_row(["greedy+reversal", refined.reception_completion, refined.is_layered(), refined.reception_completion == optimal.value])
+    algos.add_row(["DP optimum (k=2)", optimal.value, optimal.schedule.is_layered(), True])
+    return [times, algos]

@@ -1,0 +1,66 @@
+"""E7 — why the receive-send model matters: scheduler shoot-out.
+
+Every registered scheduler is evaluated under the receive-send model on the
+same instances.  The heterogeneity-blind baselines (binomial, postal,
+star, chain) and the node-model greedy of [2, 9] (``fnf`` — which sees send
+overheads but not receive overheads or latency) are compared against the
+paper's greedy (+reversal).
+
+Paper expectation (Section 1's motivation, quantified): the paper's greedy
+wins or ties everywhere; ``fnf`` trails because it recruits without
+accounting for receive costs; structure-oblivious trees lose by growing
+factors as ``n`` or heterogeneity grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.algorithms.registry import get_scheduler, scheduler_items
+from repro.analysis.tables import Table
+from repro.workloads.suites import suite
+
+__all__ = ["run", "DEFAULTS"]
+
+DEFAULTS: Dict[str, object] = {
+    "suites": ("two-class", "bounded-ratio"),
+    "reference": "greedy+reversal",
+}
+
+
+def run(
+    suites=DEFAULTS["suites"],
+    reference: str = DEFAULTS["reference"],
+) -> List[Table]:
+    """Mean completion per scheduler per size, normalized to the reference."""
+    tables: List[Table] = []
+    names = [name for name, _fn, _desc in scheduler_items()]
+    ref_fn = get_scheduler(reference)
+    for suite_name in suites:
+        sizes: Dict[int, Dict[str, List[float]]] = {}
+        for n, _seed, mset in suite(suite_name).instances():
+            per_algo = sizes.setdefault(n, {name: [] for name in names})
+            ref_value = ref_fn(mset).reception_completion
+            for name in names:
+                value = get_scheduler(name)(mset).reception_completion
+                per_algo[name].append(value / ref_value)
+        table = Table(
+            f"E7 — completion relative to '{reference}' on suite '{suite_name}'",
+            ["n"] + names,
+        )
+        losses = 0
+        for n in sorted(sizes):
+            row: List[object] = [n]
+            for name in names:
+                values = sizes[n][name]
+                mean = sum(values) / len(values)
+                row.append(f"{mean:.3f}")
+                if name == reference and any(v > 1.0 + 1e-9 for v in values):
+                    losses += 1
+            table.add_row(row)
+        table.add_note(
+            "values are mean R_T relative to the reference (1.000 = ties "
+            f"the paper's algorithm); reference rows above 1.0: {losses}"
+        )
+        tables.append(table)
+    return tables

@@ -1,0 +1,65 @@
+"""E3 — Lemma 1: the greedy algorithm runs in O(n log n).
+
+We time the greedy on geometrically growing instances and fit the measured
+runtimes against candidate cost models.  Lemma 1 predicts the ``n log n``
+model wins and the *normalized* cost ``time / (n log2 n)`` stays flat.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.analysis.complexity import best_model, fit_nlogn
+from repro.analysis.tables import Table
+from repro.core.greedy import greedy_schedule
+from repro.workloads.clusters import bounded_ratio_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+__all__ = ["run", "DEFAULTS", "measure_greedy_times"]
+
+DEFAULTS: Dict[str, object] = {
+    "sizes": (256, 512, 1024, 2048, 4096, 8192, 16384),
+    "repeats": 5,
+    "seed": 0,
+}
+
+
+def measure_greedy_times(sizes, repeats: int, seed: int) -> List[float]:
+    """Median wall-clock greedy runtime per size (seconds)."""
+    times: List[float] = []
+    for n in sizes:
+        nodes = bounded_ratio_cluster(n + 1, seed)
+        mset = multicast_from_cluster(nodes, latency=2, source="slowest")
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            greedy_schedule(mset)
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        times.append(samples[len(samples) // 2])
+    return times
+
+
+def run(
+    sizes=DEFAULTS["sizes"],
+    repeats: int = DEFAULTS["repeats"],
+    seed: int = DEFAULTS["seed"],
+) -> List[Table]:
+    """Time greedy across sizes; fit and report the winning cost model."""
+    times = measure_greedy_times(sizes, repeats, seed)
+    table = Table(
+        "E3 — greedy runtime scaling (Lemma 1: O(n log n))",
+        ["n", "median time (ms)", "time / (n log2 n) (us)"],
+    )
+    import math
+
+    for n, t in zip(sizes, times):
+        table.add_row([n, f"{t * 1e3:.3f}", f"{t / (n * math.log2(n)) * 1e6:.4f}"])
+    nlogn = fit_nlogn(sizes, times)
+    winner = best_model(sizes, times)
+    table.add_note(
+        f"n log n fit R^2 = {nlogn.r_squared:.4f}; best model overall: "
+        f"{winner.model} (R^2 = {winner.r_squared:.4f})"
+    )
+    return [table]

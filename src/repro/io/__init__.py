@@ -1,0 +1,21 @@
+"""Serialization of instances and schedules (JSON, networkx export)."""
+
+from repro.io.serialization import (
+    load_multicast,
+    load_schedule,
+    multicast_from_dict,
+    multicast_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "multicast_to_dict",
+    "multicast_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_json",
+    "load_multicast",
+    "load_schedule",
+]

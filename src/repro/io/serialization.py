@@ -1,0 +1,123 @@
+"""JSON serialization of instances and schedules.
+
+The on-disk format is deliberately simple and versioned so experiment
+outputs remain loadable:
+
+.. code-block:: json
+
+    {"format": "repro/multicast-v1",
+     "latency": 1,
+     "source": {"name": "p0", "send": 2, "receive": 3},
+     "destinations": [{"name": "d1", "send": 1, "receive": 1}, ...]}
+
+    {"format": "repro/schedule-v1",
+     "multicast": {...},
+     "children": {"0": [[1, 1], [2, 2]], "1": [[3, 1]]}}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node
+from repro.core.schedule import Schedule
+from repro.exceptions import ReproError
+
+__all__ = [
+    "multicast_to_dict",
+    "multicast_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_json",
+    "load_multicast",
+    "load_schedule",
+]
+
+MULTICAST_FORMAT = "repro/multicast-v1"
+SCHEDULE_FORMAT = "repro/schedule-v1"
+
+
+def _node_to_dict(node: Node) -> Dict[str, Any]:
+    return {
+        "name": node.name,
+        "send": node.send_overhead,
+        "receive": node.receive_overhead,
+    }
+
+
+def _node_from_dict(data: Dict[str, Any]) -> Node:
+    try:
+        return Node(data["name"], data["send"], data["receive"])
+    except KeyError as missing:
+        raise ReproError(f"node record missing field {missing}") from None
+
+
+def multicast_to_dict(mset: MulticastSet) -> Dict[str, Any]:
+    """Serialize an instance (destinations in canonical order)."""
+    return {
+        "format": MULTICAST_FORMAT,
+        "latency": mset.latency,
+        "source": _node_to_dict(mset.source),
+        "destinations": [_node_to_dict(d) for d in mset.destinations],
+    }
+
+
+def multicast_from_dict(data: Dict[str, Any]) -> MulticastSet:
+    """Inverse of :func:`multicast_to_dict` (format-checked)."""
+    if data.get("format") != MULTICAST_FORMAT:
+        raise ReproError(f"not a {MULTICAST_FORMAT} record: {data.get('format')!r}")
+    return MulticastSet(
+        _node_from_dict(data["source"]),
+        [_node_from_dict(d) for d in data["destinations"]],
+        data["latency"],
+    )
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Serialize a schedule with its instance and explicit slots."""
+    return {
+        "format": SCHEDULE_FORMAT,
+        "multicast": multicast_to_dict(schedule.multicast),
+        "children": {
+            str(parent): [[child, slot] for child, slot in kids]
+            for parent, kids in sorted(schedule.children.items())
+        },
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    """Inverse of :func:`schedule_to_dict` (structure re-validated)."""
+    if data.get("format") != SCHEDULE_FORMAT:
+        raise ReproError(f"not a {SCHEDULE_FORMAT} record: {data.get('format')!r}")
+    mset = multicast_from_dict(data["multicast"])
+    children = {
+        int(parent): [(int(child), int(slot)) for child, slot in kids]
+        for parent, kids in data["children"].items()
+    }
+    return Schedule(mset, children)
+
+
+def save_json(obj: Union[MulticastSet, Schedule], path: Union[str, Path]) -> Path:
+    """Write an instance or schedule to a JSON file; returns the path."""
+    if isinstance(obj, Schedule):
+        payload = schedule_to_dict(obj)
+    elif isinstance(obj, MulticastSet):
+        payload = multicast_to_dict(obj)
+    else:
+        raise ReproError(f"cannot serialize {type(obj).__name__}")
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_multicast(path: Union[str, Path]) -> MulticastSet:
+    """Load a multicast instance from a JSON file."""
+    return multicast_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_schedule(path: Union[str, Path]) -> Schedule:
+    """Load a schedule (and its embedded instance) from a JSON file."""
+    return schedule_from_dict(json.loads(Path(path).read_text()))

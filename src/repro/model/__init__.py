@@ -1,0 +1,45 @@
+"""Communication-model substrates.
+
+* :mod:`repro.model.linear` — affine (fixed + per-byte) costs and the
+  paper's footnote-1 folding of message length into scalar overheads;
+* :mod:`repro.model.machines` — synthetic machine profiles spanning the
+  published receive-send ratio range [1.05, 1.85];
+* :mod:`repro.model.heterogeneous_node` — the precursor single-cost model
+  of Banikazemi et al. [2] / Hall et al. [9], used as an E7 baseline.
+"""
+
+from repro.model.linear import LinearCost, MachineSpec, NetworkSpec, instantiate
+from repro.model.machines import MACHINE_PROFILES, RATIO_RANGE, lan_network, profile
+from repro.model.heterogeneous_node import (
+    NodeModelInstance,
+    from_receive_send,
+    node_model_completion,
+    node_model_greedy,
+    node_model_schedule,
+)
+from repro.model.wan import (
+    WanNetwork,
+    WanSchedule,
+    cluster_aware_wan,
+    flat_greedy_wan,
+)
+
+__all__ = [
+    "LinearCost",
+    "MachineSpec",
+    "NetworkSpec",
+    "instantiate",
+    "MACHINE_PROFILES",
+    "RATIO_RANGE",
+    "lan_network",
+    "profile",
+    "NodeModelInstance",
+    "from_receive_send",
+    "node_model_completion",
+    "node_model_greedy",
+    "node_model_schedule",
+    "WanNetwork",
+    "WanSchedule",
+    "cluster_aware_wan",
+    "flat_greedy_wan",
+]

@@ -1,0 +1,117 @@
+"""The heterogeneous *node* model of Banikazemi et al. [2] and Hall et al. [9].
+
+The precursor model the paper improves upon: each node ``x`` has a single
+*message initiation cost* ``c(x)``.  When ``x`` sends to ``y`` starting at
+time ``t``, ``x`` is busy during ``[t, t + c(x))`` and ``y`` holds the
+message (and may immediately start sending) at ``t + c(x)``.  There is no
+separate receiving overhead and no network latency term.
+
+This substrate exists for the cross-model comparison experiment (E7): the
+fastest-node-first style greedy below builds good trees *for this model*;
+evaluating those trees under the richer receive-send model quantifies the
+paper's motivation — that ignoring receive overheads and latency leaves
+completion time on the table.
+
+Timing of a tree under the node model::
+
+    ready(root)           = 0
+    ready(i-th child of v) = ready(v) + i * c(v)
+
+(the i-th transmission of ``v`` completes after ``i`` initiation costs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+from repro.exceptions import ModelError
+
+__all__ = [
+    "NodeModelInstance",
+    "node_model_greedy",
+    "node_model_completion",
+    "node_model_schedule",
+    "from_receive_send",
+]
+
+
+@dataclass(frozen=True)
+class NodeModelInstance:
+    """A heterogeneous-node-model instance: initiation costs, source first."""
+
+    costs: Tuple[float, ...]  # index 0 is the source
+
+    def __post_init__(self) -> None:
+        if len(self.costs) < 2:
+            raise ModelError("need a source and at least one destination")
+        if any(c <= 0 for c in self.costs):
+            raise ModelError("initiation costs must be positive")
+
+    @property
+    def n(self) -> int:
+        return len(self.costs) - 1
+
+
+def from_receive_send(mset: MulticastSet) -> NodeModelInstance:
+    """Project a receive-send instance onto the node model.
+
+    The natural projection keeps only the send overheads — what a scheduler
+    designed for the node model would 'see' on a receive-send network.
+    """
+    return NodeModelInstance(tuple(mset.send(i) for i in range(mset.n + 1)))
+
+
+def node_model_greedy(instance: NodeModelInstance) -> Dict[int, List[int]]:
+    """The greedy of [2]/[9]: earliest-available sender, fastest receiver.
+
+    Destinations are served in increasing initiation cost (fastest first —
+    the "fastest node first" principle of [2]); each is attached to the
+    in-tree node that can complete a transmission earliest.  Returns the
+    children lists (same index convention as the receive-send instance:
+    positions in the cost tuple).
+    """
+    order = sorted(range(1, len(instance.costs)), key=lambda i: instance.costs[i])
+    children: Dict[int, List[int]] = {}
+    heap: List[Tuple[float, int, int]] = []
+    tick = 0
+    heapq.heappush(heap, (instance.costs[0], tick, 0))
+    for i in order:
+        t, _tk, p = heapq.heappop(heap)
+        children.setdefault(p, []).append(i)
+        tick += 1
+        heapq.heappush(heap, (t + instance.costs[i], tick, i))
+        tick += 1
+        heapq.heappush(heap, (t + instance.costs[p], tick, p))
+    return children
+
+
+def node_model_completion(
+    instance: NodeModelInstance, children: Mapping[int, Sequence[int]]
+) -> float:
+    """Completion time of a tree under the node model's own semantics."""
+    ready = [0.0] * len(instance.costs)
+    stack = [0]
+    seen = 1
+    while stack:
+        v = stack.pop()
+        for idx, child in enumerate(children.get(v, ()), start=1):
+            ready[child] = ready[v] + idx * instance.costs[v]
+            seen += 1
+            stack.append(child)
+    if seen != len(instance.costs):
+        raise ModelError("children mapping does not span all nodes")
+    return max(ready)
+
+
+def node_model_schedule(mset: MulticastSet) -> Schedule:
+    """Tree built by the node-model greedy, evaluated as a receive-send schedule.
+
+    This is the E7 baseline: schedule with the older model's algorithm,
+    *execute* under the paper's model.
+    """
+    children = node_model_greedy(from_receive_send(mset))
+    return Schedule(mset, children)

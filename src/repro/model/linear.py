@@ -1,0 +1,146 @@
+"""Message-length-dependent overheads (paper footnote 1).
+
+The model of Banikazemi et al. [3] gives every overhead and the network
+latency a *fixed* component and a *message-length-dependent* component.  The
+paper folds the two together for any given multicast message length:
+
+    "For a multicast with any given message length, we may combine the fixed
+    and message-length dependent components as is done here."
+
+:class:`LinearCost` is that affine cost; :class:`MachineSpec` bundles a
+machine's send/receive affine costs; :func:`instantiate` performs the
+paper's folding, turning a *parameterized cluster* plus a message length
+into a concrete :class:`~repro.core.multicast.MulticastSet` with scalar
+overheads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node
+from repro.exceptions import ModelError
+
+__all__ = ["LinearCost", "MachineSpec", "NetworkSpec", "instantiate"]
+
+
+@dataclass(frozen=True)
+class LinearCost:
+    """An affine cost ``fixed + per_byte * message_length``.
+
+    Units are arbitrary but must be consistent across a network (the paper
+    assumes a common integral time unit).
+    """
+
+    fixed: float
+    per_byte: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fixed < 0 or self.per_byte < 0:
+            raise ModelError(f"cost components must be non-negative: {self}")
+        if self.fixed == 0 and self.per_byte == 0:
+            raise ModelError("cost cannot be identically zero")
+
+    def at(self, message_length: float, *, integral: bool = True) -> float:
+        """Evaluate the cost for one message.
+
+        With ``integral=True`` (paper convention) the value is rounded up to
+        the next positive integer.
+        """
+        if message_length < 0:
+            raise ModelError(f"message length must be >= 0, got {message_length}")
+        value = self.fixed + self.per_byte * message_length
+        if integral:
+            return max(1, math.ceil(value))
+        return value
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A machine model: named affine send and receive costs.
+
+    The receive-send *ratio* of the materialized node generally depends on
+    the message length — exactly the effect the paper cites when noting that
+    measured ratios fall in [1.05, 1.85] "depending on ... the length of the
+    message being sent".
+    """
+
+    name: str
+    send: LinearCost
+    receive: LinearCost
+
+    def node_at(self, message_length: float, *, integral: bool = True) -> Node:
+        """The concrete :class:`~repro.core.node.Node` for one message size."""
+        return Node(
+            self.name,
+            self.send.at(message_length, integral=integral),
+            self.receive.at(message_length, integral=integral),
+        )
+
+    def ratio_at(self, message_length: float) -> float:
+        """Receive-send ratio at a given message length (un-rounded)."""
+        return self.receive.at(message_length, integral=False) / self.send.at(
+            message_length, integral=False
+        )
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A parameterized HNOW: machine specs plus an affine latency."""
+
+    machines: Tuple[MachineSpec, ...]
+    latency: LinearCost
+
+    def __post_init__(self) -> None:
+        names = [m.name for m in self.machines]
+        if len(set(names)) != len(names):
+            raise ModelError("machine names must be unique within a network")
+
+
+def instantiate(
+    network: NetworkSpec,
+    source_name: str,
+    message_length: float,
+    *,
+    destinations: Sequence[str] | None = None,
+    integral: bool = True,
+    validate_correlation: bool = True,
+) -> MulticastSet:
+    """Fold a parameterized network into a concrete multicast instance.
+
+    Parameters
+    ----------
+    network:
+        The parameterized cluster.
+    source_name:
+        Which machine holds the message.
+    message_length:
+        The multicast payload size; all affine costs are evaluated here.
+    destinations:
+        Names of the destination machines; defaults to every machine other
+        than the source (a broadcast).
+    integral / validate_correlation:
+        Passed through to cost evaluation and
+        :class:`~repro.core.multicast.MulticastSet`.
+    """
+    by_name = {m.name: m for m in network.machines}
+    if source_name not in by_name:
+        raise ModelError(f"unknown source machine {source_name!r}")
+    if destinations is None:
+        dest_names = [m.name for m in network.machines if m.name != source_name]
+    else:
+        dest_names = list(destinations)
+        unknown = [d for d in dest_names if d not in by_name]
+        if unknown:
+            raise ModelError(f"unknown destination machines: {unknown}")
+        if source_name in dest_names:
+            raise ModelError("the source cannot be its own destination")
+    return MulticastSet(
+        by_name[source_name].node_at(message_length, integral=integral),
+        [by_name[d].node_at(message_length, integral=integral) for d in dest_names],
+        network.latency.at(message_length, integral=integral),
+        validate_correlation=validate_correlation,
+    )

@@ -1,0 +1,249 @@
+"""Two-level (cluster/WAN) latency model — the Bhat et al. [5] substrate.
+
+The paper's related work cites Bhat, Raghavendra & Prasanna [5] for
+networks "where network latencies over 'long haul' links may be very
+different from those within a local area network".  This module adds that
+dimension: workstations live in *clusters*; a transmission pays the local
+latency inside a cluster and the (much larger) WAN latency across
+clusters.  Send/receive overheads remain per-node as in the receive-send
+model, so the timing recurrence generalizes to
+
+    d(w at slot s under v) = r(v) + s * o_send(v) + L(v, w)
+
+with ``L`` now an edge function.  Two schedulers are provided:
+
+* :func:`flat_greedy_wan` — the paper's greedy run with the *average*
+  latency it can see (it has no locality notion), evaluated under the true
+  per-edge latencies — the "porting the LAN algorithm to the WAN" baseline;
+* :func:`cluster_aware_wan` — a two-phase hierarchy in the spirit of [5]:
+  greedy over cluster gateways at WAN latency, then greedy inside each
+  cluster at local latency, long-haul transmissions first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import reverse_leaves
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node, overhead_key
+from repro.exceptions import ModelError
+
+__all__ = ["WanNetwork", "WanSchedule", "flat_greedy_wan", "cluster_aware_wan"]
+
+
+@dataclass(frozen=True)
+class WanNetwork:
+    """Clusters of workstations joined by long-haul links.
+
+    Parameters
+    ----------
+    clusters:
+        Mapping from cluster name to its member nodes (names globally
+        unique).
+    local_latency:
+        Latency between two nodes of the same cluster.
+    wan_latency:
+        Latency between nodes of different clusters (``>= local_latency``).
+    """
+
+    clusters: Tuple[Tuple[str, Tuple[Node, ...]], ...]
+    local_latency: float
+    wan_latency: float
+
+    def __init__(
+        self,
+        clusters: Mapping[str, Sequence[Node]],
+        local_latency: float,
+        wan_latency: float,
+    ) -> None:
+        if not clusters:
+            raise ModelError("need at least one cluster")
+        if local_latency <= 0 or wan_latency <= 0:
+            raise ModelError("latencies must be positive")
+        if wan_latency < local_latency:
+            raise ModelError("wan latency must be >= local latency")
+        frozen = tuple(
+            (name, tuple(members)) for name, members in sorted(clusters.items())
+        )
+        names = [nd.name for _c, members in frozen for nd in members]
+        if len(set(names)) != len(names):
+            raise ModelError("node names must be globally unique")
+        if any(not members for _c, members in frozen):
+            raise ModelError("clusters cannot be empty")
+        object.__setattr__(self, "clusters", frozen)
+        object.__setattr__(self, "local_latency", local_latency)
+        object.__setattr__(self, "wan_latency", wan_latency)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes, grouped by cluster."""
+        return tuple(nd for _c, members in self.clusters for nd in members)
+
+    def cluster_of(self, name: str) -> str:
+        """The cluster containing the named node."""
+        for cluster, members in self.clusters:
+            if any(nd.name == name for nd in members):
+                return cluster
+        raise ModelError(f"unknown node {name!r}")
+
+    def edge_latency(self, a: str, b: str) -> float:
+        """Latency of a transmission from node ``a`` to node ``b``."""
+        return (
+            self.local_latency
+            if self.cluster_of(a) == self.cluster_of(b)
+            else self.wan_latency
+        )
+
+    def mean_latency(self) -> float:
+        """Average pairwise latency — what a locality-blind scheduler sees."""
+        nodes = self.nodes
+        total, count = 0.0, 0
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                total += self.edge_latency(a.name, b.name)
+                count += 1
+        return total / count if count else self.local_latency
+
+
+class WanSchedule:
+    """A multicast tree over a :class:`WanNetwork` with per-edge latency."""
+
+    def __init__(
+        self,
+        network: WanNetwork,
+        order: Sequence[Node],  # order[0] is the source
+        children: Mapping[int, Sequence[int]],
+    ) -> None:
+        self.network = network
+        self.order = tuple(order)
+        self.children = {
+            p: tuple(kids) for p, kids in children.items() if kids
+        }
+        n = len(self.order) - 1
+        seen = {0}
+        total = 0
+        for kids in self.children.values():
+            seen.update(kids)
+            total += len(kids)
+        if seen != set(range(n + 1)) or total != n:
+            raise ModelError("WAN schedule must span every node exactly once")
+        delivery = [0.0] * (n + 1)
+        reception = [0.0] * (n + 1)
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            o_send = self.order[v].send_overhead
+            for slot, child in enumerate(self.children.get(v, ()), start=1):
+                lat = network.edge_latency(self.order[v].name, self.order[child].name)
+                delivery[child] = reception[v] + slot * o_send + lat
+                reception[child] = delivery[child] + self.order[child].receive_overhead
+                stack.append(child)
+        self.delivery_times = tuple(delivery)
+        self.reception_times = tuple(reception)
+
+    @property
+    def reception_completion(self) -> float:
+        """Time at which every node has received the message."""
+        return max(self.reception_times)
+
+    def wan_edge_count(self) -> int:
+        """How many transmissions cross cluster boundaries."""
+        count = 0
+        for v, kids in self.children.items():
+            for child in kids:
+                if self.network.edge_latency(
+                    self.order[v].name, self.order[child].name
+                ) == self.network.wan_latency and (
+                    self.network.wan_latency != self.network.local_latency
+                ):
+                    count += 1
+        return count
+
+
+def _source_first(nodes: Sequence[Node], source_name: str) -> List[Node]:
+    src = [nd for nd in nodes if nd.name == source_name]
+    if not src:
+        raise ModelError(f"unknown source {source_name!r}")
+    return src + [nd for nd in nodes if nd.name != source_name]
+
+
+def flat_greedy_wan(network: WanNetwork, source_name: str) -> WanSchedule:
+    """Locality-blind baseline: paper greedy at the mean latency.
+
+    The greedy schedules as if every link had the network's mean latency;
+    the tree is then *evaluated* with the true per-edge latencies.
+    """
+    order = _source_first(list(network.nodes), source_name)
+    mset = MulticastSet(
+        order[0],
+        order[1:],
+        max(network.mean_latency(), 1e-9),
+        validate_correlation=False,
+    )
+    schedule = reverse_leaves(greedy_schedule(mset))
+    # map MulticastSet canonical indices back to our order
+    canon = mset.nodes
+    name_to_pos = {nd.name: i for i, nd in enumerate(order)}
+    children: Dict[int, List[int]] = {}
+    for parent, kids in schedule.children.items():
+        p = name_to_pos[canon[parent].name]
+        children[p] = [name_to_pos[canon[c].name] for c, _s in kids]
+    return WanSchedule(network, order, children)
+
+
+def cluster_aware_wan(network: WanNetwork, source_name: str) -> WanSchedule:
+    """Two-phase hierarchical schedule in the spirit of Bhat et al. [5].
+
+    Phase 1: one *gateway* per cluster (its fastest member; the source is
+    the gateway of its own cluster) runs the paper's greedy at WAN latency.
+    Phase 2: each gateway multicasts to its cluster at local latency.
+    Gateways perform long-haul transmissions before local ones.
+    """
+    order = _source_first(list(network.nodes), source_name)
+    name_to_pos = {nd.name: i for i, nd in enumerate(order)}
+    source_cluster = network.cluster_of(source_name)
+
+    gateways: Dict[str, Node] = {}
+    for cluster, members in network.clusters:
+        if cluster == source_cluster:
+            gateways[cluster] = order[0]
+        else:
+            gateways[cluster] = min(members, key=overhead_key)
+
+    children: Dict[int, List[int]] = {}
+
+    def splice(mset: MulticastSet, schedule, *, prepend: bool) -> None:
+        canon = mset.nodes
+        for parent, kids in schedule.children.items():
+            p = name_to_pos[canon[parent].name]
+            mapped = [name_to_pos[canon[c].name] for c, _s in kids]
+            if prepend:
+                children[p] = mapped + children.get(p, [])
+            else:
+                children[p] = children.get(p, []) + mapped
+
+    # phase 2 first (so phase 1's long-haul sends end up prepended)
+    for cluster, members in network.clusters:
+        gateway = gateways[cluster]
+        rest = [nd for nd in members if nd.name != gateway.name]
+        if not rest:
+            continue
+        local_mset = MulticastSet(
+            gateway, rest, network.local_latency, validate_correlation=False
+        )
+        splice(local_mset, reverse_leaves(greedy_schedule(local_mset)), prepend=False)
+
+    other_gateways = [
+        gw for cluster, gw in sorted(gateways.items()) if cluster != source_cluster
+    ]
+    if other_gateways:
+        wan_mset = MulticastSet(
+            order[0], other_gateways, network.wan_latency, validate_correlation=False
+        )
+        splice(wan_mset, greedy_schedule(wan_mset), prepend=True)
+
+    return WanSchedule(network, order, children)

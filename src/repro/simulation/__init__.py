@@ -1,0 +1,25 @@
+"""Discrete-event simulation of the heterogeneous receive-send model.
+
+The testbed substitute (DESIGN.md, "Substitutions"): schedules are *run*
+on simulated workstations with busy-state enforcement and a latency
+network; unperturbed runs must match the analytic recurrences exactly.
+"""
+
+from repro.simulation.engine import Simulator
+from repro.simulation.trace import Trace, Interval, Flight
+from repro.simulation.network import SimNode, SimNetwork
+from repro.simulation.executor import SimResult, simulate_schedule
+from repro.simulation.jitter import uniform_jitter, proportional_jitter
+
+__all__ = [
+    "Simulator",
+    "Trace",
+    "Interval",
+    "Flight",
+    "SimNode",
+    "SimNetwork",
+    "SimResult",
+    "simulate_schedule",
+    "uniform_jitter",
+    "proportional_jitter",
+]

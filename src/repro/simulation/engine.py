@@ -1,0 +1,120 @@
+"""A small discrete-event simulation engine.
+
+The paper's evaluation substrate is a real HNOW testbed (via [3]); ours is a
+simulator of the receive-send model (see DESIGN.md, "Substitutions").  This
+module is the generic core: a binary-heap event queue with deterministic
+FIFO ordering among simultaneous events, in the style of SimPy's
+environment but dependency-free.
+
+Events are plain callbacks.  Handlers may schedule further events at or
+after the current time; scheduling in the past raises.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Simulator"]
+
+Handler = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    handler: Handler = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> _ = sim.at(2.0, lambda: seen.append("b"))
+    >>> _ = sim.at(1.0, lambda: seen.append("a"))
+    >>> sim.run()
+    2.0
+    >>> seen
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[_Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: float, handler: Handler) -> _Event:
+        """Schedule ``handler`` to run at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        event = _Event(time=time, seq=self._seq, handler=handler)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, handler: Handler) -> _Event:
+        """Schedule ``handler`` to run ``delay`` from now (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self._now + delay, handler)
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        """Cancel a pending event (no-op if it already ran)."""
+        event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.handler()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events (optionally only up to time ``until``).
+
+        Returns the final simulation time (the time of the last processed
+        event, or ``until`` when a horizon was given and reached).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                self.step()
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,51 @@
+"""Deterministic latency jitter (sensitivity extension).
+
+The paper's model uses one exact latency ``L``; real NOW interconnects show
+small per-message variation.  This extension perturbs each flight's latency
+by a seeded, per-edge-deterministic delta so experiments remain exactly
+reproducible, and lets E-suite sensitivity runs ask: *how fragile is a
+schedule's completion time to latency noise?* (Answer measured in
+``experiments/``: greedy's structure is latency-dominated only for small
+overheads, so moderate jitter shifts completions by at most the jitter
+amplitude times the tree depth.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Callable
+
+__all__ = ["uniform_jitter", "proportional_jitter"]
+
+
+def _unit_noise(seed: int, sender: int, receiver: int) -> float:
+    """Deterministic uniform noise in [-1, 1) from (seed, edge)."""
+    payload = struct.pack(">qqq", seed, sender, receiver)
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    (value,) = struct.unpack(">Q", digest)
+    return value / 2**63 - 1.0
+
+
+def uniform_jitter(amplitude: float, seed: int = 0) -> Callable[[int, int], float]:
+    """Additive jitter: each flight gets ``U[-amplitude, amplitude)`` extra.
+
+    The same (seed, sender, receiver) triple always produces the same delta,
+    so repeated simulations are bit-identical.
+    """
+    if amplitude < 0:
+        raise ValueError(f"amplitude must be >= 0, got {amplitude}")
+
+    def jitter(sender: int, receiver: int) -> float:
+        return amplitude * _unit_noise(seed, sender, receiver)
+
+    return jitter
+
+
+def proportional_jitter(
+    latency: float, fraction: float, seed: int = 0
+) -> Callable[[int, int], float]:
+    """Jitter as a fraction of the base latency (e.g. ``fraction=0.1``)."""
+    if not 0 <= fraction < 1:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    return uniform_jitter(latency * fraction, seed)

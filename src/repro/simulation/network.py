@@ -1,0 +1,109 @@
+"""Simulated HNOW: nodes with busy-state machines over a latency network.
+
+:class:`SimNode` enforces the receive-send model's central resource
+constraint — while a node incurs a sending or receiving overhead it cannot
+perform other communication operations — by refusing overlapping busy
+periods.  :class:`SimNetwork` carries messages with the global latency
+``L`` (optionally perturbed by a deterministic jitter function, used by the
+sensitivity extension).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulation.engine import Simulator
+from repro.simulation.trace import Trace
+from repro.exceptions import SimulationError
+
+__all__ = ["SimNode", "SimNetwork"]
+
+
+class SimNode:
+    """One workstation's communication state machine."""
+
+    def __init__(
+        self,
+        index: int,
+        send_overhead: float,
+        receive_overhead: float,
+        sim: Simulator,
+        trace: Trace,
+    ) -> None:
+        self.index = index
+        self.send_overhead = send_overhead
+        self.receive_overhead = receive_overhead
+        self._sim = sim
+        self._trace = trace
+        self._busy_until = 0.0
+        self.reception_time: Optional[float] = None  # r(v) once received
+
+    @property
+    def busy_until(self) -> float:
+        """Earliest time the node can begin a new operation."""
+        return self._busy_until
+
+    def _occupy(self, duration: float) -> float:
+        start = self._sim.now
+        if start < self._busy_until - 1e-12:
+            raise SimulationError(
+                f"node {self.index} asked to start an operation at {start} "
+                f"while busy until {self._busy_until}"
+            )
+        self._busy_until = start + duration
+        return start
+
+    def begin_send(self, receiver: int, on_complete: Callable[[], None]) -> None:
+        """Occupy the node for one sending overhead, then fire the callback."""
+        start = self._occupy(self.send_overhead)
+        self._trace.busy(self.index, "send", start, self._busy_until, receiver)
+        self._sim.at(self._busy_until, on_complete)
+
+    def begin_receive(self, sender: int, on_complete: Callable[[], None]) -> None:
+        """Occupy the node for one receiving overhead, then fire the callback."""
+        if self.reception_time is not None:
+            raise SimulationError(
+                f"node {self.index} received the multicast message twice"
+            )
+        start = self._occupy(self.receive_overhead)
+        self._trace.busy(self.index, "receive", start, self._busy_until, sender)
+
+        def complete() -> None:
+            self.reception_time = self._sim.now
+            on_complete()
+
+        self._sim.at(self._busy_until, complete)
+
+
+class SimNetwork:
+    """The interconnect: delivers messages ``latency`` after send completion."""
+
+    def __init__(
+        self,
+        latency: float,
+        sim: Simulator,
+        trace: Trace,
+        *,
+        jitter: Optional[Callable[[int, int], float]] = None,
+    ) -> None:
+        if latency <= 0:
+            raise SimulationError(f"latency must be positive, got {latency}")
+        self.latency = latency
+        self._sim = sim
+        self._trace = trace
+        self._jitter = jitter
+
+    def transmit(self, sender: int, receiver: int, on_arrival: Callable[[], None]) -> None:
+        """Carry one message; ``on_arrival`` fires when it reaches the receiver.
+
+        With a jitter function the flight takes ``latency + jitter(sender,
+        receiver)`` (clamped to stay positive) — the deterministic-seed
+        sensitivity extension; the default is the model's exact ``L``.
+        """
+        flight = self.latency
+        if self._jitter is not None:
+            flight = max(1e-9, flight + self._jitter(sender, receiver))
+        departure = self._sim.now
+        arrival = departure + flight
+        self._trace.flight(sender, receiver, departure, arrival)
+        self._sim.at(arrival, on_arrival)

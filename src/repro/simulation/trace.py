@@ -1,0 +1,100 @@
+"""Event traces of simulated multicasts.
+
+A trace records every busy interval of every node (sending or receiving)
+plus every message flight.  It is both the evidence used to verify that a
+schedule is physically executable (no node performs two communication
+operations at once — the model's central constraint) and the data source
+for the Gantt renderer in :mod:`repro.viz.gantt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Interval", "Flight", "Trace"]
+
+Kind = Literal["send", "receive"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A busy period of one node."""
+
+    node: int
+    kind: Kind
+    start: float
+    end: float
+    peer: int  # the other endpoint of the transfer
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError(f"empty or negative interval: {self}")
+
+
+@dataclass(frozen=True)
+class Flight:
+    """A message in transit on the network (latency period)."""
+
+    sender: int
+    receiver: int
+    departure: float
+    arrival: float
+
+
+@dataclass
+class Trace:
+    """Accumulated busy intervals and flights of one simulation run."""
+
+    intervals: List[Interval] = field(default_factory=list)
+    flights: List[Flight] = field(default_factory=list)
+
+    def busy(self, node: int, kind: Kind, start: float, end: float, peer: int) -> None:
+        self.intervals.append(Interval(node, kind, start, end, peer))
+
+    def flight(self, sender: int, receiver: int, departure: float, arrival: float) -> None:
+        self.flights.append(Flight(sender, receiver, departure, arrival))
+
+    # ------------------------------------------------------------------
+    # verification & queries
+    # ------------------------------------------------------------------
+    def by_node(self) -> Dict[int, List[Interval]]:
+        """Busy intervals grouped by node, each list sorted by start."""
+        out: Dict[int, List[Interval]] = {}
+        for iv in self.intervals:
+            out.setdefault(iv.node, []).append(iv)
+        for ivs in out.values():
+            ivs.sort(key=lambda iv: (iv.start, iv.end))
+        return out
+
+    def assert_no_overlap(self) -> None:
+        """Verify the model constraint: one communication op at a time.
+
+        Raises :class:`~repro.exceptions.SimulationError` naming the node
+        and the clashing intervals on violation.
+        """
+        for node, ivs in self.by_node().items():
+            for prev, cur in zip(ivs, ivs[1:]):
+                if cur.start < prev.end:
+                    raise SimulationError(
+                        f"node {node} performs overlapping operations: "
+                        f"{prev} overlaps {cur}"
+                    )
+
+    def utilization(self, node: int, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the node spends busy."""
+        if horizon <= 0:
+            raise SimulationError("horizon must be positive")
+        total = sum(
+            min(iv.end, horizon) - min(iv.start, horizon)
+            for iv in self.intervals
+            if iv.node == node
+        )
+        return total / horizon
+
+    @property
+    def makespan(self) -> float:
+        """End of the last busy interval (0.0 for an empty trace)."""
+        return max((iv.end for iv in self.intervals), default=0.0)

@@ -1,0 +1,6 @@
+"""Text renderings of schedules and traces (tree views, Gantt charts)."""
+
+from repro.viz.ascii_tree import render_tree
+from repro.viz.gantt import gantt_for_schedule, render_gantt
+
+__all__ = ["render_tree", "render_gantt", "gantt_for_schedule"]

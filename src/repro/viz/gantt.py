@@ -1,0 +1,65 @@
+"""ASCII Gantt charts of simulated multicasts.
+
+One row per node, time flowing right; ``S`` marks sending overhead, ``R``
+receiving overhead, ``.`` idle.  Rendered from a simulation
+:class:`~repro.simulation.trace.Trace` so the chart shows what actually
+executed (including latency gaps and any Lemma 3 idle slots).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.schedule import Schedule
+from repro.simulation.executor import simulate_schedule
+from repro.simulation.trace import Trace
+from repro.exceptions import ReproError
+
+__all__ = ["render_gantt", "gantt_for_schedule"]
+
+
+def render_gantt(
+    trace: Trace,
+    *,
+    node_names: Optional[Sequence[str]] = None,
+    width: int = 72,
+    horizon: Optional[float] = None,
+) -> str:
+    """Render a trace as an ASCII Gantt chart.
+
+    ``width`` columns cover ``[0, horizon]`` (default: the trace makespan);
+    each busy interval paints its span with S/R, later intervals winning
+    ties at cell granularity.
+    """
+    if width < 8:
+        raise ReproError("width must be at least 8 columns")
+    end = horizon if horizon is not None else trace.makespan
+    if end <= 0:
+        raise ReproError("empty trace")
+    nodes = sorted({iv.node for iv in trace.intervals})
+    names = {
+        v: (node_names[v] if node_names is not None else f"n{v}") for v in nodes
+    }
+    label_width = max(len(str(names[v])) for v in nodes)
+    rows: Dict[int, List[str]] = {v: ["."] * width for v in nodes}
+    scale = width / end
+    for iv in trace.intervals:
+        mark = "S" if iv.kind == "send" else "R"
+        start_col = int(math.floor(iv.start * scale))
+        end_col = max(start_col + 1, int(math.ceil(iv.end * scale)))
+        for col in range(start_col, min(end_col, width)):
+            rows[iv.node][col] = mark
+    header = " " * (label_width + 2) + f"0{'':{width - 2}}{end:g}"
+    lines = [header]
+    for v in nodes:
+        lines.append(f"{str(names[v]):>{label_width}} |" + "".join(rows[v]))
+    lines.append(f"{'':>{label_width}}  S=sending  R=receiving  .=idle")
+    return "\n".join(lines)
+
+
+def gantt_for_schedule(schedule: Schedule, *, width: int = 72) -> str:
+    """Simulate ``schedule`` and render its Gantt chart."""
+    result = simulate_schedule(schedule)
+    names = [schedule.multicast.node(v).name for v in range(schedule.multicast.n + 1)]
+    return render_gantt(result.trace, node_names=names, width=width)

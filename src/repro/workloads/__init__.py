@@ -1,0 +1,34 @@
+"""Workload generation: clusters, instances, and named experiment suites."""
+
+from repro.workloads.clusters import (
+    bounded_ratio_cluster,
+    figure1_nodes,
+    limited_type_cluster,
+    pareto_cluster,
+    power_of_two_cluster,
+    two_class_cluster,
+    uniform_ratio_cluster,
+)
+from repro.workloads.generator import (
+    SourcePolicy,
+    multicast_from_cluster,
+    random_subset_multicast,
+)
+from repro.workloads.suites import SUITES, Suite, instances, suite
+
+__all__ = [
+    "two_class_cluster",
+    "bounded_ratio_cluster",
+    "limited_type_cluster",
+    "uniform_ratio_cluster",
+    "power_of_two_cluster",
+    "pareto_cluster",
+    "figure1_nodes",
+    "SourcePolicy",
+    "multicast_from_cluster",
+    "random_subset_multicast",
+    "Suite",
+    "SUITES",
+    "suite",
+    "instances",
+]

@@ -1,0 +1,203 @@
+"""Synthetic HNOW cluster generators.
+
+Every generator returns a list of :class:`~repro.core.node.Node` satisfying
+the paper's correlation assumption by construction (equal send overheads
+share a receive overhead; strictly larger send overheads get strictly
+larger receive overheads).  All randomness is seeded and deterministic.
+
+The generators cover the regimes the paper's analysis distinguishes:
+
+* :func:`two_class_cluster` — the Figure 1 fast/slow world;
+* :func:`bounded_ratio_cluster` — receive-send ratios inside a band
+  (defaults to the published [1.05, 1.85] range of [3, 7]) — Theorem 1's
+  habitat;
+* :func:`limited_type_cluster` — ``k`` distinct types — Theorem 2's habitat;
+* :func:`uniform_ratio_cluster` / :func:`power_of_two_cluster` — uniform
+  integer ratio and power-of-two sends — Lemma 3's premises;
+* :func:`pareto_cluster` — heavy-tailed heterogeneity stress test.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.node import Node
+from repro.exceptions import WorkloadError
+from repro.model.machines import RATIO_RANGE
+
+__all__ = [
+    "two_class_cluster",
+    "bounded_ratio_cluster",
+    "limited_type_cluster",
+    "uniform_ratio_cluster",
+    "power_of_two_cluster",
+    "pareto_cluster",
+    "figure1_nodes",
+]
+
+
+def _named(overheads: Sequence[Tuple[float, float]], prefix: str) -> List[Node]:
+    return [Node(f"{prefix}{i}", s, r) for i, (s, r) in enumerate(overheads)]
+
+
+def two_class_cluster(
+    n_fast: int,
+    n_slow: int,
+    *,
+    fast: Tuple[float, float] = (1, 1),
+    slow: Tuple[float, float] = (2, 3),
+    prefix: str = "w",
+) -> List[Node]:
+    """Fast/slow workstation mix — the regime of the paper's Figure 1."""
+    if n_fast < 0 or n_slow < 0 or n_fast + n_slow == 0:
+        raise WorkloadError("need a non-empty cluster")
+    if not (fast[0] <= slow[0] and fast[1] <= slow[1]):
+        raise WorkloadError("'fast' must dominate 'slow' componentwise")
+    return _named([fast] * n_fast + [slow] * n_slow, prefix)
+
+
+def figure1_nodes() -> List[Node]:
+    """The exact Figure 1 population: one slow source + 3 fast + 1 slow.
+
+    Index 0 is the (slow) source; see
+    :func:`repro.experiments.fig1.figure1_instance` for the full instance.
+    """
+    nodes = two_class_cluster(3, 2)
+    # put one slow node first: it is the source in Figure 1
+    return [nodes[3], nodes[0], nodes[1], nodes[2], nodes[4]]
+
+
+def _correlated_receives(
+    sends: Sequence[int],
+    rng: random.Random,
+    ratio_range: Tuple[float, float],
+) -> Dict[int, int]:
+    """Assign each distinct send overhead a receive overhead.
+
+    Receives are strictly increasing with the send value (correlation
+    assumption) and target ratios drawn uniformly from ``ratio_range``;
+    integer rounding can force a bump of +1 per level, which may push a
+    ratio slightly above the band for very small overheads — callers that
+    need the band exactly should use send overheads ``>= ~10``.
+    """
+    lo, hi = ratio_range
+    if not 0 < lo <= hi:
+        raise WorkloadError(f"bad ratio range {ratio_range}")
+    receives: Dict[int, int] = {}
+    prev_recv = 0
+    for send in sorted(set(sends)):
+        target = rng.uniform(lo, hi) * send
+        recv = max(round(target), prev_recv + 1, 1)
+        receives[send] = recv
+        prev_recv = recv
+    return receives
+
+
+def bounded_ratio_cluster(
+    n: int,
+    seed: int,
+    *,
+    send_range: Tuple[int, int] = (8, 40),
+    ratio_range: Tuple[float, float] = RATIO_RANGE,
+    prefix: str = "w",
+) -> List[Node]:
+    """Random cluster with receive-send ratios inside a band.
+
+    Send overheads are uniform integers in ``send_range``; each distinct
+    send value receives one receive overhead targeting a ratio drawn from
+    ``ratio_range`` (defaults to the paper's published [1.05, 1.85]).
+    """
+    if n <= 0:
+        raise WorkloadError("n must be positive")
+    lo, hi = send_range
+    if not 0 < lo <= hi:
+        raise WorkloadError(f"bad send range {send_range}")
+    rng = random.Random(seed)
+    sends = [rng.randint(lo, hi) for _ in range(n)]
+    receives = _correlated_receives(sends, rng, ratio_range)
+    return _named([(s, receives[s]) for s in sends], prefix)
+
+
+def limited_type_cluster(
+    type_overheads: Sequence[Tuple[float, float]],
+    counts: Sequence[int],
+    *,
+    prefix: str = "w",
+) -> List[Node]:
+    """Cluster with exactly the given ``k`` types (Theorem 2's regime).
+
+    ``type_overheads`` must be correlation-consistent; nodes appear grouped
+    by type in the returned list.
+    """
+    if len(type_overheads) != len(counts):
+        raise WorkloadError("type_overheads and counts must align")
+    if any(c < 0 for c in counts):
+        raise WorkloadError("counts must be non-negative")
+    ordered = sorted(type_overheads)
+    for (s1, r1), (s2, r2) in zip(ordered, ordered[1:]):
+        if s1 == s2 or r1 >= r2:
+            raise WorkloadError(
+                f"type overheads violate the correlation assumption: "
+                f"({s1},{r1}) vs ({s2},{r2})"
+            )
+    overheads: List[Tuple[float, float]] = []
+    for t, count in zip(type_overheads, counts):
+        overheads.extend([t] * count)
+    if not overheads:
+        raise WorkloadError("need at least one node")
+    return _named(overheads, prefix)
+
+
+def uniform_ratio_cluster(
+    n: int,
+    seed: int,
+    ratio: int,
+    *,
+    send_range: Tuple[int, int] = (1, 16),
+    prefix: str = "w",
+) -> List[Node]:
+    """All nodes share the integer ratio ``o_receive = ratio * o_send``."""
+    if ratio < 1 or ratio != int(ratio):
+        raise WorkloadError(f"ratio must be a positive integer, got {ratio}")
+    rng = random.Random(seed)
+    lo, hi = send_range
+    sends = [rng.randint(lo, hi) for _ in range(n)]
+    return _named([(s, ratio * s) for s in sends], prefix)
+
+
+def power_of_two_cluster(
+    n: int,
+    seed: int,
+    ratio: int,
+    *,
+    max_exponent: int = 4,
+    prefix: str = "w",
+) -> List[Node]:
+    """Power-of-two sends + uniform integer ratio — Lemma 3's exact premises."""
+    if max_exponent < 0:
+        raise WorkloadError("max_exponent must be >= 0")
+    rng = random.Random(seed)
+    sends = [2 ** rng.randint(0, max_exponent) for _ in range(n)]
+    return _named([(s, ratio * s) for s in sends], prefix)
+
+
+def pareto_cluster(
+    n: int,
+    seed: int,
+    *,
+    alpha: float = 1.5,
+    scale: float = 8.0,
+    cap: float = 400.0,
+    ratio_range: Tuple[float, float] = RATIO_RANGE,
+    prefix: str = "w",
+) -> List[Node]:
+    """Heavy-tailed send overheads (a few very slow legacy machines)."""
+    if alpha <= 0:
+        raise WorkloadError("alpha must be positive")
+    rng = random.Random(seed)
+    sends = [
+        max(1, min(cap, round(scale * rng.paretovariate(alpha)))) for _ in range(n)
+    ]
+    receives = _correlated_receives(sends, rng, ratio_range)
+    return _named([(s, receives[s]) for s in sends], prefix)

@@ -1,0 +1,79 @@
+"""Turn clusters into multicast problem instances.
+
+A *cluster* (list of nodes) plus a *source policy* plus a latency gives a
+:class:`~repro.core.multicast.MulticastSet`.  The source policy matters:
+Figure 1's instance uses a *slow* source, the hardest natural case (the
+first transmission is expensive and pipelining starts late).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Literal, Sequence
+
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node, overhead_key
+from repro.exceptions import WorkloadError
+
+__all__ = ["multicast_from_cluster", "random_subset_multicast", "SourcePolicy"]
+
+SourcePolicy = Literal["fastest", "slowest", "median", "random", "first"]
+
+
+def _pick_source(nodes: Sequence[Node], policy: SourcePolicy, rng: random.Random) -> int:
+    if policy == "first":
+        return 0
+    if policy == "random":
+        return rng.randrange(len(nodes))
+    ranked = sorted(range(len(nodes)), key=lambda i: overhead_key(nodes[i]))
+    if policy == "fastest":
+        return ranked[0]
+    if policy == "slowest":
+        return ranked[-1]
+    if policy == "median":
+        return ranked[len(ranked) // 2]
+    raise WorkloadError(f"unknown source policy {policy!r}")
+
+
+def multicast_from_cluster(
+    nodes: Sequence[Node],
+    *,
+    latency: float = 1,
+    source: SourcePolicy = "slowest",
+    seed: int = 0,
+) -> MulticastSet:
+    """Broadcast instance: the chosen source multicasts to everyone else."""
+    if len(nodes) < 2:
+        raise WorkloadError("need at least two nodes for a multicast")
+    rng = random.Random(seed)
+    src = _pick_source(nodes, source, rng)
+    return MulticastSet(
+        nodes[src],
+        [nd for i, nd in enumerate(nodes) if i != src],
+        latency,
+    )
+
+
+def random_subset_multicast(
+    nodes: Sequence[Node],
+    n_destinations: int,
+    *,
+    latency: float = 1,
+    source: SourcePolicy = "slowest",
+    seed: int = 0,
+) -> MulticastSet:
+    """Multicast to a random subset of the cluster (a true multicast).
+
+    The source is chosen by policy over the *whole* cluster, then
+    ``n_destinations`` distinct destinations are sampled uniformly from the
+    remaining nodes.
+    """
+    if not 1 <= n_destinations <= len(nodes) - 1:
+        raise WorkloadError(
+            f"n_destinations must be in [1, {len(nodes) - 1}], got {n_destinations}"
+        )
+    rng = random.Random(seed)
+    src = _pick_source(nodes, source, rng)
+    others: List[Node] = [nd for i, nd in enumerate(nodes) if i != src]
+    dests = rng.sample(others, n_destinations)
+    return MulticastSet(nodes[src], dests, latency)

@@ -1,0 +1,134 @@
+"""Named instance suites used by the experiments and benchmarks.
+
+Each suite is a deterministic family of multicast instances.  Experiments
+reference suites by name so EXPERIMENTS.md rows are exactly regenerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.core.multicast import MulticastSet
+from repro.workloads.clusters import (
+    bounded_ratio_cluster,
+    limited_type_cluster,
+    pareto_cluster,
+    power_of_two_cluster,
+    two_class_cluster,
+    uniform_ratio_cluster,
+)
+from repro.workloads.generator import multicast_from_cluster
+
+__all__ = ["Suite", "SUITES", "suite", "instances"]
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named deterministic family of instances."""
+
+    name: str
+    description: str
+    sizes: Tuple[int, ...]
+    seeds: Tuple[int, ...]
+
+    def instances(self) -> Iterator[Tuple[int, int, MulticastSet]]:
+        """Yield ``(n, seed, instance)`` for the whole family."""
+        for n in self.sizes:
+            for seed in self.seeds:
+                yield n, seed, _make(self.name, n, seed)
+
+
+def _make(name: str, n: int, seed: int) -> MulticastSet:
+    if name == "bounded-ratio":
+        nodes = bounded_ratio_cluster(n + 1, seed)
+    elif name == "bounded-ratio-wide":
+        nodes = bounded_ratio_cluster(n + 1, seed, ratio_range=(1.0, 4.0))
+    elif name == "two-class":
+        n_slow = max(1, (n + 1) // 3)
+        nodes = two_class_cluster(n + 1 - n_slow, n_slow)
+    elif name == "three-type":
+        counts = _split(n + 1, 3)
+        nodes = limited_type_cluster([(1, 1), (2, 3), (5, 8)], counts)
+    elif name == "two-type":
+        counts = _split(n + 1, 2)
+        nodes = limited_type_cluster([(1, 1), (3, 5)], counts)
+    elif name == "uniform-ratio":
+        nodes = uniform_ratio_cluster(n + 1, seed, ratio=2)
+    elif name == "power-of-two":
+        nodes = power_of_two_cluster(n + 1, seed, ratio=2)
+    elif name == "pareto":
+        nodes = pareto_cluster(n + 1, seed)
+    else:
+        raise KeyError(f"unknown suite {name!r}")
+    return multicast_from_cluster(nodes, latency=max(1, seed % 3 + 1), source="slowest", seed=seed)
+
+
+def _split(total: int, parts: int) -> List[int]:
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+SUITES = {
+    s.name: s
+    for s in (
+        Suite(
+            "bounded-ratio",
+            "ratios in the published [1.05, 1.85] band (Theorem 1 habitat)",
+            sizes=(4, 6, 8, 16, 32, 64),
+            seeds=(0, 1, 2, 3, 4),
+        ),
+        Suite(
+            "bounded-ratio-wide",
+            "ratios stretched to [1.0, 4.0] — stresses the Theorem 1 factor",
+            sizes=(4, 6, 8, 16, 32),
+            seeds=(0, 1, 2, 3, 4),
+        ),
+        Suite(
+            "two-class",
+            "fast/slow mix as in Figure 1",
+            sizes=(4, 8, 16, 32, 64, 128),
+            seeds=(0, 1, 2),
+        ),
+        Suite(
+            "two-type",
+            "two workstation types (Theorem 2, k=2)",
+            sizes=(4, 8, 16, 32, 64),
+            seeds=(0, 1, 2),
+        ),
+        Suite(
+            "three-type",
+            "three workstation types (Theorem 2, k=3)",
+            sizes=(6, 9, 12, 18),
+            seeds=(0, 1, 2),
+        ),
+        Suite(
+            "uniform-ratio",
+            "uniform integer ratio C=2 (Theorem 1 special-case family)",
+            sizes=(4, 8, 16, 32),
+            seeds=(0, 1, 2, 3),
+        ),
+        Suite(
+            "power-of-two",
+            "power-of-two sends + uniform ratio (Lemma 3's premises)",
+            sizes=(4, 6, 8, 12),
+            seeds=(0, 1, 2, 3),
+        ),
+        Suite(
+            "pareto",
+            "heavy-tailed heterogeneity stress test",
+            sizes=(8, 16, 32, 64),
+            seeds=(0, 1, 2),
+        ),
+    )
+}
+
+
+def suite(name: str) -> Suite:
+    """Look up a suite by name (``KeyError`` for unknown names)."""
+    return SUITES[name]
+
+
+def instances(name: str) -> Iterator[Tuple[int, int, MulticastSet]]:
+    """Shorthand for ``suite(name).instances()``."""
+    return suite(name).instances()

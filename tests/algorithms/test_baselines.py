@@ -1,0 +1,73 @@
+"""Unit tests for the baseline schedulers."""
+
+import pytest
+
+from repro.algorithms.baselines import (
+    linear_chain,
+    random_tree,
+    sequential_star,
+    sequential_star_naive,
+)
+from repro.core.multicast import MulticastSet
+
+
+class TestStar:
+    def test_star_structure(self, fig1_mset):
+        s = sequential_star(fig1_mset)
+        assert s.internal_nodes() == (0,)
+        assert len(s.children_of(0)) == 4
+
+    def test_star_serves_slow_receivers_first(self, fig1_mset):
+        s = sequential_star(fig1_mset)
+        first_child = s.children_of(0)[0][0]
+        assert fig1_mset.receive(first_child) == 3  # the slow destination
+
+    def test_star_beats_naive_star(self, fig1_mset):
+        assert (
+            sequential_star(fig1_mset).reception_completion
+            <= sequential_star_naive(fig1_mset).reception_completion
+        )
+
+    def test_star_order_is_optimal_for_stars(self, small_random_msets):
+        import itertools
+
+        from repro.core.schedule import Schedule
+
+        for m in small_random_msets:
+            if m.n > 5:
+                continue
+            best = min(
+                Schedule(m, {0: list(perm)}).reception_completion
+                for perm in itertools.permutations(range(1, m.n + 1))
+            )
+            assert sequential_star(m).reception_completion == pytest.approx(best)
+
+    def test_naive_star_times(self, fig1_mset):
+        s = sequential_star_naive(fig1_mset)
+        # d_i = 2i + 1; slow (node 4) last: r = 9 + 3 = 12
+        assert s.reception_completion == 12
+
+
+class TestChain:
+    def test_chain_structure(self, fig1_mset):
+        s = linear_chain(fig1_mset)
+        assert s.parent_of(1) == 0
+        assert s.parent_of(2) == 1
+        assert s.parent_of(4) == 3
+
+    def test_chain_completion(self, fig1_mset):
+        # 0->1: d=3 r=4; 1->2: d=6 r=7; 2->3: d=9 r=10; 3->4: d=12 r=15
+        assert linear_chain(fig1_mset).reception_completion == 15
+
+
+class TestRandomTree:
+    def test_deterministic_per_seed(self, fig1_mset):
+        assert random_tree(fig1_mset, 7) == random_tree(fig1_mset, 7)
+
+    def test_different_seeds_differ_somewhere(self, fig1_mset):
+        trees = {random_tree(fig1_mset, seed) for seed in range(10)}
+        assert len(trees) > 1
+
+    def test_tree_is_spanning(self, two_class_mset):
+        s = random_tree(two_class_mset, 3)
+        assert sorted(s.descendants(0)) == list(range(1, two_class_mset.n + 1))

@@ -1,0 +1,77 @@
+"""Unit tests for binomial-tree broadcast."""
+
+import math
+
+import pytest
+
+from repro.algorithms.binomial import (
+    binomial,
+    binomial_fastest_first,
+    binomial_tree_children,
+)
+from repro.core.multicast import MulticastSet
+
+
+class TestShape:
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 8, 13, 16])
+    def test_spans_all_ids(self, size):
+        children = binomial_tree_children(list(range(size)))
+        seen = {0}
+        for kids in children.values():
+            seen.update(kids)
+        assert seen == set(range(size))
+
+    def test_power_of_two_root_degree(self):
+        # over 16 nodes the root has log2(16) = 4 children
+        children = binomial_tree_children(list(range(16)))
+        assert len(children[0]) == 4
+
+    def test_rounds_structure(self):
+        children = binomial_tree_children(list(range(8)))
+        # round 1: 0 -> 1; round 2: 0 -> 2, 1 -> 3; round 3: 0->4,1->5,2->6,3->7
+        assert children[0] == [1, 2, 4]
+        assert children[1] == [3, 5]
+        assert children[2] == [6]
+        assert children[3] == [7]
+
+    def test_depth_is_logarithmic(self):
+        size = 64
+        children = binomial_tree_children(list(range(size)))
+        depth = {0: 0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for c in children.get(v, ()):
+                depth[c] = depth[v] + 1
+                stack.append(c)
+        assert max(depth.values()) == int(math.log2(size))
+
+
+class TestUnderReceiveSendModel:
+    def test_homogeneous_binomial_is_strong(self):
+        # on a homogeneous cluster binomial should match greedy's completion
+        # within a small factor (both are log-depth recruitment trees)
+        from repro.core.greedy import greedy_schedule
+
+        m = MulticastSet.from_overheads((1, 1), [(1, 1)] * 15, 1)
+        ratio = (
+            binomial(m).reception_completion
+            / greedy_schedule(m).reception_completion
+        )
+        assert 1.0 <= ratio <= 1.5
+
+    def test_heterogeneous_binomial_pays(self, two_class_mset):
+        # on a fast/slow mix heterogeneity-aware greedy must win
+        from repro.core.leaf_reversal import greedy_with_reversal
+
+        assert (
+            greedy_with_reversal(two_class_mset).reception_completion
+            <= binomial(two_class_mset).reception_completion
+        )
+
+    def test_ff_equals_plain_on_correlated(self, two_class_mset):
+        # canonical order already sorts by send overhead
+        assert (
+            binomial_fastest_first(two_class_mset).reception_completion
+            == binomial(two_class_mset).reception_completion
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for the postal-model baseline [4]."""
+
+import pytest
+
+from repro.algorithms.postal import (
+    effective_lambda,
+    postal_count,
+    postal_shape,
+    postal_tree,
+)
+from repro.core.multicast import MulticastSet
+from repro.exceptions import SolverError
+
+
+class TestPostalCount:
+    def test_lambda_one_doubles(self):
+        # lambda = 1: N(t) = 2^t (classic binomial growth)
+        assert [postal_count(t, 1) for t in range(6)] == [1, 2, 4, 8, 16, 32]
+
+    def test_lambda_two_fibonacci(self):
+        # lambda = 2: N(t) follows the Fibonacci numbers
+        assert [postal_count(t, 2) for t in range(8)] == [1, 1, 2, 3, 5, 8, 13, 21]
+
+    def test_negative_time_zero(self):
+        assert postal_count(-3, 2) == 0
+
+    def test_bad_lambda_rejected(self):
+        with pytest.raises(SolverError):
+            postal_count(5, 0)
+
+
+class TestPostalShape:
+    @pytest.mark.parametrize("m,lam", [(1, 1), (5, 1), (8, 2), (13, 2), (9, 3)])
+    def test_shape_covers_exactly_m(self, m, lam):
+        parents, arrivals = postal_shape(m, lam)
+        assert len(parents) == m
+        assert parents[0] == -1 and arrivals[0] == 0.0
+
+    def test_arrivals_respect_lambda(self):
+        parents, arrivals = postal_shape(8, 2)
+        for pos in range(1, 8):
+            assert arrivals[pos] >= arrivals[parents[pos]] + 2
+
+    def test_optimal_horizon(self):
+        # 13 nodes with lambda=2 need exactly t=6 (N(6)=13); every arrival
+        # must fit within it
+        _parents, arrivals = postal_shape(13, 2)
+        assert max(arrivals) <= 6
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(SolverError):
+            postal_shape(0, 2)
+
+
+class TestPostalTree:
+    def test_effective_lambda_homogeneous(self):
+        m = MulticastSet.from_overheads((1, 1), [(1, 1)] * 4, 1)
+        # (1 + 1 + 1) / 1 = 3
+        assert effective_lambda(m) == 3
+
+    def test_valid_schedule(self, two_class_mset):
+        s = postal_tree(two_class_mset)
+        assert sorted(s.descendants(0)) == list(range(1, two_class_mset.n + 1))
+
+    def test_fastest_nodes_recruited_earliest(self, two_class_mset):
+        s = postal_tree(two_class_mset)
+        mset = two_class_mset
+        # internal (sending) nodes should be biased toward fast machines
+        internal = [v for v in s.internal_nodes() if v != 0]
+        if internal:
+            mean_internal = sum(mset.send(v) for v in internal) / len(internal)
+            leaves = s.leaves()
+            mean_leaf = sum(mset.send(v) for v in leaves) / len(leaves)
+            assert mean_internal <= mean_leaf + 1e-9
+
+    def test_competitive_on_homogeneous(self):
+        from repro.core.greedy import greedy_schedule
+
+        m = MulticastSet.from_overheads((2, 2), [(2, 2)] * 12, 2)
+        postal = postal_tree(m).reception_completion
+        greedy = greedy_schedule(m).reception_completion
+        assert postal <= 1.5 * greedy

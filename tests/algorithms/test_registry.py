@@ -1,0 +1,42 @@
+"""Unit tests for the scheduler registry."""
+
+import pytest
+
+from repro.algorithms.registry import (
+    available_schedulers,
+    get_scheduler,
+    register,
+    scheduler_items,
+)
+from repro.exceptions import ReproError
+
+
+class TestRegistry:
+    def test_known_names_present(self):
+        names = available_schedulers()
+        for expected in ("greedy", "greedy+reversal", "fnf", "binomial", "postal",
+                         "star", "star-naive", "chain", "random", "binomial-ff"):
+            assert expected in names
+
+    def test_get_scheduler_returns_callable(self, fig1_mset):
+        fn = get_scheduler("greedy")
+        assert fn(fig1_mset).reception_completion == 10
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ReproError, match="available"):
+            get_scheduler("quantum")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ReproError, match="twice"):
+            register("greedy", "dupe")(lambda m: None)
+
+    def test_items_sorted_with_descriptions(self):
+        items = list(scheduler_items())
+        names = [name for name, _fn, _desc in items]
+        assert names == sorted(names)
+        assert all(desc for _n, _f, desc in items)
+
+    def test_every_scheduler_produces_valid_schedule(self, fig1_mset):
+        for name, fn, _desc in scheduler_items():
+            s = fn(fig1_mset)
+            assert sorted(s.descendants(0)) == [1, 2, 3, 4], name

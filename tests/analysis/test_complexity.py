@@ -1,0 +1,83 @@
+"""Unit tests for empirical complexity fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import (
+    COST_MODELS,
+    best_model,
+    fit_model,
+    fit_nlogn,
+    fit_power,
+)
+from repro.exceptions import ReproError
+
+
+def synth(model, sizes, coeff=2.0, intercept=0.5):
+    fn = COST_MODELS[model]
+    return [coeff * fn(n) + intercept for n in sizes]
+
+
+SIZES = [64, 128, 256, 512, 1024, 2048]
+
+
+class TestFitModel:
+    def test_recovers_coefficients(self):
+        times = synth("nlogn", SIZES, coeff=3.0, intercept=1.0)
+        fit = fit_model(SIZES, times, "nlogn")
+        assert fit.coeff == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        times = synth("n", SIZES, coeff=2.0, intercept=0.0)
+        fit = fit_model(SIZES, times, "n")
+        assert fit.predict(100) == pytest.approx(200.0)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ReproError):
+            fit_model(SIZES, [1] * len(SIZES), "n!")
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ReproError):
+            fit_model(SIZES, [1, 2], "n")
+
+    def test_nlogn_convenience(self):
+        fit = fit_nlogn(SIZES, synth("nlogn", SIZES))
+        assert fit.model == "nlogn"
+
+
+class TestBestModel:
+    def test_prefers_generating_model_nlogn(self):
+        times = synth("nlogn", SIZES)
+        assert best_model(SIZES, times).model in ("nlogn", "n")
+        # nlogn and n are close at these sizes; require near-perfect fit
+        assert best_model(SIZES, times).r_squared > 0.999
+
+    def test_prefers_quadratic_over_linear(self):
+        times = synth("n^2", SIZES)
+        assert best_model(SIZES, times).model == "n^2"
+
+    def test_noise_tolerated(self):
+        rng = np.random.default_rng(0)
+        times = [
+            t * (1 + 0.01 * rng.standard_normal()) for t in synth("n^2", SIZES)
+        ]
+        assert best_model(SIZES, times).model == "n^2"
+
+
+class TestFitPower:
+    def test_recovers_exponent(self):
+        times = [5.0 * n**3 for n in SIZES]
+        p, c = fit_power(SIZES, times)
+        assert p == pytest.approx(3.0)
+        assert c == pytest.approx(5.0)
+
+    def test_fractional_exponent(self):
+        times = [2.0 * n**1.5 for n in SIZES]
+        p, _c = fit_power(SIZES, times)
+        assert p == pytest.approx(1.5)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ReproError):
+            fit_power([1], [1, 2])

@@ -1,0 +1,70 @@
+"""Unit tests for analysis metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    approximation_ratio,
+    critical_path,
+    speedup,
+    summarize,
+)
+from repro.core.greedy import greedy_schedule
+from repro.exceptions import ReproError
+
+
+class TestRatios:
+    def test_ratio(self):
+        assert approximation_ratio(12, 8) == pytest.approx(1.5)
+
+    def test_ratio_swapped_arguments_detected(self):
+        with pytest.raises(ReproError, match="swapped"):
+            approximation_ratio(8, 12)
+
+    def test_ratio_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            approximation_ratio(0, 1)
+
+    def test_speedup(self):
+        assert speedup(10, 5) == pytest.approx(2.0)
+
+    def test_speedup_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            speedup(-1, 5)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == pytest.approx(3)
+        assert s.median == pytest.approx(3)
+        assert s.minimum == 1 and s.maximum == 5
+
+    def test_single_sample_std_zero(self):
+        assert summarize([7]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+    def test_p95(self):
+        s = summarize(list(range(1, 101)))
+        assert 95 <= s.p95 <= 96
+
+    def test_str_contains_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean=" in text and "p95=" in text
+
+
+class TestCriticalPath:
+    def test_path_from_source_to_last(self, fig1_mset):
+        s = greedy_schedule(fig1_mset)
+        path = critical_path(s)
+        assert path[0] == 0
+        assert s.reception_time(path[-1]) == s.reception_completion
+
+    def test_path_follows_parent_edges(self, fig1_mset):
+        s = greedy_schedule(fig1_mset)
+        path = critical_path(s)
+        for parent, child in zip(path, path[1:]):
+            assert s.parent_of(child) == parent

@@ -1,0 +1,61 @@
+"""Unit tests for text tables."""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.exceptions import ReproError
+
+
+@pytest.fixture
+def table():
+    t = Table("demo", ["name", "value"])
+    t.add_row(["alpha", 1.5])
+    t.add_row(["beta", 2])
+    return t
+
+
+class TestTable:
+    def test_render_alignment(self, table):
+        text = table.render()
+        assert "== demo ==" in text
+        assert "alpha" in text and "beta" in text
+
+    def test_bool_formatting(self):
+        t = Table("t", ["ok"])
+        t.add_row([True])
+        t.add_row([False])
+        assert t.column("ok") == ["yes", "no"]
+
+    def test_float_formatting_trims_integers(self):
+        t = Table("t", ["x"])
+        t.add_row([4.0])
+        assert t.column("x") == ["4"]
+
+    def test_wrong_arity_rejected(self, table):
+        with pytest.raises(ReproError):
+            table.add_row([1])
+
+    def test_column_lookup(self, table):
+        assert table.column("name") == ["alpha", "beta"]
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(ReproError):
+            table.column("nope")
+
+    def test_markdown(self, table):
+        md = table.to_markdown()
+        assert md.startswith("**demo**")
+        assert "| name | value |" in md
+        assert "| alpha | 1.5 |" in md
+
+    def test_notes_rendered(self, table):
+        table.add_note("hello world")
+        assert "note: hello world" in table.render()
+        assert "*hello world*" in table.to_markdown()
+
+    def test_str_is_render(self, table):
+        assert str(table) == table.render()
+
+    def test_empty_table_renders(self):
+        t = Table("empty", ["a"])
+        assert "empty" in t.render()

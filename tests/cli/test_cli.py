@@ -1,0 +1,105 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.io.serialization import load_multicast, load_schedule, save_json
+
+
+@pytest.fixture
+def instance_file(fig1_mset, tmp_path):
+    return str(save_json(fig1_mset, tmp_path / "instance.json"))
+
+
+class TestGenerate:
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "-n", "5", "--seed", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro/multicast-v1"
+        assert len(payload["destinations"]) == 5
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "inst.json"
+        assert main(["generate", "-n", "4", "-o", str(out)]) == 0
+        assert load_multicast(out).n == 4
+
+    def test_generate_two_class(self, capsys):
+        assert main(["generate", "--kind", "two-class", "-n", "6"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        sends = {d["send"] for d in payload["destinations"]}
+        assert len(sends) <= 2
+
+
+class TestSchedule:
+    def test_schedule_default_algorithm(self, instance_file, capsys):
+        assert main(["schedule", instance_file]) == 0
+        out = capsys.readouterr().out
+        assert "R_T=8" in out
+
+    def test_schedule_tree_output(self, instance_file, capsys):
+        assert main(["schedule", instance_file, "--algorithm", "greedy", "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "[source]" in out and "R_T=10" in out
+
+    def test_schedule_exact(self, instance_file, capsys):
+        assert main(["schedule", instance_file, "--algorithm", "exact"]) == 0
+        assert "R_T=8" in capsys.readouterr().out
+
+    def test_schedule_dp(self, instance_file, capsys):
+        assert main(["schedule", instance_file, "--algorithm", "dp"]) == 0
+        assert "R_T=8" in capsys.readouterr().out
+
+    def test_schedule_writes_output(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        assert main(["schedule", instance_file, "-o", str(out)]) == 0
+        assert load_schedule(out).reception_completion == 8
+
+    def test_schedule_gantt(self, instance_file, capsys):
+        assert main(["schedule", instance_file, "--gantt"]) == 0
+        assert "S=sending" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_verified(self, instance_file, tmp_path, capsys):
+        sched = tmp_path / "sched.json"
+        main(["schedule", instance_file, "-o", str(sched)])
+        capsys.readouterr()
+        assert main(["simulate", str(sched)]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_simulate_with_jitter(self, instance_file, tmp_path, capsys):
+        sched = tmp_path / "sched.json"
+        main(["schedule", instance_file, "-o", str(sched)])
+        capsys.readouterr()
+        assert main(["simulate", str(sched), "--jitter", "0.2"]) == 0
+        assert "jitter" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_lists_all(self, instance_file, capsys):
+        assert main(["compare", instance_file]) == 0
+        out = capsys.readouterr().out
+        for name in ("greedy", "binomial", "star", "dp (optimal)"):
+            assert name in out
+
+
+class TestExperimentAndFig1:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "completes at" in out and "Figure 1(a):" in out
+
+    def test_experiment_selection(self, capsys):
+        assert main(["experiment", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_experiment_markdown(self, capsys):
+        assert main(["experiment", "E1", "--markdown"]) == 0
+        assert "| schedule |" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["experiment", "E42"]) == 2
+        assert "error:" in capsys.readouterr().err

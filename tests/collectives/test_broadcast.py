@@ -1,0 +1,36 @@
+"""Unit tests for the broadcast collective."""
+
+import pytest
+
+from repro.collectives.broadcast import broadcast_completion, broadcast_schedule
+from repro.workloads.clusters import two_class_cluster
+
+
+@pytest.fixture
+def cluster():
+    return two_class_cluster(3, 2)
+
+
+class TestBroadcast:
+    def test_reaches_everyone(self, cluster):
+        s = broadcast_schedule(cluster, cluster[0].name)
+        assert s.multicast.n == len(cluster) - 1
+
+    def test_source_choice_matters(self, cluster):
+        fast_src = broadcast_completion(cluster, "w0")  # fast machine
+        slow_src = broadcast_completion(cluster, "w4")  # slow machine
+        assert fast_src <= slow_src
+
+    def test_algorithm_selectable(self, cluster):
+        greedy = broadcast_completion(cluster, "w0", algorithm="greedy")
+        star = broadcast_completion(cluster, "w0", algorithm="star-naive")
+        assert greedy <= star
+
+    def test_unknown_source_raises(self, cluster):
+        with pytest.raises(ValueError):
+            broadcast_schedule(cluster, "nobody")
+
+    def test_latency_passed_through(self, cluster):
+        fast_net = broadcast_completion(cluster, "w0", latency=1)
+        slow_net = broadcast_completion(cluster, "w0", latency=10)
+        assert fast_net < slow_net

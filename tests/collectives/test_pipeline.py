@@ -1,0 +1,130 @@
+"""Unit tests for segmented (pipelined) multicast."""
+
+import pytest
+
+from repro.algorithms.binomial import binomial_tree_children
+from repro.collectives.pipeline import (
+    optimal_segmentation,
+    pipelined_completion,
+)
+from repro.exceptions import ModelError
+from repro.model.linear import LinearCost, MachineSpec, NetworkSpec
+
+
+def make_network(n=6, *, latency=(30, 0.02)):
+    machines = tuple(
+        MachineSpec(
+            f"m{i}",
+            LinearCost(10 + 3 * (i % 2), 0.01),
+            LinearCost(12 + 4 * (i % 2), 0.012),
+        )
+        for i in range(n)
+    )
+    return NetworkSpec(machines=machines, latency=LinearCost(*latency))
+
+
+def chain_children(n):
+    return {i: [i + 1] for i in range(n - 1)}
+
+
+def star_children(n):
+    return {0: list(range(1, n))}
+
+
+class TestSingleSegmentEquivalence:
+    """s = 1 must coincide with the paper's recurrences on the same tree."""
+
+    @pytest.mark.parametrize("tree_fn", [star_children, chain_children, binomial_tree_children])
+    def test_matches_analytic_schedule(self, tree_fn):
+        from repro.core.multicast import MulticastSet
+        from repro.core.schedule import Schedule
+
+        net = make_network(6)
+        tree = tree_fn(6) if tree_fn is not binomial_tree_children else tree_fn(list(range(6)))
+        msg = 1000.0
+        result = pipelined_completion(net, tree, msg, segments=1)
+        # analytic: fold the affine model at the full message length
+        nodes = [m.node_at(msg, integral=False) for m in net.machines]
+        # node names already unique; build the (possibly uncorrelated) instance
+        mset = MulticastSet(
+            nodes[0], nodes[1:], net.latency.at(msg, integral=False),
+            validate_correlation=False,
+        )
+        # careful: MulticastSet sorts destinations; remap the tree by name
+        name_to_idx = {nd.name: i for i, nd in enumerate(mset.nodes)}
+        children = {
+            name_to_idx[net.machines[p].name]: [
+                name_to_idx[net.machines[c].name] for c in kids
+            ]
+            for p, kids in tree.items()
+        }
+        schedule = Schedule(mset, children)
+        assert result.completion == pytest.approx(schedule.reception_completion)
+
+
+class TestSegmentationBehaviour:
+    def test_u_shaped_curve(self):
+        net = make_network(6)
+        tree = binomial_tree_children(list(range(6)))
+        best, curve = optimal_segmentation(net, tree, 65536)
+        assert curve[1] > curve[best]  # segmenting helps long messages
+        deep = max(curve)
+        assert curve[deep] > curve[best]  # over-segmenting hurts again
+
+    def test_pipelining_helps_chains_most(self):
+        # a chain re-transmits everything: segmentation overlaps the hops
+        net = make_network(5)
+        tree = chain_children(5)
+        one = pipelined_completion(net, tree, 32768, 1).completion
+        eight = pipelined_completion(net, tree, 32768, 8).completion
+        assert eight < one
+
+    def test_chain_gains_more_than_star(self):
+        # every chain hop re-transmits the payload, so overlapping hops
+        # (pipelining) buys more there than on the single-hop star, where
+        # only the final latency+receive tail shrinks
+        net = make_network(5)
+        msg = 32768
+        gains = {}
+        for label, tree in (("chain", chain_children(5)), ("star", star_children(5))):
+            one = pipelined_completion(net, tree, msg, 1).completion
+            eight = pipelined_completion(net, tree, msg, 8).completion
+            gains[label] = one / eight
+        assert gains["chain"] > gains["star"] > 0.9
+
+    def test_monotone_segment_receptions(self):
+        net = make_network(6)
+        tree = binomial_tree_children(list(range(6)))
+        result = pipelined_completion(net, tree, 4096, 4)
+        assert result.completion == max(result.last_segment_receptions)
+        assert result.segments == 4
+        assert result.segment_length == 1024
+
+    def test_events_scale_with_segments(self):
+        net = make_network(6)
+        tree = binomial_tree_children(list(range(6)))
+        few = pipelined_completion(net, tree, 4096, 2).events_processed
+        many = pipelined_completion(net, tree, 4096, 8).events_processed
+        assert many > few
+
+
+class TestValidation:
+    def test_bad_segments(self):
+        net = make_network(3)
+        with pytest.raises(ModelError):
+            pipelined_completion(net, star_children(3), 100, 0)
+
+    def test_bad_message_length(self):
+        net = make_network(3)
+        with pytest.raises(ModelError):
+            pipelined_completion(net, star_children(3), 0, 1)
+
+    def test_non_spanning_tree(self):
+        net = make_network(4)
+        with pytest.raises(ModelError, match="span"):
+            pipelined_completion(net, {0: [1]}, 100, 1)
+
+    def test_no_feasible_candidates(self):
+        net = make_network(3)
+        with pytest.raises(ModelError):
+            optimal_segmentation(net, star_children(3), 0.5, candidates=[])

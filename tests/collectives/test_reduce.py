@@ -1,0 +1,53 @@
+"""Unit tests for the reduce collective and its duality."""
+
+import pytest
+
+from repro.collectives.reduce import reduce_completion_forward, reduce_plan
+from repro.core.greedy import greedy_schedule
+from repro.core.multicast import MulticastSet
+
+
+class TestReducePlan:
+    def test_plan_completion_positive(self, fig1_mset):
+        plan = reduce_plan(fig1_mset)
+        assert plan.completion > 0
+
+    def test_gather_order_reverses_dual(self, fig1_mset):
+        plan = reduce_plan(fig1_mset)
+        for parent, kids in plan.dual_schedule.children.items():
+            assert plan.gather_order[parent] == [c for c, _s in reversed(kids)]
+
+    def test_every_node_sends_once(self, fig1_mset):
+        plan = reduce_plan(fig1_mset)
+        gathered = [c for kids in plan.gather_order.values() for c in kids]
+        assert sorted(gathered) == [1, 2, 3, 4]
+
+
+class TestDuality:
+    """Forward-timed reduction == dual multicast completion (canonical)."""
+
+    def test_figure1(self, fig1_mset):
+        plan = reduce_plan(fig1_mset)
+        assert reduce_completion_forward(fig1_mset, plan) == pytest.approx(
+            plan.completion
+        )
+
+    def test_across_random_instances(self, small_random_msets):
+        for m in small_random_msets:
+            plan = reduce_plan(m)
+            assert reduce_completion_forward(m, plan) == pytest.approx(
+                plan.completion
+            )
+
+    def test_with_custom_scheduler(self, fig1_mset):
+        plan = reduce_plan(fig1_mset, scheduler=greedy_schedule)
+        assert reduce_completion_forward(fig1_mset, plan) == pytest.approx(
+            plan.completion
+        )
+
+    def test_symmetric_instance_self_dual(self):
+        # o_send == o_recv everywhere: reduce takes exactly as long as
+        # the multicast itself
+        m = MulticastSet.from_overheads((2, 2), [(1, 1), (1, 1), (3, 3)], 1)
+        plan = reduce_plan(m, scheduler=greedy_schedule)
+        assert plan.completion == greedy_schedule(m).reception_completion

@@ -1,0 +1,102 @@
+"""Unit tests for scatter and gather under the affine model."""
+
+import pytest
+
+from repro.collectives.gather import gather_completion
+from repro.collectives.scatter import (
+    binomial_children,
+    scatter_completion,
+    star_children,
+)
+from repro.exceptions import ModelError
+from repro.model.linear import LinearCost, MachineSpec, NetworkSpec
+
+
+@pytest.fixture
+def network():
+    mk = lambda name, s, r: MachineSpec(  # noqa: E731
+        name, LinearCost(10, 0.01 * s), LinearCost(12, 0.012 * r)
+    )
+    return NetworkSpec(
+        machines=tuple(mk(f"m{i}", 1 + i % 2, 1 + i % 2) for i in range(6)),
+        latency=LinearCost(20, 0.02),
+    )
+
+
+class TestScatter:
+    def test_star_sends_minimum_bytes(self, network):
+        payloads = [0.0] + [1000.0] * 5
+        star = scatter_completion(network, star_children(6), payloads)
+        tree = scatter_completion(network, binomial_children(6), payloads)
+        assert star.bytes_sent[0] == 5000
+        assert sum(tree.bytes_sent) > sum(star.bytes_sent)  # forwarding costs bytes
+
+    def test_binomial_bundles_subtrees(self, network):
+        payloads = [0.0] + [100.0] * 5
+        result = scatter_completion(network, binomial_children(6), payloads)
+        # the root's first transfer carries its largest subtree bundle
+        assert result.bytes_sent[0] == 500  # root still originates all bytes
+
+    def test_everyone_receives(self, network):
+        payloads = [0.0] + [10.0] * 5
+        result = scatter_completion(network, star_children(6), payloads)
+        assert all(t > 0 for t in result.receive_done[1:])
+
+    def test_small_messages_favor_tree_large_favor_star(self, network):
+        small = [0.0] + [1.0] * 5
+        large = [0.0] + [100_000.0] * 5
+        star_small = scatter_completion(network, star_children(6), small).completion
+        tree_small = scatter_completion(network, binomial_children(6), small).completion
+        star_large = scatter_completion(network, star_children(6), large).completion
+        tree_large = scatter_completion(network, binomial_children(6), large).completion
+        # with byte-dominated costs the star's no-forwarding advantage grows
+        assert (tree_large / star_large) > (tree_small / star_small)
+
+    def test_payload_alignment_checked(self, network):
+        with pytest.raises(ModelError):
+            scatter_completion(network, star_children(6), [0.0] * 3)
+
+    def test_negative_payload_rejected(self, network):
+        with pytest.raises(ModelError):
+            scatter_completion(network, star_children(6), [0.0, -1.0, 1, 1, 1, 1])
+
+    def test_star_children_shape(self):
+        assert star_children(4) == {0: [1, 2, 3]}
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ModelError):
+            star_children(1)
+
+
+class TestGather:
+    def test_completion_positive(self, network):
+        payloads = [0.0] + [100.0] * 5
+        result = gather_completion(network, star_children(6), payloads)
+        assert result.completion > 0
+
+    def test_star_gather_serializes_receives(self, network):
+        payloads = [0.0] + [100.0] * 5
+        result = gather_completion(network, star_children(6), payloads)
+        # the root receives 5 bundles sequentially: completion is at least
+        # 5 receive busy periods
+        recv_busy = network.machines[0].receive.at(100, integral=False)
+        assert result.completion >= 5 * recv_busy
+
+    def test_leaves_start_immediately(self, network):
+        payloads = [0.0] + [100.0] * 5
+        result = gather_completion(network, star_children(6), payloads)
+        assert all(s == 0.0 for s in result.send_start[1:])
+
+    def test_tree_gather_waits_for_subtrees(self, network):
+        payloads = [0.0] + [100.0] * 5
+        children = binomial_children(6)
+        result = gather_completion(network, children, payloads)
+        for parent, kids in children.items():
+            if parent == 0:
+                continue
+            # an internal node starts its upward send only after its subtree
+            assert result.send_start[parent] > 0
+
+    def test_alignment_checked(self, network):
+        with pytest.raises(ModelError):
+            gather_completion(network, star_children(6), [0.0] * 2)

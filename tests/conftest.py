@@ -1,0 +1,41 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multicast import MulticastSet
+from repro.workloads.clusters import bounded_ratio_cluster, two_class_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+
+@pytest.fixture
+def fig1_mset() -> MulticastSet:
+    """The paper's Figure 1 instance."""
+    return MulticastSet.from_overheads(
+        source=(2, 3),
+        destinations=[(1, 1), (1, 1), (1, 1), (2, 3)],
+        latency=1,
+    )
+
+
+@pytest.fixture
+def homogeneous_mset() -> MulticastSet:
+    """Six identical workstations (the k=1 regime)."""
+    return MulticastSet.from_overheads((1, 1), [(1, 1)] * 6, latency=1)
+
+
+@pytest.fixture
+def small_random_msets() -> list[MulticastSet]:
+    """A deterministic batch of small bounded-ratio instances."""
+    out = []
+    for seed in range(6):
+        nodes = bounded_ratio_cluster(6, seed)
+        out.append(multicast_from_cluster(nodes, latency=seed % 3 + 1, seed=seed))
+    return out
+
+
+@pytest.fixture
+def two_class_mset() -> MulticastSet:
+    """A 12-node fast/slow instance."""
+    return multicast_from_cluster(two_class_cluster(8, 4), latency=1)

@@ -1,0 +1,102 @@
+"""Unit tests for Theorem 1 bounds and certified lower bounds."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    bound_report,
+    certified_lower_bound,
+    first_hop_lower_bound,
+    homogeneous_relaxation_lower_bound,
+    theorem1_bound,
+    theorem1_factor,
+)
+from repro.core.brute_force import solve_exact
+from repro.core.greedy import greedy_schedule
+from repro.core.multicast import MulticastSet
+
+
+class TestTheorem1Factor:
+    def test_figure1_factor(self, fig1_mset):
+        # alpha_max = 1.5 -> ceil = 2; alpha_min = 1 -> factor 4
+        assert theorem1_factor(fig1_mset) == pytest.approx(4.0)
+
+    def test_special_case_equal_overheads_gives_two(self, homogeneous_mset):
+        # the paper: "if the sending overhead is equal to the receiving
+        # overhead in each node then ... the bound becomes 2 x OPT_R + beta"
+        assert theorem1_factor(homogeneous_mset) == pytest.approx(2.0)
+
+    def test_bound_evaluation(self, fig1_mset):
+        assert theorem1_bound(fig1_mset, 8) == pytest.approx(4 * 8 + 2)
+
+
+class TestLowerBounds:
+    def test_first_hop_bound_figure1(self, fig1_mset):
+        # o_send(src)=2, L=1, max dest recv=3
+        assert first_hop_lower_bound(fig1_mset) == 6
+
+    def test_first_hop_is_valid(self, small_random_msets):
+        for m in small_random_msets:
+            assert first_hop_lower_bound(m) <= solve_exact(m).value + 1e-9
+
+    def test_homogeneous_relaxation_is_valid(self, small_random_msets):
+        for m in small_random_msets:
+            assert homogeneous_relaxation_lower_bound(m) <= solve_exact(m).value + 1e-9
+
+    def test_relaxation_exact_on_homogeneous(self, homogeneous_mset):
+        assert homogeneous_relaxation_lower_bound(homogeneous_mset) == pytest.approx(
+            solve_exact(homogeneous_mset).value
+        )
+
+    def test_certified_is_max_of_both(self, fig1_mset):
+        assert certified_lower_bound(fig1_mset) == max(
+            first_hop_lower_bound(fig1_mset),
+            homogeneous_relaxation_lower_bound(fig1_mset),
+        )
+
+    def test_certified_below_optimum(self, small_random_msets):
+        for m in small_random_msets:
+            assert certified_lower_bound(m) <= solve_exact(m).value + 1e-9
+
+
+class TestTheorem1Holds:
+    """The theorem itself, verified with exact optima."""
+
+    def test_on_figure1(self, fig1_mset):
+        greedy = greedy_schedule(fig1_mset).reception_completion
+        opt = solve_exact(fig1_mset).value
+        assert greedy < theorem1_bound(fig1_mset, opt)
+
+    def test_across_random_instances(self, small_random_msets):
+        for m in small_random_msets:
+            greedy = greedy_schedule(m).reception_completion
+            opt = solve_exact(m).value
+            assert greedy < theorem1_bound(m, opt)
+
+    def test_adversarial_wide_ratios(self):
+        m = MulticastSet.from_overheads(
+            (10, 40), [(1, 1), (2, 5), (10, 40), (12, 50)], 3
+        )
+        greedy = greedy_schedule(m).reception_completion
+        opt = solve_exact(m).value
+        assert greedy < theorem1_bound(m, opt)
+
+
+class TestBoundReport:
+    def test_fields(self, fig1_mset):
+        report = bound_report(fig1_mset, 10, 8, opt_is_exact=True)
+        assert report.n == 4
+        assert report.factor == pytest.approx(4.0)
+        assert report.beta == 2
+        assert report.guarantee == pytest.approx(34)
+        assert report.measured_ratio == pytest.approx(1.25)
+        assert report.within_guarantee
+
+    def test_with_lower_bound(self, fig1_mset):
+        lb = certified_lower_bound(fig1_mset)
+        report = bound_report(
+            fig1_mset, 10, lb, opt_is_exact=False
+        )
+        assert not report.opt_is_exact
+        assert report.measured_ratio >= 10 / 8  # LB <= OPT inflates the ratio

@@ -1,0 +1,106 @@
+"""Unit tests for the Section 4 dynamic program (Lemma 4 / Theorem 2)."""
+
+import pytest
+
+from repro.core.brute_force import solve_exact
+from repro.core.dp import TypeSystem, optimal_completion_dp, solve_dp
+from repro.core.greedy import greedy_schedule
+from repro.core.multicast import MulticastSet
+from repro.exceptions import SolverError
+from repro.workloads.clusters import limited_type_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+
+class TestTypeSystem:
+    def test_types_discovered_sorted(self, fig1_mset):
+        ts = TypeSystem.of(fig1_mset)
+        assert ts.overheads == ((1, 1), (2, 3))
+        assert ts.k == 2
+
+    def test_accessors(self, fig1_mset):
+        ts = TypeSystem.of(fig1_mset)
+        assert ts.send(1) == 2 and ts.receive(1) == 3
+
+
+class TestDPValues:
+    def test_figure1_optimum_is_8(self, fig1_mset):
+        assert solve_dp(fig1_mset).value == 8
+
+    def test_single_destination(self):
+        m = MulticastSet.from_overheads((2, 3), [(1, 1)], 1)
+        # d = 2 + 1 = 3, r = 4
+        assert solve_dp(m).value == 4
+
+    def test_single_destination_same_type(self):
+        m = MulticastSet.from_overheads((2, 3), [(2, 3)], 5)
+        assert solve_dp(m).value == 2 + 5 + 3
+
+    def test_homogeneous_chain_vs_star(self):
+        # two identical destinations: star is optimal (2nd send cheaper than
+        # a full forward hop)
+        m = MulticastSet.from_overheads((1, 1), [(1, 1), (1, 1)], 1)
+        # star: r2 = 2*1 + 1 + 1 = 4; chain: r2 = 3 + 1 + 1 + 1 = 6
+        assert solve_dp(m).value == 4
+
+    def test_latency_dominant_prefers_star(self):
+        m = MulticastSet.from_overheads((1, 1), [(1, 1)] * 3, 10)
+        s = solve_dp(m).schedule
+        # with L >> overheads, forwarding wastes a whole latency; the source
+        # should send all three itself
+        assert s.children_of(0) == ((1, 1), (2, 2), (3, 3))
+
+    def test_overhead_dominant_prefers_tree(self):
+        m = MulticastSet.from_overheads((4, 4), [(4, 4)] * 4, 1)
+        s = solve_dp(m).schedule
+        # sends are expensive: recruiting helpers must beat the pure star
+        star_completion = 4 * 4 + 1 + 4
+        assert s.reception_completion < star_completion
+
+    def test_value_equals_schedule_completion(self, small_random_msets):
+        for m in small_random_msets:
+            sol = solve_dp(m)
+            assert sol.schedule.reception_completion == pytest.approx(sol.value)
+
+    def test_dp_at_most_greedy(self, small_random_msets):
+        for m in small_random_msets:
+            assert solve_dp(m).value <= greedy_schedule(m).reception_completion + 1e-9
+
+    def test_matches_brute_force(self, small_random_msets):
+        for m in small_random_msets:
+            assert solve_dp(m).value == pytest.approx(solve_exact(m).value)
+
+    def test_wrapper(self, fig1_mset):
+        assert optimal_completion_dp(fig1_mset) == 8
+
+
+class TestDPScheduleReconstruction:
+    def test_schedule_is_valid_tree(self, fig1_mset):
+        s = solve_dp(fig1_mset).schedule
+        assert sorted(s.descendants(0)) == [1, 2, 3, 4]
+
+    def test_each_node_bound_to_correct_type(self, two_class_mset):
+        sol = solve_dp(two_class_mset)
+        # reconstruct: every node keeps its own overheads; just re-check the
+        # completion against an independent recomputation
+        assert sol.schedule.reception_completion == pytest.approx(sol.value)
+
+    def test_three_types(self):
+        nodes = limited_type_cluster([(1, 1), (2, 3), (4, 6)], [2, 2, 2])
+        m = multicast_from_cluster(nodes, latency=1, source="slowest")
+        sol = solve_dp(m)
+        assert sol.value == pytest.approx(solve_exact(m).value)
+
+    def test_states_computed_positive(self, fig1_mset):
+        assert solve_dp(fig1_mset).states_computed > 0
+
+
+class TestDPGuardRails:
+    def test_state_space_guard(self):
+        # 9 distinct types over 9 destinations => astronomically many states
+        pairs = [(i, i) for i in range(1, 10)]
+        m = MulticastSet.from_overheads((1, 1), pairs, 1)
+        with pytest.raises(SolverError, match="state space too large"):
+            solve_dp(m, max_states=1000)
+
+    def test_guard_can_be_raised(self, fig1_mset):
+        assert solve_dp(fig1_mset, max_states=10**9).value == 8

@@ -1,0 +1,110 @@
+"""Unit tests for the precomputed optimal table (Theorem 2 closing note)."""
+
+import pytest
+
+from repro.core.dp import solve_dp
+from repro.core.dp_table import OptimalTable
+from repro.core.multicast import MulticastSet
+from repro.exceptions import SolverError
+from repro.workloads.clusters import limited_type_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+TYPES = [(1, 1), (2, 3)]
+
+
+@pytest.fixture
+def table():
+    return OptimalTable(TYPES, [4, 4], latency=1).build()
+
+
+class TestConstruction:
+    def test_build_idempotent(self, table):
+        entries = table.entries
+        assert table.build().entries == entries
+
+    def test_entries_cover_full_grid(self, table):
+        # 2 source types x 5 x 5 count vectors
+        assert table.entries == 2 * 5 * 5
+
+    def test_duplicate_types_rejected(self):
+        with pytest.raises(SolverError, match="distinct"):
+            OptimalTable([(1, 1), (1, 1)], [2, 2], latency=1)
+
+    def test_misaligned_counts_rejected(self):
+        with pytest.raises(SolverError, match="align"):
+            OptimalTable(TYPES, [2], latency=1)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(SolverError, match="non-negative"):
+            OptimalTable(TYPES, [2, -1], latency=1)
+
+
+class TestQueries:
+    def test_zero_counts_complete_instantly(self, table):
+        assert table.completion(0, (0, 0)) == 0.0
+        assert table.completion(1, (0, 0)) == 0.0
+
+    def test_figure1_entry(self, table):
+        # Figure 1: slow source (type 1) to 3 fast + 1 slow
+        assert table.completion(1, (3, 1)) == 8
+
+    def test_matches_fresh_dp_everywhere(self, table):
+        for s in range(2):
+            for i in range(3):
+                for j in range(3):
+                    if i == j == 0:
+                        continue
+                    counts = [0, 0]
+                    counts[0] = i
+                    counts[1] = j
+                    nodes = limited_type_cluster(
+                        TYPES, [i + (1 if s == 0 else 0), j + (1 if s == 1 else 0)]
+                    )
+                    source = "slowest" if s == 1 else "fastest"
+                    mset = multicast_from_cluster(nodes, latency=1, source=source)
+                    assert table.completion(s, counts) == pytest.approx(
+                        solve_dp(mset).value
+                    )
+
+    def test_out_of_capacity_rejected(self, table):
+        with pytest.raises(SolverError, match="capacity"):
+            table.completion(0, (5, 0))
+
+    def test_unknown_source_type_rejected(self, table):
+        with pytest.raises(SolverError, match="source type"):
+            table.completion(7, (1, 1))
+
+    def test_wrong_arity_rejected(self, table):
+        with pytest.raises(SolverError, match="expected 2 counts"):
+            table.completion(0, (1, 1, 1))
+
+
+class TestScheduleMaterialization:
+    def test_schedule_for_figure1(self, table, fig1_mset):
+        s = table.schedule_for(fig1_mset)
+        assert s.reception_completion == 8
+
+    def test_schedule_for_subset_instance(self, table):
+        # instance using only the fast type still works against a 2-type table
+        m = MulticastSet.from_overheads((1, 1), [(1, 1), (1, 1)], 1)
+        s = table.schedule_for(m)
+        assert s.reception_completion == solve_dp(m).value
+
+    def test_latency_mismatch_rejected(self, table, fig1_mset):
+        with pytest.raises(SolverError, match="latency"):
+            table.schedule_for(fig1_mset.with_latency(3))
+
+    def test_foreign_type_rejected(self, table):
+        m = MulticastSet.from_overheads((1, 1), [(9, 9)], 1)
+        with pytest.raises(SolverError, match="not in the network"):
+            table.schedule_for(m)
+
+    def test_foreign_source_type_rejected(self, table):
+        m = MulticastSet.from_overheads((9, 9), [(1, 1)], 1, validate_correlation=False)
+        with pytest.raises(SolverError, match="source type"):
+            table.schedule_for(m)
+
+    def test_lazy_queries_without_build(self):
+        lazy = OptimalTable(TYPES, [3, 3], latency=1)
+        assert lazy.completion(1, (3, 1)) == 8
+        assert lazy.entries > 0

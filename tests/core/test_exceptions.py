@@ -1,0 +1,53 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.exceptions import (
+    CorrelationError,
+    InvalidScheduleError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    TransformError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ModelError,
+            CorrelationError,
+            InvalidScheduleError,
+            TransformError,
+            SimulationError,
+            SolverError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_correlation_is_a_model_error(self):
+        assert issubclass(CorrelationError, ModelError)
+
+    def test_single_except_catches_everything(self):
+        """The documented catch-all behaviour."""
+        from repro.core.multicast import MulticastSet
+
+        with pytest.raises(ReproError):
+            MulticastSet.from_overheads((1, 1), [], 1)
+
+    def test_library_never_leaks_bare_exceptions_for_bad_instances(self):
+        from repro.core.multicast import MulticastSet
+
+        bad_inputs = [
+            dict(source=(0, 1), destinations=[(1, 1)]),
+            dict(source=(1, 1), destinations=[(1, 1)], latency=-5),
+            dict(source=(1, 1), destinations=[(1, 2), (2, 1)]),
+        ]
+        for kwargs in bad_inputs:
+            with pytest.raises(ReproError):
+                MulticastSet.from_overheads(**kwargs)

@@ -1,0 +1,72 @@
+"""Unit tests for layered-schedule enumeration (Lemma 2 / Corollary 1)."""
+
+import math
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.layered import (
+    _enumerate_trees,
+    count_layered_schedules,
+    enumerate_layered_schedules,
+    min_layered_delivery_completion,
+)
+from repro.core.multicast import MulticastSet
+
+
+@pytest.fixture
+def tiny():
+    return MulticastSet.from_overheads((2, 3), [(1, 1), (2, 3), (3, 4)], 1)
+
+
+class TestEnumeration:
+    def test_tree_count_is_factorial(self, tiny):
+        assert sum(1 for _ in _enumerate_trees(tiny)) == math.factorial(tiny.n)
+
+    def test_all_yielded_are_layered(self, tiny):
+        for s in enumerate_layered_schedules(tiny):
+            assert s.is_layered()
+
+    def test_layered_subset_of_all(self, tiny):
+        assert count_layered_schedules(tiny) <= math.factorial(tiny.n)
+
+    def test_greedy_schedule_among_enumerated(self, tiny):
+        greedy = greedy_schedule(tiny)
+        assert any(s == greedy for s in enumerate_layered_schedules(tiny))
+
+    def test_homogeneous_all_trees_layered(self):
+        # with a single type the layered predicate is vacuous
+        m = MulticastSet.from_overheads((1, 1), [(1, 1)] * 4, 1)
+        assert count_layered_schedules(m) == math.factorial(4)
+
+
+class TestCorollary1:
+    def test_greedy_minimizes_delivery_completion(self, tiny):
+        assert greedy_schedule(tiny).delivery_completion == pytest.approx(
+            min_layered_delivery_completion(tiny)
+        )
+
+    def test_corollary1_across_instances(self, small_random_msets):
+        for m in small_random_msets:
+            if m.n > 5:
+                continue
+            assert greedy_schedule(m).delivery_completion == pytest.approx(
+                min_layered_delivery_completion(m)
+            )
+
+    def test_corollary1_on_figure1(self, fig1_mset):
+        assert greedy_schedule(fig1_mset).delivery_completion == pytest.approx(
+            min_layered_delivery_completion(fig1_mset)
+        )
+
+    def test_some_layered_schedule_can_beat_greedy_on_reception(self, fig1_mset):
+        # Corollary 1 is about D_T, not R_T: on Figure 1 greedy's R_T (10)
+        # is beaten by a *non-layered* schedule (8), while no layered
+        # schedule beats its D_T
+        best_layered_r = min(
+            s.reception_completion for s in enumerate_layered_schedules(fig1_mset)
+        )
+        assert best_layered_r >= 9  # layered schedules cannot reach 8
+        assert greedy_schedule(fig1_mset).delivery_completion == pytest.approx(
+            min_layered_delivery_completion(fig1_mset)
+        )

@@ -1,0 +1,106 @@
+"""Unit tests for the Section 3 leaf-reversal refinement."""
+
+import itertools
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import greedy_with_reversal, leaf_slots, reverse_leaves
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+
+
+class TestLeafSlots:
+    def test_slots_sorted_by_delivery(self, fig1_mset):
+        s = greedy_schedule(fig1_mset)
+        slots = leaf_slots(s)
+        deliveries = [d for _p, _s, d in slots]
+        assert deliveries == sorted(deliveries)
+
+    def test_slot_count_equals_leaf_count(self, small_random_msets):
+        for m in small_random_msets:
+            s = greedy_schedule(m)
+            assert len(leaf_slots(s)) == len(s.leaves())
+
+
+class TestReverseLeaves:
+    def test_figure1_reversal_hits_optimum(self, fig1_mset):
+        # greedy gives 10; reversal reaches the DP optimum 8
+        assert greedy_with_reversal(fig1_mset).reception_completion == 8
+
+    def test_never_increases_completion(self, small_random_msets):
+        for m in small_random_msets:
+            before = greedy_schedule(m)
+            after = reverse_leaves(before)
+            assert after.reception_completion <= before.reception_completion + 1e-9
+
+    def test_internal_structure_untouched(self, fig1_mset):
+        before = greedy_schedule(fig1_mset)
+        after = reverse_leaves(before)
+        internal_before = {
+            v: before.children_of(v) for v in before.internal_nodes()
+        }
+        for v, kids in internal_before.items():
+            after_kids = after.children_of(v)
+            assert [slot for _c, slot in after_kids] == [slot for _c, slot in kids]
+
+    def test_delivery_multiset_preserved(self, small_random_msets):
+        # reversal permutes which leaf sits where; the multiset of delivery
+        # times over all nodes must be unchanged
+        for m in small_random_msets:
+            before = greedy_schedule(m)
+            after = reverse_leaves(before)
+            assert sorted(before.delivery_times) == sorted(after.delivery_times)
+
+    def test_single_leaf_is_noop(self):
+        m = MulticastSet.from_overheads((1, 1), [(1, 1), (2, 3)], 1)
+        chain = Schedule(m, {0: [1], 1: [2]})
+        assert reverse_leaves(chain) == chain
+
+    def test_single_destination_is_noop(self):
+        m = MulticastSet.from_overheads((1, 1), [(2, 3)], 1)
+        s = greedy_schedule(m)
+        assert reverse_leaves(s) == s
+
+    def test_idempotent_completion(self, small_random_msets):
+        for m in small_random_msets:
+            once = reverse_leaves(greedy_schedule(m))
+            twice = reverse_leaves(once)
+            assert twice.reception_completion == once.reception_completion
+
+
+class TestReversalOptimality:
+    """The opposite-sorted pairing is optimal among all leaf permutations."""
+
+    def test_beats_every_permutation_fig1(self, fig1_mset):
+        base = greedy_schedule(fig1_mset)
+        slots = leaf_slots(base)
+        leaves = list(base.leaves())
+        best_by_reversal = reverse_leaves(base).reception_completion
+        mset = base.multicast
+        internal_max = max(
+            base.reception_time(v)
+            for v in range(mset.n + 1)
+            if v not in set(leaves)
+        )
+        for perm in itertools.permutations(leaves):
+            completion = max(
+                [internal_max]
+                + [d + mset.receive(leaf) for (_p, _s, d), leaf in zip(slots, perm)]
+            )
+            assert best_by_reversal <= completion + 1e-9
+
+    def test_assignment_pairs_slow_leaves_with_early_slots(self, fig1_mset):
+        after = reverse_leaves(greedy_schedule(fig1_mset))
+        slots = leaf_slots(after)
+        mset = after.multicast
+        # walk slots in delivery order; the occupying leaves' receive
+        # overheads must be non-increasing
+        def occupant(parent, slot):
+            for child, s in after.children_of(parent):
+                if s == slot:
+                    return child
+            raise AssertionError
+
+        overheads = [mset.receive(occupant(p, s)) for p, s, _d in slots]
+        assert overheads == sorted(overheads, reverse=True)

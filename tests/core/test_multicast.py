@@ -1,0 +1,149 @@
+"""Unit tests for repro.core.multicast."""
+
+import pytest
+
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node
+from repro.exceptions import CorrelationError, ModelError
+
+
+def make(dest_pairs, source=(2, 3), latency=1, **kw):
+    return MulticastSet.from_overheads(source, dest_pairs, latency, **kw)
+
+
+class TestConstruction:
+    def test_destinations_sorted_canonically(self):
+        m = make([(3, 5), (1, 1), (2, 3)])
+        assert [d.send_overhead for d in m.destinations] == [1, 2, 3]
+
+    def test_sort_is_stable_for_equal_overheads(self):
+        a, b = Node("a", 1, 1), Node("b", 1, 1)
+        m = MulticastSet(Node("s", 2, 3), [b, a], 1)
+        assert [d.name for d in m.destinations] == ["b", "a"]
+
+    def test_n_and_nodes(self):
+        m = make([(1, 1), (1, 1)])
+        assert m.n == 2
+        assert len(m.nodes) == 3
+        assert m.nodes[0] is m.source
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(ModelError, match="at least one destination"):
+            make([])
+
+    @pytest.mark.parametrize("latency", [0, -1, float("inf")])
+    def test_bad_latency_rejected(self, latency):
+        with pytest.raises(ModelError, match="latency"):
+            make([(1, 1)], latency=latency)
+
+    def test_bool_latency_rejected(self):
+        with pytest.raises(ModelError, match="latency"):
+            make([(1, 1)], latency=True)
+
+    def test_duplicate_names_rejected(self):
+        src = Node("x", 2, 3)
+        with pytest.raises(ModelError, match="unique"):
+            MulticastSet(src, [Node("x", 1, 1)], 1)
+
+    def test_from_overheads_names(self):
+        m = make([(1, 1), (2, 3)])
+        assert m.source.name == "p0"
+        assert {d.name for d in m.destinations} == {"d1", "d2"}
+
+
+class TestCorrelationAssumption:
+    def test_violation_raises(self):
+        with pytest.raises(CorrelationError):
+            make([(1, 5), (2, 3)])
+
+    def test_equal_send_different_receive_raises(self):
+        with pytest.raises(CorrelationError, match="equal send overheads"):
+            make([(1, 1), (1, 2)])
+
+    def test_source_participates_in_check(self):
+        with pytest.raises(CorrelationError):
+            make([(1, 4)], source=(2, 3))
+
+    def test_violation_tolerated_when_disabled(self):
+        m = make([(1, 5), (2, 3)], validate_correlation=False)
+        assert m.correlated is False
+
+    def test_correlated_flag_true_for_valid(self):
+        assert make([(1, 1), (2, 3)]).correlated is True
+
+
+class TestViewsAndAccessors:
+    def test_send_receive_accessors(self, fig1_mset):
+        assert fig1_mset.send(0) == 2 and fig1_mset.receive(0) == 3
+        assert fig1_mset.send(1) == 1 and fig1_mset.receive(1) == 1
+
+    def test_index_of(self, fig1_mset):
+        assert fig1_mset.index_of("p0") == 0
+        assert fig1_mset.index_of("d4") in range(1, 5)
+
+    def test_index_of_unknown_raises(self, fig1_mset):
+        with pytest.raises(KeyError):
+            fig1_mset.index_of("nobody")
+
+
+class TestTypeStructure:
+    def test_type_keys_sorted(self, fig1_mset):
+        assert fig1_mset.type_keys() == ((1, 1), (2, 3))
+
+    def test_num_types(self, fig1_mset):
+        assert fig1_mset.num_types == 2
+
+    def test_type_of_source(self, fig1_mset):
+        assert fig1_mset.type_of(0) == 1  # slow type
+
+    def test_destination_type_counts(self, fig1_mset):
+        assert fig1_mset.destination_type_counts() == (3, 1)
+
+    def test_destinations_by_type_partition(self, fig1_mset):
+        groups = fig1_mset.destinations_by_type()
+        all_indices = sorted(i for idxs in groups.values() for i in idxs)
+        assert all_indices == [1, 2, 3, 4]
+
+    def test_single_type(self, homogeneous_mset):
+        assert homogeneous_mset.num_types == 1
+        assert homogeneous_mset.destination_type_counts() == (6,)
+
+
+class TestTheorem1Quantities:
+    def test_alpha_range(self, fig1_mset):
+        assert fig1_mset.alpha_min == pytest.approx(1.0)
+        assert fig1_mset.alpha_max == pytest.approx(1.5)
+
+    def test_beta(self, fig1_mset):
+        assert fig1_mset.beta == 2  # max recv 3, min recv 1 among destinations
+
+    def test_beta_zero_for_homogeneous(self, homogeneous_mset):
+        assert homogeneous_mset.beta == 0
+
+
+class TestTransforms:
+    def test_with_latency(self, fig1_mset):
+        m2 = fig1_mset.with_latency(7)
+        assert m2.latency == 7
+        assert m2.destinations == fig1_mset.destinations
+
+    def test_swapped_overheads(self, fig1_mset):
+        m2 = fig1_mset.swapped_overheads()
+        assert m2.source.send_overhead == fig1_mset.source.receive_overhead
+        assert m2.source.receive_overhead == fig1_mset.source.send_overhead
+
+    def test_swap_is_involution_on_values(self, fig1_mset):
+        m2 = fig1_mset.swapped_overheads().swapped_overheads()
+        assert [d.type_key for d in m2.destinations] == [
+            d.type_key for d in fig1_mset.destinations
+        ]
+
+    def test_equality_and_hash(self, fig1_mset):
+        other = MulticastSet.from_overheads(
+            (2, 3), [(1, 1), (1, 1), (1, 1), (2, 3)], 1
+        )
+        assert other == fig1_mset
+        assert hash(other) == hash(fig1_mset)
+
+    def test_str_mentions_n(self, fig1_mset):
+        assert "n=4" in str(fig1_mset)

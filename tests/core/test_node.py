@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.node."""
+
+import pytest
+
+from repro.core.node import Node, overhead_key, same_type
+from repro.exceptions import ModelError
+
+
+class TestNodeValidation:
+    def test_valid_node(self):
+        nd = Node("w0", 2, 3)
+        assert nd.send_overhead == 2
+        assert nd.receive_overhead == 3
+
+    def test_float_overheads_accepted(self):
+        nd = Node("w0", 1.5, 2.25)
+        assert nd.ratio == pytest.approx(1.5)
+
+    @pytest.mark.parametrize("send", [0, -1, -0.5])
+    def test_nonpositive_send_rejected(self, send):
+        with pytest.raises(ModelError, match="send overhead"):
+            Node("w0", send, 1)
+
+    @pytest.mark.parametrize("recv", [0, -2])
+    def test_nonpositive_receive_rejected(self, recv):
+        with pytest.raises(ModelError, match="receive overhead"):
+            Node("w0", 1, recv)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ModelError):
+            Node("w0", float("nan"), 1)
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ModelError, match="finite"):
+            Node("w0", 1, float("inf"))
+
+    def test_bool_overhead_rejected(self):
+        with pytest.raises(ModelError):
+            Node("w0", True, 1)
+
+    def test_string_overhead_rejected(self):
+        with pytest.raises(ModelError):
+            Node("w0", "2", 1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError, match="name"):
+            Node("", 1, 1)
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ModelError, match="name"):
+            Node(7, 1, 1)
+
+
+class TestNodeDerived:
+    def test_ratio(self):
+        assert Node("w", 2, 3).ratio == pytest.approx(1.5)
+
+    def test_type_key(self):
+        assert Node("a", 2, 3).type_key == (2, 3)
+
+    def test_same_type_true(self):
+        assert same_type(Node("a", 2, 3), Node("b", 2, 3))
+
+    def test_same_type_false(self):
+        assert not same_type(Node("a", 2, 3), Node("b", 2, 4))
+
+    def test_overhead_key_orders_by_send_then_receive(self):
+        nodes = [Node("a", 2, 3), Node("b", 1, 1), Node("c", 2, 3)]
+        ordered = sorted(nodes, key=overhead_key)
+        assert [n.name for n in ordered] == ["b", "a", "c"]
+
+    def test_frozen(self):
+        nd = Node("w", 1, 1)
+        with pytest.raises(AttributeError):
+            nd.send_overhead = 5
+
+    def test_equality_ignores_meta(self):
+        assert Node("w", 1, 1, meta=(("rack", "r1"),)) == Node("w", 1, 1)
+
+
+class TestNodeTransforms:
+    def test_renamed(self):
+        nd = Node("w", 2, 3).renamed("x")
+        assert nd.name == "x" and nd.type_key == (2, 3)
+
+    def test_with_overheads(self):
+        nd = Node("w", 2, 3).with_overheads(4, 8)
+        assert nd.type_key == (4, 8) and nd.name == "w"
+
+    def test_swapped(self):
+        nd = Node("w", 2, 3).swapped()
+        assert nd.send_overhead == 3 and nd.receive_overhead == 2
+
+    def test_swapped_is_involution(self):
+        nd = Node("w", 2, 3)
+        assert nd.swapped().swapped() == nd
+
+    def test_str_contains_overheads(self):
+        assert "s=2" in str(Node("w", 2, 3)) and "r=3" in str(Node("w", 2, 3))

@@ -1,0 +1,155 @@
+"""Unit tests for repro.core.schedule.Schedule."""
+
+import networkx as nx
+import pytest
+
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+from repro.exceptions import InvalidScheduleError
+
+
+@pytest.fixture
+def mset():
+    return MulticastSet.from_overheads((2, 3), [(1, 1), (1.5, 2), (2, 3)], 1)
+
+
+@pytest.fixture
+def tree(mset):
+    return Schedule(mset, {0: [1, 3], 1: [2]})
+
+
+class TestStructure:
+    def test_children_normalization(self, mset):
+        s = Schedule(mset, {0: [1, 2, 3]})
+        assert s.children_of(0) == ((1, 1), (2, 2), (3, 3))
+
+    def test_explicit_slots_preserved(self, mset):
+        s = Schedule(mset, {0: [(1, 1), (2, 4), (3, 6)]})
+        assert s.children_of(0) == ((1, 1), (2, 4), (3, 6))
+
+    def test_parent_of(self, tree):
+        assert tree.parent_of(0) == -1
+        assert tree.parent_of(1) == 0
+        assert tree.parent_of(2) == 1
+
+    def test_slot_of(self, tree):
+        assert tree.slot_of(3) == 2
+        assert tree.slot_of(2) == 1
+
+    def test_slot_of_root_raises(self, tree):
+        with pytest.raises(InvalidScheduleError):
+            tree.slot_of(0)
+
+    def test_leaves(self, tree):
+        assert tree.leaves() == (2, 3)
+
+    def test_internal_nodes(self, tree):
+        assert tree.internal_nodes() == (0, 1)
+
+    def test_descendants(self, tree):
+        assert set(tree.descendants(0)) == {1, 2, 3}
+        assert tree.descendants(1) == (2,)
+        assert tree.descendants(2) == ()
+
+    def test_edges_preorder(self, tree):
+        edges = list(tree.edges())
+        assert (0, 1, 1) in edges and (1, 2, 1) in edges and (0, 3, 2) in edges
+        assert len(edges) == 3
+
+    def test_invalid_tree_rejected(self, mset):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(mset, {0: [1, 2]})  # node 3 missing
+
+    def test_children_returns_copy(self, tree):
+        tree.children[0] = "garbage"
+        assert tree.children_of(0) == ((1, 1), (3, 2))
+
+
+class TestTiming:
+    def test_delivery_and_reception(self, tree):
+        # d(1) = 0 + 1*2 + 1 = 3; r(1) = 4
+        assert tree.delivery_time(1) == 3
+        assert tree.reception_time(1) == 4
+        # d(3) = 0 + 2*2 + 1 = 5; r(3) = 8
+        assert tree.delivery_time(3) == 5
+        assert tree.reception_time(3) == 8
+        # d(2) = r(1) + 1*1 + 1 = 6; r(2) = 8
+        assert tree.delivery_time(2) == 6
+        assert tree.reception_time(2) == 8
+
+    def test_completions(self, tree):
+        assert tree.delivery_completion == 6
+        assert tree.reception_completion == 8
+
+    def test_send_completion_times(self, tree):
+        assert tree.send_completion_times(0) == (3.0, 5.0)
+        assert tree.send_completion_times(2) == ()
+
+    def test_reception_completion_at_least_delivery(self, tree):
+        assert tree.reception_completion >= tree.delivery_completion
+
+
+class TestPredicates:
+    def test_canonical(self, tree, mset):
+        assert tree.is_canonical()
+        assert not Schedule(mset, {0: [(1, 1), (2, 3), (3, 4)]}).is_canonical()
+
+    def test_layered_star(self, mset):
+        assert Schedule(mset, {0: [1, 2, 3]}).is_layered()
+
+    def test_non_layered_detected(self, mset):
+        # slowest destination (node 3) delivered first
+        s = Schedule(mset, {0: [3, 1, 2]})
+        assert not s.is_layered()
+
+    def test_layered_tolerates_equal_overheads_any_order(self):
+        m = MulticastSet.from_overheads((1, 1), [(1, 1), (1, 1)], 1)
+        assert Schedule(m, {0: [2, 1]}).is_layered()
+
+
+class TestTransforms:
+    def test_compact_removes_gaps(self, mset):
+        gapped = Schedule(mset, {0: [(1, 1), (2, 3), (3, 5)]})
+        tight = gapped.compact()
+        assert tight.is_canonical()
+        assert tight.children_of(0) == ((1, 1), (2, 2), (3, 3))
+
+    def test_compact_never_increases_times(self, mset):
+        gapped = Schedule(mset, {0: [(1, 2), (2, 3)], 2: [(3, 2)]})
+        tight = gapped.compact()
+        for v in range(1, 4):
+            assert tight.delivery_time(v) <= gapped.delivery_time(v)
+
+    def test_with_children(self, tree, mset):
+        other = tree.with_children({0: [1, 2, 3]})
+        assert other.multicast is mset
+        assert other.children_of(0) == ((1, 1), (2, 2), (3, 3))
+
+    def test_relabeled_swap(self, mset):
+        s = Schedule(mset, {0: [1, 2], 1: [3]})
+        swapped = s.relabeled({1: 2, 2: 1})
+        assert swapped.parent_of(3) == 2
+        assert swapped.children_of(0) == ((2, 1), (1, 2))
+
+    def test_to_networkx(self, tree):
+        g = tree.to_networkx()
+        assert isinstance(g, nx.DiGraph)
+        assert g.number_of_nodes() == 4 and g.number_of_edges() == 3
+        assert g.nodes[1]["reception"] == tree.reception_time(1)
+        assert nx.is_arborescence(g)
+
+
+class TestDunder:
+    def test_equality(self, mset):
+        assert Schedule(mset, {0: [1, 2, 3]}) == Schedule(mset, {0: [1, 2, 3]})
+
+    def test_inequality_structure(self, mset):
+        assert Schedule(mset, {0: [1, 2, 3]}) != Schedule(mset, {0: [1, 3, 2]})
+
+    def test_hash_consistent(self, mset):
+        a, b = Schedule(mset, {0: [1, 2, 3]}), Schedule(mset, {0: [1, 2, 3]})
+        assert hash(a) == hash(b)
+
+    def test_repr(self, tree):
+        text = repr(tree)
+        assert "R_T=8" in text and "n=3" in text

@@ -1,0 +1,95 @@
+"""Unit tests for the Section 2 timing recurrences (repro.core.timing)."""
+
+import pytest
+
+from repro.core.multicast import MulticastSet
+from repro.core.timing import compute_times, validate_tree
+from repro.exceptions import InvalidScheduleError
+
+
+@pytest.fixture
+def mset():
+    return MulticastSet.from_overheads((2, 3), [(1, 1), (1, 1), (2, 3)], 1)
+
+
+def slotted(children):
+    """Normalize {parent: [child,...]} into explicit canonical slots."""
+    return {
+        p: [(c, i) for i, c in enumerate(kids, start=1)] for p, kids in children.items()
+    }
+
+
+class TestComputeTimes:
+    def test_star_times(self, mset):
+        delivery, reception = compute_times(mset, slotted({0: [1, 2, 3]}))
+        # d(w_i) = r(0) + i*o_send(0) + L = 2i + 1
+        assert delivery[1:] == [3, 5, 7]
+        assert reception[1:] == [4, 6, 10]
+
+    def test_chain_times(self, mset):
+        delivery, reception = compute_times(mset, slotted({0: [1], 1: [2], 2: [3]}))
+        assert delivery[1] == 3 and reception[1] == 4
+        assert delivery[2] == 4 + 1 + 1 and reception[2] == 7
+        assert delivery[3] == 7 + 1 + 1 and reception[3] == 12
+
+    def test_source_times_are_zero(self, mset):
+        delivery, reception = compute_times(mset, slotted({0: [1, 2, 3]}))
+        assert delivery[0] == 0.0 and reception[0] == 0.0
+
+    def test_slot_gap_adds_idle(self, mset):
+        tight = compute_times(mset, {0: [(1, 1), (2, 2), (3, 3)]})
+        gapped = compute_times(mset, {0: [(1, 1), (2, 3), (3, 5)]})
+        assert gapped[0][2] == tight[0][2] + mset.send(0)
+        assert gapped[0][3] == tight[0][3] + 2 * mset.send(0)
+
+    def test_paper_figure1_narrative(self, fig1_mset):
+        delivery, reception = compute_times(
+            fig1_mset, slotted({0: [1, 2], 1: [3, 4]})
+        )
+        assert reception[1:] == [4, 6, 7, 10]
+
+
+class TestValidateTree:
+    def test_valid_passes(self):
+        validate_tree(3, slotted({0: [1, 2], 1: [3]}))
+
+    def test_missing_node(self):
+        with pytest.raises(InvalidScheduleError, match="never receive"):
+            validate_tree(3, slotted({0: [1, 2]}))
+
+    def test_double_parent(self):
+        with pytest.raises(InvalidScheduleError, match="two parents"):
+            validate_tree(3, slotted({0: [1, 2, 3], 1: [3]}))
+
+    def test_root_as_child(self):
+        with pytest.raises(InvalidScheduleError, match="out of range"):
+            validate_tree(2, slotted({0: [1, 2], 1: [0]}))
+
+    def test_child_out_of_range(self):
+        with pytest.raises(InvalidScheduleError, match="out of range"):
+            validate_tree(2, slotted({0: [1, 2, 5]}))
+
+    def test_parent_out_of_range(self):
+        with pytest.raises(InvalidScheduleError, match="parent index"):
+            validate_tree(2, {0: [(1, 1), (2, 2)], 9: []})
+
+    def test_non_increasing_slots(self):
+        with pytest.raises(InvalidScheduleError, match="strictly increasing"):
+            validate_tree(2, {0: [(1, 2), (2, 2)]})
+
+    def test_zero_slot(self):
+        with pytest.raises(InvalidScheduleError, match="strictly increasing"):
+            validate_tree(1, {0: [(1, 0)]})
+
+    def test_non_int_slot(self):
+        with pytest.raises(InvalidScheduleError, match="must be an int"):
+            validate_tree(1, {0: [(1, 1.5)]})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            validate_tree(2, {0: [(1, 1)], 2: [(2, 1)]})
+
+    def test_cycle_detached_from_root(self):
+        # 1 <-> 2 cycle, nothing hangs off the root
+        with pytest.raises(InvalidScheduleError):
+            validate_tree(2, {1: [(2, 1)], 2: [(1, 1)]})

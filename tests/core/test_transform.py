@@ -1,0 +1,222 @@
+"""Unit tests for Lemma 3 exchanges and Theorem 1 rounding."""
+
+import math
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+from repro.core.transform import (
+    exchange,
+    layer_schedule,
+    next_power_of_two,
+    round_up_instance,
+    swap_same_type,
+    uniform_ratio,
+)
+from repro.exceptions import TransformError
+
+
+@pytest.fixture
+def rounded_fig1(fig1_mset):
+    return round_up_instance(fig1_mset)
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (9, 16), (16, 16), (17, 32)],
+    )
+    def test_integers(self, x, expected):
+        assert next_power_of_two(x) == expected
+
+    def test_fractional(self):
+        assert next_power_of_two(0.3) == pytest.approx(0.5)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(TransformError):
+            next_power_of_two(0)
+
+    def test_exact_powers_fixed_points(self):
+        for k in range(0, 20):
+            assert next_power_of_two(2**k) == 2**k
+
+
+class TestUniformRatio:
+    def test_uniform_detected(self):
+        m = MulticastSet.from_overheads((2, 4), [(1, 2), (3, 6)], 1)
+        assert uniform_ratio(m) == pytest.approx(2.0)
+
+    def test_non_uniform_none(self, fig1_mset):
+        assert uniform_ratio(fig1_mset) is None
+
+
+class TestRoundUpInstance:
+    def test_sends_become_powers_of_two(self, rounded_fig1):
+        for nd in rounded_fig1.nodes:
+            k = math.log2(nd.send_overhead)
+            assert k == int(k)
+
+    def test_ratio_becomes_uniform_ceil_alpha_max(self, fig1_mset, rounded_fig1):
+        c = math.ceil(fig1_mset.alpha_max)
+        assert uniform_ratio(rounded_fig1) == pytest.approx(c)
+
+    def test_send_growth_bounded(self, small_random_msets):
+        # o_send <= o_send' < 2 * o_send
+        for m in small_random_msets:
+            r = round_up_instance(m)
+            pairs = zip(
+                sorted(n.send_overhead for n in m.nodes),
+                sorted(n.send_overhead for n in r.nodes),
+            )
+            for orig, new in pairs:
+                assert orig <= new < 2 * orig
+
+    def test_receive_growth_bounded(self, small_random_msets):
+        # o_recv <= o_recv' < 2 * ceil(a_max)/a_min * o_recv  (Theorem 1 proof)
+        for m in small_random_msets:
+            r = round_up_instance(m)
+            factor = 2 * math.ceil(m.alpha_max) / m.alpha_min
+            for orig, new in zip(
+                sorted(n.receive_overhead for n in m.nodes),
+                sorted(n.receive_overhead for n in r.nodes),
+            ):
+                assert orig <= new < factor * orig + 1e-9
+
+    def test_dominates_original_instance(self, small_random_msets):
+        # Lemma 2's premise: the rounded instance dominates componentwise
+        for m in small_random_msets:
+            r = round_up_instance(m)
+            for orig, new in zip(m.nodes, r.nodes):
+                assert orig.send_overhead <= new.send_overhead
+                assert orig.receive_overhead <= new.receive_overhead
+
+    def test_latency_unchanged(self, fig1_mset, rounded_fig1):
+        assert rounded_fig1.latency == fig1_mset.latency
+
+
+class TestExchangePreconditions:
+    def test_requires_uniform_ratio(self, fig1_mset):
+        s = greedy_schedule(fig1_mset)
+        with pytest.raises(TransformError, match="uniform"):
+            exchange(s, 4, 1)
+
+    def test_requires_non_root(self, rounded_fig1):
+        s = greedy_schedule(rounded_fig1)
+        with pytest.raises(TransformError, match="non-root"):
+            exchange(s, 0, 1)
+
+    def test_requires_delivery_order(self, rounded_fig1):
+        s = greedy_schedule(rounded_fig1)
+        slow = 4  # delivered last in the greedy layered schedule
+        fast = 1
+        with pytest.raises(TransformError, match="d\\(u\\) < d\\(v\\)"):
+            exchange(s, slow, fast)
+
+    def test_requires_integer_factor_at_least_two(self):
+        m = MulticastSet.from_overheads((1, 2), [(1, 2), (1, 2)], 1)
+        s = greedy_schedule(m)
+        with pytest.raises(TransformError, match="e >= 2"):
+            exchange(s, 1, 2)
+
+
+class TestExchangeLemma3Properties:
+    def _check_lemma3(self, schedule, u, v):
+        """Assert all three Lemma 3 postconditions for one exchange."""
+        out = exchange(schedule, u, v)
+        # property 1: u and v trade delivery times
+        assert out.delivery_time(v) == pytest.approx(schedule.delivery_time(u))
+        assert out.delivery_time(u) == pytest.approx(schedule.delivery_time(v))
+        # property 2: non-descendants unaffected
+        affected = set(schedule.descendants(u)) | set(schedule.descendants(v)) | {u, v}
+        for w in range(1, schedule.multicast.n + 1):
+            if w not in affected:
+                assert out.delivery_time(w) == pytest.approx(schedule.delivery_time(w))
+        # property 3: delivery completion does not increase
+        assert out.delivery_completion <= schedule.delivery_completion + 1e-9
+        return out
+
+    def test_unrelated_nodes(self):
+        # uniform ratio C=2; u (send 4) delivered before v (send 2)
+        m = MulticastSet.from_overheads(
+            (2, 4), [(2, 4), (2, 4), (4, 8), (1, 2)], 1, validate_correlation=False
+        )
+        # canonical order: d1=(1,2) idx1, d2,d3=(2,4) idx2,3, d4=(4,8) idx4
+        s = Schedule(m, {0: [4, 2], 4: [1], 2: [3]})
+        assert s.delivery_time(4) < s.delivery_time(2)
+        self._check_lemma3(s, 4, 2)
+
+    def test_child_case(self):
+        # v is a child of u
+        m = MulticastSet.from_overheads(
+            (2, 4), [(1, 2), (2, 4), (2, 4), (4, 8)], 1, validate_correlation=False
+        )
+        s = Schedule(m, {0: [4, 2], 4: [3, 1]})
+        # u = node 4 (send 4), its child 3 (send 2) = v
+        assert s.parent_of(3) == 4
+        out = self._check_lemma3(s, 4, 3)
+        assert out.parent_of(4) == 3  # u became a child of v
+
+    def test_descendant_case(self):
+        # v is a grandchild of u
+        m = MulticastSet.from_overheads(
+            (2, 4), [(1, 2), (2, 4), (2, 4), (4, 8)], 2, validate_correlation=False
+        )
+        s = Schedule(m, {0: [4], 4: [2], 2: [1, 3]})
+        # u = 4 (send 4, delivered first), v = 3 (send 2, delivered later)
+        assert 3 in s.descendants(4)
+        self._check_lemma3(s, 4, 3)
+
+    def test_children_of_u_keep_delivery_times(self):
+        m = MulticastSet.from_overheads(
+            (2, 4), [(1, 2), (1, 2), (2, 4), (4, 8)], 1, validate_correlation=False
+        )
+        s = Schedule(m, {0: [4, 3], 4: [1, 2]})
+        out = exchange(s, 4, 3)
+        for child in (1, 2):
+            assert out.delivery_time(child) == pytest.approx(s.delivery_time(child))
+
+    def test_exchange_on_greedy_of_rounded_instance(self, rounded_fig1):
+        # construct a deliberately inverted schedule and fix it
+        s = Schedule(rounded_fig1, {0: [4, 1], 4: [2, 3]})
+        assert s.delivery_time(4) < s.delivery_time(1)
+        self._check_lemma3(s, 4, 1)
+
+
+class TestSwapSameType:
+    def test_times_invariant(self, rounded_fig1):
+        s = greedy_schedule(rounded_fig1)
+        swapped = swap_same_type(s, 1, 2)
+        assert sorted(swapped.delivery_times) == sorted(s.delivery_times)
+        assert swapped.reception_completion == s.reception_completion
+
+    def test_different_types_rejected(self, rounded_fig1):
+        s = greedy_schedule(rounded_fig1)
+        with pytest.raises(TransformError, match="different types"):
+            swap_same_type(s, 1, 4)
+
+
+class TestLayerSchedule:
+    def test_layers_a_bad_schedule(self, rounded_fig1):
+        bad = Schedule(rounded_fig1, {0: [4, 1], 4: [2, 3]})
+        assert not bad.is_layered()
+        fixed = layer_schedule(bad)
+        assert fixed.is_layered()
+        assert fixed.delivery_completion <= bad.delivery_completion + 1e-9
+
+    def test_layered_input_unchanged(self, rounded_fig1):
+        s = greedy_schedule(rounded_fig1)
+        assert layer_schedule(s) == s
+
+    def test_theorem1_chain_on_rounded_instance(self, fig1_mset):
+        """The proof chain: greedy D on S' == layered(optimal-ish) D on S'."""
+        from repro.core.brute_force import solve_exact
+
+        rounded = round_up_instance(fig1_mset)
+        opt = solve_exact(rounded)
+        layered = layer_schedule(opt.schedule)
+        greedy = greedy_schedule(rounded)
+        # Lemma 3 preserves D; Corollary 1 says greedy D <= any layered D
+        assert layered.delivery_completion <= opt.schedule.delivery_completion + 1e-9
+        assert greedy.delivery_completion <= layered.delivery_completion + 1e-9

@@ -1,0 +1,68 @@
+"""Unit tests for the E10 ablation experiment and its variant builders."""
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.experiments.ablation import (
+    greedy_with_insertion_order,
+    random_attachment,
+    run,
+)
+
+
+class TestInsertionOrderVariant:
+    def test_sorted_order_reproduces_paper_greedy(self, fig1_mset):
+        canonical = list(range(1, fig1_mset.n + 1))
+        assert greedy_with_insertion_order(fig1_mset, canonical) == greedy_schedule(
+            fig1_mset
+        )
+
+    def test_sorted_order_property(self, small_random_msets):
+        for m in small_random_msets:
+            order = list(range(1, m.n + 1))
+            assert greedy_with_insertion_order(m, order) == greedy_schedule(m)
+
+    def test_non_permutation_rejected(self, fig1_mset):
+        with pytest.raises(ValueError):
+            greedy_with_insertion_order(fig1_mset, [1, 1, 2, 3])
+
+    def test_reverse_order_still_spanning(self, fig1_mset):
+        s = greedy_with_insertion_order(fig1_mset, [4, 3, 2, 1])
+        assert sorted(s.descendants(0)) == [1, 2, 3, 4]
+
+    def test_reverse_order_not_better(self, small_random_msets):
+        # ablating the sort can tie but (modulo reversal) not systematically win
+        wins = sum(
+            greedy_with_insertion_order(m, list(range(m.n, 0, -1))).reception_completion
+            < greedy_schedule(m).reception_completion - 1e-9
+            for m in small_random_msets
+        )
+        assert wins <= len(small_random_msets) // 2
+
+
+class TestRandomAttachment:
+    def test_deterministic(self, fig1_mset):
+        assert random_attachment(fig1_mset, 5) == random_attachment(fig1_mset, 5)
+
+    def test_spanning(self, two_class_mset):
+        s = random_attachment(two_class_mset, 1)
+        assert sorted(s.descendants(0)) == list(range(1, two_class_mset.n + 1))
+
+
+class TestRun:
+    def test_full_is_best_ablation(self):
+        tables = run(suites=("two-class",), max_n=16)
+        (table,) = tables
+        rel = {row[0]: float(row[1]) for row in table.rows}
+        assert rel["full (greedy+rev)"] == 1.0
+        for variant, value in rel.items():
+            if variant == "+ local search":
+                assert value <= 1.0 + 1e-9
+            else:
+                assert value >= 1.0 - 1e-9
+
+    def test_random_attachment_is_worst(self):
+        (table,) = run(suites=("two-class",), max_n=16)
+        rel = {row[0]: float(row[1]) for row in table.rows}
+        non_ls = {k: v for k, v in rel.items() if k != "+ local search"}
+        assert max(non_ls, key=non_ls.get) == "random attachment"

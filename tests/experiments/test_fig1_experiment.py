@@ -1,0 +1,68 @@
+"""E1: the Figure 1 reproduction must match the paper exactly."""
+
+import pytest
+
+from repro.experiments.fig1 import (
+    PAPER_COMPLETION_A,
+    PAPER_COMPLETION_B,
+    PAPER_NARRATED_RECEPTIONS,
+    figure1_instance,
+    figure1_schedule_a,
+    figure1_schedule_b,
+    run,
+)
+
+
+class TestFigure1Instance:
+    def test_population(self):
+        m = figure1_instance()
+        assert m.source.type_key == (2, 3)
+        assert [d.type_key for d in m.destinations] == [(1, 1)] * 3 + [(2, 3)]
+        assert m.latency == 1
+
+    def test_schedule_a_completion(self):
+        assert figure1_schedule_a().reception_completion == PAPER_COMPLETION_A
+
+    def test_schedule_a_narrated_times(self):
+        s = figure1_schedule_a()
+        assert tuple(sorted(s.reception_times[1:])) == PAPER_NARRATED_RECEPTIONS
+
+    def test_schedule_a_narrative_walkthrough(self):
+        """Re-check every number in the Section 1 narrative."""
+        s = figure1_schedule_a()
+        # "this fast node receives the message at time 4"
+        assert s.reception_time(1) == 4
+        # "the second fast node receives the message from the source at 6"
+        assert s.reception_time(2) == 6
+        # "the fast child receives the message at time 4 + 1 + 1 + 1 = 7"
+        assert s.reception_time(3) == 7
+        # "the slow child receives the message at time 5 + 1 + 1 + 3 = 10"
+        assert s.reception_time(4) == 10
+
+    def test_schedule_b_completion(self):
+        assert figure1_schedule_b().reception_completion == PAPER_COMPLETION_B
+
+    def test_schedules_share_instance_shape(self):
+        a, b = figure1_schedule_a(), figure1_schedule_b()
+        assert a.multicast == b.multicast
+        # same unordered tree, different delivery order at the fast node
+        assert a.parent_of(4) == 1 and b.parent_of(4) == 1
+
+
+class TestRun:
+    def test_tables_produced(self):
+        tables = run()
+        assert len(tables) == 2
+
+    def test_comparison_flags_optimum(self):
+        times, algos = run()
+        # greedy+reversal and the DP must agree at 8
+        rows = {row[0]: row for row in algos.rows}
+        assert rows["greedy+reversal"][1] == "8"
+        assert rows["DP optimum (k=2)"][1] == "8"
+        assert rows["greedy"][1] == "10"
+
+    def test_paper_columns_match_measured(self):
+        times, _ = run()
+        for row in times.rows:
+            assert row[-1] == row[-2]  # "paper says" == "completes at"

@@ -1,0 +1,69 @@
+"""Integration: every solver/oracle in the library agrees with the others.
+
+This is the reproduction's trust anchor — four independent implementations
+(greedy + reversal heuristics, the Section 4 DP, branch-and-bound search,
+exhaustive layered enumeration, and the discrete-event simulator) are run
+on the same instances and their pairwise consistency relations asserted.
+"""
+
+import pytest
+
+from repro.core.brute_force import solve_exact
+from repro.core.dp import solve_dp
+from repro.core.dp_table import OptimalTable
+from repro.core.greedy import greedy_schedule
+from repro.core.layered import enumerate_layered_schedules
+from repro.core.leaf_reversal import reverse_leaves
+from repro.simulation.executor import simulate_schedule
+from repro.workloads.suites import instances
+
+
+def small_instances(limit_n=6):
+    for name in ("bounded-ratio", "two-class", "uniform-ratio", "power-of-two"):
+        for n, _seed, m in instances(name):
+            if n <= limit_n:
+                yield name, m
+
+
+class TestSolverAgreement:
+    def test_dp_equals_exact_everywhere(self):
+        for name, m in small_instances():
+            dp = solve_dp(m).value
+            exact = solve_exact(m).value
+            assert dp == pytest.approx(exact), f"suite {name}"
+
+    def test_exact_beats_or_ties_layered_enumeration(self):
+        for name, m in small_instances(limit_n=5):
+            exact = solve_exact(m).value
+            best_layered = min(
+                s.reception_completion for s in enumerate_layered_schedules(m)
+            )
+            assert exact <= best_layered + 1e-9, f"suite {name}"
+
+    def test_table_matches_per_instance_dp(self):
+        for name, m in small_instances():
+            if m.num_types > 3:
+                continue
+            counts = m.destination_type_counts()
+            table = OptimalTable(
+                list(m.type_keys()),
+                [c + 2 for c in counts],  # capacity beyond the instance
+                latency=m.latency,
+            )
+            s = table.schedule_for(m)
+            assert s.reception_completion == pytest.approx(
+                solve_dp(m).value
+            ), f"suite {name}"
+
+    def test_optimal_schedules_simulate_exactly(self):
+        for name, m in small_instances():
+            sol = solve_dp(m)
+            result = simulate_schedule(sol.schedule)
+            assert result.reception_completion == pytest.approx(sol.value)
+
+    def test_heuristic_sandwich(self):
+        for name, m in small_instances():
+            opt = solve_dp(m).value
+            refined = reverse_leaves(greedy_schedule(m)).reception_completion
+            greedy = greedy_schedule(m).reception_completion
+            assert opt <= refined <= greedy + 1e-9, f"suite {name}"

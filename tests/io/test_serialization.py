@@ -1,0 +1,84 @@
+"""Unit tests for JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.schedule import Schedule
+from repro.exceptions import ReproError
+from repro.io.serialization import (
+    load_multicast,
+    load_schedule,
+    multicast_from_dict,
+    multicast_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+class TestMulticastRoundtrip:
+    def test_roundtrip(self, fig1_mset):
+        assert multicast_from_dict(multicast_to_dict(fig1_mset)) == fig1_mset
+
+    def test_format_tag_present(self, fig1_mset):
+        assert multicast_to_dict(fig1_mset)["format"] == "repro/multicast-v1"
+
+    def test_wrong_format_rejected(self, fig1_mset):
+        data = multicast_to_dict(fig1_mset)
+        data["format"] = "other"
+        with pytest.raises(ReproError, match="not a"):
+            multicast_from_dict(data)
+
+    def test_missing_field_rejected(self, fig1_mset):
+        data = multicast_to_dict(fig1_mset)
+        del data["source"]["send"]
+        with pytest.raises(ReproError, match="missing field"):
+            multicast_from_dict(data)
+
+    def test_json_serializable(self, fig1_mset):
+        json.dumps(multicast_to_dict(fig1_mset))
+
+
+class TestScheduleRoundtrip:
+    def test_roundtrip(self, fig1_mset):
+        s = greedy_schedule(fig1_mset)
+        assert schedule_from_dict(schedule_to_dict(s)) == s
+
+    def test_slots_preserved(self, fig1_mset):
+        gapped = Schedule(fig1_mset, {0: [(1, 1), (2, 4)], 1: [(3, 2), (4, 3)]})
+        back = schedule_from_dict(schedule_to_dict(gapped))
+        assert back.children_of(0) == ((1, 1), (2, 4))
+
+    def test_completion_preserved(self, small_random_msets):
+        for m in small_random_msets:
+            s = greedy_schedule(m)
+            back = schedule_from_dict(schedule_to_dict(s))
+            assert back.reception_completion == s.reception_completion
+
+    def test_wrong_format_rejected(self, fig1_mset):
+        data = schedule_to_dict(greedy_schedule(fig1_mset))
+        data["format"] = "repro/multicast-v1"
+        with pytest.raises(ReproError):
+            schedule_from_dict(data)
+
+
+class TestFiles:
+    def test_save_and_load_multicast(self, fig1_mset, tmp_path):
+        path = save_json(fig1_mset, tmp_path / "m.json")
+        assert load_multicast(path) == fig1_mset
+
+    def test_save_and_load_schedule(self, fig1_mset, tmp_path):
+        s = greedy_schedule(fig1_mset)
+        path = save_json(s, tmp_path / "s.json")
+        assert load_schedule(path) == s
+
+    def test_save_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_json({"a": 1}, tmp_path / "x.json")
+
+    def test_file_is_valid_json(self, fig1_mset, tmp_path):
+        path = save_json(fig1_mset, tmp_path / "m.json")
+        parsed = json.loads(path.read_text())
+        assert parsed["latency"] == 1

@@ -1,0 +1,112 @@
+"""Unit tests for the affine overhead model (paper footnote 1)."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.linear import LinearCost, MachineSpec, NetworkSpec, instantiate
+
+
+@pytest.fixture
+def network():
+    return NetworkSpec(
+        machines=(
+            MachineSpec("fast", LinearCost(8, 0.01), LinearCost(10, 0.012)),
+            MachineSpec("mid", LinearCost(15, 0.02), LinearCost(20, 0.024)),
+            MachineSpec("slow", LinearCost(40, 0.05), LinearCost(70, 0.06)),
+        ),
+        latency=LinearCost(30, 0.08),
+    )
+
+
+class TestLinearCost:
+    def test_evaluation(self):
+        assert LinearCost(10, 0.5).at(100, integral=False) == pytest.approx(60)
+
+    def test_integral_rounds_up(self):
+        assert LinearCost(1, 0.001).at(100) == 2  # 1.1 -> ceil -> 2
+
+    def test_integral_minimum_one(self):
+        assert LinearCost(0.1, 0).at(0) == 1
+
+    def test_fixed_only(self):
+        assert LinearCost(5).at(12345, integral=False) == 5
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ModelError):
+            LinearCost(-1, 0)
+        with pytest.raises(ModelError):
+            LinearCost(0, -0.5)
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(ModelError):
+            LinearCost(0, 0)
+
+    def test_negative_message_rejected(self):
+        with pytest.raises(ModelError):
+            LinearCost(1, 1).at(-1)
+
+
+class TestMachineSpec:
+    def test_node_at(self):
+        spec = MachineSpec("m", LinearCost(10, 0.01), LinearCost(12, 0.02))
+        node = spec.node_at(1000)
+        assert node.name == "m"
+        assert node.send_overhead == 20
+        assert node.receive_overhead == 32
+
+    def test_ratio_depends_on_message_length(self):
+        spec = MachineSpec("m", LinearCost(10, 0.05), LinearCost(18, 0.05))
+        # small message: ratio near 18/10; huge message: ratio -> 1
+        assert spec.ratio_at(1) > spec.ratio_at(100_000)
+        assert spec.ratio_at(100_000) == pytest.approx(1.0, abs=0.01)
+
+
+class TestNetworkSpec:
+    def test_duplicate_names_rejected(self):
+        spec = MachineSpec("x", LinearCost(1), LinearCost(1))
+        with pytest.raises(ModelError, match="unique"):
+            NetworkSpec(machines=(spec, spec), latency=LinearCost(1))
+
+
+class TestInstantiate:
+    def test_broadcast_by_default(self, network):
+        mset = instantiate(network, "slow", 1000)
+        assert mset.n == 2
+        assert mset.source.name == "slow"
+
+    def test_explicit_destinations(self, network):
+        mset = instantiate(network, "fast", 500, destinations=["slow"])
+        assert mset.n == 1
+        assert mset.destinations[0].name == "slow"
+
+    def test_folding_matches_manual_evaluation(self, network):
+        mset = instantiate(network, "fast", 1000)
+        mid = next(d for d in mset.destinations if d.name == "mid")
+        assert mid.send_overhead == 35  # 15 + 0.02*1000
+        assert mset.latency == 110  # 30 + 0.08*1000
+
+    def test_unknown_source_rejected(self, network):
+        with pytest.raises(ModelError, match="unknown source"):
+            instantiate(network, "nope", 10)
+
+    def test_unknown_destination_rejected(self, network):
+        with pytest.raises(ModelError, match="unknown destination"):
+            instantiate(network, "fast", 10, destinations=["nope"])
+
+    def test_source_as_destination_rejected(self, network):
+        with pytest.raises(ModelError, match="own destination"):
+            instantiate(network, "fast", 10, destinations=["fast"])
+
+    def test_message_length_changes_instance(self, network):
+        small = instantiate(network, "slow", 16)
+        large = instantiate(network, "slow", 65536)
+        assert large.latency > small.latency
+        assert large.source.send_overhead > small.source.send_overhead
+
+    def test_schedulable_end_to_end(self, network):
+        from repro.core.greedy import greedy_schedule
+
+        mset = instantiate(network, "slow", 4096)
+        s = greedy_schedule(mset)
+        assert s.reception_completion > 0
+        assert s.is_layered()

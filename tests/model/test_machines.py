@@ -1,0 +1,58 @@
+"""Unit tests for the synthetic machine profiles."""
+
+import pytest
+
+from repro.model.machines import MACHINE_PROFILES, RATIO_RANGE, lan_network, profile
+from repro.model.linear import instantiate
+
+
+class TestProfiles:
+    def test_four_generations(self):
+        assert len(MACHINE_PROFILES) == 4
+
+    def test_lookup(self):
+        assert profile("ultra").name == "ultra"
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            profile("cray")
+
+    @pytest.mark.parametrize("size", [64, 1024, 16384])
+    def test_ratios_within_published_range(self, size):
+        lo, hi = RATIO_RANGE
+        for spec in MACHINE_PROFILES.values():
+            assert lo - 0.05 <= spec.ratio_at(size) <= hi + 0.05, (
+                f"{spec.name} ratio {spec.ratio_at(size):.3f} at {size}B "
+                f"outside the published band"
+            )
+
+    def test_generations_ordered_by_speed(self):
+        # ultra < pentium_ii < sparc5 < sparc1 in send cost at any size
+        for size in (64, 4096):
+            sends = [
+                MACHINE_PROFILES[name].send.at(size, integral=False)
+                for name in ("ultra", "pentium_ii", "sparc5", "sparc1")
+            ]
+            assert sends == sorted(sends)
+
+
+class TestLanNetwork:
+    def test_counts_and_names(self):
+        net = lan_network({"ultra": 2, "sparc1": 1})
+        names = sorted(m.name for m in net.machines)
+        assert names == ["sparc10", "ultra0", "ultra1"]
+
+    def test_instantiates_correlated_cluster(self):
+        net = lan_network({"ultra": 3, "pentium_ii": 2, "sparc1": 2})
+        mset = instantiate(net, "sparc10", 1024)
+        assert mset.correlated
+        assert mset.n == 6
+
+    def test_heterogeneity_magnitude(self):
+        # slowest/fastest send overhead ratio should be a small integer
+        # factor (about 6x), mirroring the NOW generations of [2]
+        net = lan_network({"ultra": 1, "sparc1": 1})
+        mset = instantiate(net, "ultra0", 1024)
+        ratio = mset.destinations[0].send_overhead / mset.source.send_overhead
+        assert ratio != 1
+        assert 3 <= max(ratio, 1 / ratio) <= 10

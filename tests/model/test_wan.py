@@ -1,0 +1,124 @@
+"""Unit tests for the two-level WAN model (Bhat et al. [5] substrate)."""
+
+import pytest
+
+from repro.core.node import Node
+from repro.exceptions import ModelError
+from repro.model.wan import (
+    WanNetwork,
+    WanSchedule,
+    cluster_aware_wan,
+    flat_greedy_wan,
+)
+from repro.workloads.clusters import bounded_ratio_cluster
+
+
+@pytest.fixture
+def network():
+    nodes = bounded_ratio_cluster(9, seed=3)
+    return WanNetwork(
+        {"A": nodes[:3], "B": nodes[3:6], "C": nodes[6:]},
+        local_latency=2,
+        wan_latency=50,
+    )
+
+
+class TestWanNetwork:
+    def test_nodes_flattened(self, network):
+        assert len(network.nodes) == 9
+
+    def test_cluster_of(self, network):
+        first = network.clusters[0]
+        assert network.cluster_of(first[1][0].name) == first[0]
+
+    def test_cluster_of_unknown(self, network):
+        with pytest.raises(ModelError):
+            network.cluster_of("ghost")
+
+    def test_edge_latency_local_vs_wan(self, network):
+        (_, a_members), (_, b_members), _ = network.clusters
+        assert network.edge_latency(a_members[0].name, a_members[1].name) == 2
+        assert network.edge_latency(a_members[0].name, b_members[0].name) == 50
+
+    def test_mean_latency_between_extremes(self, network):
+        assert 2 < network.mean_latency() < 50
+
+    def test_validation(self):
+        nd = Node("x", 1, 1)
+        with pytest.raises(ModelError):
+            WanNetwork({}, 1, 2)
+        with pytest.raises(ModelError):
+            WanNetwork({"A": [nd]}, 2, 1)  # wan < local
+        with pytest.raises(ModelError):
+            WanNetwork({"A": [nd], "B": [nd]}, 1, 2)  # duplicate names
+        with pytest.raises(ModelError):
+            WanNetwork({"A": [nd], "B": []}, 1, 2)  # empty cluster
+        with pytest.raises(ModelError):
+            WanNetwork({"A": [nd]}, 0, 2)  # nonpositive latency
+
+
+class TestWanScheduleTiming:
+    def test_per_edge_latency_recurrence(self):
+        a = [Node("a0", 1, 1), Node("a1", 1, 1)]
+        b = [Node("b0", 2, 3)]
+        net = WanNetwork({"A": a, "B": b}, local_latency=1, wan_latency=10)
+        sched = WanSchedule(net, [a[0], a[1], b[0]], {0: [1, 2]})
+        # a0 -> a1 (local): d = 1*1 + 1 = 2, r = 3
+        assert sched.reception_times[1] == 3
+        # a0 -> b0 (wan, slot 2): d = 2*1 + 10 = 12, r = 15
+        assert sched.reception_times[2] == 15
+
+    def test_span_validation(self, network):
+        order = list(network.nodes)
+        with pytest.raises(ModelError, match="span"):
+            WanSchedule(network, order, {0: [1, 2]})
+
+    def test_duplicate_child_rejected(self):
+        a = [Node("a0", 1, 1), Node("a1", 1, 1)]
+        net = WanNetwork({"A": a}, 1, 1)
+        with pytest.raises(ModelError, match="span"):
+            WanSchedule(net, a, {0: [1, 1]})
+
+    def test_wan_edge_count(self, network):
+        aware = cluster_aware_wan(network, network.nodes[0].name)
+        # one long-haul edge per non-source cluster gateway
+        assert aware.wan_edge_count() == 2
+
+
+class TestSchedulers:
+    def test_both_produce_spanning_trees(self, network):
+        src = network.nodes[0].name
+        for sched in (flat_greedy_wan(network, src), cluster_aware_wan(network, src)):
+            assert len(sched.reception_times) == 9
+            assert all(r > 0 for r in sched.reception_times[1:])
+
+    def test_unknown_source_rejected(self, network):
+        with pytest.raises(ModelError):
+            flat_greedy_wan(network, "ghost")
+
+    def test_cluster_awareness_pays_on_long_haul(self):
+        nodes = bounded_ratio_cluster(12, seed=3)
+        clusters = {"A": nodes[:4], "B": nodes[4:8], "C": nodes[8:]}
+        src = nodes[0].name
+        slow_wan = WanNetwork(clusters, local_latency=2, wan_latency=200)
+        aware = cluster_aware_wan(slow_wan, src).reception_completion
+        flat = flat_greedy_wan(slow_wan, src).reception_completion
+        assert aware < flat
+
+    def test_aware_uses_one_wan_edge_per_remote_cluster(self):
+        nodes = bounded_ratio_cluster(12, seed=1)
+        clusters = {"A": nodes[:4], "B": nodes[4:8], "C": nodes[8:]}
+        net = WanNetwork(clusters, local_latency=2, wan_latency=100)
+        aware = cluster_aware_wan(net, nodes[0].name)
+        assert aware.wan_edge_count() == 2
+        flat = flat_greedy_wan(net, nodes[0].name)
+        assert flat.wan_edge_count() >= aware.wan_edge_count()
+
+    def test_degenerate_single_cluster(self):
+        nodes = bounded_ratio_cluster(6, seed=0)
+        net = WanNetwork({"A": nodes}, local_latency=2, wan_latency=2)
+        src = nodes[0].name
+        aware = cluster_aware_wan(net, src)
+        flat = flat_greedy_wan(net, src)
+        # one cluster: both reduce to the paper's greedy at local latency
+        assert aware.reception_completion == flat.reception_completion

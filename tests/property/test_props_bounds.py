@@ -1,0 +1,47 @@
+"""Property-based tests: the bound lattice LB <= OPT <= heuristics <= bound."""
+
+from hypothesis import given, settings
+
+from repro.core.bounds import (
+    certified_lower_bound,
+    first_hop_lower_bound,
+    homogeneous_relaxation_lower_bound,
+    theorem1_bound,
+)
+from repro.core.brute_force import solve_exact
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import reverse_leaves
+
+from tests.strategies import multicast_sets
+
+
+@given(multicast_sets(max_n=6))
+@settings(max_examples=40, deadline=None)
+def test_bound_lattice(mset):
+    """The full chain of inequalities on every random instance."""
+    opt = solve_exact(mset).value
+    greedy = greedy_schedule(mset).reception_completion
+    refined = reverse_leaves(greedy_schedule(mset)).reception_completion
+    lb = certified_lower_bound(mset)
+    assert lb <= opt + 1e-9
+    assert opt <= refined + 1e-9
+    assert refined <= greedy + 1e-9
+    assert greedy < theorem1_bound(mset, opt) + 1e-9
+
+
+@given(multicast_sets())
+@settings(max_examples=60, deadline=None)
+def test_lower_bounds_below_greedy(mset):
+    """Even without exact OPT the LBs must sit below any feasible value."""
+    greedy = greedy_schedule(mset).reception_completion
+    assert first_hop_lower_bound(mset) <= greedy + 1e-9
+    assert homogeneous_relaxation_lower_bound(mset) <= greedy + 1e-9
+
+
+@given(multicast_sets())
+@settings(max_examples=60, deadline=None)
+def test_first_hop_bound_structure(mset):
+    lb = first_hop_lower_bound(mset)
+    assert lb == mset.send(0) + mset.latency + max(
+        d.receive_overhead for d in mset.destinations
+    )

@@ -1,0 +1,138 @@
+"""Property-based tests for the collectives extensions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.gather import gather_completion
+from repro.collectives.pipeline import pipelined_completion
+from repro.collectives.reduce import reduce_completion_forward, reduce_plan
+from repro.collectives.scatter import scatter_completion, star_children
+from repro.model.linear import LinearCost, MachineSpec, NetworkSpec
+
+from tests.strategies import multicast_sets
+
+
+@st.composite
+def affine_networks(draw, min_machines=3, max_machines=6):
+    n = draw(st.integers(min_value=min_machines, max_value=max_machines))
+    machines = []
+    for i in range(n):
+        fixed_s = draw(st.integers(min_value=5, max_value=30))
+        fixed_r = fixed_s + draw(st.integers(min_value=0, max_value=20))
+        machines.append(
+            MachineSpec(
+                f"m{i}",
+                LinearCost(fixed_s, 0.01 * draw(st.integers(min_value=1, max_value=4))),
+                LinearCost(fixed_r, 0.01 * draw(st.integers(min_value=1, max_value=5))),
+            )
+        )
+    lat = LinearCost(
+        draw(st.integers(min_value=5, max_value=60)),
+        0.01 * draw(st.integers(min_value=1, max_value=8)),
+    )
+    return NetworkSpec(machines=tuple(machines), latency=lat)
+
+
+@st.composite
+def trees_over(draw, n):
+    children = {}
+    in_tree = [0]
+    for i in range(1, n):
+        parent = draw(st.sampled_from(in_tree))
+        children.setdefault(parent, []).append(i)
+        in_tree.append(i)
+    return children
+
+
+# ----------------------------------------------------------------------
+# reduce duality
+# ----------------------------------------------------------------------
+@given(multicast_sets(max_n=7))
+@settings(max_examples=40, deadline=None)
+def test_reduce_duality_everywhere(mset):
+    plan = reduce_plan(mset)
+    assert abs(reduce_completion_forward(mset, plan) - plan.completion) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# scatter / gather
+# ----------------------------------------------------------------------
+@given(affine_networks(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_scatter_monotone_in_payloads(network, data):
+    n = len(network.machines)
+    tree = data.draw(trees_over(n))
+    base = [0.0] + [float(data.draw(st.integers(min_value=1, max_value=5000)))
+                    for _ in range(n - 1)]
+    bigger = [0.0] + [p * 2 for p in base[1:]]
+    small = scatter_completion(network, tree, base)
+    large = scatter_completion(network, tree, bigger)
+    assert large.completion >= small.completion
+
+
+@given(affine_networks(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_gather_waits_for_every_subtree(network, data):
+    n = len(network.machines)
+    tree = data.draw(trees_over(n))
+    payloads = [0.0] + [100.0] * (n - 1)
+    result = gather_completion(network, tree, payloads)
+    # completion is at least any single child's full transfer into the root
+    for child in tree.get(0, []):
+        child_bytes = 100.0  # at minimum its own payload
+        single = (
+            network.machines[child].send.at(child_bytes, integral=False)
+            + network.latency.at(child_bytes, integral=False)
+            + network.machines[0].receive.at(child_bytes, integral=False)
+        )
+        assert result.completion >= single - 1e-9
+
+
+@given(affine_networks())
+@settings(max_examples=30, deadline=None)
+def test_star_scatter_bytes_are_minimal(network):
+    n = len(network.machines)
+    payloads = [0.0] + [64.0] * (n - 1)
+    star = scatter_completion(network, star_children(n), payloads)
+    assert star.bytes_sent[0] == 64.0 * (n - 1)
+    assert all(b == 0 for b in star.bytes_sent[1:])
+
+
+# ----------------------------------------------------------------------
+# pipelined multicast
+# ----------------------------------------------------------------------
+@given(affine_networks(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_pipeline_single_segment_matches_recurrences(network, data):
+    from repro.core.multicast import MulticastSet
+    from repro.core.schedule import Schedule
+
+    n = len(network.machines)
+    tree = data.draw(trees_over(n))
+    msg = float(data.draw(st.integers(min_value=10, max_value=10000)))
+    result = pipelined_completion(network, tree, msg, segments=1)
+    nodes = [m.node_at(msg, integral=False) for m in network.machines]
+    mset = MulticastSet(
+        nodes[0], nodes[1:], network.latency.at(msg, integral=False),
+        validate_correlation=False,
+    )
+    name_to_idx = {nd.name: i for i, nd in enumerate(mset.nodes)}
+    children = {
+        name_to_idx[network.machines[p].name]: [
+            name_to_idx[network.machines[c].name] for c in kids
+        ]
+        for p, kids in tree.items()
+    }
+    schedule = Schedule(mset, children)
+    assert abs(result.completion - schedule.reception_completion) < 1e-6
+
+
+@given(affine_networks(), st.data(), st.integers(min_value=2, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_pipeline_every_segment_reaches_everyone(network, data, segments):
+    n = len(network.machines)
+    tree = data.draw(trees_over(n))
+    result = pipelined_completion(network, tree, 4096.0, segments)
+    assert result.completion > 0
+    assert len(result.last_segment_receptions) == n
+    assert all(t > 0 for t in result.last_segment_receptions[1:])

@@ -1,0 +1,56 @@
+"""Property-based tests: the Section 4 DP against independent oracles."""
+
+from hypothesis import given, settings
+
+from repro.core.brute_force import solve_exact
+from repro.core.dp import solve_dp
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import reverse_leaves
+
+from tests.strategies import multicast_sets
+
+
+@given(multicast_sets(max_n=6, max_types=3))
+@settings(max_examples=40, deadline=None)
+def test_dp_equals_branch_and_bound(mset):
+    """Theorem 2's optimality against the independent exact solver."""
+    assert abs(solve_dp(mset).value - solve_exact(mset).value) < 1e-9
+
+
+@given(multicast_sets(max_n=8, max_types=3))
+@settings(max_examples=40, deadline=None)
+def test_dp_schedule_attains_value(mset):
+    sol = solve_dp(mset)
+    assert abs(sol.schedule.reception_completion - sol.value) < 1e-9
+
+
+@given(multicast_sets(max_n=8, max_types=3))
+@settings(max_examples=40, deadline=None)
+def test_dp_below_heuristics(mset):
+    opt = solve_dp(mset).value
+    assert opt <= greedy_schedule(mset).reception_completion + 1e-9
+    assert opt <= reverse_leaves(greedy_schedule(mset)).reception_completion + 1e-9
+
+
+@given(multicast_sets(max_n=8, max_types=3))
+@settings(max_examples=30, deadline=None)
+def test_dp_monotone_in_destinations(mset):
+    """Dropping the slowest destination cannot increase the optimum."""
+    if mset.n < 2:
+        return
+    from repro.core.multicast import MulticastSet
+
+    smaller = MulticastSet(
+        mset.source, mset.destinations[:-1], mset.latency
+    )
+    assert solve_dp(smaller).value <= solve_dp(mset).value + 1e-9
+
+
+@given(multicast_sets(max_n=7, max_types=2))
+@settings(max_examples=30, deadline=None)
+def test_dp_schedule_verified_by_simulator(mset):
+    from repro.simulation.executor import simulate_schedule
+
+    sol = solve_dp(mset)
+    result = simulate_schedule(sol.schedule)  # raises on divergence
+    assert result.reception_completion == sol.value

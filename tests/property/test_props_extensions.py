@@ -1,0 +1,115 @@
+"""Property-based tests for the extension modules (local search, WAN,
+segmentation)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.local_search import improve_schedule
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import greedy_with_reversal
+from repro.core.schedule import Schedule
+from repro.model.wan import WanNetwork, WanSchedule, cluster_aware_wan, flat_greedy_wan
+
+from tests.strategies import multicast_sets
+
+
+# ----------------------------------------------------------------------
+# local search
+# ----------------------------------------------------------------------
+@given(multicast_sets(max_n=7), st.integers(min_value=0, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_local_search_never_worse_than_any_seed(mset, seed):
+    import random
+
+    rng = random.Random(seed)
+    children = {}
+    in_tree = [0]
+    for i in range(1, mset.n + 1):
+        parent = rng.choice(in_tree)
+        children.setdefault(parent, []).append(i)
+        in_tree.append(i)
+    seed_schedule = Schedule(mset, children)
+    result = improve_schedule(seed_schedule)
+    assert (
+        result.schedule.reception_completion
+        <= seed_schedule.reception_completion + 1e-9
+    )
+    assert result.improvement >= -1e-9
+
+
+@given(multicast_sets(max_n=6))
+@settings(max_examples=25, deadline=None)
+def test_local_search_bounded_by_exact(mset):
+    from repro.core.brute_force import solve_exact
+
+    value = improve_schedule(greedy_with_reversal(mset)).schedule.reception_completion
+    assert solve_exact(mset).value <= value + 1e-9
+
+
+# ----------------------------------------------------------------------
+# WAN model
+# ----------------------------------------------------------------------
+@st.composite
+def wan_networks(draw):
+    mset = draw(multicast_sets(min_n=3, max_n=9, max_types=3))
+    nodes = list(mset.nodes)
+    k = draw(st.integers(min_value=1, max_value=min(3, len(nodes))))
+    clusters = {f"c{i}": [] for i in range(k)}
+    for i, nd in enumerate(nodes):
+        clusters[f"c{i % k}"].append(nd)
+    local = draw(st.integers(min_value=1, max_value=4))
+    wan = local + draw(st.integers(min_value=0, max_value=100))
+    return WanNetwork(clusters, local, wan), nodes[0].name
+
+
+@given(wan_networks())
+@settings(max_examples=40, deadline=None)
+def test_wan_schedulers_produce_valid_timing(net_and_src):
+    network, source = net_and_src
+    for schedule in (flat_greedy_wan(network, source), cluster_aware_wan(network, source)):
+        # recurrence check: recompute every edge by hand
+        for v, kids in schedule.children.items():
+            for slot, child in enumerate(kids, start=1):
+                lat = network.edge_latency(
+                    schedule.order[v].name, schedule.order[child].name
+                )
+                expected = (
+                    schedule.reception_times[v]
+                    + slot * schedule.order[v].send_overhead
+                    + lat
+                    + schedule.order[child].receive_overhead
+                )
+                assert schedule.reception_times[child] == expected
+
+
+@given(wan_networks())
+@settings(max_examples=40, deadline=None)
+def test_wan_aware_uses_minimum_long_haul_edges(net_and_src):
+    network, source = net_and_src
+    aware = cluster_aware_wan(network, source)
+    if network.wan_latency == network.local_latency:
+        return  # degenerate: no long-haul distinction
+    remote_clusters = len(network.clusters) - 1
+    assert aware.wan_edge_count() == remote_clusters  # one gateway hop each
+
+
+@given(wan_networks())
+@settings(max_examples=30, deadline=None)
+def test_wan_degenerates_to_flat_model(net_and_src):
+    """With wan == local every edge costs the same: both schedulers must
+    match the paper's greedy+reversal completion on the flat instance."""
+    network, source = net_and_src
+    flat_net = WanNetwork(
+        {name: list(members) for name, members in network.clusters},
+        network.local_latency,
+        network.local_latency,
+    )
+    from repro.core.multicast import MulticastSet
+
+    nodes = [nd for nd in flat_net.nodes]
+    src = next(nd for nd in nodes if nd.name == source)
+    rest = [nd for nd in nodes if nd.name != source]
+    mset = MulticastSet(src, rest, network.local_latency, validate_correlation=False)
+    reference = greedy_with_reversal(mset).reception_completion
+    flat = flat_greedy_wan(flat_net, source)
+    assert flat.reception_completion == reference

@@ -1,0 +1,75 @@
+"""Property-based tests: the greedy algorithm's paper-stated invariants."""
+
+from hypothesis import given, settings
+
+from repro.core.brute_force import solve_exact
+from repro.core.bounds import theorem1_bound
+from repro.core.greedy import greedy_schedule
+from repro.core.layered import min_layered_delivery_completion
+
+from tests.strategies import multicast_sets
+
+
+@given(multicast_sets())
+@settings(max_examples=60, deadline=None)
+def test_greedy_is_layered(mset):
+    """Section 2: every schedule produced by the greedy is layered."""
+    assert greedy_schedule(mset).is_layered()
+
+
+@given(multicast_sets())
+@settings(max_examples=60, deadline=None)
+def test_greedy_is_canonical_spanning(mset):
+    s = greedy_schedule(mset)
+    assert s.is_canonical()
+    assert sorted(s.descendants(0)) == list(range(1, mset.n + 1))
+
+
+@given(multicast_sets())
+@settings(max_examples=40, deadline=None)
+def test_greedy_deliveries_sorted_with_index(mset):
+    """Deliveries happen in canonical destination order (layering, indexed)."""
+    s = greedy_schedule(mset)
+    ds = [s.delivery_time(i) for i in range(1, mset.n + 1)]
+    assert all(a <= b + 1e-9 for a, b in zip(ds, ds[1:]))
+
+
+@given(multicast_sets(max_n=6))
+@settings(max_examples=30, deadline=None)
+def test_theorem1_bound_holds_vs_exact_optimum(mset):
+    """Theorem 1 with the true optimum on every random instance."""
+    greedy = greedy_schedule(mset).reception_completion
+    opt = solve_exact(mset).value
+    assert greedy < theorem1_bound(mset, opt) + 1e-9
+
+
+@given(multicast_sets(max_n=5))
+@settings(max_examples=25, deadline=None)
+def test_corollary1_greedy_layered_optimal(mset):
+    """Corollary 1: greedy D_T == min D_T over all layered schedules."""
+    greedy_d = greedy_schedule(mset).delivery_completion
+    assert abs(greedy_d - min_layered_delivery_completion(mset)) < 1e-9
+
+
+@given(multicast_sets())
+@settings(max_examples=40, deadline=None)
+def test_lemma2_dominance(mset):
+    """Lemma 2: greedy on a dominated instance completes no later."""
+    dominated = mset  # original
+    # build a componentwise >= instance by doubling every overhead
+    from repro.core.multicast import MulticastSet
+
+    bigger = MulticastSet(
+        mset.source.with_overheads(
+            mset.source.send_overhead * 2, mset.source.receive_overhead * 2
+        ),
+        [
+            d.with_overheads(d.send_overhead * 2, d.receive_overhead * 2)
+            for d in mset.destinations
+        ],
+        mset.latency,
+    )
+    assert (
+        greedy_schedule(dominated).delivery_completion
+        <= greedy_schedule(bigger).delivery_completion + 1e-9
+    )

@@ -1,0 +1,72 @@
+"""Property-based tests: the leaf reversal's paper-stated guarantees."""
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import leaf_slots, reverse_leaves
+
+from tests.strategies import multicast_sets
+
+
+@given(multicast_sets())
+@settings(max_examples=60, deadline=None)
+def test_reversal_never_increases_completion(mset):
+    """The paper's claim, verbatim."""
+    before = greedy_schedule(mset)
+    after = reverse_leaves(before)
+    assert after.reception_completion <= before.reception_completion + 1e-9
+
+
+@given(multicast_sets())
+@settings(max_examples=60, deadline=None)
+def test_reversal_preserves_internal_times(mset):
+    before = greedy_schedule(mset)
+    after = reverse_leaves(before)
+    leaves = set(before.leaves())
+    for v in range(1, mset.n + 1):
+        if v not in leaves:
+            assert after.delivery_time(v) == before.delivery_time(v)
+
+
+@given(multicast_sets())
+@settings(max_examples=60, deadline=None)
+def test_reversal_preserves_delivery_multiset(mset):
+    before = greedy_schedule(mset)
+    after = reverse_leaves(before)
+    assert sorted(before.delivery_times) == sorted(after.delivery_times)
+
+
+@given(multicast_sets(max_n=6))
+@settings(max_examples=30, deadline=None)
+def test_reversal_is_optimal_assignment(mset):
+    """Stronger than the paper: reversal is the best leaf permutation."""
+    base = greedy_schedule(mset)
+    slots = leaf_slots(base)
+    leaves = list(base.leaves())
+    if len(leaves) > 5:
+        leaves = leaves[:5]  # keep the factorial small; slots align by zip
+    reversed_value = reverse_leaves(base).reception_completion
+    internal_max = max(
+        (
+            base.reception_time(v)
+            for v in range(mset.n + 1)
+            if v not in set(base.leaves())
+        ),
+        default=0.0,
+    )
+    for perm in itertools.permutations(base.leaves()):
+        value = max(
+            [internal_max]
+            + [d + mset.receive(leaf) for (_p, _s, d), leaf in zip(slots, perm)]
+        )
+        assert reversed_value <= value + 1e-9
+
+
+@given(multicast_sets())
+@settings(max_examples=40, deadline=None)
+def test_reversal_keeps_leaf_set(mset):
+    before = greedy_schedule(mset)
+    after = reverse_leaves(before)
+    assert set(before.leaves()) == set(after.leaves())

@@ -1,0 +1,100 @@
+"""Property-based tests: schedule timing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import greedy_schedule
+from repro.core.schedule import Schedule
+
+from tests.strategies import multicast_sets
+
+
+@st.composite
+def random_schedules(draw):
+    """A random canonical schedule over a random instance."""
+    mset = draw(multicast_sets(max_n=7))
+    children = {}
+    in_tree = [0]
+    for i in range(1, mset.n + 1):
+        parent = draw(st.sampled_from(in_tree))
+        children.setdefault(parent, []).append(i)
+        in_tree.append(i)
+    return Schedule(mset, children)
+
+
+@given(random_schedules())
+@settings(max_examples=60, deadline=None)
+def test_recurrence_invariants(schedule):
+    """d(w) = r(parent) + slot*o_send + L and r = d + o_recv, everywhere."""
+    mset = schedule.multicast
+    for parent, child, slot in schedule.edges():
+        expected_d = (
+            schedule.reception_time(parent) + slot * mset.send(parent) + mset.latency
+        )
+        assert schedule.delivery_time(child) == expected_d
+        assert schedule.reception_time(child) == expected_d + mset.receive(child)
+
+
+@given(random_schedules())
+@settings(max_examples=60, deadline=None)
+def test_children_delivered_after_parent(schedule):
+    for parent, child, _slot in schedule.edges():
+        if parent != 0:
+            assert schedule.delivery_time(child) > schedule.delivery_time(parent)
+
+
+@given(random_schedules())
+@settings(max_examples=60, deadline=None)
+def test_completion_bounds(schedule):
+    mset = schedule.multicast
+    assert schedule.reception_completion >= schedule.delivery_completion
+    min_recv = min(mset.receive(i) for i in range(1, mset.n + 1))
+    assert schedule.reception_completion >= schedule.delivery_completion + min_recv - 1e-9
+
+
+@given(random_schedules())
+@settings(max_examples=40, deadline=None)
+def test_compact_idempotent_and_monotone(schedule):
+    tight = schedule.compact()
+    assert tight.is_canonical()
+    assert tight.compact() == tight
+    for v in range(1, schedule.multicast.n + 1):
+        assert tight.delivery_time(v) <= schedule.delivery_time(v) + 1e-9
+
+
+@given(random_schedules())
+@settings(max_examples=40, deadline=None)
+def test_every_schedule_at_least_first_hop(schedule):
+    """No schedule beats the physics: source send + latency + own receive."""
+    mset = schedule.multicast
+    for v in range(1, mset.n + 1):
+        assert (
+            schedule.reception_time(v)
+            >= mset.send(0) + mset.latency + mset.receive(v) - 1e-9
+        )
+
+
+@given(multicast_sets(max_n=6))
+@settings(max_examples=30, deadline=None)
+def test_greedy_at_most_any_random_tree(mset):
+    """Greedy beats (or ties) an arbitrary deterministic random tree on D_T
+    only when that tree is layered — but its R_T must always be within the
+    Theorem 1 envelope of the tree's value (sanity ordering check)."""
+    import random
+
+    from repro.core.bounds import theorem1_factor
+
+    rng = random.Random(0)
+    children = {}
+    in_tree = [0]
+    for i in range(1, mset.n + 1):
+        parent = rng.choice(in_tree)
+        children.setdefault(parent, []).append(i)
+        in_tree.append(i)
+    arbitrary = Schedule(mset, children)
+    greedy = greedy_schedule(mset)
+    # the arbitrary schedule is an upper bound witness for OPT
+    assert (
+        greedy.reception_completion
+        < theorem1_factor(mset) * arbitrary.reception_completion + mset.beta + 1e-9
+    )

@@ -1,0 +1,57 @@
+"""Property-based tests: serialization round-trips."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import reverse_leaves
+from repro.core.schedule import Schedule
+from repro.io.serialization import (
+    multicast_from_dict,
+    multicast_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+from tests.strategies import multicast_sets
+
+
+@given(multicast_sets())
+@settings(max_examples=60, deadline=None)
+def test_multicast_roundtrip(mset):
+    assert multicast_from_dict(multicast_to_dict(mset)) == mset
+
+
+@given(multicast_sets())
+@settings(max_examples=60, deadline=None)
+def test_multicast_roundtrip_through_json_text(mset):
+    text = json.dumps(multicast_to_dict(mset))
+    assert multicast_from_dict(json.loads(text)) == mset
+
+
+@given(multicast_sets())
+@settings(max_examples=40, deadline=None)
+def test_schedule_roundtrip_preserves_everything(mset):
+    s = reverse_leaves(greedy_schedule(mset))
+    back = schedule_from_dict(schedule_to_dict(s))
+    assert back == s
+    assert back.reception_times == s.reception_times
+    assert back.delivery_times == s.delivery_times
+
+
+@given(multicast_sets(max_n=6), st.integers(min_value=0, max_value=99))
+@settings(max_examples=40, deadline=None)
+def test_random_tree_roundtrip(mset, seed):
+    import random
+
+    rng = random.Random(seed)
+    children = {}
+    in_tree = [0]
+    for i in range(1, mset.n + 1):
+        parent = rng.choice(in_tree)
+        children.setdefault(parent, []).append(i)
+        in_tree.append(i)
+    s = Schedule(mset, children)
+    assert schedule_from_dict(schedule_to_dict(s)) == s

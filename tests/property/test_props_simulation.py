@@ -1,0 +1,84 @@
+"""Property-based tests: the simulator agrees with the analytic model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import greedy_schedule
+from repro.core.leaf_reversal import reverse_leaves
+from repro.core.schedule import Schedule
+from repro.simulation.executor import simulate_schedule
+from repro.simulation.jitter import uniform_jitter
+
+from tests.strategies import multicast_sets
+
+
+@st.composite
+def schedules(draw):
+    mset = draw(multicast_sets(max_n=7))
+    children = {}
+    in_tree = [0]
+    for i in range(1, mset.n + 1):
+        parent = draw(st.sampled_from(in_tree))
+        children.setdefault(parent, []).append(i)
+        in_tree.append(i)
+    return Schedule(mset, children)
+
+
+@given(schedules())
+@settings(max_examples=50, deadline=None)
+def test_simulation_matches_recurrences(schedule):
+    """The central cross-validation: executing any tree reproduces the
+    Section 2 recurrences exactly (simulate_schedule raises otherwise)."""
+    result = simulate_schedule(schedule)
+    assert result.reception_times == schedule.reception_times
+
+
+@given(schedules())
+@settings(max_examples=50, deadline=None)
+def test_no_node_overlaps_operations(schedule):
+    result = simulate_schedule(schedule)
+    result.trace.assert_no_overlap()  # model constraint enforced
+
+
+@given(schedules())
+@settings(max_examples=40, deadline=None)
+def test_every_destination_busy_exactly_once_receiving(schedule):
+    result = simulate_schedule(schedule)
+    recv_counts = {}
+    for iv in result.trace.intervals:
+        if iv.kind == "receive":
+            recv_counts[iv.node] = recv_counts.get(iv.node, 0) + 1
+    assert recv_counts == {v: 1 for v in range(1, schedule.multicast.n + 1)}
+
+
+@given(schedules())
+@settings(max_examples=40, deadline=None)
+def test_send_counts_match_degrees(schedule):
+    result = simulate_schedule(schedule)
+    send_counts = {}
+    for iv in result.trace.intervals:
+        if iv.kind == "send":
+            send_counts[iv.node] = send_counts.get(iv.node, 0) + 1
+    expected = {
+        v: len(schedule.children_of(v))
+        for v in range(schedule.multicast.n + 1)
+        if schedule.children_of(v)
+    }
+    assert send_counts == expected
+
+
+@given(multicast_sets(max_n=6), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_jittered_runs_deterministic_and_bounded(mset, seed):
+    s = reverse_leaves(greedy_schedule(mset))
+    amp = 0.4
+    a = simulate_schedule(s, jitter=uniform_jitter(amp, seed), verify=False)
+    b = simulate_schedule(s, jitter=uniform_jitter(amp, seed), verify=False)
+    assert a.reception_times == b.reception_times
+    # per-path bound: |shift| <= amplitude * depth
+    for v in range(1, mset.n + 1):
+        depth, w = 0, v
+        while w != 0:
+            w = s.parent_of(w)
+            depth += 1
+        assert abs(a.reception_times[v] - s.reception_time(v)) <= amp * depth + 1e-9

@@ -1,0 +1,105 @@
+"""Property-based tests: Lemma 3 / Theorem 1 proof machinery."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import greedy_schedule
+from repro.core.layered import min_layered_delivery_completion
+from repro.core.schedule import Schedule
+from repro.core.transform import (
+    exchange,
+    layer_schedule,
+    round_up_instance,
+    uniform_ratio,
+)
+
+from tests.strategies import multicast_sets, power_of_two_multicasts
+
+
+def random_schedule(mset, seed):
+    import random
+
+    rng = random.Random(seed)
+    children = {}
+    in_tree = [0]
+    for i in range(1, mset.n + 1):
+        parent = rng.choice(in_tree)
+        children.setdefault(parent, []).append(i)
+        in_tree.append(i)
+    return Schedule(mset, children)
+
+
+@given(multicast_sets())
+@settings(max_examples=50, deadline=None)
+def test_rounding_properties(mset):
+    """Theorem 1's S' construction: all four stated properties."""
+    rounded = round_up_instance(mset)
+    c = math.ceil(mset.alpha_max)
+    assert uniform_ratio(rounded) == c
+    for orig, new in zip(mset.nodes, rounded.nodes):
+        k = math.log2(new.send_overhead)
+        assert abs(k - round(k)) < 1e-9
+        assert orig.send_overhead <= new.send_overhead < 2 * orig.send_overhead
+        assert orig.receive_overhead <= new.receive_overhead
+
+
+@given(power_of_two_multicasts(), st.integers(min_value=0, max_value=99))
+@settings(max_examples=50, deadline=None)
+def test_exchange_lemma3_postconditions(mset, seed):
+    """Random exchanges on random schedules satisfy Lemma 3's properties."""
+    schedule = random_schedule(mset, seed)
+    # find an exchangeable pair: d(u) < d(v), o_send(u) = e*o_send(v), e>=2
+    pair = None
+    for u in range(1, mset.n + 1):
+        for v in range(1, mset.n + 1):
+            if u == v:
+                continue
+            if schedule.delivery_time(u) < schedule.delivery_time(v):
+                ratio = mset.send(u) / mset.send(v)
+                if ratio >= 2 and abs(ratio - round(ratio)) < 1e-9:
+                    pair = (u, v)
+                    break
+        if pair:
+            break
+    assume(pair is not None)
+    u, v = pair
+    out = exchange(schedule, u, v)
+    # property 1: swapped delivery times
+    assert out.delivery_time(v) == schedule.delivery_time(u)
+    assert out.delivery_time(u) == schedule.delivery_time(v)
+    # property 2: non-descendants untouched
+    affected = set(schedule.descendants(u)) | set(schedule.descendants(v)) | {u, v}
+    for w in range(1, mset.n + 1):
+        if w not in affected:
+            assert out.delivery_time(w) == schedule.delivery_time(w)
+    # property 3: D_T does not increase
+    assert out.delivery_completion <= schedule.delivery_completion + 1e-9
+    # bonus invariants: children of u keep their delivery times exactly
+    for child, _slot in schedule.children_of(u):
+        if child != v:
+            assert out.delivery_time(child) == schedule.delivery_time(child)
+
+
+@given(power_of_two_multicasts(), st.integers(min_value=0, max_value=49))
+@settings(max_examples=50, deadline=None)
+def test_layer_schedule_produces_layered_without_hurting_d(mset, seed):
+    schedule = random_schedule(mset, seed)
+    layered = layer_schedule(schedule)
+    assert layered.is_layered()
+    assert layered.delivery_completion <= schedule.delivery_completion + 1e-9
+
+
+@given(power_of_two_multicasts(max_n=5), st.integers(min_value=0, max_value=19))
+@settings(max_examples=30, deadline=None)
+def test_theorem1_proof_chain(mset, seed):
+    """greedy D <= layered(any schedule) D <= that schedule's D (on S')."""
+    schedule = random_schedule(mset, seed)
+    layered = layer_schedule(schedule)
+    greedy = greedy_schedule(mset)
+    assert greedy.delivery_completion <= layered.delivery_completion + 1e-9
+    # and Corollary 1 pins greedy to the exhaustive layered minimum
+    assert abs(
+        greedy.delivery_completion - min_layered_delivery_completion(mset)
+    ) < 1e-9

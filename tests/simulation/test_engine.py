@@ -1,0 +1,109 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.at(3.0, lambda: seen.append("c"))
+        sim.at(1.0, lambda: seen.append("a"))
+        sim.at(2.0, lambda: seen.append("b"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous(self):
+        sim = Simulator()
+        seen = []
+        for tag in "abc":
+            sim.at(1.0, lambda t=tag: seen.append(t))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.at(5.0, lambda: sim.after(2.5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [7.5]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="past"):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="negative"):
+            sim.after(-1, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        seen = []
+        ev = sim.at(1.0, lambda: seen.append("x"))
+        Simulator.cancel(ev)
+        sim.run()
+        assert seen == []
+
+
+class TestExecution:
+    def test_run_returns_final_time(self):
+        sim = Simulator()
+        sim.at(4.0, lambda: None)
+        assert sim.run() == 4.0
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda: seen.append(1))
+        sim.at(10.0, lambda: seen.append(10))
+        assert sim.run(until=5.0) == 5.0
+        assert seen == [1]
+        # remaining events still runnable afterwards
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_handlers_can_chain(self):
+        sim = Simulator()
+        count = []
+
+        def tick():
+            if len(count) < 5:
+                count.append(sim.now)
+                sim.after(1.0, tick)
+
+        sim.at(0.0, tick)
+        sim.run()
+        assert count == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_step_single(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda: seen.append("a"))
+        sim.at(2.0, lambda: seen.append("b"))
+        assert sim.step() is True
+        assert seen == ["a"]
+        assert sim.step() is True and sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def evil():
+            sim.run()
+
+        sim.at(1.0, evil)
+        with pytest.raises(SimulationError, match="reentrant"):
+            sim.run()

@@ -1,0 +1,98 @@
+"""Unit tests for the simulated nodes and network (busy-state enforcement)."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import Simulator
+from repro.simulation.network import SimNetwork, SimNode
+from repro.simulation.trace import Trace
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    trace = Trace()
+    return sim, trace
+
+
+class TestSimNode:
+    def test_send_occupies_and_fires(self, world):
+        sim, trace = world
+        node = SimNode(0, send_overhead=3, receive_overhead=1, sim=sim, trace=trace)
+        fired = []
+        sim.at(0.0, lambda: node.begin_send(1, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [3.0]
+        assert node.busy_until == 3.0
+        assert trace.intervals[0].kind == "send"
+
+    def test_receive_records_reception_time(self, world):
+        sim, trace = world
+        node = SimNode(1, send_overhead=1, receive_overhead=4, sim=sim, trace=trace)
+        sim.at(2.0, lambda: node.begin_receive(0, lambda: None))
+        sim.run()
+        assert node.reception_time == 6.0
+
+    def test_overlapping_operations_rejected(self, world):
+        sim, trace = world
+        node = SimNode(0, send_overhead=5, receive_overhead=1, sim=sim, trace=trace)
+        sim.at(0.0, lambda: node.begin_send(1, lambda: None))
+        sim.at(2.0, lambda: node.begin_send(2, lambda: None))
+        with pytest.raises(SimulationError, match="busy"):
+            sim.run()
+
+    def test_back_to_back_operations_allowed(self, world):
+        sim, trace = world
+        node = SimNode(0, send_overhead=2, receive_overhead=1, sim=sim, trace=trace)
+        sim.at(0.0, lambda: node.begin_send(1, lambda: None))
+        sim.at(2.0, lambda: node.begin_send(2, lambda: None))
+        sim.run()
+        assert node.busy_until == 4.0
+        trace.assert_no_overlap()
+
+    def test_double_reception_rejected(self, world):
+        sim, trace = world
+        node = SimNode(1, send_overhead=1, receive_overhead=1, sim=sim, trace=trace)
+        sim.at(0.0, lambda: node.begin_receive(0, lambda: None))
+        sim.at(5.0, lambda: node.begin_receive(2, lambda: None))
+        with pytest.raises(SimulationError, match="twice"):
+            sim.run()
+
+
+class TestSimNetwork:
+    def test_transmit_applies_latency(self, world):
+        sim, trace = world
+        net = SimNetwork(7.0, sim, trace)
+        arrived = []
+        sim.at(1.0, lambda: net.transmit(0, 1, lambda: arrived.append(sim.now)))
+        sim.run()
+        assert arrived == [8.0]
+        assert trace.flights[0].departure == 1.0
+        assert trace.flights[0].arrival == 8.0
+
+    def test_nonpositive_latency_rejected(self, world):
+        sim, trace = world
+        with pytest.raises(SimulationError):
+            SimNetwork(0.0, sim, trace)
+
+    def test_jitter_applied_and_clamped(self, world):
+        sim, trace = world
+        # adversarial jitter that would make the flight negative: clamped
+        net = SimNetwork(1.0, sim, trace, jitter=lambda a, b: -100.0)
+        arrived = []
+        sim.at(0.0, lambda: net.transmit(0, 1, lambda: arrived.append(sim.now)))
+        sim.run()
+        assert arrived and arrived[0] > 0  # clamped to a positive flight
+
+    def test_jitter_receives_edge_identity(self, world):
+        sim, trace = world
+        seen = []
+
+        def jitter(sender, receiver):
+            seen.append((sender, receiver))
+            return 0.0
+
+        net = SimNetwork(1.0, sim, trace, jitter=jitter)
+        sim.at(0.0, lambda: net.transmit(3, 9, lambda: None))
+        sim.run()
+        assert seen == [(3, 9)]

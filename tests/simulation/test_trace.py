@@ -1,0 +1,74 @@
+"""Unit tests for simulation traces."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.trace import Flight, Interval, Trace
+
+
+class TestInterval:
+    def test_valid(self):
+        iv = Interval(1, "send", 0.0, 2.0, peer=2)
+        assert iv.end - iv.start == 2.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Interval(1, "send", 2.0, 2.0, peer=2)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Interval(1, "receive", 3.0, 2.0, peer=0)
+
+
+class TestTrace:
+    def test_busy_and_flight_accumulate(self):
+        tr = Trace()
+        tr.busy(0, "send", 0, 2, peer=1)
+        tr.flight(0, 1, 2, 3)
+        assert len(tr.intervals) == 1 and len(tr.flights) == 1
+        assert tr.flights[0] == Flight(0, 1, 2, 3)
+
+    def test_by_node_sorted(self):
+        tr = Trace()
+        tr.busy(0, "send", 4, 6, peer=2)
+        tr.busy(0, "send", 0, 2, peer=1)
+        tr.busy(1, "receive", 3, 4, peer=0)
+        by = tr.by_node()
+        assert [iv.start for iv in by[0]] == [0, 4]
+        assert set(by) == {0, 1}
+
+    def test_no_overlap_passes(self):
+        tr = Trace()
+        tr.busy(0, "send", 0, 2, peer=1)
+        tr.busy(0, "send", 2, 4, peer=2)
+        tr.assert_no_overlap()
+
+    def test_overlap_detected(self):
+        tr = Trace()
+        tr.busy(0, "send", 0, 3, peer=1)
+        tr.busy(0, "receive", 2, 4, peer=2)
+        with pytest.raises(SimulationError, match="overlapping"):
+            tr.assert_no_overlap()
+
+    def test_overlap_on_different_nodes_is_fine(self):
+        tr = Trace()
+        tr.busy(0, "send", 0, 3, peer=1)
+        tr.busy(1, "receive", 2, 4, peer=0)
+        tr.assert_no_overlap()
+
+    def test_makespan(self):
+        tr = Trace()
+        assert tr.makespan == 0.0
+        tr.busy(0, "send", 0, 5, peer=1)
+        tr.busy(1, "receive", 6, 7, peer=0)
+        assert tr.makespan == 7
+
+    def test_utilization(self):
+        tr = Trace()
+        tr.busy(0, "send", 0, 2, peer=1)
+        tr.busy(0, "send", 4, 6, peer=2)
+        assert tr.utilization(0, 8) == pytest.approx(0.5)
+
+    def test_utilization_bad_horizon(self):
+        with pytest.raises(SimulationError):
+            Trace().utilization(0, 0)

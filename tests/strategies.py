@@ -1,0 +1,99 @@
+"""Hypothesis strategies for the property-based tests.
+
+Instances drawn here always satisfy the paper's assumptions: positive
+integer overheads and latency, and the overhead-correlation condition
+(strictly larger sends imply strictly larger receives; equal sends share a
+receive).  Strategies return the instance so shrinking produces minimal
+counterexamples in model terms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.core.multicast import MulticastSet
+
+__all__ = [
+    "correlated_types",
+    "multicast_sets",
+    "uniform_ratio_multicasts",
+    "power_of_two_multicasts",
+]
+
+
+@st.composite
+def correlated_types(
+    draw, *, max_types: int = 4, max_send: int = 12, max_ratio: int = 4
+) -> List[Tuple[int, int]]:
+    """Distinct (send, receive) pairs satisfying the correlation condition."""
+    k = draw(st.integers(min_value=1, max_value=max_types))
+    sends = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=max_send),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+    )
+    receives: List[int] = []
+    prev = 0
+    for s in sends:
+        r = draw(st.integers(min_value=max(prev + 1, 1), max_value=max(prev + 1, s * max_ratio)))
+        receives.append(r)
+        prev = r
+    return list(zip(sends, receives))
+
+
+@st.composite
+def multicast_sets(
+    draw,
+    *,
+    min_n: int = 1,
+    max_n: int = 8,
+    max_types: int = 4,
+    max_send: int = 12,
+    max_latency: int = 5,
+) -> MulticastSet:
+    """Random correlated instances with type structure."""
+    types = draw(correlated_types(max_types=max_types, max_send=max_send))
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    dest_types = draw(
+        st.lists(st.sampled_from(types), min_size=n, max_size=n)
+    )
+    source_type = draw(st.sampled_from(types))
+    latency = draw(st.integers(min_value=1, max_value=max_latency))
+    return MulticastSet.from_overheads(source_type, dest_types, latency)
+
+
+@st.composite
+def uniform_ratio_multicasts(
+    draw, *, min_n: int = 1, max_n: int = 7, max_ratio: int = 3
+) -> MulticastSet:
+    """Instances where every node has the same integer ratio."""
+    ratio = draw(st.integers(min_value=1, max_value=max_ratio))
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    sends = draw(
+        st.lists(st.integers(min_value=1, max_value=10), min_size=n + 1, max_size=n + 1)
+    )
+    latency = draw(st.integers(min_value=1, max_value=4))
+    pairs = [(s, ratio * s) for s in sends]
+    return MulticastSet.from_overheads(pairs[0], pairs[1:], latency)
+
+
+@st.composite
+def power_of_two_multicasts(
+    draw, *, min_n: int = 2, max_n: int = 6, max_ratio: int = 3, max_exp: int = 3
+) -> MulticastSet:
+    """Lemma 3's habitat: power-of-two sends, uniform integer ratio."""
+    ratio = draw(st.integers(min_value=1, max_value=max_ratio))
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    exps = draw(
+        st.lists(st.integers(min_value=0, max_value=max_exp), min_size=n + 1, max_size=n + 1)
+    )
+    latency = draw(st.integers(min_value=1, max_value=3))
+    pairs = [(2**e, ratio * 2**e) for e in exps]
+    return MulticastSet.from_overheads(pairs[0], pairs[1:], latency)

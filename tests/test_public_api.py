@@ -1,0 +1,126 @@
+"""Release-quality checks: public API surface and docs/code consistency."""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+import repro
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.model",
+    "repro.simulation",
+    "repro.algorithms",
+    "repro.collectives",
+    "repro.workloads",
+    "repro.analysis",
+    "repro.viz",
+    "repro.io",
+    "repro.experiments",
+    "repro.cli",
+]
+
+
+class TestApiSurface:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_package_imports(self, package):
+        importlib.import_module(package)
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_entries_resolve(self, package):
+        mod = importlib.import_module(package)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{package}.__all__ lists missing {name!r}"
+
+    def test_version_matches_pyproject(self):
+        pyproject = (REPO / "pyproject.toml").read_text()
+        declared = re.search(r'^version = "([^"]+)"', pyproject, re.M).group(1)
+        assert repro.__version__ == declared
+
+    def test_every_public_symbol_documented(self):
+        """Everything exported at top level carries a docstring."""
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+    def test_every_module_has_docstring(self):
+        src = REPO / "src" / "repro"
+        for path in src.rglob("*.py"):
+            text = path.read_text().lstrip()
+            assert text.startswith(('"""', "'''")) or path.name == "__init__.py" and not text, (
+                f"{path.relative_to(REPO)} lacks a module docstring"
+            )
+
+    def test_cli_help_runs(self, capsys):
+        from repro.cli.main import build_parser
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--help"])
+        assert exc.value.code == 0
+        assert "multicast" in capsys.readouterr().out.lower()
+
+
+class TestDocsConsistency:
+    def test_design_lists_every_experiment(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        design = (REPO / "DESIGN.md").read_text()
+        for name in EXPERIMENTS:
+            assert f"| {name} |" in design, f"DESIGN.md experiment index missing {name}"
+
+    def test_experiments_md_covers_every_experiment(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        record = (REPO / "EXPERIMENTS.md").read_text()
+        for name in EXPERIMENTS:
+            assert re.search(rf"^## {name} ", record, re.M), (
+                f"EXPERIMENTS.md has no section for {name}"
+            )
+
+    def test_readme_examples_exist(self):
+        readme = (REPO / "README.md").read_text()
+        for match in re.finditer(r"`([a-z_]+\.py)`", readme):
+            name = match.group(1)
+            assert (REPO / "examples" / name).exists(), (
+                f"README references examples/{name} which does not exist"
+            )
+
+    def test_readme_schedulers_match_registry(self):
+        from repro.algorithms.registry import available_schedulers
+
+        init_doc = (REPO / "src/repro/algorithms/__init__.py").read_text()
+        for name in available_schedulers():
+            assert f"``{name}``" in init_doc, (
+                f"algorithms package docstring missing scheduler {name!r}"
+            )
+
+    def test_design_substitutions_section_present(self):
+        design = (REPO / "DESIGN.md").read_text()
+        assert "## 2. Substitutions" in design
+        assert "discrete-event" in design
+
+    def test_bench_file_per_experiment(self):
+        """Every experiment id maps to at least one bench module."""
+        mapping = {
+            "E1": "bench_fig1.py",
+            "E2": "bench_ratio.py",
+            "E3": "bench_greedy_scaling.py",
+            "E4": "bench_dp_scaling.py",
+            "E5": "bench_leaf_reversal.py",
+            "E6": "bench_bound_tightness.py",
+            "E7": "bench_baselines.py",
+            "E8": "bench_table_precompute.py",
+            "E9": "bench_layered.py",
+            "E10": "bench_ablation.py",
+        }
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert set(mapping) == set(EXPERIMENTS)
+        for bench in mapping.values():
+            assert (REPO / "benchmarks" / bench).exists(), bench

@@ -1,0 +1,75 @@
+"""Unit tests for the ASCII tree and Gantt renderers."""
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.schedule import Schedule
+from repro.exceptions import ReproError
+from repro.simulation.executor import simulate_schedule
+from repro.viz.ascii_tree import render_tree
+from repro.viz.gantt import gantt_for_schedule, render_gantt
+
+
+class TestAsciiTree:
+    def test_all_nodes_present(self, fig1_mset):
+        text = render_tree(greedy_schedule(fig1_mset))
+        for name in ("p0", "d1", "d2", "d3", "d4"):
+            assert name in text
+
+    def test_reception_times_bracketed(self, fig1_mset):
+        text = render_tree(greedy_schedule(fig1_mset))
+        for t in ("[4]", "[6]", "[7]", "[10]"):
+            assert t in text
+
+    def test_source_marked(self, fig1_mset):
+        assert "[source]" in render_tree(greedy_schedule(fig1_mset))
+
+    def test_slots_shown_when_requested(self, fig1_mset):
+        gapped = Schedule(fig1_mset, {0: [(1, 1), (2, 3), (3, 4), (4, 6)]})
+        text = render_tree(gapped, show_slots=True)
+        assert "(slot 3)" in text and "(slot 6)" in text
+
+    def test_line_count_matches_nodes(self, fig1_mset):
+        text = render_tree(greedy_schedule(fig1_mset))
+        assert len(text.splitlines()) == fig1_mset.n + 1
+
+    def test_doctest_example(self):
+        from repro.core.multicast import MulticastSet
+
+        m = MulticastSet.from_overheads((1, 1), [(1, 1)], 1)
+        assert render_tree(greedy_schedule(m)) == (
+            "p0 (s=1, r=1) [source]\n`-- d1 (s=1, r=1) [3]"
+        )
+
+
+class TestGantt:
+    def test_contains_send_and_receive_marks(self, fig1_mset):
+        chart = gantt_for_schedule(greedy_schedule(fig1_mset))
+        assert "S" in chart and "R" in chart
+
+    def test_row_per_active_node(self, fig1_mset):
+        chart = gantt_for_schedule(greedy_schedule(fig1_mset))
+        for name in ("p0", "d1", "d4"):
+            assert name in chart
+
+    def test_width_respected(self, fig1_mset):
+        result = simulate_schedule(greedy_schedule(fig1_mset))
+        names = [fig1_mset.node(v).name for v in range(fig1_mset.n + 1)]
+        chart = render_gantt(result.trace, node_names=names, width=40)
+        body_lines = [l for l in chart.splitlines() if "|" in l]
+        assert all(len(l.split("|")[1]) == 40 for l in body_lines)
+
+    def test_narrow_width_rejected(self, fig1_mset):
+        result = simulate_schedule(greedy_schedule(fig1_mset))
+        with pytest.raises(ReproError):
+            render_gantt(result.trace, width=2)
+
+    def test_empty_trace_rejected(self):
+        from repro.simulation.trace import Trace
+
+        with pytest.raises(ReproError):
+            render_gantt(Trace())
+
+    def test_legend_present(self, fig1_mset):
+        chart = gantt_for_schedule(greedy_schedule(fig1_mset))
+        assert "S=sending" in chart

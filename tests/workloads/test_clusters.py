@@ -1,0 +1,131 @@
+"""Unit tests for cluster generators."""
+
+import pytest
+
+from repro.core.multicast import MulticastSet
+from repro.exceptions import WorkloadError
+from repro.workloads.clusters import (
+    bounded_ratio_cluster,
+    figure1_nodes,
+    limited_type_cluster,
+    pareto_cluster,
+    power_of_two_cluster,
+    two_class_cluster,
+    uniform_ratio_cluster,
+)
+
+
+def correlated(nodes) -> bool:
+    try:
+        MulticastSet(nodes[0], nodes[1:], 1)
+        return True
+    except Exception:
+        return False
+
+
+class TestTwoClass:
+    def test_counts(self):
+        nodes = two_class_cluster(3, 2)
+        assert len(nodes) == 5
+        assert sum(1 for n in nodes if n.type_key == (1, 1)) == 3
+
+    def test_figure1_nodes(self):
+        nodes = figure1_nodes()
+        assert nodes[0].type_key == (2, 3)  # slow source first
+        assert [n.type_key for n in nodes[1:4]] == [(1, 1)] * 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            two_class_cluster(0, 0)
+
+    def test_inverted_classes_rejected(self):
+        with pytest.raises(WorkloadError):
+            two_class_cluster(1, 1, fast=(3, 3), slow=(1, 1))
+
+
+class TestBoundedRatio:
+    def test_deterministic(self):
+        assert bounded_ratio_cluster(10, 42) == bounded_ratio_cluster(10, 42)
+
+    def test_different_seeds_differ(self):
+        assert bounded_ratio_cluster(10, 1) != bounded_ratio_cluster(10, 2)
+
+    def test_correlation_holds(self):
+        for seed in range(10):
+            assert correlated(bounded_ratio_cluster(12, seed))
+
+    def test_ratios_in_band(self):
+        # default send range is large enough that rounding keeps ratios
+        # within ~[1.0, 2.0]
+        for seed in range(10):
+            for node in bounded_ratio_cluster(20, seed):
+                assert 1.0 <= node.ratio <= 2.0
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(WorkloadError):
+            bounded_ratio_cluster(0, 0)
+        with pytest.raises(WorkloadError):
+            bounded_ratio_cluster(5, 0, send_range=(10, 2))
+        with pytest.raises(WorkloadError):
+            bounded_ratio_cluster(5, 0, ratio_range=(2.0, 1.0))
+
+
+class TestLimitedTypes:
+    def test_grouped_output(self):
+        nodes = limited_type_cluster([(1, 1), (2, 3)], [2, 3])
+        assert [n.type_key for n in nodes] == [(1, 1)] * 2 + [(2, 3)] * 3
+
+    def test_correlation_validated(self):
+        with pytest.raises(WorkloadError, match="correlation"):
+            limited_type_cluster([(1, 5), (2, 3)], [1, 1])
+
+    def test_equal_sends_rejected(self):
+        with pytest.raises(WorkloadError, match="correlation"):
+            limited_type_cluster([(1, 1), (1, 2)], [1, 1])
+
+    def test_misaligned_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            limited_type_cluster([(1, 1)], [1, 2])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(WorkloadError):
+            limited_type_cluster([(1, 1)], [0])
+
+
+class TestUniformAndPowerOfTwo:
+    def test_uniform_ratio_exact(self):
+        for node in uniform_ratio_cluster(10, 3, ratio=3):
+            assert node.receive_overhead == 3 * node.send_overhead
+
+    def test_uniform_bad_ratio_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_ratio_cluster(5, 0, ratio=0)
+
+    def test_power_of_two_sends(self):
+        for node in power_of_two_cluster(12, 5, ratio=2):
+            send = node.send_overhead
+            assert send & (send - 1) == 0  # power of two
+            assert node.receive_overhead == 2 * send
+
+    def test_power_of_two_exponent_capped(self):
+        for node in power_of_two_cluster(30, 1, ratio=1, max_exponent=2):
+            assert node.send_overhead <= 4
+
+
+class TestPareto:
+    def test_heavy_tail_present(self):
+        nodes = pareto_cluster(200, 0)
+        sends = sorted(n.send_overhead for n in nodes)
+        assert sends[-1] >= 4 * sends[len(sends) // 2]  # tail >> median
+
+    def test_correlation_holds(self):
+        for seed in range(5):
+            assert correlated(pareto_cluster(30, seed))
+
+    def test_cap_respected(self):
+        for node in pareto_cluster(100, 2, cap=50):
+            assert node.send_overhead <= 50
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(WorkloadError):
+            pareto_cluster(5, 0, alpha=0)

@@ -1,0 +1,72 @@
+"""Unit tests for instance generation from clusters."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.clusters import bounded_ratio_cluster, two_class_cluster
+from repro.workloads.generator import multicast_from_cluster, random_subset_multicast
+
+
+@pytest.fixture
+def cluster():
+    return bounded_ratio_cluster(10, seed=1)
+
+
+class TestMulticastFromCluster:
+    def test_broadcast_size(self, cluster):
+        m = multicast_from_cluster(cluster)
+        assert m.n == 9
+
+    def test_slowest_source_policy(self, cluster):
+        m = multicast_from_cluster(cluster, source="slowest")
+        assert m.source.send_overhead == max(n.send_overhead for n in cluster)
+
+    def test_fastest_source_policy(self, cluster):
+        m = multicast_from_cluster(cluster, source="fastest")
+        assert m.source.send_overhead == min(n.send_overhead for n in cluster)
+
+    def test_median_source_policy(self, cluster):
+        m = multicast_from_cluster(cluster, source="median")
+        sends = sorted(n.send_overhead for n in cluster)
+        assert m.source.send_overhead == sends[len(sends) // 2]
+
+    def test_first_source_policy(self, cluster):
+        m = multicast_from_cluster(cluster, source="first")
+        assert m.source == cluster[0]
+
+    def test_random_source_deterministic(self, cluster):
+        a = multicast_from_cluster(cluster, source="random", seed=5)
+        b = multicast_from_cluster(cluster, source="random", seed=5)
+        assert a.source == b.source
+
+    def test_unknown_policy_rejected(self, cluster):
+        with pytest.raises(WorkloadError):
+            multicast_from_cluster(cluster, source="psychic")
+
+    def test_tiny_cluster_rejected(self):
+        with pytest.raises(WorkloadError):
+            multicast_from_cluster(two_class_cluster(1, 0))
+
+    def test_latency_propagates(self, cluster):
+        assert multicast_from_cluster(cluster, latency=7).latency == 7
+
+
+class TestRandomSubset:
+    def test_subset_size(self, cluster):
+        m = random_subset_multicast(cluster, 4, seed=2)
+        assert m.n == 4
+
+    def test_source_not_among_destinations(self, cluster):
+        m = random_subset_multicast(cluster, 5, source="slowest", seed=3)
+        assert all(d.name != m.source.name for d in m.destinations)
+
+    def test_deterministic(self, cluster):
+        assert random_subset_multicast(cluster, 4, seed=9) == random_subset_multicast(
+            cluster, 4, seed=9
+        )
+
+    def test_bounds_checked(self, cluster):
+        with pytest.raises(WorkloadError):
+            random_subset_multicast(cluster, 0)
+        with pytest.raises(WorkloadError):
+            random_subset_multicast(cluster, len(cluster))

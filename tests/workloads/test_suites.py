@@ -1,0 +1,53 @@
+"""Unit tests for named experiment suites."""
+
+import pytest
+
+from repro.workloads.suites import SUITES, instances, suite
+
+
+class TestSuites:
+    def test_all_names_resolvable(self):
+        for name in SUITES:
+            assert suite(name).name == name
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError):
+            suite("imaginary")
+
+    def test_instances_deterministic(self):
+        a = [(n, s, m) for n, s, m in instances("bounded-ratio")]
+        b = [(n, s, m) for n, s, m in instances("bounded-ratio")]
+        assert a == b
+
+    def test_sizes_match_declared(self):
+        s = suite("two-class")
+        produced = {n for n, _seed, _m in s.instances()}
+        assert produced == set(s.sizes)
+
+    def test_instance_n_matches_label(self):
+        for name in SUITES:
+            for n, _seed, mset in suite(name).instances():
+                assert mset.n == n, f"suite {name}"
+
+    def test_type_suites_have_declared_k(self):
+        for n, _seed, m in instances("two-type"):
+            assert m.num_types == 2
+        for n, _seed, m in instances("three-type"):
+            assert m.num_types == 3
+
+    def test_power_of_two_suite_satisfies_lemma3(self):
+        from repro.core.transform import uniform_ratio
+
+        for _n, _seed, m in instances("power-of-two"):
+            assert uniform_ratio(m) == 2
+            for nd in m.nodes:
+                send = int(nd.send_overhead)
+                assert send & (send - 1) == 0
+
+    def test_all_instances_correlated(self):
+        for name in SUITES:
+            for _n, _seed, m in suite(name).instances():
+                assert m.correlated, f"suite {name}"
+
+    def test_descriptions_present(self):
+        assert all(s.description for s in SUITES.values())
