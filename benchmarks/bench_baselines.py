@@ -1,17 +1,20 @@
 """E7 benchmark — scheduler shoot-out under the receive-send model.
 
-Times every registered scheduler on the same two-class instance and attaches
-its completion relative to the paper's greedy+reversal; the expected shape
-(the paper's algorithm wins or ties) is asserted.
+Times every registered (heuristic) solver on the same two-class instance
+through the :mod:`repro.api` façade and attaches its completion relative to
+the paper's greedy+reversal; the expected shape (the paper's algorithm wins
+or ties) is asserted.
 """
 
 import pytest
 
-from repro.algorithms.registry import available_schedulers, get_scheduler
+from repro.api import Planner, solver_items
 from repro.workloads.clusters import two_class_cluster
 from repro.workloads.generator import multicast_from_cluster
 
 N = 128
+
+SCHEDULERS = [e.name for e in solver_items() if not e.capabilities.exact]
 
 
 def _instance():
@@ -20,14 +23,13 @@ def _instance():
     return multicast_from_cluster(nodes, latency=1, source="slowest")
 
 
-@pytest.mark.parametrize("name", available_schedulers())
-def test_scheduler(benchmark, name):
+@pytest.mark.parametrize("name", SCHEDULERS)
+def test_scheduler(benchmark, planner, name):
     mset = _instance()
-    scheduler = get_scheduler(name)
-    schedule = benchmark(scheduler, mset)
-    reference = get_scheduler("greedy+reversal")(mset).reception_completion
-    rel = schedule.reception_completion / reference
-    benchmark.extra_info["completion"] = schedule.reception_completion
+    result = benchmark(planner.plan, mset, name)
+    reference = planner.plan(mset, "greedy+reversal").value
+    rel = result.value / reference
+    benchmark.extra_info["completion"] = result.value
     benchmark.extra_info["vs_greedy_reversal"] = round(rel, 4)
     if name == "greedy+ls":
         assert rel <= 1.0 + 1e-9  # local search may only improve
@@ -38,10 +40,8 @@ def test_scheduler(benchmark, name):
 def test_expected_ordering():
     """Non-timed: the E7 shape — who wins, and by roughly what class."""
     mset = _instance()
-    values = {
-        name: get_scheduler(name)(mset).reception_completion
-        for name in available_schedulers()
-    }
+    planner = Planner()
+    values = {name: planner.plan(mset, name).value for name in SCHEDULERS}
     best = values["greedy+reversal"]
     assert best == min(v for k, v in values.items() if k != "greedy+ls")
     assert values["greedy+ls"] <= best

@@ -10,7 +10,6 @@ from repro.core.bounds import (
     certified_lower_bound,
     theorem1_factor,
 )
-from repro.core.brute_force import solve_exact
 from repro.core.greedy import greedy_schedule
 from repro.workloads.clusters import uniform_ratio_cluster
 from repro.workloads.generator import multicast_from_cluster
@@ -28,13 +27,13 @@ def test_certified_lower_bound_cost(benchmark):
     benchmark.extra_info["lower_bound"] = lb
 
 
-def test_exact_solver_cost(benchmark):
+def test_exact_solver_cost(benchmark, planner):
     mset = _instance()
-    solution = benchmark(solve_exact, mset)
+    solution = benchmark(planner.plan, mset, "exact")
     greedy = greedy_schedule(mset).reception_completion
     factor = theorem1_factor(mset)
     measured = greedy / solution.value
     assert measured < factor  # the multiplicative factor alone covers greedy
     benchmark.extra_info["measured_ratio"] = round(measured, 4)
     benchmark.extra_info["theorem1_factor"] = factor
-    benchmark.extra_info["expanded"] = solution.nodes_expanded
+    benchmark.extra_info["expanded"] = solution.provenance["nodes_expanded"]

@@ -6,8 +6,7 @@ bound on the small configurations.
 
 import pytest
 
-from repro.core.brute_force import solve_exact
-from repro.core.dp import solve_dp
+from repro.api import Planner
 from repro.experiments.dp_scaling import TYPE_SETS, _split
 from repro.workloads.clusters import limited_type_cluster
 from repro.workloads.generator import multicast_from_cluster
@@ -21,30 +20,27 @@ def _instance(k: int, n: int):
 
 
 @pytest.mark.parametrize("k,n", CONFIGS)
-def test_dp_scaling(benchmark, k, n):
+def test_dp_scaling(benchmark, planner, k, n):
     mset = _instance(k, n)
-    solution = benchmark(solve_dp, mset)
+    solution = benchmark(planner.plan, mset, "dp")
     benchmark.extra_info["k"] = k
     benchmark.extra_info["n"] = n
-    benchmark.extra_info["states"] = solution.states_computed
+    benchmark.extra_info["states"] = solution.provenance["states_computed"]
     benchmark.extra_info["optimum"] = solution.value
     if n <= 8:
-        assert solution.value == pytest.approx(solve_exact(mset).value)
+        assert solution.value == pytest.approx(planner.plan(mset, "exact").value)
 
 
 def test_dp_polynomial_degree():
     """Non-timed: log-log slope stays at or below Theorem 2's 2k."""
-    import time
-
     from repro.analysis.complexity import fit_power
 
+    planner = Planner(cache_size=0)
     for k, sizes in ((2, (16, 32, 48, 64)), (3, (9, 15, 21, 27))):
         times = []
         for n in sizes:
             mset = _instance(k, n)
-            t0 = time.perf_counter()
-            solve_dp(mset)
-            times.append(time.perf_counter() - t0)
+            times.append(planner.plan(mset, "dp").elapsed_s)
         exponent, _ = fit_power(sizes, times)
         assert exponent <= 2 * k + 0.5, (
             f"k={k}: measured exponent {exponent:.2f} exceeds Theorem 2's {2*k}"

@@ -6,7 +6,6 @@ Regenerates the Figure 1 numbers (completions 10 and 9, narrated receptions
 
 import pytest
 
-from repro.core.dp import solve_dp
 from repro.core.greedy import greedy_schedule
 from repro.core.leaf_reversal import greedy_with_reversal
 from repro.experiments.fig1 import (
@@ -44,7 +43,7 @@ def test_figure1_greedy_with_reversal(benchmark, fig1_mset):
     benchmark.extra_info["completion"] = schedule.reception_completion
 
 
-def test_figure1_dp_optimum(benchmark, fig1_mset):
-    solution = benchmark(solve_dp, fig1_mset)
-    assert solution.value == 8
-    benchmark.extra_info["optimum"] = solution.value
+def test_figure1_dp_optimum(benchmark, planner, fig1_mset):
+    result = benchmark(planner.plan, fig1_mset, "dp")
+    assert result.value == 8
+    benchmark.extra_info["optimum"] = result.value

@@ -22,9 +22,10 @@ def test_greedy_scaling(benchmark, n):
     schedule = benchmark(greedy_schedule, mset)
     assert schedule.is_layered()
     benchmark.extra_info["n"] = n
-    benchmark.extra_info["per_nlogn_ns"] = round(
-        benchmark.stats["mean"] / (n * math.log2(n)) * 1e9, 3
-    )
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["per_nlogn_ns"] = round(
+            benchmark.stats["mean"] / (n * math.log2(n)) * 1e9, 3
+        )
 
 
 def test_greedy_nlogn_shape():

@@ -1,0 +1,61 @@
+"""Planner benchmark — batched-parallel vs serial planning throughput.
+
+Plans the same 200-instance suite through :meth:`repro.api.Planner.plan_batch`
+serially and with a thread-pool fan-out, and reports instances/second for
+each mode plus the LRU-cache effect on a repeated batch.  Parallel results
+are asserted identical to serial ones (the batch API's core contract).
+"""
+
+import pytest
+
+from repro.api import Planner, PlanRequest
+from repro.workloads.clusters import bounded_ratio_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+SUITE_SIZE = 200
+N = 24
+JOBS = 4
+
+
+def _suite():
+    requests = []
+    for seed in range(SUITE_SIZE):
+        nodes = bounded_ratio_cluster(N + 1, seed)
+        mset = multicast_from_cluster(nodes, latency=1 + seed % 3, seed=seed)
+        requests.append(PlanRequest(instance=mset, solver="greedy+reversal"))
+    return requests
+
+
+def test_batch_serial(benchmark):
+    requests = _suite()
+    planner = Planner(cache_size=0)
+    batch = benchmark(planner.plan_batch, requests, jobs=1)
+    assert len(batch) == SUITE_SIZE
+    benchmark.extra_info["instances_per_s"] = round(SUITE_SIZE / batch.elapsed_s)
+
+
+def test_batch_parallel(benchmark):
+    requests = _suite()
+    planner = Planner(cache_size=0)
+    batch = benchmark(planner.plan_batch, requests, jobs=JOBS)
+    assert len(batch) == SUITE_SIZE
+    benchmark.extra_info["jobs"] = JOBS
+    benchmark.extra_info["instances_per_s"] = round(SUITE_SIZE / batch.elapsed_s)
+
+
+def test_batch_warm_cache(benchmark):
+    requests = _suite()
+    planner = Planner(cache_size=SUITE_SIZE)
+    planner.plan_batch(requests)  # warm
+    batch = benchmark(planner.plan_batch, requests, jobs=1)
+    assert batch.cache_hits == SUITE_SIZE
+    benchmark.extra_info["instances_per_s"] = round(SUITE_SIZE / batch.elapsed_s)
+
+
+def test_parallel_equals_serial():
+    """Non-timed: the contract — fan-out changes nothing but wall-clock."""
+    requests = _suite()
+    serial = Planner(cache_size=0).plan_batch(requests, jobs=1)
+    parallel = Planner(cache_size=0).plan_batch(requests, jobs=JOBS)
+    assert serial.values() == parallel.values()
+    assert [r.schedule for r in serial] == [r.schedule for r in parallel]

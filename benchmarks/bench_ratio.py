@@ -8,8 +8,8 @@ exactly-solved instance.
 
 import pytest
 
+from repro.api import plan
 from repro.core.bounds import certified_lower_bound, theorem1_bound
-from repro.core.brute_force import solve_exact
 from repro.core.greedy import greedy_schedule
 from repro.workloads.clusters import bounded_ratio_cluster
 from repro.workloads.generator import multicast_from_cluster
@@ -23,7 +23,7 @@ def test_ratio_vs_exact_optimum(benchmark, n, seed):
     nodes = bounded_ratio_cluster(n + 1, seed)
     mset = multicast_from_cluster(nodes, latency=2)
     schedule = benchmark(greedy_schedule, mset)
-    opt = solve_exact(mset).value
+    opt = plan(mset, solver="exact").value
     greedy = schedule.reception_completion
     assert greedy < theorem1_bound(mset, opt)  # Theorem 1, strict
     benchmark.extra_info["n"] = n

@@ -6,7 +6,6 @@ solve of the same query, so the report shows the amortization directly.
 
 import pytest
 
-from repro.core.dp import solve_dp
 from repro.core.dp_table import OptimalTable
 from repro.workloads.clusters import limited_type_cluster
 from repro.workloads.generator import multicast_from_cluster
@@ -30,10 +29,10 @@ def test_table_query_after_build(benchmark):
     benchmark.extra_info["optimum"] = value
 
 
-def test_fresh_dp_solve_same_query(benchmark):
+def test_fresh_dp_solve_same_query(benchmark, planner):
     nodes = limited_type_cluster(TYPES, [12, 12])
     mset = multicast_from_cluster(nodes, latency=1, source="slowest")
-    solution = benchmark(solve_dp, mset)
+    solution = benchmark(planner.plan, mset, "dp")
     table = OptimalTable(TYPES, COUNTS, latency=1).build()
     assert solution.value == pytest.approx(table.completion(1, (12, 11)))
     benchmark.extra_info["optimum"] = solution.value

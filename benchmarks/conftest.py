@@ -8,6 +8,7 @@ doubles as a results table.
 
 import pytest
 
+from repro.api import Planner
 from repro.core.multicast import MulticastSet
 
 collect_ignore: list = []
@@ -25,3 +26,9 @@ def fig1_mset() -> MulticastSet:
         destinations=[(1, 1), (1, 1), (1, 1), (2, 3)],
         latency=1,
     )
+
+
+@pytest.fixture
+def planner() -> Planner:
+    """Cache-disabled planner: timed kernels must measure real solves."""
+    return Planner(cache_size=0)

@@ -10,8 +10,8 @@ compares every scheduler in the library under the receive-send model.
 Run:  python examples/cluster_broadcast.py
 """
 
-from repro.algorithms import available_schedulers, get_scheduler
 from repro.analysis import Table
+from repro.api import Planner, PlanRequest, capable_solvers
 from repro.model import instantiate, lan_network
 from repro.viz import render_tree
 
@@ -24,6 +24,7 @@ def main() -> None:
     print(f"cluster of {len(network.machines)} machines; broadcast from the "
           f"oldest machine (sparc10)\n")
 
+    planner = Planner()
     for message_length in (256, 4096, 65536):
         mset = instantiate(network, "sparc10", message_length)
         table = Table(
@@ -32,10 +33,14 @@ def main() -> None:
             f"[{mset.alpha_min:.2f}, {mset.alpha_max:.2f}])",
             ["algorithm", "completion", "vs best"],
         )
-        results = {
-            name: get_scheduler(name)(mset).reception_completion
-            for name in available_schedulers()
-        }
+        # every capable solver, fanned out over a thread pool
+        batch = planner.plan_batch(
+            [PlanRequest(instance=mset, solver=name)
+             for name in capable_solvers(mset)],
+            jobs=4,
+            on_error="skip",
+        )
+        results = {result.solver: result.value for result in batch}
         best = min(results.values())
         for name, value in sorted(results.items(), key=lambda kv: kv[1]):
             table.add_row([name, value, f"{value / best:.3f}x"])
@@ -44,7 +49,7 @@ def main() -> None:
 
     # show the winning tree for the mid-size message
     mset = instantiate(network, "sparc10", 4096)
-    winner = get_scheduler("greedy+reversal")(mset)
+    winner = planner.plan(mset, "greedy+reversal").schedule
     print("greedy+reversal schedule at 4096 bytes:")
     print(render_tree(winner))
 

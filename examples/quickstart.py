@@ -1,19 +1,21 @@
 #!/usr/bin/env python3
-"""Quickstart: schedule the paper's Figure 1 multicast.
+"""Quickstart: plan the paper's Figure 1 multicast through the unified API.
 
 Builds the exact instance from Figure 1 of the paper (a slow source, three
-fast destinations, one slow destination, network latency 1), runs the
-paper's algorithms, and shows the schedules the figure compares:
+fast destinations, one slow destination, network latency 1) and plans it
+with :class:`repro.api.Planner` — the single entry point to every solver in
+the library:
 
 * the greedy schedule (ties Figure 1(a) at completion 10),
 * greedy + leaf reversal (completion 8),
 * the Section 4 dynamic program's optimum (8 — so greedy+reversal is
-  optimal here).
+  optimal here), resolved from the same spec string as any scheduler.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import MulticastSet, greedy_schedule, greedy_with_reversal, solve_dp
+from repro import MulticastSet
+from repro.api import Planner, PlanRequest
 from repro.simulation import simulate_schedule
 from repro.viz import gantt_for_schedule, render_tree
 
@@ -28,28 +30,41 @@ def main() -> None:
         latency=1,
     )
     print(f"instance: {mset}\n")
+    planner = Planner()
 
     # --- the paper's greedy (Section 2) ----------------------------------
-    greedy = greedy_schedule(mset)
-    print(f"greedy schedule   R_T = {greedy.reception_completion:g} "
-          f"(layered: {greedy.is_layered()})")
-    print(render_tree(greedy), "\n")
+    greedy = planner.plan(mset, solver="greedy")
+    print(f"greedy schedule   R_T = {greedy.value:g} "
+          f"(layered: {greedy.schedule.is_layered()})")
+    print(render_tree(greedy.schedule), "\n")
 
     # --- leaf reversal (Section 3) ----------------------------------------
-    refined = greedy_with_reversal(mset)
-    print(f"greedy + reversal R_T = {refined.reception_completion:g}")
-    print(render_tree(refined), "\n")
+    refined = planner.plan(mset, solver="greedy+reversal")
+    print(f"greedy + reversal R_T = {refined.value:g}")
+    print(render_tree(refined.schedule), "\n")
 
     # --- exact optimum via limited-heterogeneity DP (Section 4) -----------
-    optimum = solve_dp(mset)
-    print(f"DP optimum (k = {mset.num_types} types): {optimum.value:g}")
-    assert refined.reception_completion == optimum.value
+    # same entry point, no special case: "dp" is just another solver spec
+    optimum = planner.plan(PlanRequest(instance=mset, solver="dp"))
+    print(f"DP optimum (k = {mset.num_types} types): {optimum.value:g} "
+          f"[exact={optimum.exact}, "
+          f"{optimum.provenance['states_computed']} DP states]")
+    assert refined.value == optimum.value
+
+    # --- batch the whole comparison in one call ---------------------------
+    batch = planner.plan_batch(
+        [PlanRequest(instance=mset, solver=s, tag=s)
+         for s in ("greedy", "greedy+reversal", "dp")],
+        jobs=2,
+    )
+    print("\nbatched:", {r.tag: r.value for r in batch},
+          f"({batch.cache_hits} served from cache)")
 
     # --- execute on the simulated HNOW ------------------------------------
-    result = simulate_schedule(refined)
+    result = simulate_schedule(refined.schedule)
     print(f"\nsimulated reception completion: {result.reception_completion:g} "
           f"({result.events_processed} events, matches the analytic model)\n")
-    print(gantt_for_schedule(refined, width=64))
+    print(gantt_for_schedule(refined.schedule, width=64))
 
 
 if __name__ == "__main__":

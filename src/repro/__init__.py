@@ -13,17 +13,37 @@ paper (see DESIGN.md / EXPERIMENTS.md).
 
 Quickstart
 ----------
->>> from repro import MulticastSet, greedy_with_reversal
+Every solver — the greedy family, the baselines, the exact ``dp`` and
+``exact`` oracles — is planned through the unified :mod:`repro.api`
+façade:
+
+>>> from repro import MulticastSet, Planner
 >>> mset = MulticastSet.from_overheads(
 ...     source=(2, 3),
 ...     destinations=[(1, 1), (1, 1), (1, 1), (2, 3)],
 ...     latency=1,
 ... )
->>> schedule = greedy_with_reversal(mset)
->>> schedule.reception_completion
+>>> planner = Planner()
+>>> planner.plan(mset, solver="greedy+reversal").value
 8.0
+>>> planner.plan(mset, solver="dp").exact    # same entry point, no special case
+True
+>>> planner.plan_batch([mset] * 3, jobs=2).values()
+(8.0, 8.0, 8.0)
+
+The direct algorithm functions (``greedy_with_reversal``, ``solve_dp``,
+...) remain exported for library use.
 """
 
+from repro.api import (
+    BatchResult,
+    Planner,
+    PlanRequest,
+    PlanResult,
+    instance_fingerprint,
+    plan,
+    plan_batch,
+)
 from repro.core import (
     BoundReport,
     DPSolution,
@@ -77,6 +97,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # planning façade
+    "Planner",
+    "PlanRequest",
+    "PlanResult",
+    "BatchResult",
+    "plan",
+    "plan_batch",
+    "instance_fingerprint",
     # model & schedules
     "Node",
     "MulticastSet",

@@ -1,0 +1,113 @@
+"""repro.api — the unified planning façade.
+
+This package is the single public surface for planning multicasts.  All
+solvers — the paper's greedy family, the related-work baselines, the
+Section 4 dynamic program and the exact branch-and-bound oracle — register
+in one capability-aware catalogue and are resolved from one spec string,
+so no consumer ever special-cases a solver name again.
+
+Quickstart
+----------
+>>> from repro import MulticastSet
+>>> from repro.api import Planner
+>>> mset = MulticastSet.from_overheads(
+...     source=(2, 3),
+...     destinations=[(1, 1), (1, 1), (1, 1), (2, 3)],
+...     latency=1,
+... )
+>>> planner = Planner()
+>>> planner.plan(mset, solver="dp").value
+8.0
+>>> batch = planner.plan_batch(
+...     [mset, mset], jobs=2
+... )
+>>> batch.values()
+(8.0, 8.0)
+
+Legacy entry points (``get_scheduler``, ``solve_dp``, ...) remain
+importable from here as deprecation shims; new code should go through
+:class:`Planner` / :func:`plan` and the unified registry.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.api.planner import (
+    CacheInfo,
+    Planner,
+    instance_fingerprint,
+    plan,
+    plan_batch,
+)
+from repro.api.request import BatchResult, PlanRequest, PlanResult
+from repro.api.solvers import (
+    SolverCapabilities,
+    SolverEntry,
+    SolverOutput,
+    available_bounds,
+    available_solvers,
+    bound_values,
+    capable_solvers,
+    get_solver,
+    parse_spec,
+    register_bound,
+    register_solver,
+    resolve,
+    solver_items,
+)
+
+__all__ = [
+    # engine
+    "Planner",
+    "CacheInfo",
+    "plan",
+    "plan_batch",
+    "instance_fingerprint",
+    # request/response
+    "PlanRequest",
+    "PlanResult",
+    "BatchResult",
+    # registry
+    "SolverCapabilities",
+    "SolverEntry",
+    "SolverOutput",
+    "register_solver",
+    "register_bound",
+    "get_solver",
+    "resolve",
+    "parse_spec",
+    "available_solvers",
+    "solver_items",
+    "capable_solvers",
+    "available_bounds",
+    "bound_values",
+]
+
+# ----------------------------------------------------------------------
+# deprecation shims: pre-façade entry points stay importable from here
+# ----------------------------------------------------------------------
+_LEGACY = {
+    "get_scheduler": ("repro.algorithms.registry", "get_scheduler"),
+    "available_schedulers": ("repro.algorithms.registry", "available_schedulers"),
+    "scheduler_items": ("repro.algorithms.registry", "scheduler_items"),
+    "solve_dp": ("repro.core.dp", "solve_dp"),
+    "solve_exact": ("repro.core.brute_force", "solve_exact"),
+}
+
+
+def __getattr__(name: str):
+    """Resolve legacy names with a :class:`DeprecationWarning`."""
+    if name in _LEGACY:
+        module_name, attr = _LEGACY[name]
+        warnings.warn(
+            f"repro.api.{name} is a deprecation shim; use repro.api.Planner / "
+            f"the unified solver registry instead (or import {attr} from "
+            f"{module_name} directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")

@@ -1,0 +1,318 @@
+"""The planning engine: ``plan()`` one instance, ``plan_batch()`` many.
+
+:class:`Planner` is the façade's workhorse.  It resolves solver specs
+through the capability-aware registry (:mod:`repro.api.solvers`), times
+each solve, assembles :class:`~repro.api.request.PlanResult` responses,
+and memoizes them in a thread-safe LRU cache keyed by a canonical
+*instance fingerprint* plus the resolved solver configuration — repeated
+requests for the same plan are served without re-solving.
+
+``plan_batch`` fans a sequence of requests out over a thread pool (or, for
+CPU-bound workloads on picklable instances, a process pool) and returns
+results in submission order, identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.api.request import DEFAULT_SOLVER, BatchResult, PlanRequest, PlanResult
+from repro.api.solvers import SolverEntry, resolve
+from repro.core.bounds import bound_report, certified_lower_bound
+from repro.core.multicast import MulticastSet
+from repro.exceptions import ReproError
+
+__all__ = ["Planner", "CacheInfo", "instance_fingerprint", "plan", "plan_batch"]
+
+Plannable = Union[PlanRequest, MulticastSet]
+
+
+def instance_fingerprint(mset: MulticastSet) -> str:
+    """Canonical content hash of an instance (hex sha256 prefix).
+
+    Computed over the sorted-key JSON of the canonical serialization, so
+    two instances with identical nodes (in any input order — the model
+    canonicalizes destination order) and latency share a fingerprint.
+    """
+    from repro.io.serialization import multicast_to_dict
+
+    payload = json.dumps(multicast_to_dict(mset), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of a planner cache: hits, misses, occupancy, capacity."""
+
+    hits: int
+    misses: int
+    currsize: int
+    maxsize: int
+
+
+def _options_key(options: Dict[str, Any]) -> str:
+    return json.dumps(options, sort_keys=True, default=repr)
+
+
+def _execute(
+    entry: SolverEntry,
+    request: PlanRequest,
+    options: Dict[str, Any],
+    fingerprint: Optional[str] = None,
+) -> PlanResult:
+    """Run one solver and assemble the result (no caching at this layer)."""
+    mset = request.instance
+    if fingerprint is None:
+        fingerprint = instance_fingerprint(mset)
+    start = time.perf_counter()
+    output = entry(mset, **options)
+    elapsed = time.perf_counter() - start
+    schedule = output.schedule
+    value = schedule.reception_completion
+    bounds = None
+    if request.include_bounds:
+        if entry.capabilities.exact:
+            opt_value, opt_is_exact = value, True
+        else:
+            opt_value, opt_is_exact = certified_lower_bound(mset), False
+        bounds = bound_report(mset, value, opt_value, opt_is_exact=opt_is_exact)
+    provenance: Dict[str, Any] = {
+        "fingerprint": fingerprint,
+        "spec": request.solver,
+        "options": dict(options),
+        "complexity": entry.capabilities.complexity,
+    }
+    provenance.update(output.stats)
+    return PlanResult(
+        solver=entry.name,
+        schedule=schedule,
+        value=value,
+        delivery_completion=schedule.delivery_completion,
+        exact=entry.capabilities.exact,
+        bounds=bounds,
+        elapsed_s=elapsed,
+        cache_hit=False,
+        tag=request.tag,
+        provenance=provenance,
+    )
+
+
+def _plan_standalone(request: PlanRequest) -> PlanResult:
+    """Process-pool entry point: plan one request with no shared state."""
+    entry, spec_options = resolve(request.solver)
+    options = {**spec_options, **request.options}
+    return _execute(entry, request, options)
+
+
+def _plan_standalone_or_error(request: PlanRequest) -> Union[PlanResult, ReproError]:
+    """Like :func:`_plan_standalone` but returns library errors as values."""
+    try:
+        return _plan_standalone(request)
+    except ReproError as exc:
+        return exc
+
+
+class Planner:
+    """Unified planning engine with an LRU result cache.
+
+    Parameters
+    ----------
+    cache_size:
+        Maximum cached results; ``0`` disables caching entirely (useful
+        for benchmarks that must measure real solves).
+    default_solver:
+        Spec used when a bare :class:`~repro.core.multicast.MulticastSet`
+        is planned without naming a solver.
+
+    Examples
+    --------
+    >>> from repro.api import Planner                       # doctest: +SKIP
+    >>> planner = Planner()                                 # doctest: +SKIP
+    >>> result = planner.plan(mset, solver="dp")            # doctest: +SKIP
+    >>> batch = planner.plan_batch(requests, jobs=4)        # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = 256,
+        default_solver: str = DEFAULT_SOLVER,
+    ) -> None:
+        if cache_size < 0:
+            raise ReproError(f"cache_size must be >= 0, got {cache_size}")
+        self._cache: "OrderedDict[Tuple[str, str, str, bool], PlanResult]" = OrderedDict()
+        self._cache_size = cache_size
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self.default_solver = default_solver
+
+    # ------------------------------------------------------------------
+    # request normalization
+    # ------------------------------------------------------------------
+    def _as_request(
+        self, job: Plannable, solver: Optional[str], options: Dict[str, Any]
+    ) -> PlanRequest:
+        if isinstance(job, PlanRequest):
+            if solver is not None or options:
+                raise ReproError(
+                    "pass solver/options inside the PlanRequest, not alongside it"
+                )
+            return job
+        if isinstance(job, MulticastSet):
+            return PlanRequest(
+                instance=job, solver=solver or self.default_solver, options=options
+            )
+        raise ReproError(
+            f"cannot plan a {type(job).__name__}; expected PlanRequest or MulticastSet"
+        )
+
+    def _cache_key(
+        self, fingerprint: str, entry: SolverEntry, options: Dict[str, Any], include_bounds: bool
+    ) -> Tuple[str, str, str, bool]:
+        return (fingerprint, entry.name, _options_key(options), include_bounds)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        job: Plannable,
+        solver: Optional[str] = None,
+        **options: Any,
+    ) -> PlanResult:
+        """Plan one multicast and return the full :class:`PlanResult`.
+
+        ``job`` is either a :class:`PlanRequest` or a bare
+        :class:`~repro.core.multicast.MulticastSet` (then ``solver`` and
+        ``**options`` configure the request inline).
+        """
+        request = self._as_request(job, solver, options)
+        entry, spec_options = resolve(request.solver)
+        merged = {**spec_options, **request.options}
+        fingerprint = instance_fingerprint(request.instance)
+        if self._cache_size == 0:
+            return _execute(entry, request, merged, fingerprint)
+        key = self._cache_key(fingerprint, entry, merged, request.include_bounds)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                # elapsed_s is 0.0 on hits by contract: nothing was solved
+                return replace(
+                    cached, cache_hit=True, tag=request.tag, elapsed_s=0.0
+                )
+        result = _execute(entry, request, merged, fingerprint)
+        with self._lock:
+            self._misses += 1
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return result
+
+    def plan_batch(
+        self,
+        jobs_in: Iterable[Plannable],
+        *,
+        jobs: int = 1,
+        executor: str = "thread",
+        on_error: str = "raise",
+    ) -> BatchResult:
+        """Plan many requests, optionally in parallel; order is preserved.
+
+        Parameters
+        ----------
+        jobs_in:
+            The requests (``PlanRequest`` or bare instances, mixed freely).
+        jobs:
+            Worker count.  ``1`` runs serially; parallel runs return
+            results identical to serial execution.
+        executor:
+            ``"thread"`` (default; shares this planner's cache) or
+            ``"process"`` (bypasses the shared cache; requests must be
+            picklable).
+        on_error:
+            ``"raise"`` propagates the first
+            :class:`~repro.exceptions.ReproError`; ``"skip"`` drops failed
+            requests from the batch (submission order of the survivors is
+            kept).  Non-library exceptions always propagate.
+        """
+        requests = [self._as_request(j, None, {}) for j in jobs_in]
+        if jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {jobs}")
+        if executor not in ("thread", "process"):
+            raise ReproError(f"executor must be 'thread' or 'process', got {executor!r}")
+        if on_error not in ("raise", "skip"):
+            raise ReproError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+        start = time.perf_counter()
+        outcomes: List[Union[PlanResult, ReproError]]
+        if jobs == 1 or len(requests) <= 1:
+            outcomes = [self._plan_or_error(r) for r in requests]
+        elif executor == "thread":
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(self._plan_or_error, requests))
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(_plan_standalone_or_error, requests))
+        for outcome in outcomes:
+            if isinstance(outcome, ReproError) and on_error == "raise":
+                raise outcome
+        results = tuple(o for o in outcomes if isinstance(o, PlanResult))
+        elapsed = time.perf_counter() - start
+        return BatchResult(results=results, elapsed_s=elapsed, jobs=jobs)
+
+    def _plan_or_error(self, request: PlanRequest) -> Union[PlanResult, ReproError]:
+        try:
+            return self.plan(request)
+        except ReproError as exc:
+            return exc
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters and occupancy of the LRU cache."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                currsize=len(self._cache),
+                maxsize=self._cache_size,
+            )
+
+    def clear_cache(self) -> None:
+        """Drop every cached result and reset the hit/miss counters."""
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+_DEFAULT_PLANNER = Planner()
+
+
+def plan(job: Plannable, solver: Optional[str] = None, **options: Any) -> PlanResult:
+    """Plan with the module-level shared :class:`Planner`."""
+    return _DEFAULT_PLANNER.plan(job, solver, **options)
+
+
+def plan_batch(
+    jobs_in: Iterable[Plannable],
+    *,
+    jobs: int = 1,
+    executor: str = "thread",
+    on_error: str = "raise",
+) -> BatchResult:
+    """Batch-plan with the module-level shared :class:`Planner`."""
+    return _DEFAULT_PLANNER.plan_batch(
+        jobs_in, jobs=jobs, executor=executor, on_error=on_error
+    )

@@ -1,0 +1,369 @@
+"""Capability-aware solver registry: every planning strategy behind one name.
+
+The low-level :mod:`repro.algorithms.registry` stores bare
+``(MulticastSet) -> Schedule`` callables; the exact solvers
+(:func:`repro.core.dp.solve_dp`, :func:`repro.core.brute_force.solve_exact`)
+historically lived outside it, forcing the CLI and experiments to
+special-case them.  This module unifies all of them: each solver registers a
+:class:`SolverEntry` carrying *capability metadata* — whether it is exact,
+the largest instance it is practical for, how many workstation types it
+tolerates, its complexity class — and is resolved from a single *spec
+string*::
+
+    "greedy+reversal"                 # bare name
+    "exact(max_destinations=12)"      # name with solver options
+
+Lower-bound providers (:mod:`repro.core.bounds`) register here too, so bound
+reports are assembled from the same catalogue the planner uses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
+from repro.exceptions import SolverError
+
+__all__ = [
+    "SolverCapabilities",
+    "SolverOutput",
+    "SolverEntry",
+    "register_solver",
+    "get_solver",
+    "resolve",
+    "parse_spec",
+    "available_solvers",
+    "solver_items",
+    "capable_solvers",
+    "register_bound",
+    "available_bounds",
+    "bound_values",
+]
+
+# (MulticastSet, **options) -> SolverOutput
+SolverFn = Callable[..., "SolverOutput"]
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """What a solver can do and where it is practical.
+
+    Attributes
+    ----------
+    exact:
+        ``True`` when the solver returns a provably optimal schedule
+        (within its supported regime).
+    complexity:
+        Human-readable complexity class, e.g. ``"O(n log n)"``.
+    max_n:
+        Largest destination count the solver is practical for, or ``None``
+        for no intrinsic limit.  Used by :func:`capable_solvers` to skip
+        solvers that cannot handle an instance.
+    requires_k_types:
+        For solvers whose cost is exponential in the number of distinct
+        workstation types (the Section 4 DP): the largest ``k`` the solver
+        is practical for, or ``None`` when ``k`` is irrelevant.
+    options:
+        Names of the keyword options the solver accepts (informational).
+    """
+
+    exact: bool = False
+    complexity: str = "polynomial"
+    max_n: Optional[int] = None
+    requires_k_types: Optional[int] = None
+    options: Tuple[str, ...] = ()
+
+    def supports(self, mset: MulticastSet) -> bool:
+        """Whether this solver is practical for ``mset`` (advisory)."""
+        if self.max_n is not None and mset.n > self.max_n:
+            return False
+        if self.requires_k_types is not None and mset.num_types > self.requires_k_types:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class SolverOutput:
+    """What a unified solver returns: the schedule plus solver statistics."""
+
+    schedule: Schedule
+    stats: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SolverEntry:
+    """One registered solver: name, callable, description, capabilities."""
+
+    name: str
+    fn: SolverFn
+    description: str
+    capabilities: SolverCapabilities
+
+    def __call__(self, mset: MulticastSet, **options: Any) -> SolverOutput:
+        """Run the solver (delegates to :attr:`fn`)."""
+        return self.fn(mset, **options)
+
+    @property
+    def display_name(self) -> str:
+        """Name annotated with exactness, e.g. ``"dp (optimal)"``."""
+        return f"{self.name} (optimal)" if self.capabilities.exact else self.name
+
+
+_SOLVERS: Dict[str, SolverEntry] = {}
+_BOUNDS: Dict[str, Tuple[Callable[[MulticastSet], float], str]] = {}
+
+# complexity classes of the wrapped low-level schedulers, by registry name
+_SCHEDULER_COMPLEXITY: Dict[str, str] = {
+    "greedy": "O(n log n)",
+    "greedy+reversal": "O(n log n)",
+    "greedy+ls": "O(n^2) local search",
+    "fnf": "O(n log n)",
+    "binomial": "O(n log n)",
+    "binomial-ff": "O(n log n)",
+    "postal": "O(n log n)",
+    "star": "O(n log n)",
+    "star-naive": "O(n)",
+    "chain": "O(n)",
+    "random": "O(n)",
+}
+
+
+def register_solver(
+    name: str,
+    description: str,
+    *,
+    capabilities: Optional[SolverCapabilities] = None,
+) -> Callable[[SolverFn], SolverFn]:
+    """Decorator: register a unified solver under ``name``.
+
+    The decorated callable takes ``(MulticastSet, **options)`` and returns a
+    :class:`SolverOutput`.  Registering a name twice raises
+    :class:`~repro.exceptions.SolverError`.
+    """
+
+    def deco(fn: SolverFn) -> SolverFn:
+        if name in _SOLVERS:
+            raise SolverError(f"solver {name!r} registered twice")
+        _SOLVERS[name] = SolverEntry(
+            name=name,
+            fn=fn,
+            description=description,
+            capabilities=capabilities or SolverCapabilities(),
+        )
+        return fn
+
+    return deco
+
+
+def register_bound(
+    name: str, description: str
+) -> Callable[[Callable[[MulticastSet], float]], Callable[[MulticastSet], float]]:
+    """Decorator: register a certified lower-bound provider under ``name``."""
+
+    def deco(fn: Callable[[MulticastSet], float]) -> Callable[[MulticastSet], float]:
+        if name in _BOUNDS:
+            raise SolverError(f"bound {name!r} registered twice")
+        _BOUNDS[name] = (fn, description)
+        return fn
+
+    return deco
+
+
+_SPEC_RE = re.compile(r"^\s*(?P<name>[A-Za-z0-9_+.-]+)\s*(?:\((?P<args>.*)\))?\s*$")
+
+
+def parse_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split a solver spec string into ``(name, options)``.
+
+    Specs are a bare solver name, optionally followed by parenthesised
+    keyword options whose values are Python literals::
+
+    >>> parse_spec("dp")
+    ('dp', {})
+    >>> parse_spec("exact(max_destinations=12)")
+    ('exact', {'max_destinations': 12})
+    """
+    if not isinstance(spec, str):
+        raise SolverError(f"solver spec must be a string, got {type(spec).__name__}")
+    match = _SPEC_RE.match(spec)
+    if match is None:
+        raise SolverError(f"malformed solver spec {spec!r}")
+    name = match.group("name")
+    args = match.group("args")
+    options: Dict[str, Any] = {}
+    if args:
+        for part in args.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise SolverError(
+                    f"malformed solver spec {spec!r}: option {part!r} is not key=value"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            try:
+                value: Any = ast.literal_eval(raw.strip())
+            except (ValueError, SyntaxError):
+                value = raw.strip()  # bare words pass through as strings
+            options[key] = value
+    return name, options
+
+
+def get_solver(name: str) -> SolverEntry:
+    """The :class:`SolverEntry` registered under ``name`` (exact match)."""
+    _ensure_loaded()
+    try:
+        return _SOLVERS[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver {name!r}; available: {available_solvers()}"
+        ) from None
+
+
+def resolve(spec: str) -> Tuple[SolverEntry, Dict[str, Any]]:
+    """Resolve a spec string to ``(entry, options)``.
+
+    This is the single lookup path for every consumer — the CLI, the
+    planner, experiments — so there are no per-solver special cases.
+    """
+    name, options = parse_spec(spec)
+    return get_solver(name), options
+
+
+def available_solvers() -> List[str]:
+    """Sorted names of every registered solver (schedulers + exact)."""
+    _ensure_loaded()
+    return sorted(_SOLVERS)
+
+
+def solver_items() -> Iterator[SolverEntry]:
+    """Iterate every :class:`SolverEntry` in sorted name order."""
+    _ensure_loaded()
+    for name in sorted(_SOLVERS):
+        yield _SOLVERS[name]
+
+
+def capable_solvers(mset: MulticastSet) -> List[str]:
+    """Names of solvers whose capabilities declare ``mset`` practical."""
+    return [e.name for e in solver_items() if e.capabilities.supports(mset)]
+
+
+def available_bounds() -> List[str]:
+    """Sorted names of every registered lower-bound provider."""
+    _ensure_loaded()
+    return sorted(_BOUNDS)
+
+
+def bound_values(mset: MulticastSet) -> Dict[str, float]:
+    """Evaluate every registered lower bound on ``mset``."""
+    _ensure_loaded()
+    return {name: _BOUNDS[name][0](mset) for name in sorted(_BOUNDS)}
+
+
+# ----------------------------------------------------------------------
+# built-in registrations
+# ----------------------------------------------------------------------
+_LOADED = False
+_LOAD_LOCK = threading.Lock()
+
+
+def _wrap_scheduler(fn: Callable[[MulticastSet], Schedule]) -> SolverFn:
+    def run(mset: MulticastSet, **options: Any) -> SolverOutput:
+        if options:
+            raise SolverError(
+                f"scheduler solvers take no options, got {sorted(options)}"
+            )
+        return SolverOutput(schedule=fn(mset))
+
+    return run
+
+
+def _sync_schedulers() -> None:
+    """Mirror the low-level scheduler registry into the unified catalogue.
+
+    Idempotent: schedulers registered after the first sync (e.g. by user
+    code) are picked up on the next lookup.
+    """
+    from repro.algorithms.registry import scheduler_items
+
+    for name, fn, description in scheduler_items():
+        if name in _SOLVERS:
+            continue
+        caps = SolverCapabilities(
+            exact=False,
+            complexity=_SCHEDULER_COMPLEXITY.get(name, "polynomial"),
+        )
+        _SOLVERS[name] = SolverEntry(
+            name=name,
+            fn=_wrap_scheduler(fn),
+            description=description,
+            capabilities=caps,
+        )
+
+
+def _register_builtins() -> None:
+    from repro.core.bounds import first_hop_lower_bound, homogeneous_relaxation_lower_bound
+    from repro.core.brute_force import solve_exact
+    from repro.core.dp import solve_dp
+
+    def run_dp(mset: MulticastSet, **options: Any) -> SolverOutput:
+        solution = solve_dp(mset, **options)
+        return SolverOutput(
+            schedule=solution.schedule,
+            stats={"states_computed": solution.states_computed},
+        )
+
+    def run_exact(mset: MulticastSet, **options: Any) -> SolverOutput:
+        solution = solve_exact(mset, **options)
+        return SolverOutput(
+            schedule=solution.schedule,
+            stats={"nodes_expanded": solution.nodes_expanded},
+        )
+
+    _SOLVERS["dp"] = SolverEntry(
+        name="dp",
+        fn=run_dp,
+        description="Section 4 dynamic program: optimal for limited heterogeneity",
+        capabilities=SolverCapabilities(
+            exact=True,
+            complexity="O(n^{2k})",
+            requires_k_types=4,
+            options=("max_states",),
+        ),
+    )
+    _SOLVERS["exact"] = SolverEntry(
+        name="exact",
+        fn=run_exact,
+        description="branch-and-bound exhaustive search (validation oracle)",
+        capabilities=SolverCapabilities(
+            exact=True,
+            complexity="exponential",
+            max_n=10,
+            options=("max_destinations", "node_budget"),
+        ),
+    )
+    _BOUNDS["first-hop"] = (
+        first_hop_lower_bound,
+        "o_send(p0) + L + max destination receive overhead",
+    )
+    _BOUNDS["homogeneous-relaxation"] = (
+        homogeneous_relaxation_lower_bound,
+        "exact optimum of the all-minimum-overheads relaxation",
+    )
+
+
+def _ensure_loaded() -> None:
+    global _LOADED
+    # serialized so a parallel first access (plan_batch workers) never sees
+    # a half-built registry; _LOADED flips only after registration finishes
+    with _LOAD_LOCK:
+        if not _LOADED:
+            _register_builtins()
+            _LOADED = True
+        _sync_schedulers()

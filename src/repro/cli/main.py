@@ -3,11 +3,16 @@
 Subcommands
 -----------
 ``generate``    write a random instance to JSON
-``schedule``    schedule an instance with a chosen algorithm
+``schedule``    schedule an instance with any registered solver
 ``simulate``    execute a schedule on the discrete-event simulator
-``compare``     run every scheduler on one instance
-``experiment``  run the E1..E9 reproduction experiments
+``compare``     run every capable solver on one instance (optionally parallel)
+``experiment``  run the E1..E10 reproduction experiments
 ``fig1``        pretty-print the Figure 1 reproduction
+
+Every solver — the paper's greedy family, the baselines, the Section 4
+``dp`` and the branch-and-bound ``exact`` oracle — is resolved through the
+unified :mod:`repro.api` registry, so there are no per-solver special cases
+here.
 """
 
 from __future__ import annotations
@@ -16,10 +21,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.algorithms.registry import available_schedulers, get_scheduler
-from repro.core.brute_force import solve_exact
-from repro.core.dp import solve_dp
-from repro.exceptions import ReproError, SolverError
+from repro.api import available_solvers
+from repro.exceptions import ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -47,7 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     sch = sub.add_parser("schedule", help="schedule an instance from JSON")
     sch.add_argument("instance", help="instance JSON path")
     sch.add_argument("--algorithm", default="greedy+reversal",
-                     choices=available_schedulers() + ["dp", "exact"])
+                     choices=available_solvers())
+    sch.add_argument("--bounds", action="store_true",
+                     help="print the Theorem 1 bound report")
     sch.add_argument("--tree", action="store_true", help="print the schedule tree")
     sch.add_argument("--gantt", action="store_true", help="print a Gantt chart")
     sch.add_argument("-o", "--output", default=None, help="write the schedule JSON here")
@@ -58,12 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="latency jitter amplitude (0 = exact model)")
     sim.add_argument("--seed", type=int, default=0, help="jitter seed")
 
-    cmp_ = sub.add_parser("compare", help="run every scheduler on an instance")
+    cmp_ = sub.add_parser("compare", help="run every capable solver on an instance")
     cmp_.add_argument("instance", help="instance JSON path")
+    cmp_.add_argument("-j", "--jobs", type=int, default=1,
+                      help="parallel planning workers (default 1 = serial)")
 
     exp = sub.add_parser("experiment", help="run reproduction experiments")
     exp.add_argument("names", nargs="*", default=[],
-                     help="experiment ids (E1..E9); default: all")
+                     help="experiment ids (E1..E10); default: all")
     exp.add_argument("--markdown", action="store_true", help="emit markdown")
 
     sub.add_parser("fig1", help="print the Figure 1 reproduction")
@@ -98,21 +105,29 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.api import PlanRequest, plan
     from repro.io.serialization import load_multicast, save_json
     from repro.viz.ascii_tree import render_tree
     from repro.viz.gantt import gantt_for_schedule
 
     mset = load_multicast(args.instance)
-    if args.algorithm == "dp":
-        schedule = solve_dp(mset).schedule
-    elif args.algorithm == "exact":
-        schedule = solve_exact(mset).schedule
-    else:
-        schedule = get_scheduler(args.algorithm)(mset)
+    result = plan(
+        PlanRequest(instance=mset, solver=args.algorithm, include_bounds=args.bounds)
+    )
+    schedule = result.schedule
     print(
         f"algorithm={args.algorithm} n={mset.n} R_T={schedule.reception_completion:g} "
         f"D_T={schedule.delivery_completion:g} layered={schedule.is_layered()}"
+        + (" optimal" if result.exact else "")
     )
+    if args.bounds and result.bounds is not None:
+        rep = result.bounds
+        kind = "exact optimum" if rep.opt_is_exact else "certified lower bound"
+        print(
+            f"bound report: value={rep.greedy_value:g} vs {kind} {rep.opt_value:g} "
+            f"(ratio <= {rep.measured_ratio:.3f}, Theorem 1 factor {rep.factor:g}, "
+            f"beta {rep.beta:g})"
+        )
     if args.tree:
         print(render_tree(schedule))
     if args.gantt:
@@ -149,21 +164,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis.tables import Table
+    from repro.api import PlanRequest, capable_solvers, get_solver, plan_batch
     from repro.io.serialization import load_multicast
 
     mset = load_multicast(args.instance)
-    table = Table(f"schedulers on {args.instance} (n={mset.n})",
+    requests = [
+        PlanRequest(instance=mset, solver=name)
+        for name in capable_solvers(mset)
+    ]
+    batch = plan_batch(requests, jobs=max(1, args.jobs), on_error="skip")
+    table = Table(f"solvers on {args.instance} (n={mset.n})",
                   ["algorithm", "R_T", "vs best"])
     values = {}
-    for name in available_schedulers():
-        values[name] = get_scheduler(name)(mset).reception_completion
-    try:
-        values["dp (optimal)"] = solve_dp(mset).value
-    except SolverError:
-        pass
+    for result in batch:
+        values[get_solver(result.solver).display_name] = result.value
     best = min(values.values())
-    for name, value in sorted(values.items(), key=lambda kv: kv[1]):
+    for name, value in sorted(values.items(), key=lambda kv: (kv[1], kv[0])):
         table.add_row([name, value, f"{value / best:.3f}x"])
+    if args.jobs > 1:
+        table.add_note(f"planned with {args.jobs} parallel workers")
     print(table.render())
     return 0
 

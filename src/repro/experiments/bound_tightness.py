@@ -18,8 +18,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.tables import Table
+from repro.api import plan
 from repro.core.bounds import theorem1_factor
-from repro.core.brute_force import solve_exact
 from repro.core.greedy import greedy_schedule
 from repro.workloads.suites import suite
 
@@ -56,7 +56,7 @@ def run(
         for n, _seed, mset in suite(suite_name).instances():
             if n > exact_max_n:
                 continue
-            opt = solve_exact(mset).value
+            opt = plan(mset, solver="exact").value
             greedy = greedy_schedule(mset).reception_completion
             factor = theorem1_factor(mset)
             factors.append(factor)

@@ -13,16 +13,17 @@ Two claims, two measurements:
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List
 
 from repro.analysis.complexity import fit_power
 from repro.analysis.tables import Table
-from repro.core.brute_force import solve_exact
-from repro.core.dp import solve_dp
+from repro.api import Planner
 from repro.workloads.clusters import limited_type_cluster
 from repro.workloads.generator import multicast_from_cluster
 from repro.workloads.suites import suite
+
+# timing experiment: caching would turn repeats into no-ops
+_PLANNER = Planner(cache_size=0)
 
 __all__ = ["run", "DEFAULTS", "TYPE_SETS"]
 
@@ -61,8 +62,8 @@ def run(
         for n, seed, mset in suite(suite_name).instances():
             if n > optimality_max_n:
                 continue
-            dp = solve_dp(mset)
-            exact = solve_exact(mset)
+            dp = _PLANNER.plan(mset, solver="dp")
+            exact = _PLANNER.plan(mset, solver="exact")
             opt_table.add_row(
                 [
                     suite_name,
@@ -71,7 +72,7 @@ def run(
                     dp.value,
                     exact.value,
                     abs(dp.value - exact.value) < 1e-9,
-                    dp.states_computed,
+                    dp.provenance["states_computed"],
                 ]
             )
 
@@ -88,10 +89,9 @@ def run(
             samples = []
             states = 0
             for _ in range(repeats):
-                start = time.perf_counter()
-                solution = solve_dp(mset)
-                samples.append(time.perf_counter() - start)
-                states = solution.states_computed
+                solution = _PLANNER.plan(mset, solver="dp")
+                samples.append(solution.elapsed_s)
+                states = solution.provenance["states_computed"]
             samples.sort()
             median = samples[len(samples) // 2]
             times.append(median)

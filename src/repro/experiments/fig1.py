@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.analysis.tables import Table
-from repro.core.dp import solve_dp
+from repro.api import plan
 from repro.core.greedy import greedy_schedule
 from repro.core.leaf_reversal import greedy_with_reversal
 from repro.core.multicast import MulticastSet
@@ -75,7 +75,7 @@ def run() -> List[Table]:
     sched_b = figure1_schedule_b(mset)
     greedy = greedy_schedule(mset)
     refined = greedy_with_reversal(mset)
-    optimal = solve_dp(mset)
+    optimal = plan(mset, solver="dp")
 
     times = Table(
         "E1 / Figure 1 — reception times per destination",

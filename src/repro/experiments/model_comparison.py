@@ -16,9 +16,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.algorithms.registry import get_scheduler, scheduler_items
 from repro.analysis.tables import Table
+from repro.api import Planner, PlanRequest, solver_items
 from repro.workloads.suites import suite
+
+_PLANNER = Planner(cache_size=512)
 
 __all__ = ["run", "DEFAULTS"]
 
@@ -34,16 +36,17 @@ def run(
 ) -> List[Table]:
     """Mean completion per scheduler per size, normalized to the reference."""
     tables: List[Table] = []
-    names = [name for name, _fn, _desc in scheduler_items()]
-    ref_fn = get_scheduler(reference)
+    names = [e.name for e in solver_items() if not e.capabilities.exact]
     for suite_name in suites:
         sizes: Dict[int, Dict[str, List[float]]] = {}
         for n, _seed, mset in suite(suite_name).instances():
             per_algo = sizes.setdefault(n, {name: [] for name in names})
-            ref_value = ref_fn(mset).reception_completion
-            for name in names:
-                value = get_scheduler(name)(mset).reception_completion
-                per_algo[name].append(value / ref_value)
+            ref_value = _PLANNER.plan(mset, solver=reference).value
+            batch = _PLANNER.plan_batch(
+                [PlanRequest(instance=mset, solver=name) for name in names]
+            )
+            for name, result in zip(names, batch):
+                per_algo[name].append(result.value / ref_value)
         table = Table(
             f"E7 — completion relative to '{reference}' on suite '{suite_name}'",
             ["n"] + names,

@@ -17,8 +17,8 @@ from typing import Dict, List
 
 from repro.analysis.metrics import summarize
 from repro.analysis.tables import Table
+from repro.api import plan
 from repro.core.bounds import bound_report, certified_lower_bound
-from repro.core.brute_force import solve_exact
 from repro.core.greedy import greedy_schedule
 from repro.core.leaf_reversal import reverse_leaves
 from repro.workloads.suites import suite
@@ -64,7 +64,7 @@ def run(
             greedy = greedy_schedule(mset)
             refined = reverse_leaves(greedy)
             if n <= exact_max_n:
-                opt = solve_exact(mset).value
+                opt = plan(mset, solver="exact").value
                 exact = True
             else:
                 opt = certified_lower_bound(mset)

@@ -1,8 +1,10 @@
-"""Experiment harness: run any/all of E1..E9, print paper-style tables.
+"""Experiment harness: run any/all of E1..E10, print paper-style tables.
 
 Each experiment module exposes ``run(**params) -> list[Table]`` and a
 ``DEFAULTS`` dict; the runner wires them to names, the CLI, and
-EXPERIMENTS.md generation.
+EXPERIMENTS.md generation.  Solver invocations inside the experiment
+modules go through the :mod:`repro.api` façade (timing-sensitive modules
+use a cache-disabled :class:`~repro.api.Planner`).
 """
 
 from __future__ import annotations

@@ -16,8 +16,11 @@ from itertools import product
 from typing import Dict, List
 
 from repro.analysis.tables import Table
-from repro.core.dp import solve_dp
+from repro.api import Planner
 from repro.core.dp_table import OptimalTable
+
+# timing experiment: fresh solves must not be served from a cache
+_PLANNER = Planner(cache_size=0)
 from repro.workloads.clusters import limited_type_cluster
 from repro.workloads.generator import multicast_from_cluster
 
@@ -70,9 +73,7 @@ def run(fresh_solve_samples: int = DEFAULTS["fresh_solve_samples"]) -> List[Tabl
             nodes = limited_type_cluster(types, [c + (1 if t == s else 0) for t, c in enumerate(vec)])
             # place one node of the source type first so the policy picks it
             mset = multicast_from_cluster(nodes, latency=1, source="slowest")
-            start = time.perf_counter()
-            solve_dp(mset)
-            fresh_times.append(time.perf_counter() - start)
+            fresh_times.append(_PLANNER.plan(mset, solver="dp").elapsed_s)
         mean_fresh = sum(fresh_times) / len(fresh_times)
         table.add_row(
             [

@@ -31,6 +31,10 @@ __all__ = [
     "multicast_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
+    "plan_request_to_dict",
+    "plan_request_from_dict",
+    "plan_result_to_dict",
+    "plan_result_from_dict",
     "save_json",
     "load_multicast",
     "load_schedule",
@@ -38,6 +42,8 @@ __all__ = [
 
 MULTICAST_FORMAT = "repro/multicast-v1"
 SCHEDULE_FORMAT = "repro/schedule-v1"
+PLAN_REQUEST_FORMAT = "repro/plan-request-v1"
+PLAN_RESULT_FORMAT = "repro/plan-result-v1"
 
 
 def _node_to_dict(node: Node) -> Dict[str, Any]:
@@ -100,12 +106,89 @@ def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
     return Schedule(mset, children)
 
 
-def save_json(obj: Union[MulticastSet, Schedule], path: Union[str, Path]) -> Path:
-    """Write an instance or schedule to a JSON file; returns the path."""
+def plan_request_to_dict(request) -> Dict[str, Any]:
+    """Serialize a :class:`repro.api.PlanRequest` (format-stamped)."""
+    return {
+        "format": PLAN_REQUEST_FORMAT,
+        "instance": multicast_to_dict(request.instance),
+        "solver": request.solver,
+        "options": dict(request.options),
+        "include_bounds": request.include_bounds,
+        "tag": request.tag,
+    }
+
+
+def plan_request_from_dict(data: Dict[str, Any]):
+    """Inverse of :func:`plan_request_to_dict` (format-checked)."""
+    from repro.api.request import PlanRequest
+
+    if data.get("format") != PLAN_REQUEST_FORMAT:
+        raise ReproError(f"not a {PLAN_REQUEST_FORMAT} record: {data.get('format')!r}")
+    return PlanRequest(
+        instance=multicast_from_dict(data["instance"]),
+        solver=data.get("solver", "greedy+reversal"),
+        options=data.get("options", {}),
+        include_bounds=bool(data.get("include_bounds", False)),
+        tag=data.get("tag"),
+    )
+
+
+def plan_result_to_dict(result) -> Dict[str, Any]:
+    """Serialize a :class:`repro.api.PlanResult` (schedule embedded)."""
+    from dataclasses import asdict
+
+    return {
+        "format": PLAN_RESULT_FORMAT,
+        "solver": result.solver,
+        "schedule": schedule_to_dict(result.schedule),
+        "value": result.value,
+        "delivery_completion": result.delivery_completion,
+        "exact": result.exact,
+        "bounds": asdict(result.bounds) if result.bounds is not None else None,
+        "elapsed_s": result.elapsed_s,
+        "cache_hit": result.cache_hit,
+        "tag": result.tag,
+        "provenance": dict(result.provenance),
+    }
+
+
+def plan_result_from_dict(data: Dict[str, Any]):
+    """Inverse of :func:`plan_result_to_dict` (format-checked)."""
+    from repro.api.request import PlanResult
+    from repro.core.bounds import BoundReport
+
+    if data.get("format") != PLAN_RESULT_FORMAT:
+        raise ReproError(f"not a {PLAN_RESULT_FORMAT} record: {data.get('format')!r}")
+    bounds = data.get("bounds")
+    return PlanResult(
+        solver=data["solver"],
+        schedule=schedule_from_dict(data["schedule"]),
+        value=data["value"],
+        delivery_completion=data["delivery_completion"],
+        exact=bool(data["exact"]),
+        bounds=BoundReport(**bounds) if bounds is not None else None,
+        elapsed_s=data.get("elapsed_s", 0.0),
+        cache_hit=bool(data.get("cache_hit", False)),
+        tag=data.get("tag"),
+        provenance=data.get("provenance", {}),
+    )
+
+
+def save_json(obj: Any, path: Union[str, Path]) -> Path:
+    """Write an instance, schedule, plan request or plan result to JSON.
+
+    Returns the path written.
+    """
+    from repro.api.request import PlanRequest, PlanResult
+
     if isinstance(obj, Schedule):
         payload = schedule_to_dict(obj)
     elif isinstance(obj, MulticastSet):
         payload = multicast_to_dict(obj)
+    elif isinstance(obj, PlanRequest):
+        payload = plan_request_to_dict(obj)
+    elif isinstance(obj, PlanResult):
+        payload = plan_result_to_dict(obj)
     else:
         raise ReproError(f"cannot serialize {type(obj).__name__}")
     path = Path(path)

@@ -1,0 +1,199 @@
+"""Planner engine: caching, batching, determinism, error handling."""
+
+import pytest
+
+from repro.api import (
+    BatchResult,
+    Planner,
+    PlanRequest,
+    instance_fingerprint,
+    plan,
+    plan_batch,
+)
+from repro.core.multicast import MulticastSet
+from repro.exceptions import ReproError, SolverError
+from repro.workloads.clusters import bounded_ratio_cluster
+from repro.workloads.generator import multicast_from_cluster
+
+
+def _suite(count=12, n=8):
+    out = []
+    for seed in range(count):
+        nodes = bounded_ratio_cluster(n + 1, seed)
+        out.append(multicast_from_cluster(nodes, latency=1 + seed % 2, seed=seed))
+    return out
+
+
+class TestPlan:
+    def test_plan_bare_instance_uses_default_solver(self, fig1_mset):
+        result = Planner().plan(fig1_mset)
+        assert result.solver == "greedy+reversal"
+        assert result.value == 8
+        assert not result.exact
+
+    def test_plan_request_with_exact_solver(self, fig1_mset):
+        result = Planner().plan(PlanRequest(instance=fig1_mset, solver="dp"))
+        assert result.exact
+        assert result.value == 8
+        assert result.provenance["states_computed"] > 0
+        assert result.provenance["fingerprint"] == instance_fingerprint(fig1_mset)
+
+    def test_spec_options_reach_the_solver(self, fig1_mset):
+        with pytest.raises(SolverError, match="node budget"):
+            Planner().plan(fig1_mset, solver="exact(node_budget=1)")
+
+    def test_request_options_override_spec_options(self, fig1_mset):
+        result = Planner().plan(
+            PlanRequest(
+                instance=fig1_mset,
+                solver="exact(node_budget=1)",
+                options={"node_budget": 10_000},
+            )
+        )
+        assert result.value == 8
+
+    def test_include_bounds(self, fig1_mset):
+        heur = Planner().plan(
+            PlanRequest(instance=fig1_mset, solver="greedy", include_bounds=True)
+        )
+        assert not heur.bounds.opt_is_exact
+        assert heur.bounds.opt_value <= 8
+        exact = Planner().plan(
+            PlanRequest(instance=fig1_mset, solver="dp", include_bounds=True)
+        )
+        assert exact.bounds.opt_is_exact and exact.bounds.measured_ratio == 1.0
+
+    def test_tag_round_trips(self, fig1_mset):
+        result = Planner().plan(PlanRequest(instance=fig1_mset, tag="job-7"))
+        assert result.tag == "job-7"
+
+    def test_unknown_spec_raises_with_alternatives(self, fig1_mset):
+        with pytest.raises(SolverError, match="available"):
+            Planner().plan(fig1_mset, solver="does-not-exist")
+
+    def test_non_plannable_input_raises(self):
+        with pytest.raises(ReproError, match="cannot plan"):
+            Planner().plan("not an instance")
+
+
+class TestCache:
+    def test_hit_and_miss_accounting(self, fig1_mset):
+        planner = Planner()
+        first = planner.plan(fig1_mset, solver="dp")
+        assert not first.cache_hit
+        second = planner.plan(fig1_mset, solver="dp")
+        assert second.cache_hit
+        assert second.value == first.value
+        assert second.schedule == first.schedule
+        info = planner.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+
+    def test_equal_content_shares_cache_entry(self, fig1_mset):
+        # a separately-built but identical instance must hit the cache
+        clone = MulticastSet.from_overheads(
+            (2, 3), [(1, 1), (1, 1), (1, 1), (2, 3)], 1
+        )
+        planner = Planner()
+        planner.plan(fig1_mset, solver="greedy")
+        assert planner.plan(clone, solver="greedy").cache_hit
+
+    def test_different_solver_or_options_miss(self, fig1_mset):
+        planner = Planner()
+        planner.plan(fig1_mset, solver="greedy")
+        assert not planner.plan(fig1_mset, solver="greedy+reversal").cache_hit
+        planner.plan(fig1_mset, solver="exact")
+        assert not planner.plan(
+            fig1_mset, solver="exact(max_destinations=11)"
+        ).cache_hit
+
+    def test_lru_eviction(self):
+        planner = Planner(cache_size=4)
+        for mset in _suite(count=6):
+            planner.plan(mset)
+        assert planner.cache_info().currsize == 4
+
+    def test_cache_disabled(self, fig1_mset):
+        planner = Planner(cache_size=0)
+        planner.plan(fig1_mset)
+        assert not planner.plan(fig1_mset).cache_hit
+        assert planner.cache_info().currsize == 0
+
+    def test_clear_cache(self, fig1_mset):
+        planner = Planner()
+        planner.plan(fig1_mset)
+        planner.clear_cache()
+        info = planner.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+
+class TestBatch:
+    def test_parallel_equals_serial(self):
+        requests = [
+            PlanRequest(instance=mset, solver=solver)
+            for mset in _suite()
+            for solver in ("greedy", "greedy+reversal", "dp")
+        ]
+        serial = Planner(cache_size=0).plan_batch(requests, jobs=1)
+        parallel = Planner(cache_size=0).plan_batch(requests, jobs=4)
+        assert serial.values() == parallel.values()
+        assert [r.schedule for r in serial] == [r.schedule for r in parallel]
+        assert [r.solver for r in serial] == [r.solver for r in parallel]
+
+    def test_batch_preserves_submission_order(self):
+        msets = _suite(count=8)
+        batch = Planner().plan_batch(msets, jobs=3)
+        for mset, result in zip(msets, batch):
+            assert result.schedule.multicast == mset
+
+    def test_batch_result_helpers(self, fig1_mset):
+        batch = Planner().plan_batch(
+            [PlanRequest(instance=fig1_mset, solver=s) for s in ("greedy", "dp")]
+        )
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 2
+        assert batch.best().solver == "dp"
+        assert set(batch.by_solver()) == {"greedy", "dp"}
+
+    def test_batch_shares_cache_across_duplicates(self, fig1_mset):
+        batch = Planner().plan_batch([fig1_mset] * 5)
+        assert batch.cache_hits == 4
+
+    def test_on_error_skip_drops_failures(self, fig1_mset):
+        big = MulticastSet.from_overheads((1, 2), [(1, 2)] * 15, 1)
+        requests = [
+            PlanRequest(instance=fig1_mset, solver="exact"),
+            PlanRequest(instance=big, solver="exact"),  # over max_destinations
+        ]
+        with pytest.raises(SolverError):
+            Planner().plan_batch(requests)
+        batch = Planner().plan_batch(requests, on_error="skip")
+        assert len(batch) == 1 and batch[0].value == 8
+
+    def test_invalid_batch_parameters(self, fig1_mset):
+        with pytest.raises(ReproError, match="jobs"):
+            Planner().plan_batch([fig1_mset], jobs=0)
+        with pytest.raises(ReproError, match="executor"):
+            Planner().plan_batch([fig1_mset], executor="fiber")
+        with pytest.raises(ReproError, match="on_error"):
+            Planner().plan_batch([fig1_mset], on_error="retry")
+
+
+class TestModuleLevelFacade:
+    def test_plan_and_plan_batch(self, fig1_mset):
+        assert plan(fig1_mset, solver="dp").value == 8
+        assert plan_batch([fig1_mset] * 2, jobs=2).values() == (8.0, 8.0)
+
+
+class TestFingerprint:
+    def test_stable_and_content_based(self, fig1_mset):
+        from repro.core.node import Node
+
+        # same nodes supplied in a different order canonicalize identically
+        clone = MulticastSet(
+            Node("p0", 2, 3),
+            [Node("d4", 2, 3), Node("d1", 1, 1), Node("d2", 1, 1), Node("d3", 1, 1)],
+            1,
+        )
+        assert instance_fingerprint(fig1_mset) == instance_fingerprint(clone)
+        other = fig1_mset.with_latency(2)
+        assert instance_fingerprint(fig1_mset) != instance_fingerprint(other)

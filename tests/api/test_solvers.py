@@ -1,0 +1,101 @@
+"""Unified solver registry: specs, capabilities, bounds, error messages."""
+
+import pytest
+
+from repro.api import (
+    SolverCapabilities,
+    available_bounds,
+    available_solvers,
+    bound_values,
+    capable_solvers,
+    get_solver,
+    parse_spec,
+    resolve,
+    solver_items,
+)
+from repro.core.multicast import MulticastSet
+from repro.exceptions import SolverError
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        assert parse_spec("greedy+reversal") == ("greedy+reversal", {})
+
+    def test_options(self):
+        name, options = parse_spec("exact(max_destinations=12, node_budget=1000)")
+        assert name == "exact"
+        assert options == {"max_destinations": 12, "node_budget": 1000}
+
+    def test_non_literal_value_passes_as_string(self):
+        assert parse_spec("dp(mode=fast)") == ("dp", {"mode": "fast"})
+
+    def test_malformed_specs_raise(self):
+        with pytest.raises(SolverError, match="malformed"):
+            parse_spec("dp(max_states)")
+        with pytest.raises(SolverError, match="spec must be a string"):
+            parse_spec(42)
+
+    def test_resolve_returns_entry_and_options(self):
+        entry, options = resolve("exact(max_destinations=11)")
+        assert entry.name == "exact"
+        assert options == {"max_destinations": 11}
+
+
+class TestRegistry:
+    def test_every_scheduler_plus_exact_solvers_registered(self):
+        from repro.algorithms.registry import available_schedulers
+
+        names = available_solvers()
+        for scheduler in available_schedulers():
+            assert scheduler in names
+        assert "dp" in names and "exact" in names
+
+    def test_unknown_solver_error_lists_available(self):
+        with pytest.raises(SolverError) as exc:
+            get_solver("simulated-annealing")
+        message = str(exc.value)
+        assert "unknown solver 'simulated-annealing'" in message
+        assert "greedy+reversal" in message  # the message names alternatives
+
+    def test_capability_metadata(self):
+        dp = get_solver("dp")
+        assert dp.capabilities.exact
+        assert dp.capabilities.requires_k_types is not None
+        assert "2k" in dp.capabilities.complexity
+        exact = get_solver("exact")
+        assert exact.capabilities.exact and exact.capabilities.max_n == 10
+        greedy = get_solver("greedy")
+        assert not greedy.capabilities.exact
+        assert greedy.capabilities.complexity == "O(n log n)"
+
+    def test_display_name_marks_exact_solvers(self):
+        assert get_solver("dp").display_name == "dp (optimal)"
+        assert get_solver("greedy").display_name == "greedy"
+
+    def test_capable_solvers_excludes_exact_on_large_instances(self):
+        big = MulticastSet.from_overheads((1, 1), [(1, 1)] * 20, 1)
+        names = capable_solvers(big)
+        assert "exact" not in names  # max_n=10
+        assert "greedy+reversal" in names and "dp" in names
+
+    def test_supports_honours_type_count(self):
+        caps = SolverCapabilities(requires_k_types=1)
+        two_types = MulticastSet.from_overheads((2, 3), [(1, 1), (2, 3)], 1)
+        assert not caps.supports(two_types)
+
+    def test_solver_items_sorted_and_callable(self, fig1_mset):
+        entries = list(solver_items())
+        assert [e.name for e in entries] == sorted(e.name for e in entries)
+        out = get_solver("greedy+reversal")(fig1_mset)
+        assert out.schedule.reception_completion == 8
+
+
+class TestBounds:
+    def test_bound_providers_registered(self):
+        assert available_bounds() == ["first-hop", "homogeneous-relaxation"]
+
+    def test_bound_values_are_valid_lower_bounds(self, fig1_mset):
+        values = bound_values(fig1_mset)
+        assert set(values) == {"first-hop", "homogeneous-relaxation"}
+        for value in values.values():
+            assert value <= 8  # the known optimum

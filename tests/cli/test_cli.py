@@ -56,6 +56,16 @@ class TestSchedule:
         assert main(["schedule", instance_file, "-o", str(out)]) == 0
         assert load_schedule(out).reception_completion == 8
 
+    def test_schedule_exact_marks_optimal(self, instance_file, capsys):
+        assert main(["schedule", instance_file, "--algorithm", "dp"]) == 0
+        assert "optimal" in capsys.readouterr().out
+
+    def test_schedule_bounds_report(self, instance_file, capsys):
+        assert main(["schedule", instance_file, "--algorithm", "greedy",
+                     "--bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "bound report:" in out and "certified lower bound" in out
+
     def test_schedule_gantt(self, instance_file, capsys):
         assert main(["schedule", instance_file, "--gantt"]) == 0
         assert "S=sending" in capsys.readouterr().out
@@ -81,8 +91,17 @@ class TestCompare:
     def test_compare_lists_all(self, instance_file, capsys):
         assert main(["compare", instance_file]) == 0
         out = capsys.readouterr().out
-        for name in ("greedy", "binomial", "star", "dp (optimal)"):
+        for name in ("greedy", "binomial", "star", "dp (optimal)", "exact (optimal)"):
             assert name in out
+
+    def test_compare_parallel_matches_serial(self, instance_file, capsys):
+        assert main(["compare", instance_file]) == 0
+        serial = capsys.readouterr().out
+        assert main(["compare", instance_file, "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        # identical rows; the parallel run only adds its worker note
+        assert set(serial.splitlines()) <= set(parallel.splitlines())
+        assert "4 parallel workers" in parallel
 
 
 class TestExperimentAndFig1:

@@ -45,13 +45,8 @@ def test_rounding_properties(mset):
         assert orig.receive_overhead <= new.receive_overhead
 
 
-@given(power_of_two_multicasts(), st.integers(min_value=0, max_value=99))
-@settings(max_examples=50, deadline=None)
-def test_exchange_lemma3_postconditions(mset, seed):
-    """Random exchanges on random schedules satisfy Lemma 3's properties."""
-    schedule = random_schedule(mset, seed)
-    # find an exchangeable pair: d(u) < d(v), o_send(u) = e*o_send(v), e>=2
-    pair = None
+def _exchangeable_pair(mset, schedule):
+    """A pair (u, v) with d(u) < d(v), o_send(u) = e*o_send(v), e >= 2."""
     for u in range(1, mset.n + 1):
         for v in range(1, mset.n + 1):
             if u == v:
@@ -59,9 +54,26 @@ def test_exchange_lemma3_postconditions(mset, seed):
             if schedule.delivery_time(u) < schedule.delivery_time(v):
                 ratio = mset.send(u) / mset.send(v)
                 if ratio >= 2 and abs(ratio - round(ratio)) < 1e-9:
-                    pair = (u, v)
-                    break
-        if pair:
+                    return (u, v)
+    return None
+
+
+@given(
+    power_of_two_multicasts(guarantee_exchange_pair=True),
+    st.integers(min_value=0, max_value=99),
+)
+@settings(max_examples=50, deadline=None)
+def test_exchange_lemma3_postconditions(mset, seed):
+    """Random exchanges on random schedules satisfy Lemma 3's properties."""
+    # the strategy guarantees mixed send magnitudes, so nearly every random
+    # schedule has an exchangeable pair; trying a few seeds makes assume()
+    # rejections vanishingly rare (no filter_too_much health-check trips)
+    schedule = pair = None
+    for offset in range(8):
+        candidate = random_schedule(mset, seed + offset)
+        pair = _exchangeable_pair(mset, candidate)
+        if pair is not None:
+            schedule = candidate
             break
     assume(pair is not None)
     u, v = pair

@@ -12,6 +12,7 @@ REPO = pathlib.Path(__file__).resolve().parents[1]
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.core",
     "repro.model",
     "repro.simulation",
