@@ -7,12 +7,20 @@ generations spanning the published receive-send ratio range 1.05-1.85),
 folds the affine costs at several message sizes (paper footnote 1), and
 compares every scheduler in the library under the receive-send model.
 
+It then replays the winning request through the planning service
+(:mod:`repro.service`, SERVICE.md) with a persistent plan store,
+asserting the served plan is identical to the direct ``Planner`` one and
+showing the store answering after a simulated restart.
+
 Run:  python examples/cluster_broadcast.py
 """
+
+import tempfile
 
 from repro.analysis import Table
 from repro.api import Planner, PlanRequest, capable_solvers
 from repro.model import instantiate, lan_network
+from repro.service import InProcessClient, PlanningService
 from repro.viz import render_tree
 
 
@@ -49,9 +57,25 @@ def main() -> None:
 
     # show the winning tree for the mid-size message
     mset = instantiate(network, "sparc10", 4096)
-    winner = planner.plan(mset, "greedy+reversal").schedule
+    winner = planner.plan(mset, "greedy+reversal")
     print("greedy+reversal schedule at 4096 bytes:")
-    print(render_tree(winner))
+    print(render_tree(winner.schedule))
+
+    # --- the same plan through the planning service -----------------------
+    # a persistent store makes the plan survive service restarts: the
+    # second service never solves, it warm-starts from disk
+    with tempfile.TemporaryDirectory() as store_dir:
+        with PlanningService(store_path=store_dir, num_shards=2) as service:
+            served = InProcessClient(service).plan(mset, "greedy+reversal")
+            assert served.result.value == winner.value
+            assert served.result.schedule == winner.schedule
+            print(f"\nservice plan identical to direct Planner plan "
+                  f"(tier={served.tier!r})")
+        with PlanningService(store_path=store_dir, num_shards=2) as service:
+            replayed = InProcessClient(service).plan(mset, "greedy+reversal")
+            assert replayed.result.schedule == winner.schedule
+            print(f"after service restart: identical plan from "
+                  f"tier={replayed.tier!r} (no solver ran)")
 
 
 if __name__ == "__main__":

@@ -9,13 +9,18 @@ the library:
 * the greedy schedule (ties Figure 1(a) at completion 10),
 * greedy + leaf reversal (completion 8),
 * the Section 4 dynamic program's optimum (8 — so greedy+reversal is
-  optimal here), resolved from the same spec string as any scheduler.
+  optimal here), resolved from the same spec string as any scheduler,
+
+and then plans the same instance through the **planning service**
+(:mod:`repro.service`, SERVICE.md) — same requests, same results, but
+served by a long-running control plane with cache tiers.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import MulticastSet
 from repro.api import Planner, PlanRequest
+from repro.service import InProcessClient, PlanningService
 from repro.simulation import simulate_schedule
 from repro.viz import gantt_for_schedule, render_tree
 
@@ -59,6 +64,19 @@ def main() -> None:
     )
     print("\nbatched:", {r.tag: r.value for r in batch},
           f"({batch.cache_hits} served from cache)")
+
+    # --- the same plans through the planning service ----------------------
+    # an embedded PlanningService: same Planner engine behind a fair
+    # admission queue and sharded workers (add store_path=... to persist)
+    with PlanningService(num_shards=2) as service:
+        client = InProcessClient(service, client_id="quickstart")
+        for direct in (greedy, refined, optimum):
+            served = client.plan(mset, solver=direct.solver)
+            assert served.result.value == direct.value
+            assert served.result.schedule == direct.schedule
+        again = client.plan(mset, solver="dp")
+        print(f"service: {client.metrics()['requests']} requests, identical "
+              f"plans; repeated dp request served from tier={again.tier!r}")
 
     # --- execute on the simulated HNOW ------------------------------------
     result = simulate_schedule(refined.schedule)

@@ -35,6 +35,8 @@ import warnings
 
 from repro.api.planner import (
     CacheInfo,
+    CacheKey,
+    CacheTier,
     Planner,
     instance_fingerprint,
     plan,
@@ -61,6 +63,8 @@ __all__ = [
     # engine
     "Planner",
     "CacheInfo",
+    "CacheTier",
+    "CacheKey",
     "plan",
     "plan_batch",
     "instance_fingerprint",

@@ -10,6 +10,14 @@ requests for the same plan are served without re-solving.
 ``plan_batch`` fans a sequence of requests out over a thread pool (or, for
 CPU-bound workloads on picklable instances, a process pool) and returns
 results in submission order, identical to serial execution.
+
+Beyond the in-memory LRU the planner accepts *external cache tiers*
+(:class:`CacheTier`): objects with ``get``/``put`` keyed by the planner's
+cache key, consulted on LRU misses and populated after every solve.  The
+planning service's persistent on-disk plan store
+(:class:`repro.service.store.PlanStore`) plugs in through this hook, giving
+``memory -> store -> solve`` lookup without the planner knowing anything
+about disks or services.
 """
 
 from __future__ import annotations
@@ -29,9 +37,44 @@ from repro.core.bounds import bound_report, certified_lower_bound
 from repro.core.multicast import MulticastSet
 from repro.exceptions import ReproError
 
-__all__ = ["Planner", "CacheInfo", "instance_fingerprint", "plan", "plan_batch"]
+__all__ = [
+    "Planner",
+    "CacheInfo",
+    "CacheTier",
+    "CacheKey",
+    "instance_fingerprint",
+    "plan",
+    "plan_batch",
+]
 
 Plannable = Union[PlanRequest, MulticastSet]
+
+#: The planner's cache key: (fingerprint, solver name, options key, bounds?).
+CacheKey = Tuple[str, str, str, bool]
+
+
+class CacheTier:
+    """Interface of an external planner cache tier (duck-typed).
+
+    A tier maps planner :data:`CacheKey` tuples to
+    :class:`~repro.api.request.PlanResult` values.  The planner consults its
+    tiers in registration order after an in-memory LRU miss and writes every
+    freshly solved result through to all of them.  Implementations must be
+    thread-safe; ``get`` returns ``None`` on a miss.  The persistent plan
+    store (:class:`repro.service.store.PlanStore`) is the canonical
+    implementation.
+    """
+
+    #: Short label used in hit provenance/metrics (e.g. ``"store"``).
+    name: str = "tier"
+
+    def get(self, key: CacheKey) -> Optional[PlanResult]:
+        """Return the cached result for ``key``, or ``None``."""
+        raise NotImplementedError
+
+    def put(self, key: CacheKey, result: PlanResult) -> None:
+        """Store ``result`` under ``key``."""
+        raise NotImplementedError
 
 
 def instance_fingerprint(mset: MulticastSet) -> str:
@@ -49,12 +92,18 @@ def instance_fingerprint(mset: MulticastSet) -> str:
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Snapshot of a planner cache: hits, misses, occupancy, capacity."""
+    """Snapshot of a planner cache: hits, misses, occupancy, capacity.
+
+    ``tier_hits`` counts lookups that missed the in-memory LRU but were
+    served by an external :class:`CacheTier` (they are not included in
+    ``hits``; ``misses`` counts real solves only).
+    """
 
     hits: int
     misses: int
     currsize: int
     maxsize: int
+    tier_hits: int = 0
 
 
 def _options_key(options: Dict[str, Any]) -> str:
@@ -130,6 +179,10 @@ class Planner:
     default_solver:
         Spec used when a bare :class:`~repro.core.multicast.MulticastSet`
         is planned without naming a solver.
+    cache_tiers:
+        External :class:`CacheTier` instances consulted (in order) after
+        an LRU miss and populated after every solve.  More can be added
+        later with :meth:`add_cache_tier`.
 
     Examples
     --------
@@ -144,15 +197,48 @@ class Planner:
         *,
         cache_size: int = 256,
         default_solver: str = DEFAULT_SOLVER,
+        cache_tiers: Optional[Iterable[CacheTier]] = None,
     ) -> None:
         if cache_size < 0:
             raise ReproError(f"cache_size must be >= 0, got {cache_size}")
-        self._cache: "OrderedDict[Tuple[str, str, str, bool], PlanResult]" = OrderedDict()
+        self._cache: "OrderedDict[CacheKey, PlanResult]" = OrderedDict()
         self._cache_size = cache_size
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._tier_hits = 0
+        self._tiers: List[CacheTier] = list(cache_tiers or ())
         self.default_solver = default_solver
+
+    def add_cache_tier(self, tier: CacheTier) -> None:
+        """Register an external cache tier (consulted after existing ones)."""
+        for required in ("get", "put"):
+            if not callable(getattr(tier, required, None)):
+                raise ReproError(
+                    f"cache tier {type(tier).__name__} lacks a callable "
+                    f"{required}() method"
+                )
+        with self._lock:
+            self._tiers.append(tier)
+
+    def remove_cache_tier(self, tier: CacheTier) -> bool:
+        """Detach a tier; returns whether it was attached.
+
+        Services that attach their store to a caller-supplied planner use
+        this on shutdown so the planner is handed back unmodified.
+        """
+        with self._lock:
+            try:
+                self._tiers.remove(tier)
+                return True
+            except ValueError:
+                return False
+
+    @property
+    def cache_tiers(self) -> Tuple[CacheTier, ...]:
+        """The registered external cache tiers, in lookup order."""
+        with self._lock:
+            return tuple(self._tiers)
 
     # ------------------------------------------------------------------
     # request normalization
@@ -176,8 +262,14 @@ class Planner:
 
     def _cache_key(
         self, fingerprint: str, entry: SolverEntry, options: Dict[str, Any], include_bounds: bool
-    ) -> Tuple[str, str, str, bool]:
+    ) -> CacheKey:
         return (fingerprint, entry.name, _options_key(options), include_bounds)
+
+    def _request_key(self, request: PlanRequest) -> Tuple[SolverEntry, Dict[str, Any], CacheKey]:
+        entry, spec_options = resolve(request.solver)
+        merged = {**spec_options, **request.options}
+        fingerprint = instance_fingerprint(request.instance)
+        return entry, merged, self._cache_key(fingerprint, entry, merged, request.include_bounds)
 
     # ------------------------------------------------------------------
     # planning
@@ -195,29 +287,99 @@ class Planner:
         ``**options`` configure the request inline).
         """
         request = self._as_request(job, solver, options)
-        entry, spec_options = resolve(request.solver)
-        merged = {**spec_options, **request.options}
-        fingerprint = instance_fingerprint(request.instance)
-        if self._cache_size == 0:
-            return _execute(entry, request, merged, fingerprint)
-        key = self._cache_key(fingerprint, entry, merged, request.include_bounds)
-        with self._lock:
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache.move_to_end(key)
-                self._hits += 1
-                # elapsed_s is 0.0 on hits by contract: nothing was solved
-                return replace(
-                    cached, cache_hit=True, tag=request.tag, elapsed_s=0.0
-                )
-        result = _execute(entry, request, merged, fingerprint)
+        entry, merged, key = self._request_key(request)
+        hit = self._lookup(request, key)
+        if hit is not None:
+            return hit[0]
+        result = _execute(entry, request, merged, key[0])
+        self._store(key, result)
+        return result
+
+    def request_key(self, request: PlanRequest) -> CacheKey:
+        """The cache key a request resolves to (fingerprint computed once).
+
+        Services that look up, route and store per request should compute
+        this once and pass it to :meth:`cache_lookup` /
+        :meth:`cache_store` — the fingerprint is an O(n) serialization +
+        hash, and ``key[0]`` doubles as the shard-routing input.
+        """
+        request = self._as_request(request, None, {})
+        return self._request_key(request)[2]
+
+    def cache_lookup(
+        self, request: PlanRequest, key: Optional[CacheKey] = None
+    ) -> Optional[Tuple[PlanResult, str]]:
+        """Consult the cache tiers only; never solves.
+
+        Returns ``(result, tier)`` where ``tier`` is ``"memory"`` for an
+        LRU hit or the external tier's ``name``, or ``None`` on a full
+        miss.  ``key`` (from :meth:`request_key`) skips recomputing the
+        fingerprint.  This is the fast path the planning service runs
+        before dispatching a real solve to a worker shard.
+        """
+        request = self._as_request(request, None, {})
+        if key is None:
+            key = self._request_key(request)[2]
+        return self._lookup(request, key)
+
+    def cache_store(
+        self,
+        request: PlanRequest,
+        result: PlanResult,
+        key: Optional[CacheKey] = None,
+    ) -> None:
+        """Insert an out-of-band solve into the LRU and every tier.
+
+        The planning service solves on worker shards (outside this
+        planner), then publishes the result here so later lookups hit.
+        """
+        request = self._as_request(request, None, {})
+        if key is None:
+            key = self._request_key(request)[2]
+        self._store(key, result)
+
+    def _lookup(
+        self, request: PlanRequest, key: CacheKey
+    ) -> Optional[Tuple[PlanResult, str]]:
+        if self._cache_size > 0:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    # elapsed_s is 0.0 on hits by contract: nothing was solved
+                    return (
+                        replace(cached, cache_hit=True, tag=request.tag, elapsed_s=0.0),
+                        "memory",
+                    )
+        for tier in self.cache_tiers:
+            found = tier.get(key)
+            if found is None:
+                continue
+            with self._lock:
+                self._tier_hits += 1
+                if self._cache_size > 0:
+                    # promote into the LRU so the next lookup is in-memory
+                    self._cache[key] = found
+                    self._cache.move_to_end(key)
+                    while len(self._cache) > self._cache_size:
+                        self._cache.popitem(last=False)
+            return (
+                replace(found, cache_hit=True, tag=request.tag, elapsed_s=0.0),
+                getattr(tier, "name", type(tier).__name__),
+            )
+        return None
+
+    def _store(self, key: CacheKey, result: PlanResult) -> None:
         with self._lock:
             self._misses += 1
-            self._cache[key] = result
-            self._cache.move_to_end(key)
-            while len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
-        return result
+            if self._cache_size > 0:
+                self._cache[key] = result
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        for tier in self.cache_tiers:
+            tier.put(key, result)
 
     def plan_batch(
         self,
@@ -287,14 +449,20 @@ class Planner:
                 misses=self._misses,
                 currsize=len(self._cache),
                 maxsize=self._cache_size,
+                tier_hits=self._tier_hits,
             )
 
     def clear_cache(self) -> None:
-        """Drop every cached result and reset the hit/miss counters."""
+        """Drop every cached in-memory result and reset the counters.
+
+        External tiers are not cleared — the persistent store outliving the
+        process is the point of having it.
+        """
         with self._lock:
             self._cache.clear()
             self._hits = 0
             self._misses = 0
+            self._tier_hits = 0
 
 
 _DEFAULT_PLANNER = Planner()

@@ -8,11 +8,14 @@ Subcommands
 ``compare``     run every capable solver on one instance (optionally parallel)
 ``experiment``  run the E1..E10 reproduction experiments
 ``fig1``        pretty-print the Figure 1 reproduction
+``serve``       run the long-lived planning service (TCP JSON-lines)
+``submit``      plan instances through a running service
+``store``       inspect/verify/compact a persistent plan store
 
 Every solver — the paper's greedy family, the baselines, the Section 4
 ``dp`` and the branch-and-bound ``exact`` oracle — is resolved through the
 unified :mod:`repro.api` registry, so there are no per-solver special cases
-here.
+here.  The service commands are documented operator-side in SERVICE.md.
 """
 
 from __future__ import annotations
@@ -74,6 +77,47 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--markdown", action="store_true", help="emit markdown")
 
     sub.add_parser("fig1", help="print the Figure 1 reproduction")
+
+    srv = sub.add_parser("serve", help="run the planning service (see SERVICE.md)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7421,
+                     help="TCP port (0 picks a free one)")
+    srv.add_argument("--store", default=None,
+                     help="persistent plan store directory (warm-starts if present)")
+    srv.add_argument("--shards", type=int, default=4,
+                     help="solver worker shards (fingerprint-routed)")
+    srv.add_argument("--workers", default="thread",
+                     choices=["thread", "process", "inline"],
+                     help="worker executor kind per shard")
+    srv.add_argument("--cache-size", type=int, default=1024,
+                     help="in-memory LRU entries")
+    srv.add_argument("--max-pending", type=int, default=1024,
+                     help="admission queue cap across all clients")
+    srv.add_argument("--segment-records", type=int, default=512,
+                     help="records per store segment before rotation")
+
+    sbm = sub.add_parser("submit", help="plan instances through a running service")
+    sbm.add_argument("instances", nargs="+", help="instance JSON paths")
+    sbm.add_argument("--host", default="127.0.0.1")
+    sbm.add_argument("--port", type=int, default=7421)
+    sbm.add_argument("--solver", default=None,
+                     help="solver spec (default: the service's default)")
+    sbm.add_argument("--bounds", action="store_true",
+                     help="request Theorem 1 bound reports")
+    sbm.add_argument("--client", default=None,
+                     help="client id for fair-queue accounting")
+    sbm.add_argument("--timeout", type=float, default=300.0,
+                     help="seconds to wait per response (long exact/dp "
+                          "solves may need more)")
+    sbm.add_argument("--metrics", action="store_true",
+                     help="print the service metrics snapshot afterwards")
+    sbm.add_argument("--json", action="store_true",
+                     help="emit results as repro/plan-result-v1 JSON lines")
+
+    sto = sub.add_parser("store", help="inspect a persistent plan store")
+    sto.add_argument("action", choices=["stats", "verify", "compact"],
+                     help="compact only while no server is writing the store")
+    sto.add_argument("path", help="plan store directory")
     return parser
 
 
@@ -216,6 +260,92 @@ def _cmd_fig1(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import PlanningService
+
+    service = PlanningService(
+        store_path=args.store,
+        num_shards=args.shards,
+        worker_mode=args.workers,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+        segment_max_records=args.segment_records,
+    )
+    if args.store and service.store is not None:
+        warm = len(service.store)
+        print(f"plan store {args.store}: {warm} plans warm-started", flush=True)
+
+    def ready(address) -> None:
+        print(f"planning service listening on {address[0]}:{address[1]} "
+              f"({args.shards} {args.workers} shards)", flush=True)
+
+    try:
+        service.run(args.host, args.port, ready=ready)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import PlanRequest
+    from repro.io.serialization import load_multicast, plan_result_to_dict
+    from repro.service import ServiceClient
+
+    with ServiceClient(
+        args.host, args.port, client_id=args.client, timeout=args.timeout
+    ) as client:
+        for path in args.instances:
+            mset = load_multicast(path)
+            request = PlanRequest(
+                instance=mset,
+                **({"solver": args.solver} if args.solver else {}),
+                include_bounds=args.bounds,
+                tag=path,
+            )
+            served = client.plan(request)
+            result = served.result
+            if args.json:
+                print(json.dumps(plan_result_to_dict(result), sort_keys=True))
+            else:
+                print(
+                    f"{path}: R_T={result.value:g} solver={result.solver} "
+                    f"tier={served.tier}"
+                    + (" optimal" if result.exact else "")
+                )
+        if args.metrics:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service import PlanStore
+
+    if not Path(args.path).is_dir():
+        raise ReproError(f"no plan store at {args.path}: not a directory")
+    store = PlanStore(args.path)
+    if args.action == "verify":
+        checked = store.verify()
+        print(f"{args.path}: {checked} records verified "
+              f"(all round-trip through repro/plan-result-v1)")
+    elif args.action == "compact":
+        before = store.stats()
+        reclaimed = store.compact()
+        after = store.stats()
+        print(f"{args.path}: reclaimed {reclaimed} superseded records "
+              f"({before.segments} -> {after.segments} segments, "
+              f"{after.live_keys} live plans)")
+    else:
+        stats = store.stats()
+        print(f"{args.path}: {stats.live_keys} live plans, "
+              f"{stats.total_records} records in {stats.segments} segments "
+              f"({stats.dead_records} reclaimable)")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "schedule": _cmd_schedule,
@@ -223,6 +353,9 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
     "fig1": _cmd_fig1,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "store": _cmd_store,
 }
 
 

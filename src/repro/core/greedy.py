@@ -23,6 +23,10 @@ Total cost ``O(n log n)``.  Ties on the key are broken by queue-insertion
 order (the paper leaves ties unspecified; this choice makes runs
 deterministic and, pleasantly, prefers senders that entered the tree
 earlier, i.e. faster ones).
+
+Paper reference: Section 2 ("An Approximation Algorithm for Multicast"),
+the greedy pseudo-code and Lemma 1 (``O(n log n)`` running time);
+reproduced by experiments E3 (scaling) and E10 (ablation).
 """
 
 from __future__ import annotations

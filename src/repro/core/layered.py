@@ -14,6 +14,10 @@ predicate.  Every layered schedule is generated up to tie-equivalence
 (schedules that differ only in the placement of equal-overhead nodes or
 equal-time deliveries), which is sufficient for optimality comparisons since
 tie-equivalent schedules share all completion times.
+
+Paper reference: Section 2 (layered schedules, Lemma 2's dominance
+argument) and Corollary 1 (greedy's layered optimality); reproduced by
+experiment E9.
 """
 
 from __future__ import annotations

@@ -50,3 +50,13 @@ class SolverError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received unsatisfiable parameters."""
+
+
+class ServiceError(ReproError):
+    """The planning service refused or failed a request.
+
+    Raised for admission-control rejections (the fair queue is full), wire
+    protocol violations, attempts to use a service that is not running, and
+    errors the server reports back over the JSON-lines protocol.
+    """
+

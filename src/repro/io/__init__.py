@@ -1,10 +1,28 @@
-"""Serialization of instances and schedules (JSON, networkx export)."""
+"""Serialization and storage primitives (JSON formats, JSONL segments).
 
+:mod:`repro.io.serialization` defines the versioned JSON formats
+(``repro/multicast-v1``, ``repro/schedule-v1``, ``repro/plan-request-v1``,
+``repro/plan-result-v1``); :mod:`repro.io.segments` provides the
+append-only JSONL segment files the persistent plan store is built on.
+"""
+
+from repro.io.segments import (
+    append_jsonl,
+    iter_jsonl,
+    list_segments,
+    segment_index,
+    segment_name,
+    write_jsonl,
+)
 from repro.io.serialization import (
     load_multicast,
     load_schedule,
     multicast_from_dict,
     multicast_to_dict,
+    plan_request_from_dict,
+    plan_request_to_dict,
+    plan_result_from_dict,
+    plan_result_to_dict,
     save_json,
     schedule_from_dict,
     schedule_to_dict,
@@ -15,7 +33,17 @@ __all__ = [
     "multicast_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
+    "plan_request_to_dict",
+    "plan_request_from_dict",
+    "plan_result_to_dict",
+    "plan_result_from_dict",
     "save_json",
     "load_multicast",
     "load_schedule",
+    "append_jsonl",
+    "write_jsonl",
+    "iter_jsonl",
+    "list_segments",
+    "segment_name",
+    "segment_index",
 ]

@@ -1,0 +1,126 @@
+"""Append-only JSONL segment files (the persistent plan store's substrate).
+
+A *segment* is a plain-text file of newline-delimited JSON records.  The
+planning service's :class:`repro.service.store.PlanStore` keeps its data in
+a directory of numbered segments (``segment-000001.jsonl`` ...): writers
+only ever append to the newest segment and rotate to a fresh one when it
+fills, so a crash can at worst truncate the final line of the final
+segment.  :func:`iter_jsonl` therefore tolerates a partial trailing line
+when asked to (``on_error="truncate"``), which is how warm starts survive
+an unclean shutdown.
+
+These helpers are deliberately independent of what the records mean; the
+store layers keys and the ``repro/plan-result-v1`` payload format
+(:mod:`repro.io.serialization`) on top.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Tuple, Union
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "SEGMENT_PATTERN",
+    "segment_name",
+    "segment_index",
+    "list_segments",
+    "append_jsonl",
+    "write_jsonl",
+    "iter_jsonl",
+]
+
+#: Segment file names: ``segment-<6-digit index>.jsonl``.
+SEGMENT_PATTERN = re.compile(r"^segment-(\d{6})\.jsonl$")
+
+
+def segment_name(index: int) -> str:
+    """File name of segment ``index`` (1-based, zero-padded)."""
+    if index < 1:
+        raise ReproError(f"segment index must be >= 1, got {index}")
+    return f"segment-{index:06d}.jsonl"
+
+
+def segment_index(path: Union[str, Path]) -> int:
+    """Inverse of :func:`segment_name` (raises on non-segment names)."""
+    match = SEGMENT_PATTERN.match(Path(path).name)
+    if match is None:
+        raise ReproError(f"not a segment file name: {Path(path).name!r}")
+    return int(match.group(1))
+
+
+def list_segments(root: Union[str, Path]) -> List[Path]:
+    """Segment files under ``root`` in index order (missing dir -> empty)."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    found = [p for p in root.iterdir() if SEGMENT_PATTERN.match(p.name)]
+    return sorted(found, key=segment_index)
+
+
+def append_jsonl(path: Union[str, Path], records: Iterable[Dict[str, Any]]) -> int:
+    """Append ``records`` to ``path`` as JSON lines; returns records written.
+
+    Each record is written and flushed as one ``\\n``-terminated line with
+    sorted keys, so concurrent readers only ever observe whole records plus
+    at most one partial tail.
+    """
+    written = 0
+    with open(path, "a", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            written += 1
+        fh.flush()
+    return written
+
+
+def write_jsonl(path: Union[str, Path], records: Iterable[Dict[str, Any]]) -> int:
+    """Write ``records`` to a fresh file (truncates); returns records written.
+
+    Used by compaction, which rewrites the live records into new segments
+    before deleting the old ones.
+    """
+    Path(path).write_text("")
+    return append_jsonl(path, records)
+
+
+def iter_jsonl(
+    path: Union[str, Path], *, on_error: str = "raise"
+) -> Iterator[Tuple[int, Dict[str, Any]]]:
+    """Yield ``(line_number, record)`` for each JSON line of ``path``.
+
+    ``on_error`` controls how malformed lines are handled:
+
+    - ``"raise"``: any undecodable line raises :class:`ReproError`;
+    - ``"truncate"``: an undecodable *final* line is silently dropped (the
+      signature of a crash mid-append) but a corrupt interior line still
+      raises;
+    - ``"skip"``: every undecodable line is dropped.
+    """
+    if on_error not in ("raise", "truncate", "skip"):
+        raise ReproError(
+            f"on_error must be 'raise', 'truncate' or 'skip', got {on_error!r}"
+        )
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if on_error == "skip":
+                continue
+            if on_error == "truncate" and number == len(lines):
+                return
+            raise ReproError(f"{Path(path).name}:{number}: malformed JSON line") from None
+        if not isinstance(record, dict):
+            if on_error == "skip":
+                continue
+            raise ReproError(
+                f"{Path(path).name}:{number}: expected a JSON object, "
+                f"got {type(record).__name__}"
+            )
+        yield number, record

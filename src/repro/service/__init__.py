@@ -1,0 +1,46 @@
+"""repro.service — the long-running multicast planning service.
+
+This package turns the one-shot :class:`repro.api.Planner` into a served
+control plane (see SERVICE.md for the operator view):
+
+- :class:`~repro.service.server.PlanningService` — asyncio service with a
+  per-client fair admission queue, fingerprint-sharded solver workers and
+  a JSON-lines TCP front-end (``repro serve``);
+- :class:`~repro.service.store.PlanStore` — persistent append-only plan
+  store (JSONL segments of ``repro/plan-result-v1`` records) that plugs
+  into the planner as a :class:`repro.api.CacheTier`, giving
+  memory → store → solve lookups and warm starts across restarts;
+- :class:`~repro.service.client.ServiceClient` /
+  :class:`~repro.service.client.InProcessClient` — wire and embedded
+  clients with one surface (``repro submit`` uses the former);
+- :mod:`~repro.service.protocol` — the versioned wire protocol;
+- :class:`~repro.service.shard.ShardRouter` and
+  :class:`~repro.service.metrics.MetricsRegistry` — worker routing and
+  observability.
+
+Quickstart
+----------
+>>> from repro.service import InProcessClient, PlanningService   # doctest: +SKIP
+>>> with PlanningService(store_path="plans/") as service:        # doctest: +SKIP
+...     client = InProcessClient(service)                        # doctest: +SKIP
+...     served = client.plan(mset, solver="dp")                  # doctest: +SKIP
+...     served.result.value, served.tier                         # doctest: +SKIP
+"""
+
+from repro.service.client import InProcessClient, ServedPlan, ServiceClient
+from repro.service.metrics import MetricsRegistry
+from repro.service.server import FairQueue, PlanningService
+from repro.service.shard import ShardRouter
+from repro.service.store import PlanStore, StoreStats
+
+__all__ = [
+    "PlanningService",
+    "FairQueue",
+    "PlanStore",
+    "StoreStats",
+    "ShardRouter",
+    "MetricsRegistry",
+    "ServiceClient",
+    "InProcessClient",
+    "ServedPlan",
+]

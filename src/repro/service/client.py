@@ -1,0 +1,214 @@
+"""Clients of the planning service: TCP wire client and in-process client.
+
+Both expose the same surface — ``plan`` / ``plan_batch`` / ``ping`` /
+``metrics`` — so tests and examples can swap transports freely and assert
+the service path returns exactly what the direct :class:`repro.api.Planner`
+path returns.
+
+:class:`ServiceClient` speaks the JSON-lines protocol of
+:mod:`repro.service.protocol` over a blocking socket (one connection,
+pipelined ids, responses matched by ``id``).  :class:`InProcessClient`
+skips the socket and calls straight into a background
+:class:`~repro.service.server.PlanningService` — same admission queue,
+shards and cache tiers, no serialization of the instance beyond the
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.api.request import PlanRequest, PlanResult
+from repro.core.multicast import MulticastSet
+from repro.exceptions import ServiceError
+from repro.service import protocol
+from repro.service.server import PlanningService
+
+__all__ = ["ServiceClient", "InProcessClient", "ServedPlan"]
+
+Plannable = Union[PlanRequest, MulticastSet]
+
+
+class ServedPlan:
+    """A service response: the :class:`PlanResult` plus the serving tier."""
+
+    def __init__(self, result: PlanResult, tier: str) -> None:
+        self.result = result
+        self.tier = tier
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServedPlan(value={self.result.value:g}, tier={self.tier!r})"
+
+
+def _as_request(job: Plannable, solver: Optional[str], options: Dict[str, Any]) -> PlanRequest:
+    if isinstance(job, PlanRequest):
+        if solver is not None or options:
+            raise ServiceError(
+                "pass solver/options inside the PlanRequest, not alongside it"
+            )
+        return job
+    if isinstance(job, MulticastSet):
+        kwargs: Dict[str, Any] = {"instance": job, "options": options}
+        if solver is not None:
+            kwargs["solver"] = solver
+        return PlanRequest(**kwargs)
+    raise ServiceError(
+        f"cannot plan a {type(job).__name__}; expected PlanRequest or MulticastSet"
+    )
+
+
+class ServiceClient:
+    """Blocking JSON-lines client of a TCP planning service.
+
+    Examples
+    --------
+    >>> with ServiceClient("127.0.0.1", 7421) as client:      # doctest: +SKIP
+    ...     served = client.plan(mset, solver="dp")           # doctest: +SKIP
+    ...     served.result.value, served.tier                  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        *,
+        client_id: Optional[str] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self._ids = itertools.count(1)
+        self._broken = False
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to planning service at {host}:{port}: {exc}"
+            ) from None
+        self._file = self._sock.makefile("rb")
+
+    # -- transport ------------------------------------------------------
+    def _abandon(self) -> None:
+        # once a request is abandoned mid-flight (timeout, transport
+        # error) the stream may hold its stale response; fail closed
+        # instead of misreading it as the answer to a later request
+        self._broken = True
+        self.close()
+
+    def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._broken:
+            raise ServiceError(
+                "connection closed after an earlier timeout or transport "
+                "error; create a new ServiceClient"
+            )
+        message_id = message.get("id")
+        try:
+            self._sock.sendall(protocol.encode(message))
+            while True:
+                line = self._file.readline()
+                if not line:
+                    self._abandon()
+                    raise ServiceError("service closed the connection")
+                response = protocol.decode(line)
+                if response.get("id") == message_id:
+                    return response
+                # a response to a request this client never sent: protocol bug
+                self._abandon()
+                raise ServiceError(
+                    f"out-of-order response id {response.get('id')!r} "
+                    f"(expected {message_id!r})"
+                )
+        except OSError as exc:
+            self._abandon()
+            raise ServiceError(f"service connection failed: {exc}") from None
+
+    # -- surface --------------------------------------------------------
+    def plan(
+        self, job: Plannable, solver: Optional[str] = None, **options: Any
+    ) -> ServedPlan:
+        """Plan one multicast through the service; returns result + tier."""
+        request = _as_request(job, solver, options)
+        message = protocol.plan_message(
+            request, id=next(self._ids), client=self.client_id
+        )
+        response = self._roundtrip(message)
+        if response["type"] == "error":
+            raise ServiceError(response.get("error", "unknown service error"))
+        result = protocol.parse_plan_result(response)
+        return ServedPlan(result, response.get("tier", "unknown"))
+
+    def plan_batch(self, jobs: List[Plannable]) -> List[ServedPlan]:
+        """Plan many jobs over this connection (submission order kept)."""
+        return [self.plan(job) for job in jobs]
+
+    def ping(self) -> bool:
+        """Liveness probe; ``True`` when the service answers ``pong``."""
+        response = self._roundtrip(protocol.ping_message(id=next(self._ids)))
+        return response.get("type") == "pong"
+
+    def metrics(self) -> Dict[str, Any]:
+        """The service's counters snapshot (see SERVICE.md)."""
+        response = self._roundtrip(protocol.metrics_message(id=next(self._ids)))
+        if response.get("type") != "metrics":
+            raise ServiceError(f"unexpected response {response.get('type')!r}")
+        return response.get("metrics", {})
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class InProcessClient:
+    """Client of an embedded (background-thread) :class:`PlanningService`.
+
+    The service must already be running (``start_background()``); the
+    client neither starts nor stops it, so many clients can share one
+    service with distinct ``client_id``s — that is what the fair admission
+    queue arbitrates between.
+    """
+
+    def __init__(
+        self,
+        service: PlanningService,
+        *,
+        client_id: str = "in-process",
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        self.service = service
+        self.client_id = client_id
+        self.timeout = timeout
+
+    def plan(
+        self, job: Plannable, solver: Optional[str] = None, **options: Any
+    ) -> ServedPlan:
+        """Plan one multicast through the embedded service."""
+        request = _as_request(job, solver, options)
+        result, tier = self.service.submit_sync(
+            request, client_id=self.client_id, timeout=self.timeout
+        )
+        return ServedPlan(result, tier)
+
+    def plan_batch(self, jobs: List[Plannable]) -> List[ServedPlan]:
+        """Plan many jobs (submission order kept)."""
+        return [self.plan(job) for job in jobs]
+
+    def ping(self) -> bool:
+        """``True`` while the embedded service is running."""
+        return self.service.is_running
+
+    def metrics(self) -> Dict[str, Any]:
+        """The service's counters snapshot."""
+        return self.service.describe_metrics()

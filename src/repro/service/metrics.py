@@ -1,0 +1,64 @@
+"""Thread-safe operation counters for the planning service.
+
+A deliberately small metrics facility: named monotonic counters plus
+point-in-time gauges, snapshotted as a plain dict so they can be shipped
+over the wire protocol's ``metrics`` message and printed by ``repro
+submit --metrics``.  No external dependency, no histogram machinery —
+just enough to observe the cache-tier split (``hits_memory`` /
+``hits_store`` / ``solves``), admission behaviour (``rejected``) and
+per-shard dispatch balance.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Union
+
+__all__ = ["MetricsRegistry"]
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Named counters and gauges behind one lock.
+
+    Counters only ever increase (:meth:`inc`); gauges are set to the
+    latest observed value (:meth:`set_gauge`).  :meth:`snapshot` returns a
+    merged, sorted dict — gauges are prefixed with ``gauge_`` so the two
+    families cannot collide.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, Number] = {}
+
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to counter ``name`` (created at 0); returns it."""
+        with self._lock:
+            value = self._counters.get(name, 0) + amount
+            self._counters[name] = value
+            return value
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Record the latest value of gauge ``name``."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def snapshot(self) -> Dict[str, Number]:
+        """All counters plus ``gauge_``-prefixed gauges, key-sorted."""
+        with self._lock:
+            merged: Dict[str, Number] = dict(self._counters)
+            merged.update({f"gauge_{k}": v for k, v in self._gauges.items()})
+        return dict(sorted(merged.items()))
+
+    def reset(self) -> None:
+        """Zero everything (tests only; production counters are monotonic)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()

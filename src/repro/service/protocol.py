@@ -1,0 +1,155 @@
+"""JSON-lines wire protocol of the planning service (documented in SERVICE.md).
+
+One message per ``\\n``-terminated line, UTF-8 JSON objects, correlated by
+a caller-chosen ``id`` echoed on the response — so a client may pipeline
+many requests and read responses out of order.
+
+Client -> server message types:
+
+====================  ========================================================
+``plan``              ``{"type": "plan", "id": ..., "client": ...,
+                      "request": {repro/plan-request-v1}}``
+``ping``              liveness probe
+``metrics``           request a counters snapshot
+====================  ========================================================
+
+Server -> client message types:
+
+====================  ========================================================
+``result``            ``{"type": "result", "id": ..., "tier":
+                      "memory"|"store"|"solve", "result":
+                      {repro/plan-result-v1}}``
+``error``             ``{"type": "error", "id": ..., "error": "..."}``
+``pong``              answer to ``ping``
+``metrics``           ``{"type": "metrics", "metrics": {...}}``
+====================  ========================================================
+
+The instance/request/result payloads are exactly the versioned formats of
+:mod:`repro.io.serialization` — the wire adds only the envelope.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.api.request import PlanRequest, PlanResult
+from repro.exceptions import ServiceError
+from repro.io.serialization import (
+    plan_request_from_dict,
+    plan_request_to_dict,
+    plan_result_from_dict,
+    plan_result_to_dict,
+)
+
+__all__ = [
+    "PROTOCOL",
+    "REQUEST_TYPES",
+    "RESPONSE_TYPES",
+    "encode",
+    "decode",
+    "plan_message",
+    "ping_message",
+    "metrics_message",
+    "result_message",
+    "error_message",
+    "parse_plan_request",
+    "parse_plan_result",
+]
+
+#: Protocol identifier (bumped on incompatible envelope changes).
+PROTOCOL = "repro/service-v1"
+
+REQUEST_TYPES = ("plan", "ping", "metrics")
+RESPONSE_TYPES = ("result", "error", "pong", "metrics")
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """Serialize a message to one wire line (UTF-8, newline-terminated)."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a message dict (envelope-validated)."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise ServiceError("malformed wire message: not a JSON line") from None
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"malformed wire message: expected an object, "
+            f"got {type(message).__name__}"
+        )
+    if "type" not in message:
+        raise ServiceError("malformed wire message: missing 'type'")
+    return message
+
+
+# ----------------------------------------------------------------------
+# client-side constructors
+# ----------------------------------------------------------------------
+def plan_message(
+    request: PlanRequest, *, id: Any = None, client: Optional[str] = None
+) -> Dict[str, Any]:
+    """Envelope a :class:`PlanRequest` as a ``plan`` message."""
+    message: Dict[str, Any] = {
+        "type": "plan",
+        "id": id,
+        "request": plan_request_to_dict(request),
+    }
+    if client is not None:
+        message["client"] = client
+    return message
+
+
+def ping_message(*, id: Any = None) -> Dict[str, Any]:
+    """A liveness probe."""
+    return {"type": "ping", "id": id}
+
+
+def metrics_message(*, id: Any = None) -> Dict[str, Any]:
+    """A counters-snapshot request."""
+    return {"type": "metrics", "id": id}
+
+
+# ----------------------------------------------------------------------
+# server-side constructors
+# ----------------------------------------------------------------------
+def result_message(result: PlanResult, tier: str, *, id: Any = None) -> Dict[str, Any]:
+    """Envelope a :class:`PlanResult` (with its serving tier) as ``result``."""
+    return {
+        "type": "result",
+        "id": id,
+        "tier": tier,
+        "result": plan_result_to_dict(result),
+    }
+
+
+def error_message(error: str, *, id: Any = None) -> Dict[str, Any]:
+    """Envelope a failure as an ``error`` message."""
+    return {"type": "error", "id": id, "error": error}
+
+
+# ----------------------------------------------------------------------
+# payload extraction
+# ----------------------------------------------------------------------
+def parse_plan_request(message: Dict[str, Any]) -> PlanRequest:
+    """Extract the :class:`PlanRequest` from a ``plan`` message."""
+    if message.get("type") != "plan":
+        raise ServiceError(f"expected a 'plan' message, got {message.get('type')!r}")
+    payload = message.get("request")
+    if not isinstance(payload, dict):
+        raise ServiceError("'plan' message carries no request payload")
+    return plan_request_from_dict(payload)
+
+
+def parse_plan_result(message: Dict[str, Any]) -> PlanResult:
+    """Extract the :class:`PlanResult` from a ``result`` message."""
+    if message.get("type") != "result":
+        raise ServiceError(
+            f"expected a 'result' message, got {message.get('type')!r}"
+        )
+    payload = message.get("result")
+    if not isinstance(payload, dict):
+        raise ServiceError("'result' message carries no result payload")
+    return plan_result_from_dict(payload)

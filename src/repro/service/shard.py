@@ -1,0 +1,141 @@
+"""Fingerprint-sharded solver workers for the planning service.
+
+The service fans real solves out to a fixed set of *shards*.  A request is
+routed by its canonical instance fingerprint
+(:func:`repro.api.instance_fingerprint`), so identical instances always
+land on the same shard: concurrent duplicate requests serialize behind one
+worker instead of burning several on the same solve, and each shard's OS
+process keeps a stable working set.
+
+Each shard owns one single-worker executor, created lazily:
+
+- ``mode="process"`` — a one-process :class:`ProcessPoolExecutor` running
+  :func:`repro.api.planner._plan_standalone` (true CPU parallelism across
+  shards; requests must be picklable);
+- ``mode="thread"`` — a one-thread pool (portable default; the GIL caps
+  parallelism but keeps the event loop responsive);
+- ``mode="inline"`` — solve on the caller's thread (tests and examples;
+  blocks the event loop, so never the server default).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Optional
+
+from repro.api.planner import _plan_standalone, instance_fingerprint
+from repro.api.request import PlanRequest, PlanResult
+from repro.exceptions import ReproError
+
+__all__ = ["ShardRouter", "WORKER_MODES"]
+
+WORKER_MODES = ("thread", "process", "inline")
+
+
+class ShardRouter:
+    """Route plan requests to ``num_shards`` single-worker executors."""
+
+    def __init__(self, num_shards: int = 4, *, mode: str = "thread") -> None:
+        if num_shards < 1:
+            raise ReproError(f"num_shards must be >= 1, got {num_shards}")
+        if mode not in WORKER_MODES:
+            raise ReproError(
+                f"worker mode must be one of {WORKER_MODES}, got {mode!r}"
+            )
+        self.num_shards = num_shards
+        self.mode = mode
+        self._lock = threading.Lock()
+        self._executors: Dict[int, Executor] = {}
+        self._supervisors: Dict[int, Executor] = {}
+        self._dispatched: Dict[int, int] = {s: 0 for s in range(num_shards)}
+
+    def shard_of(self, fingerprint: str) -> int:
+        """Stable shard id for a fingerprint (hex prefix modulo shards)."""
+        return int(fingerprint[:8], 16) % self.num_shards
+
+    def shard_for(self, request: PlanRequest) -> int:
+        """Shard id a request routes to."""
+        return self.shard_of(instance_fingerprint(request.instance))
+
+    def _executor(self, shard: int) -> Optional[Executor]:
+        if self.mode == "inline":
+            return None
+        with self._lock:
+            executor = self._executors.get(shard)
+            if executor is None:
+                if self.mode == "process":
+                    executor = ProcessPoolExecutor(max_workers=1)
+                else:
+                    executor = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix=f"repro-shard-{shard}"
+                    )
+                self._executors[shard] = executor
+            return executor
+
+    def serving_executor(self, shard: int) -> Optional[Executor]:
+        """The single thread that serves this shard's cache misses.
+
+        The planning service runs its whole miss path (cache re-check →
+        solve → store write-through) on this thread so long solves never
+        occupy threads of the shared default executor.  In ``thread`` mode
+        it *is* the shard's worker; in ``process`` mode it is a dedicated
+        supervisor thread that blocks on the shard's process pool;
+        ``inline`` mode has none (callers fall back to the default pool).
+        """
+        if self.mode == "inline":
+            return None
+        if self.mode == "thread":
+            return self._executor(shard)
+        with self._lock:
+            supervisor = self._supervisors.get(shard)
+            if supervisor is None:
+                supervisor = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix=f"repro-shard-{shard}-supervisor",
+                )
+                self._supervisors[shard] = supervisor
+            return supervisor
+
+    def solve_in_worker(self, shard: int, request: PlanRequest) -> PlanResult:
+        """Solve when already on the shard's serving thread.
+
+        ``thread``/``inline`` modes run the solver directly (submitting to
+        the shard's own single-worker pool from its own thread would
+        deadlock); ``process`` mode blocks on the shard's process pool.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ReproError(f"shard must be in [0, {self.num_shards}), got {shard}")
+        with self._lock:
+            self._dispatched[shard] += 1
+        if self.mode == "process":
+            executor = self._executor(shard)
+            assert executor is not None
+            return executor.submit(_plan_standalone, request).result()
+        return _plan_standalone(request)
+
+    def solve_sync(self, request: PlanRequest) -> PlanResult:
+        """Route and solve one request, blocking (tests, one-shots).
+
+        Thin wrapper over the production path: routes with
+        :meth:`shard_for`, then runs :meth:`solve_in_worker` on the
+        shard's serving thread.
+        """
+        shard = self.shard_for(request)
+        executor = self.serving_executor(shard)
+        if executor is None:  # inline mode
+            return self.solve_in_worker(shard, request)
+        return executor.submit(self.solve_in_worker, shard, request).result()
+
+    def stats(self) -> Dict[str, int]:
+        """Per-shard dispatch counters, e.g. ``{"shard_0": 12, ...}``."""
+        with self._lock:
+            return {f"shard_{s}": n for s, n in sorted(self._dispatched.items())}
+
+    def shutdown(self) -> None:
+        """Tear down every lazily-created executor."""
+        with self._lock:
+            executors, self._executors = dict(self._executors), {}
+            supervisors, self._supervisors = dict(self._supervisors), {}
+        for executor in (*supervisors.values(), *executors.values()):
+            executor.shutdown(wait=True)

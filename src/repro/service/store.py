@@ -1,0 +1,293 @@
+"""Persistent on-disk plan store: the planner's durable cache tier.
+
+The store is a directory of append-only JSONL segments
+(:mod:`repro.io.segments`).  Every record is::
+
+    {"format": "repro/plan-store-v1",
+     "key": "<fingerprint>|<solver>|<bounds>|<options-json>",
+     "result": { ... repro/plan-result-v1 ... }}
+
+where ``result`` is exactly the :data:`repro.io.serialization.PLAN_RESULT_FORMAT`
+payload, so anything written by the service round-trips through
+``plan_result_from_dict`` with no service-specific decoder.
+
+Properties:
+
+- **Warm start** — opening a store replays every segment into an in-memory
+  key index (later records win), so a restarted server serves identical
+  ``PlanResult``s from disk without re-solving anything.
+- **Crash safety** — writers append whole lines and rotate segments at
+  ``segment_max_records``; a torn final line (crash mid-append) is dropped
+  on load (``on_error="truncate"``), never propagated.
+- **Compaction** — superseded duplicates accumulate in the append-only log;
+  :meth:`PlanStore.compact` rewrites the live records into fresh segments
+  and deletes the old ones.
+
+:class:`PlanStore` implements the :class:`repro.api.CacheTier` protocol
+(``name``/``get``/``put``), so ``Planner(cache_tiers=[PlanStore(path)])``
+gives any planner a memory → store → solve hierarchy with zero service
+code involved.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.api.planner import CacheKey
+from repro.api.request import PlanResult
+from repro.exceptions import ReproError
+from repro.io.segments import (
+    append_jsonl,
+    iter_jsonl,
+    list_segments,
+    segment_index,
+    segment_name,
+    write_jsonl,
+)
+from repro.io.serialization import plan_result_from_dict, plan_result_to_dict
+
+__all__ = ["PlanStore", "StoreStats", "PLAN_STORE_FORMAT"]
+
+PLAN_STORE_FORMAT = "repro/plan-store-v1"
+
+
+class StoreStats:
+    """Point-in-time occupancy of a :class:`PlanStore`."""
+
+    def __init__(self, live_keys: int, total_records: int, segments: int) -> None:
+        self.live_keys = live_keys
+        self.total_records = total_records
+        self.segments = segments
+
+    @property
+    def dead_records(self) -> int:
+        """Superseded records reclaimable by :meth:`PlanStore.compact`."""
+        return self.total_records - self.live_keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoreStats(live_keys={self.live_keys}, "
+            f"total_records={self.total_records}, segments={self.segments})"
+        )
+
+
+def key_string(key: CacheKey) -> str:
+    """Flatten a planner cache key to the store's string form."""
+    fingerprint, solver, options_key, include_bounds = key
+    return f"{fingerprint}|{solver}|{int(include_bounds)}|{options_key}"
+
+
+class PlanStore:
+    """Append-only persistent plan store with warm-start loading.
+
+    Parameters
+    ----------
+    root:
+        Directory of segments; created (with parents) if missing.
+    segment_max_records:
+        Records per segment before the writer rotates to a new one.
+
+    The store keeps an in-memory index ``{key string: result dict}`` built
+    by replaying segments at open, so ``get`` never touches disk and
+    ``put`` performs one appended line.  All methods are thread-safe.
+    """
+
+    #: Tier label reported in planner/service hit metrics.
+    name = "store"
+
+    def __init__(
+        self, root: Union[str, Path], *, segment_max_records: int = 512
+    ) -> None:
+        if segment_max_records < 1:
+            raise ReproError(
+                f"segment_max_records must be >= 1, got {segment_max_records}"
+            )
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.segment_max_records = segment_max_records
+        self._lock = threading.Lock()
+        self._index: Dict[str, Dict[str, Any]] = {}
+        self._total_records = 0
+        self._active_index = 1
+        self._active_records = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    # loading / warm start
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _repair_torn_tail(segment: Path) -> None:
+        """Physically drop a torn final line left by a crash mid-append.
+
+        Every complete append ends with ``\\n``, so a file not ending in a
+        newline holds a partial record.  It must be removed from disk (not
+        just skipped on load): a later append would otherwise glue its
+        JSON onto the fragment, corrupting an interior line for good.
+        """
+        text = segment.read_text(encoding="utf-8")
+        if not text or text.endswith("\n"):
+            return
+        keep, newline, _torn = text.rpartition("\n")
+        segment.write_text(keep + newline, encoding="utf-8")
+
+    def _load(self) -> None:
+        segments = list_segments(self.root)
+        for position, segment in enumerate(segments):
+            last = position == len(segments) - 1
+            if last:
+                self._repair_torn_tail(segment)
+            # belt and braces: tolerate a torn tail on the newest segment
+            # even though _repair_torn_tail should have removed it
+            on_error = "truncate" if last else "raise"
+            records = 0
+            for number, record in iter_jsonl(segment, on_error=on_error):
+                flat, payload = self._validate_record(segment, number, record)
+                self._index[flat] = payload
+                records += 1
+            self._total_records += records
+            if last:
+                self._active_index = segment_index(segment)
+                self._active_records = records
+        if segments and self._active_records >= self.segment_max_records:
+            self._active_index += 1
+            self._active_records = 0
+
+    @staticmethod
+    def _validate_record(
+        segment: Path, number: int, record: Dict[str, Any]
+    ) -> Tuple[str, Dict[str, Any]]:
+        """Check one raw store record; raises :class:`ReproError` if bad."""
+        if record.get("format") != PLAN_STORE_FORMAT:
+            raise ReproError(
+                f"{segment.name}:{number}: not a {PLAN_STORE_FORMAT} "
+                f"record: {record.get('format')!r}"
+            )
+        flat = record.get("key")
+        payload = record.get("result")
+        if not isinstance(flat, str) or not isinstance(payload, dict):
+            raise ReproError(
+                f"{segment.name}:{number}: malformed plan-store record "
+                f"(missing or mistyped 'key'/'result')"
+            )
+        return flat, payload
+
+    # ------------------------------------------------------------------
+    # CacheTier protocol
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[PlanResult]:
+        """Return the stored :class:`PlanResult` for ``key``, or ``None``."""
+        with self._lock:
+            payload = self._index.get(key_string(key))
+        if payload is None:
+            return None
+        return plan_result_from_dict(payload)
+
+    def put(self, key: CacheKey, result: PlanResult) -> None:
+        """Persist ``result`` under ``key`` (idempotent for equal payloads)."""
+        payload = plan_result_to_dict(result)
+        flat = key_string(key)
+        with self._lock:
+            if self._index.get(flat) == payload:
+                return  # identical record already durable; skip the append
+            self._append_locked(flat, payload)
+
+    def _append_locked(self, flat: str, payload: Dict[str, Any]) -> None:
+        record = {"format": PLAN_STORE_FORMAT, "key": flat, "result": payload}
+        append_jsonl(self.root / segment_name(self._active_index), [record])
+        self._index[flat] = payload
+        self._total_records += 1
+        self._active_records += 1
+        if self._active_records >= self.segment_max_records:
+            self._active_index += 1
+            self._active_records = 0
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def keys(self) -> List[str]:
+        """Live key strings, sorted (diagnostics and ``store verify``)."""
+        with self._lock:
+            return sorted(self._index)
+
+    def stats(self) -> StoreStats:
+        """Live/total/segment occupancy."""
+        with self._lock:
+            return StoreStats(
+                live_keys=len(self._index),
+                total_records=self._total_records,
+                segments=len(list_segments(self.root)),
+            )
+
+    def compact(self) -> int:
+        """Rewrite live records into fresh segments; returns reclaimed count.
+
+        New segments are numbered after the current active one, written
+        fully, and only then are the old segments deleted — a crash during
+        compaction leaves a store that still loads (duplicate records are
+        harmless; later ones win and a re-compaction cleans up).
+
+        .. warning::
+           Compact through the *owning* process only.  Running
+           ``repro store compact`` against a directory a live server is
+           writing to deletes records appended after this handle loaded
+           its index — stop the server (or call ``compact()`` on its own
+           :class:`PlanStore`) first.
+        """
+        with self._lock:
+            old_segments = list_segments(self.root)
+            live = sorted(self._index.items())
+            reclaimed = self._total_records - len(live)
+            next_index = self._active_index + 1
+            written_records = 0
+            for offset in range(0, max(len(live), 1), self.segment_max_records):
+                chunk = live[offset : offset + self.segment_max_records]
+                if not chunk:
+                    break
+                write_jsonl(
+                    self.root / segment_name(next_index),
+                    [
+                        {"format": PLAN_STORE_FORMAT, "key": k, "result": v}
+                        for k, v in chunk
+                    ],
+                )
+                written_records = len(chunk)
+                next_index += 1
+            for segment in old_segments:
+                segment.unlink()
+            self._total_records = len(live)
+            if live and written_records < self.segment_max_records:
+                self._active_index = next_index - 1
+                self._active_records = written_records
+            else:
+                self._active_index = next_index
+                self._active_records = 0
+            return reclaimed
+
+    def verify(self) -> int:
+        """Re-read every segment, round-tripping each result; returns count.
+
+        Raises :class:`ReproError` on any malformed record — this is what
+        ``repro store verify`` (and the CI end-to-end job) runs.
+        """
+        checked = 0
+        for segment in list_segments(self.root):
+            for number, record in iter_jsonl(segment, on_error="raise"):
+                _flat, payload = self._validate_record(segment, number, record)
+                result = plan_result_from_dict(payload)
+                again = plan_result_to_dict(result)
+                if json.dumps(again, sort_keys=True) != json.dumps(
+                    payload, sort_keys=True
+                ):
+                    raise ReproError(
+                        f"{segment.name}:{number}: result does not round-trip "
+                        f"through repro.io plan-result-v1"
+                    )
+                checked += 1
+        return checked

@@ -197,3 +197,75 @@ class TestFingerprint:
         assert instance_fingerprint(fig1_mset) == instance_fingerprint(clone)
         other = fig1_mset.with_latency(2)
         assert instance_fingerprint(fig1_mset) != instance_fingerprint(other)
+
+
+class TestCacheTiers:
+    class DictTier:
+        """Minimal CacheTier: a dict with hit/put counters."""
+
+        name = "dict"
+
+        def __init__(self):
+            self.data = {}
+            self.gets = 0
+            self.puts = 0
+
+        def get(self, key):
+            self.gets += 1
+            return self.data.get(key)
+
+        def put(self, key, result):
+            self.puts += 1
+            self.data[key] = result
+
+    def test_solves_write_through_to_tiers(self, fig1_mset):
+        tier = self.DictTier()
+        planner = Planner(cache_tiers=[tier])
+        planner.plan(fig1_mset, solver="greedy")
+        assert tier.puts == 1 and len(tier.data) == 1
+
+    def test_lru_miss_falls_back_to_tier(self, fig1_mset):
+        tier = self.DictTier()
+        Planner(cache_tiers=[tier]).plan(fig1_mset, solver="greedy")
+        cold = Planner(cache_tiers=[tier])  # empty LRU, shared tier
+        hit = cold.plan(fig1_mset, solver="greedy")
+        assert hit.cache_hit and hit.elapsed_s == 0.0
+        info = cold.cache_info()
+        assert (info.hits, info.tier_hits, info.misses) == (0, 1, 0)
+
+    def test_tier_hit_promotes_into_lru(self, fig1_mset):
+        tier = self.DictTier()
+        Planner(cache_tiers=[tier]).plan(fig1_mset, solver="greedy")
+        cold = Planner(cache_tiers=[tier])
+        cold.plan(fig1_mset, solver="greedy")  # tier hit, promoted
+        gets_before = tier.gets
+        cold.plan(fig1_mset, solver="greedy")  # now a memory hit
+        assert tier.gets == gets_before
+        assert cold.cache_info().hits == 1
+
+    def test_memory_hit_never_consults_tiers(self, fig1_mset):
+        tier = self.DictTier()
+        planner = Planner(cache_tiers=[tier])
+        planner.plan(fig1_mset, solver="greedy")  # one tier miss, then solve
+        gets_after_solve = tier.gets
+        planner.plan(fig1_mset, solver="greedy")
+        assert tier.gets == gets_after_solve  # LRU answered; tier untouched
+
+    def test_cache_lookup_and_store_round_trip(self, fig1_mset):
+        planner = Planner()
+        request = PlanRequest(instance=fig1_mset, solver="greedy", tag="svc")
+        assert planner.cache_lookup(request) is None
+        from repro.api.planner import _plan_standalone
+
+        planner.cache_store(request, _plan_standalone(request))
+        result, tier = planner.cache_lookup(request)
+        assert tier == "memory"
+        assert result.cache_hit and result.tag == "svc"
+
+    def test_add_cache_tier_validates_interface(self):
+        planner = Planner()
+        with pytest.raises(ReproError, match="lacks a callable"):
+            planner.add_cache_tier(object())
+        tier = self.DictTier()
+        planner.add_cache_tier(tier)
+        assert planner.cache_tiers == (tier,)

@@ -122,3 +122,77 @@ class TestExperimentAndFig1:
     def test_unknown_experiment_fails_cleanly(self, capsys):
         assert main(["experiment", "E42"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    @pytest.fixture
+    def populated_store(self, fig1_mset, tmp_path):
+        from repro.service import InProcessClient, PlanningService
+
+        store = tmp_path / "planstore"
+        with PlanningService(store_path=store, num_shards=1) as service:
+            client = InProcessClient(service)
+            client.plan(fig1_mset, solver="greedy")
+            client.plan(fig1_mset, solver="dp")
+        return str(store)
+
+    def test_submit_against_running_server(self, instance_file, tmp_path, capsys):
+        from repro.service import PlanningService
+
+        store = tmp_path / "planstore"
+        service = PlanningService(store_path=store, num_shards=1)
+        host, port = service.start_background(tcp=True)
+        try:
+            assert main(["submit", "--host", host, "--port", str(port),
+                         instance_file, "--solver", "dp"]) == 0
+            out = capsys.readouterr().out
+            assert "R_T=8" in out and "tier=solve" in out and "optimal" in out
+            # resubmission is served from the in-memory tier
+            assert main(["submit", "--host", host, "--port", str(port),
+                         instance_file, "--solver", "dp", "--metrics"]) == 0
+            out = capsys.readouterr().out
+            assert "tier=memory" in out and '"requests": 2' in out
+        finally:
+            service.stop()
+
+    def test_submit_json_output_round_trips(self, instance_file, tmp_path, capsys):
+        from repro.io.serialization import plan_result_from_dict
+        from repro.service import PlanningService
+
+        service = PlanningService(num_shards=1)
+        host, port = service.start_background(tcp=True)
+        try:
+            assert main(["submit", "--host", host, "--port", str(port),
+                         instance_file, "--json"]) == 0
+            result = plan_result_from_dict(json.loads(capsys.readouterr().out))
+            assert result.value == 8.0
+        finally:
+            service.stop()
+
+    def test_submit_without_server_fails_cleanly(self, instance_file, capsys):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        assert main(["submit", "--port", str(free_port), instance_file]) == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_store_stats(self, populated_store, capsys):
+        assert main(["store", "stats", populated_store]) == 0
+        assert "2 live plans" in capsys.readouterr().out
+
+    def test_store_verify(self, populated_store, capsys):
+        assert main(["store", "verify", populated_store]) == 0
+        out = capsys.readouterr().out
+        assert "2 records verified" in out and "plan-result-v1" in out
+
+    def test_store_compact(self, populated_store, capsys):
+        assert main(["store", "compact", populated_store]) == 0
+        assert "reclaimed 0 superseded records" in capsys.readouterr().out
+
+    def test_store_missing_directory_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "no-store-here"
+        assert main(["store", "verify", str(missing)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+        assert not missing.exists()  # a read-only command must not mkdir

@@ -1,0 +1,88 @@
+"""JSONL segment files: naming, append/iterate, crash-tail tolerance."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.io.segments import (
+    append_jsonl,
+    iter_jsonl,
+    list_segments,
+    segment_index,
+    segment_name,
+    write_jsonl,
+)
+
+
+class TestNaming:
+    def test_name_round_trips(self):
+        assert segment_name(7) == "segment-000007.jsonl"
+        assert segment_index(segment_name(7)) == 7
+
+    def test_invalid_index(self):
+        with pytest.raises(ReproError, match="segment index"):
+            segment_name(0)
+
+    def test_non_segment_name_rejected(self):
+        with pytest.raises(ReproError, match="not a segment"):
+            segment_index("plans.jsonl")
+
+    def test_list_segments_sorted_and_filtered(self, tmp_path):
+        for index in (3, 1, 12):
+            (tmp_path / segment_name(index)).write_text("")
+        (tmp_path / "notes.txt").write_text("ignore me")
+        assert [segment_index(p) for p in list_segments(tmp_path)] == [1, 3, 12]
+
+    def test_list_segments_missing_dir(self, tmp_path):
+        assert list_segments(tmp_path / "absent") == []
+
+
+class TestReadWrite:
+    def test_append_then_iterate(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        assert append_jsonl(path, [{"a": 1}, {"b": 2}]) == 2
+        assert append_jsonl(path, [{"c": 3}]) == 1
+        records = [record for _, record in iter_jsonl(path)]
+        assert records == [{"a": 1}, {"b": 2}, {"c": 3}]
+
+    def test_write_truncates(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        append_jsonl(path, [{"old": True}])
+        write_jsonl(path, [{"new": True}])
+        assert [r for _, r in iter_jsonl(path)] == [{"new": True}]
+
+    def test_corrupt_line_raises_by_default(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        path.write_text('{"ok": 1}\n{broken\n')
+        with pytest.raises(ReproError, match="malformed JSON"):
+            list(iter_jsonl(path))
+
+    def test_truncate_mode_drops_torn_tail(self, tmp_path):
+        # simulate a crash mid-append: last line has no closing brace
+        path = tmp_path / segment_name(1)
+        path.write_text('{"ok": 1}\n{"ok": 2}\n{"torn": ')
+        records = [r for _, r in iter_jsonl(path, on_error="truncate")]
+        assert records == [{"ok": 1}, {"ok": 2}]
+
+    def test_truncate_mode_still_raises_on_interior_corruption(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        path.write_text('{"ok": 1}\n{broken\n{"ok": 2}\n')
+        with pytest.raises(ReproError, match="malformed JSON"):
+            list(iter_jsonl(path, on_error="truncate"))
+
+    def test_skip_mode_drops_everything_bad(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        path.write_text('{"ok": 1}\n{broken\n[1, 2]\n{"ok": 2}\n')
+        records = [r for _, r in iter_jsonl(path, on_error="skip")]
+        assert records == [{"ok": 1}, {"ok": 2}]
+
+    def test_non_object_record_rejected(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ReproError, match="expected a JSON object"):
+            list(iter_jsonl(path))
+
+    def test_invalid_on_error_value(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        path.write_text("")
+        with pytest.raises(ReproError, match="on_error"):
+            list(iter_jsonl(path, on_error="ignore"))

@@ -1,0 +1,106 @@
+"""FairQueue: round-robin fairness across clients, admission control."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service import FairQueue
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFairness:
+    def test_round_robin_interleaves_clients(self):
+        async def go():
+            queue = FairQueue()
+            for item in range(5):
+                await queue.put("hog", f"hog-{item}")
+            await queue.put("mouse", "mouse-0")
+            served = [await queue.get() for _ in range(queue.pending)]
+            return [client for client, _ in served]
+
+        order = run(go())
+        # the one-request client is served second, not after the hog's five
+        assert order[0] == "hog"
+        assert order[1] == "mouse"
+        assert order[2:] == ["hog"] * 4
+
+    def test_three_clients_rotate(self):
+        async def go():
+            queue = FairQueue()
+            for client in ("a", "b", "c"):
+                for item in range(2):
+                    await queue.put(client, item)
+            return [client for client, _ in
+                    [await queue.get() for _ in range(6)]]
+
+        assert run(go()) == ["a", "b", "c", "a", "b", "c"]
+
+    def test_fifo_within_a_client(self):
+        async def go():
+            queue = FairQueue()
+            for item in range(4):
+                await queue.put("solo", item)
+            return [item for _, item in [await queue.get() for _ in range(4)]]
+
+        assert run(go()) == [0, 1, 2, 3]
+
+    def test_get_blocks_until_put(self):
+        async def go():
+            queue = FairQueue()
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                await queue.put("late", "payload")
+
+            asyncio.get_running_loop().create_task(producer())
+            client, item = await asyncio.wait_for(queue.get(), timeout=2)
+            return client, item
+
+        assert run(go()) == ("late", "payload")
+
+
+class TestAdmission:
+    def test_rejects_when_full(self):
+        async def go():
+            queue = FairQueue(max_pending=2)
+            await queue.put("a", 1)
+            await queue.put("b", 2)
+            with pytest.raises(ServiceError, match="admission queue full"):
+                await queue.put("c", 3)
+            return queue.pending
+
+        assert run(go()) == 2
+
+    def test_capacity_frees_up_after_get(self):
+        async def go():
+            queue = FairQueue(max_pending=1)
+            await queue.put("a", 1)
+            await queue.get()
+            await queue.put("a", 2)  # accepted again
+            return queue.pending
+
+        assert run(go()) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ReproError, match="max_pending"):
+            run(self._build(0))
+
+    @staticmethod
+    async def _build(max_pending):
+        return FairQueue(max_pending=max_pending)
+
+    def test_drain_empties_everything(self):
+        async def go():
+            queue = FairQueue()
+            await queue.put("a", 1)
+            await queue.put("b", 2)
+            drained = queue.drain()
+            return drained, queue.pending, queue.clients()
+
+        drained, pending, clients = run(go())
+        assert sorted(drained) == [("a", 1), ("b", 2)]
+        assert pending == 0 and clients == []

@@ -1,0 +1,96 @@
+"""ShardRouter: stable routing, worker modes, dispatch accounting."""
+
+import asyncio
+
+import pytest
+
+from repro.api import PlanRequest, Planner, instance_fingerprint
+from repro.exceptions import ReproError
+from repro.service import ShardRouter
+
+
+class TestRouting:
+    def test_shard_assignment_is_stable(self, fig1_mset):
+        router = ShardRouter(4, mode="inline")
+        fingerprint = instance_fingerprint(fig1_mset)
+        first = router.shard_of(fingerprint)
+        assert all(router.shard_of(fingerprint) == first for _ in range(10))
+        assert 0 <= first < 4
+
+    def test_identical_instances_share_a_shard(self, fig1_mset, small_random_msets):
+        router = ShardRouter(4, mode="inline")
+        a = router.shard_for(PlanRequest(instance=fig1_mset))
+        b = router.shard_for(PlanRequest(instance=fig1_mset, solver="dp"))
+        assert a == b  # routing is by instance, not by solver
+
+    def test_distribution_covers_shards(self):
+        # 32 distinct instances over 2 shards: both shards should see work
+        from repro.workloads.clusters import bounded_ratio_cluster
+        from repro.workloads.generator import multicast_from_cluster
+
+        router = ShardRouter(2, mode="inline")
+        shards = {
+            router.shard_for(
+                PlanRequest(
+                    instance=multicast_from_cluster(
+                        bounded_ratio_cluster(6, seed), latency=1, seed=seed
+                    )
+                )
+            )
+            for seed in range(32)
+        }
+        assert shards == {0, 1}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError, match="num_shards"):
+            ShardRouter(0)
+        with pytest.raises(ReproError, match="worker mode"):
+            ShardRouter(2, mode="coroutine")
+
+
+class TestSolving:
+    @pytest.mark.parametrize("mode", ["inline", "thread"])
+    def test_solve_sync_matches_planner(self, mode, fig1_mset):
+        router = ShardRouter(2, mode=mode)
+        try:
+            result = router.solve_sync(PlanRequest(instance=fig1_mset, solver="dp"))
+            direct = Planner(cache_size=0).plan(fig1_mset, solver="dp")
+            assert result.value == direct.value
+            assert result.schedule == direct.schedule
+        finally:
+            router.shutdown()
+
+    def test_solve_in_worker_process_mode(self, fig1_mset):
+        router = ShardRouter(2, mode="process")
+        try:
+            shard = router.shard_for(PlanRequest(instance=fig1_mset))
+            serving = router.serving_executor(shard)
+            result = serving.submit(
+                router.solve_in_worker, shard, PlanRequest(instance=fig1_mset)
+            ).result()
+            assert result.value == 8
+        finally:
+            router.shutdown()
+
+    def test_serving_executor_modes(self):
+        assert ShardRouter(2, mode="inline").serving_executor(0) is None
+        thread_router = ShardRouter(2, mode="thread")
+        try:
+            # thread mode: the serving thread IS the shard worker
+            assert thread_router.serving_executor(1) is thread_router._executor(1)
+        finally:
+            thread_router.shutdown()
+
+    def test_dispatch_counters(self, fig1_mset, small_random_msets):
+        router = ShardRouter(2, mode="inline")
+        for mset in [fig1_mset, *small_random_msets]:
+            router.solve_sync(PlanRequest(instance=mset))
+        stats = router.stats()
+        assert set(stats) == {"shard_0", "shard_1"}
+        assert sum(stats.values()) == 1 + len(small_random_msets)
+
+    def test_shutdown_is_idempotent(self):
+        router = ShardRouter(2, mode="thread")
+        router.solve_sync  # no executor created yet
+        router.shutdown()
+        router.shutdown()

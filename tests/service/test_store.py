@@ -1,0 +1,196 @@
+"""PlanStore: persistence, rotation, compaction, crash tolerance, tiering."""
+
+import pytest
+
+from repro.api import Planner, PlanRequest, instance_fingerprint
+from repro.api.planner import _plan_standalone
+from repro.exceptions import ReproError
+from repro.io.segments import list_segments
+from repro.io.serialization import plan_result_to_dict
+from repro.service import PlanStore
+from repro.service.store import PLAN_STORE_FORMAT, key_string
+
+
+def _solved(mset, solver="greedy"):
+    request = PlanRequest(instance=mset, solver=solver)
+    result = _plan_standalone(request)
+    key = (instance_fingerprint(mset), result.solver, "{}", False)
+    return key, result
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path, fig1_mset):
+        store = PlanStore(tmp_path)
+        key, result = _solved(fig1_mset)
+        assert store.get(key) is None
+        store.put(key, result)
+        loaded = store.get(key)
+        assert loaded.value == result.value
+        assert loaded.schedule == result.schedule
+        assert loaded.solver == result.solver
+
+    def test_survives_reopen(self, tmp_path, fig1_mset):
+        key, result = _solved(fig1_mset)
+        PlanStore(tmp_path).put(key, result)
+        reopened = PlanStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get(key).schedule == result.schedule
+
+    def test_records_use_plan_result_v1(self, tmp_path, fig1_mset):
+        """The acceptance-criteria format check: raw records are repro.io."""
+        import json
+
+        key, result = _solved(fig1_mset)
+        store = PlanStore(tmp_path)
+        store.put(key, result)
+        [segment] = list_segments(tmp_path)
+        record = json.loads(segment.read_text().splitlines()[0])
+        assert record["format"] == PLAN_STORE_FORMAT
+        assert record["key"] == key_string(key)
+        assert record["result"]["format"] == "repro/plan-result-v1"
+        assert record["result"] == plan_result_to_dict(result)
+
+    def test_identical_put_is_deduplicated(self, tmp_path, fig1_mset):
+        key, result = _solved(fig1_mset)
+        store = PlanStore(tmp_path)
+        store.put(key, result)
+        store.put(key, result)  # identical payload: no second record
+        assert store.stats().total_records == 1
+
+
+class TestSegments:
+    def test_rotation_at_max_records(self, tmp_path, small_random_msets):
+        store = PlanStore(tmp_path, segment_max_records=2)
+        for mset in small_random_msets:  # 6 instances -> 3 full segments
+            store.put(*_solved(mset))
+        assert store.stats().segments == 3
+        assert len(store) == len(small_random_msets)
+
+    def test_reopen_continues_active_segment(self, tmp_path, small_random_msets):
+        store = PlanStore(tmp_path, segment_max_records=4)
+        store.put(*_solved(small_random_msets[0]))
+        reopened = PlanStore(tmp_path, segment_max_records=4)
+        for mset in small_random_msets[1:3]:
+            reopened.put(*_solved(mset))
+        # 3 records still fit the first (active) segment
+        assert reopened.stats().segments == 1
+
+    def test_torn_tail_is_dropped_on_load(self, tmp_path, small_random_msets):
+        store = PlanStore(tmp_path)
+        for mset in small_random_msets[:3]:
+            store.put(*_solved(mset))
+        [segment] = list_segments(tmp_path)
+        with open(segment, "a") as fh:
+            fh.write('{"format": "repro/plan-store-v1", "key": "torn')  # crash
+        reopened = PlanStore(tmp_path)
+        assert len(reopened) == 3
+
+    def test_append_after_torn_tail_does_not_corrupt(
+        self, tmp_path, fig1_mset, small_random_msets
+    ):
+        """Regression: a reopened store must physically remove a torn tail
+        before appending, or the new record glues onto the fragment and the
+        store becomes unloadable on the *next* open."""
+        store = PlanStore(tmp_path)
+        store.put(*_solved(fig1_mset))
+        [segment] = list_segments(tmp_path)
+        with open(segment, "a") as fh:
+            fh.write('{"format": "repro/plan-store-v1", "key": "torn')  # crash
+        reopened = PlanStore(tmp_path)
+        reopened.put(*_solved(small_random_msets[0]))  # append after crash
+        third = PlanStore(tmp_path)  # must still load cleanly
+        assert len(third) == 2
+        assert third.verify() == 2
+
+    def test_wrong_format_record_rejected(self, tmp_path):
+        (tmp_path / "segment-000001.jsonl").write_text(
+            '{"format": "something-else", "key": "k", "result": {}}\n'
+        )
+        with pytest.raises(ReproError, match="plan-store-v1"):
+            PlanStore(tmp_path)
+
+    def test_record_missing_fields_rejected_as_repro_error(self, tmp_path):
+        # right format stamp, but no key/result: must be ReproError with
+        # segment:line context, never a raw KeyError
+        (tmp_path / "segment-000001.jsonl").write_text(
+            '{"format": "repro/plan-store-v1"}\n'
+        )
+        with pytest.raises(ReproError, match="segment-000001.jsonl:1"):
+            PlanStore(tmp_path)
+
+    def test_invalid_segment_max_records(self, tmp_path):
+        with pytest.raises(ReproError, match="segment_max_records"):
+            PlanStore(tmp_path, segment_max_records=0)
+
+
+class TestCompaction:
+    def test_compact_reclaims_superseded_records(self, tmp_path, fig1_mset):
+        store = PlanStore(tmp_path, segment_max_records=2)
+        key, result = _solved(fig1_mset)
+        store.put(key, result)
+        for elapsed in (0.25, 0.5, 0.75):  # supersede with varying payloads
+            import dataclasses
+
+            store.put(key, dataclasses.replace(result, elapsed_s=elapsed))
+        assert store.stats().total_records == 4
+        reclaimed = store.compact()
+        assert reclaimed == 3
+        stats = store.stats()
+        assert (stats.live_keys, stats.total_records, stats.segments) == (1, 1, 1)
+        assert store.get(key).elapsed_s == 0.75  # newest record won
+
+    def test_compacted_store_reloads(self, tmp_path, small_random_msets):
+        store = PlanStore(tmp_path, segment_max_records=2)
+        solved = [_solved(mset) for mset in small_random_msets]
+        for key, result in solved:
+            store.put(key, result)
+        store.compact()
+        reopened = PlanStore(tmp_path, segment_max_records=2)
+        assert len(reopened) == len(solved)
+        for key, result in solved:
+            assert reopened.get(key).schedule == result.schedule
+
+    def test_compact_empty_store(self, tmp_path):
+        store = PlanStore(tmp_path)
+        assert store.compact() == 0
+        assert len(store) == 0
+
+    def test_verify_counts_and_round_trips(self, tmp_path, small_random_msets):
+        store = PlanStore(tmp_path)
+        for mset in small_random_msets:
+            store.put(*_solved(mset))
+        assert store.verify() == len(small_random_msets)
+
+    def test_verify_rejects_corruption(self, tmp_path, fig1_mset):
+        store = PlanStore(tmp_path)
+        store.put(*_solved(fig1_mset))
+        [segment] = list_segments(tmp_path)
+        segment.write_text(
+            segment.read_text().replace(
+                '"format": "repro/plan-result-v1"', '"format": "repro/plan-result-v9"'
+            )
+        )
+        with pytest.raises(ReproError):
+            PlanStore(tmp_path).verify()
+
+
+class TestAsCacheTier:
+    def test_planner_integration(self, tmp_path, fig1_mset):
+        store = PlanStore(tmp_path)
+        planner = Planner(cache_tiers=[store])
+        first = planner.plan(fig1_mset, solver="dp")
+        assert not first.cache_hit
+        assert len(store) == 1  # write-through on solve
+
+        # a brand-new planner (cold LRU) hits the persistent tier
+        fresh = Planner(cache_tiers=[PlanStore(tmp_path)])
+        second = fresh.plan(fig1_mset, solver="dp")
+        assert second.cache_hit
+        assert second.schedule == first.schedule
+        info = fresh.cache_info()
+        assert (info.hits, info.tier_hits, info.misses) == (0, 1, 0)
+
+        # the tier hit was promoted into the LRU: third lookup is in-memory
+        third = fresh.plan(fig1_mset, solver="dp")
+        assert third.cache_hit
+        assert fresh.cache_info().hits == 1

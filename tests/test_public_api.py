@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.io",
     "repro.experiments",
     "repro.cli",
+    "repro.service",
 ]
 
 
@@ -57,6 +58,45 @@ class TestApiSurface:
             assert text.startswith(('"""', "'''")) or path.name == "__init__.py" and not text, (
                 f"{path.relative_to(REPO)} lacks a module docstring"
             )
+
+    def test_every_package_has_nonempty_doc(self):
+        """Every src/repro/* package ships a real package docstring.
+
+        Discovered from the filesystem (not the PACKAGES list) so a new
+        package cannot land undocumented by forgetting to register it.
+        """
+        src = REPO / "src" / "repro"
+        discovered = ["repro"] + sorted(
+            f"repro.{path.parent.relative_to(src).as_posix().replace('/', '.')}"
+            for path in src.rglob("__init__.py")
+            if path.parent != src
+        )
+        assert set(PACKAGES) == set(discovered), (
+            "PACKAGES list out of sync with src/repro packages"
+        )
+        for package in discovered:
+            mod = importlib.import_module(package)
+            assert mod.__doc__ and mod.__doc__.strip(), (
+                f"{package} has an empty package docstring"
+            )
+
+    def test_core_algorithm_modules_cite_paper_sections(self):
+        """dp/layered/bounds/greedy docstrings anchor to paper sections."""
+        expectations = {
+            "repro.core.dp": ("Section 4", "Theorem 2"),
+            "repro.core.layered": ("Section 2", "Corollary 1"),
+            "repro.core.bounds": ("Section 3", "Theorem 1"),
+            "repro.core.greedy": ("Section 2", "Lemma 1"),
+        }
+        for module_name, references in expectations.items():
+            doc = importlib.import_module(module_name).__doc__ or ""
+            assert "Paper reference:" in doc, (
+                f"{module_name} docstring lacks a 'Paper reference:' line"
+            )
+            for reference in references:
+                assert reference in doc, (
+                    f"{module_name} docstring does not cite {reference!r}"
+                )
 
     def test_cli_help_runs(self, capsys):
         from repro.cli.main import build_parser
@@ -105,6 +145,25 @@ class TestDocsConsistency:
         design = (REPO / "DESIGN.md").read_text()
         assert "## 2. Substitutions" in design
         assert "discrete-event" in design
+
+    def test_service_md_linked_and_covers_protocol(self):
+        from repro.service import protocol
+
+        service_md = (REPO / "SERVICE.md").read_text()
+        for message_type in (*protocol.REQUEST_TYPES, *protocol.RESPONSE_TYPES):
+            assert f"`{message_type}`" in service_md, (
+                f"SERVICE.md does not document wire message type {message_type!r}"
+            )
+        assert "repro/plan-store-v1" in service_md
+        assert "SERVICE.md" in (REPO / "README.md").read_text()
+        assert "SERVICE.md" in (REPO / "API.md").read_text()
+
+    def test_design_architecture_diagram_spans_layers(self):
+        """DESIGN.md §1 shows the model -> core -> api -> service data flow."""
+        design = (REPO / "DESIGN.md").read_text()
+        for layer in ("repro.service", "repro.api", "CORE SOLVERS", "MODEL"):
+            assert layer in design, f"DESIGN.md architecture missing {layer!r}"
+        assert "FairQueue" in design and "PlanStore" in design
 
     def test_bench_file_per_experiment(self):
         """Every experiment id maps to at least one bench module."""
