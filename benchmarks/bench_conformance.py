@@ -1,0 +1,65 @@
+"""Conformance harness throughput — the verifier must stay CI-fast.
+
+Times the differential runner over the ``smoke`` corpus (every family,
+every solver, full invariant catalogue) and reports scenarios verified
+per second plus the invariant-check rate.  A throughput regression here
+means the CI gate (`conformance run --suite quick`) is drifting toward
+its 2-minute budget, so the harness itself is benchmarked like any other
+hot path.
+"""
+
+import pytest
+
+from repro.conformance import ConformanceRunner, generate_corpus
+
+
+def _sweep(specs, **runner_kwargs):
+    report = ConformanceRunner(service_every=0, shrink=False, **runner_kwargs).run(specs)
+    assert report.ok, report.summary()
+    return report
+
+
+def test_corpus_throughput(benchmark):
+    """Full invariant suite over the smoke corpus (the CI gate in miniature)."""
+    specs = generate_corpus("smoke")
+    report = benchmark(_sweep, specs)
+    benchmark.extra_info["scenarios"] = report.scenarios
+    benchmark.extra_info["invariant_checks"] = report.checks
+    benchmark.extra_info["scenarios_per_s"] = round(
+        report.scenarios / report.elapsed_s
+    )
+    benchmark.extra_info["solvers"] = len(report.solvers)
+
+
+def test_oracle_path_throughput(benchmark):
+    """Oracle-heavy slice: optimality + bounds only, no metamorphic re-solves."""
+    specs = [s for s in generate_corpus("smoke") if s.n <= 6]
+    report = benchmark(
+        _sweep,
+        specs,
+        invariants=["oracle-optimality", "bounds-sandwich", "value-consistency"],
+    )
+    benchmark.extra_info["scenarios_per_s"] = round(
+        report.scenarios / report.elapsed_s
+    )
+
+
+def test_replay_throughput(benchmark):
+    """Simulator-replay slice: every schedule executed on the event engine."""
+    specs = generate_corpus("smoke")
+    report = benchmark(_sweep, specs, invariants=["replay-agreement"])
+    benchmark.extra_info["scenarios_per_s"] = round(
+        report.scenarios / report.elapsed_s
+    )
+
+
+def test_quick_gate_corpus_shape():
+    """Non-timed contract: the CI gate corpus clears the 200-scenario floor.
+
+    Wall-clock is deliberately *not* asserted here — loaded CI workers
+    make throughput assertions flaky; the 2-minute budget is enforced by
+    the conformance CI job's ``timeout``, and throughput trends are what
+    the timed benchmarks above track.
+    """
+    specs = generate_corpus("quick")
+    assert len(specs) >= 200

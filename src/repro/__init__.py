@@ -83,6 +83,7 @@ from repro.core import (
     uniform_ratio,
 )
 from repro.exceptions import (
+    ConformanceError,
     CorrelationError,
     InvalidScheduleError,
     ModelError,
@@ -149,6 +150,7 @@ __all__ = [
     # exceptions
     "ReproError",
     "ModelError",
+    "ConformanceError",
     "CorrelationError",
     "InvalidScheduleError",
     "TransformError",

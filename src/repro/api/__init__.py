@@ -57,6 +57,7 @@ from repro.api.solvers import (
     register_solver,
     resolve,
     solver_items,
+    unregister_solver,
 )
 
 __all__ = [
@@ -77,6 +78,7 @@ __all__ = [
     "SolverEntry",
     "SolverOutput",
     "register_solver",
+    "unregister_solver",
     "register_bound",
     "get_solver",
     "resolve",
@@ -86,7 +88,17 @@ __all__ = [
     "capable_solvers",
     "available_bounds",
     "bound_values",
+    # conformance (lazy: repro.conformance consumes this package)
+    "ConformanceRunner",
+    "InvariantReport",
 ]
+
+# conformance engine entry points, re-exported lazily because
+# repro.conformance itself plans through this facade
+_CONFORMANCE = {
+    "ConformanceRunner": ("repro.conformance.runner", "ConformanceRunner"),
+    "InvariantReport": ("repro.conformance.runner", "InvariantReport"),
+}
 
 # ----------------------------------------------------------------------
 # deprecation shims: pre-façade entry points stay importable from here
@@ -101,7 +113,12 @@ _LEGACY = {
 
 
 def __getattr__(name: str):
-    """Resolve legacy names with a :class:`DeprecationWarning`."""
+    """Resolve lazy conformance exports and deprecated legacy names."""
+    if name in _CONFORMANCE:
+        import importlib
+
+        module_name, attr = _CONFORMANCE[name]
+        return getattr(importlib.import_module(module_name), attr)
     if name in _LEGACY:
         module_name, attr = _LEGACY[name]
         warnings.warn(

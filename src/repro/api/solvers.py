@@ -34,6 +34,7 @@ __all__ = [
     "SolverOutput",
     "SolverEntry",
     "register_solver",
+    "unregister_solver",
     "get_solver",
     "resolve",
     "parse_spec",
@@ -158,6 +159,27 @@ def register_solver(
         return fn
 
     return deco
+
+
+def unregister_solver(name: str) -> bool:
+    """Remove a solver registered with :func:`register_solver`.
+
+    Returns whether the name was registered.  Intended for tests and
+    plugins that install throwaway solvers (the conformance suite injects
+    deliberately broken solvers to prove the invariants catch them).
+    Built-ins are resilient: schedulers mirrored from the low-level
+    registry and the ``dp``/``exact`` oracles all reappear on the next
+    lookup, so only ad-hoc registrations are really removable.
+    """
+    global _LOADED
+    removed = _SOLVERS.pop(name, None) is not None
+    if removed and name in ("dp", "exact"):
+        # the exact oracles register once behind the _LOADED flag; drop it
+        # so the next lookup restores them (losing the oracle for the rest
+        # of the process would make oracle invariants pass vacuously)
+        with _LOAD_LOCK:
+            _LOADED = False
+    return removed
 
 
 def register_bound(

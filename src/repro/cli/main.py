@@ -11,6 +11,7 @@ Subcommands
 ``serve``       run the long-lived planning service (TCP JSON-lines)
 ``submit``      plan instances through a running service
 ``store``       inspect/verify/compact a persistent plan store
+``conformance`` differential cross-solver verification (run/fuzz/corpus/replay)
 
 Every solver — the paper's greedy family, the baselines, the Section 4
 ``dp`` and the branch-and-bound ``exact`` oracle — is resolved through the
@@ -118,6 +119,51 @@ def build_parser() -> argparse.ArgumentParser:
     sto.add_argument("action", choices=["stats", "verify", "compact"],
                      help="compact only while no server is writing the store")
     sto.add_argument("path", help="plan store directory")
+
+    conf = sub.add_parser(
+        "conformance",
+        help="differential cross-solver verification (see DESIGN.md)")
+    conf_sub = conf.add_subparsers(dest="conformance_command", required=True)
+
+    crun = conf_sub.add_parser("run", help="sweep a generated or stored corpus")
+    crun.add_argument("--suite", default="quick",
+                      help="corpus suite name (default quick; see corpus list)")
+    crun.add_argument("--corpus", default=None,
+                      help="run a persisted corpus directory instead of --suite")
+    crun.add_argument("--failures", default=None,
+                      help="write failure artifacts to this records directory")
+    crun.add_argument("--regression", default=None,
+                      help="also write each shrunk failure as a standalone "
+                           "JSON file here (e.g. tests/corpus/)")
+    crun.add_argument("--no-service", action="store_true",
+                      help="skip the planner/service bit-parity check")
+    crun.add_argument("--no-shrink", action="store_true",
+                      help="report failures without shrinking them")
+
+    cfuzz = conf_sub.add_parser("fuzz", help="seeded random sweep under a budget")
+    cfuzz.add_argument("--budget", default="60s",
+                       help="wall-clock budget, e.g. 45, 90s, 5m (default 60s)")
+    cfuzz.add_argument("--seed", type=int, default=0,
+                       help="master seed; the spec stream is fully determined by it")
+    cfuzz.add_argument("--max-n", type=int, default=10,
+                       help="largest destination count drawn")
+    cfuzz.add_argument("--failures", default=None,
+                       help="write failure artifacts to this records directory")
+    cfuzz.add_argument("--regression", default=None,
+                       help="also write shrunk failures as JSON files here")
+    cfuzz.add_argument("--no-service", action="store_true",
+                       help="skip the planner/service bit-parity check")
+
+    ccorp = conf_sub.add_parser("corpus", help="materialize a corpus to records")
+    ccorp.add_argument("--suite", default="quick", help="corpus suite name")
+    ccorp.add_argument("-o", "--output", default=None,
+                       help="records directory to write (omit to list suites)")
+
+    crep = conf_sub.add_parser(
+        "replay", help="re-run persisted records; failures must reproduce "
+                       "bit-identically")
+    crep.add_argument("path",
+                      help="a records directory or a single JSON record file")
     return parser
 
 
@@ -346,6 +392,141 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budget(text: str) -> float:
+    """``45`` / ``90s`` / ``5m`` / ``1h`` -> seconds."""
+    text = text.strip().lower()
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0}
+    factor = units.get(text[-1:], None)
+    digits = text[:-1] if factor is not None else text
+    try:
+        seconds = float(digits) * (factor if factor is not None else 1.0)
+    except ValueError:
+        raise ReproError(
+            f"malformed budget {text!r}; use e.g. 45, 90s or 5m"
+        ) from None
+    if seconds <= 0:
+        raise ReproError(f"budget must be positive, got {text!r}")
+    return seconds
+
+
+def _write_failure_artifacts(args: argparse.Namespace, report) -> None:
+    """Persist a report's failures: records directory and/or JSON files."""
+    import json
+    from pathlib import Path
+
+    from repro.conformance import write_records
+
+    if getattr(args, "failures", None) and report.failures:
+        written = write_records(args.failures, report.failures)
+        print(f"wrote {written} failure artifacts to {args.failures}")
+    if getattr(args, "regression", None) and report.failures:
+        root = Path(args.regression)
+        root.mkdir(parents=True, exist_ok=True)
+        for failure in report.failures:
+            path = root / f"{failure.invariant}-{failure.digest[:12]}.json"
+            path.write_text(
+                json.dumps(failure.to_dict(), indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote regression case {path}")
+
+
+def _report_and_exit(args: argparse.Namespace, report) -> int:
+    print(report.summary())
+    _write_failure_artifacts(args, report)
+    return 0 if report.ok else 1
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.conformance import (
+        CORPUS_SUITES,
+        ConformanceRunner,
+        FailureRecord,
+        ScenarioSpec,
+        generate_corpus,
+        fuzz_specs,
+        load_records,
+        write_records,
+    )
+    from repro.conformance.records import load_record_file
+
+    command = args.conformance_command
+    if command == "corpus":
+        if args.output is None:
+            for name, suite in sorted(CORPUS_SUITES.items()):
+                print(f"{name:<8} {len(suite.specs()):>4} scenarios  "
+                      f"{suite.description}")
+            return 0
+        specs = generate_corpus(args.suite)
+        written = write_records(args.output, specs)
+        print(f"wrote {written} {args.suite!r} scenarios to {args.output}")
+        return 0
+
+    if command == "run":
+        if args.corpus is not None:
+            records = load_records(args.corpus)
+            specs = [r for r in records if isinstance(r, ScenarioSpec)]
+            if not specs:
+                # a failure-artifact directory shares the segment layout;
+                # running it as a corpus would pass vacuously forever
+                raise ReproError(
+                    f"{args.corpus} holds no scenario records "
+                    f"({len(records)} failure records; use 'conformance "
+                    f"replay' for those)"
+                )
+            skipped = len(records) - len(specs)
+            origin = f"{len(specs)} scenarios from {args.corpus}" + (
+                f" ({skipped} failure records skipped)" if skipped else ""
+            )
+        else:
+            specs = generate_corpus(args.suite)
+            origin = f"suite {args.suite!r} ({len(specs)} scenarios)"
+        runner = ConformanceRunner(
+            service_every=0 if args.no_service else 8,
+            shrink=not args.no_shrink,
+        )
+        print(f"conformance run: {origin}")
+        return _report_and_exit(args, runner.run(specs))
+
+    if command == "fuzz":
+        budget = _parse_budget(args.budget)
+        runner = ConformanceRunner(service_every=0 if args.no_service else 8)
+        print(f"conformance fuzz: seed={args.seed} budget={budget:g}s "
+              f"max_n={args.max_n}")
+        report = runner.run(
+            fuzz_specs(args.seed, max_n=args.max_n), deadline_s=budget
+        )
+        return _report_and_exit(args, report)
+
+    # replay: every failure record must reproduce bit-identically; scenario
+    # records re-run the full invariant suite (a corpus replay)
+    from pathlib import Path
+
+    path = Path(args.path)
+    records = [load_record_file(path)] if path.is_file() else load_records(path)
+    failures = [r for r in records if isinstance(r, FailureRecord)]
+    scenarios = [r for r in records if isinstance(r, ScenarioSpec)]
+    exit_code = 0
+    runner = ConformanceRunner(service_every=0)
+    for failure in failures:
+        outcome = runner.replay(failure)
+        if outcome.bit_identical:
+            print(f"reproduced bit-identically: {failure.invariant} "
+                  f"solver={failure.solver} on {failure.spec.key} "
+                  f"(digest {failure.digest})")
+        else:
+            exit_code = 1
+            print(f"NOT reproduced: {failure.invariant} solver={failure.solver} "
+                  f"on {failure.spec.key}: {outcome.detail}")
+    if scenarios:
+        report = runner.run(scenarios)
+        print(report.summary())
+        if not report.ok:
+            exit_code = 1
+    if not failures and not scenarios:
+        raise ReproError(f"no conformance records found at {args.path}")
+    return exit_code
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "schedule": _cmd_schedule,
@@ -356,6 +537,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "store": _cmd_store,
+    "conformance": _cmd_conformance,
 }
 
 

@@ -1,0 +1,104 @@
+"""repro.conformance — the differential conformance engine.
+
+The paper's central claims are *relational*: greedy matches the DP optimum
+in the Theorem 1/2 regimes, certified lower bounds sandwich every solver,
+leaf reversal never hurts, and the simulator replays every schedule to the
+analytic times.  This package checks those relations continuously, across
+*every* solver registered in :mod:`repro.api`, over a generated scenario
+corpus spanning all :mod:`repro.workloads` cluster families, source
+policies and size sweeps plus a catalogue of adversarial cases.
+
+Pieces
+------
+* :class:`~repro.conformance.corpus.ScenarioSpec` — a deterministic,
+  replayable recipe for one instance (family, n, seed, source, latency);
+  the ``quick``/``full`` corpora and the seeded fuzzer all emit specs.
+* :mod:`~repro.conformance.invariants` — the pluggable invariant
+  catalogue: oracle optimality, bounds sandwiching, simulator replay,
+  metamorphic laws (scaling, permutation, leaf reversal, serialization
+  round-trips).
+* :class:`~repro.conformance.runner.ConformanceRunner` — runs every
+  capable solver differentially over a corpus, evaluates the invariant
+  suite, auto-shrinks counterexamples, and checks the planning service
+  answers bit-identically to the direct planner.
+* :mod:`~repro.conformance.records` — ``repro/conformance-v1`` records on
+  the :mod:`repro.io.segments` substrate, so corpora persist and every
+  reported failure replays bit-identically from its seed
+  (``repro conformance replay``).
+
+Quickstart
+----------
+>>> from repro.conformance import ConformanceRunner, generate_corpus
+>>> report = ConformanceRunner().run(generate_corpus("smoke"))
+>>> report.ok
+True
+
+CLI: ``hnow-multicast conformance {run,fuzz,corpus,replay}`` — see the
+"Verification" sections of DESIGN.md and API.md.
+"""
+
+from __future__ import annotations
+
+from repro.conformance.corpus import (
+    ADVERSARIAL_CASES,
+    CORPUS_SUITES,
+    FAMILIES,
+    SOURCE_POLICIES,
+    ScenarioSpec,
+    corpus_suite,
+    fuzz_specs,
+    generate_corpus,
+)
+from repro.conformance.invariants import (
+    InvariantEntry,
+    ScenarioOutcome,
+    Violation,
+    available_invariants,
+    get_invariant,
+    invariant_items,
+    register_invariant,
+)
+from repro.conformance.records import (
+    CONFORMANCE_FORMAT,
+    FailureRecord,
+    failure_digest,
+    load_records,
+    record_from_dict,
+    write_records,
+)
+from repro.conformance.runner import (
+    ConformanceRunner,
+    InvariantReport,
+    ReplayOutcome,
+)
+
+__all__ = [
+    # corpus
+    "ScenarioSpec",
+    "generate_corpus",
+    "corpus_suite",
+    "fuzz_specs",
+    "FAMILIES",
+    "SOURCE_POLICIES",
+    "ADVERSARIAL_CASES",
+    "CORPUS_SUITES",
+    # invariants
+    "ScenarioOutcome",
+    "Violation",
+    "InvariantEntry",
+    "register_invariant",
+    "get_invariant",
+    "available_invariants",
+    "invariant_items",
+    # records
+    "CONFORMANCE_FORMAT",
+    "FailureRecord",
+    "failure_digest",
+    "write_records",
+    "load_records",
+    "record_from_dict",
+    # runner
+    "ConformanceRunner",
+    "InvariantReport",
+    "ReplayOutcome",
+]

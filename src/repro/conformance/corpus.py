@@ -1,0 +1,394 @@
+"""Scenario corpus: deterministic, replayable instance recipes.
+
+A :class:`ScenarioSpec` is *not* an instance — it is the seed-complete
+recipe for one (family, n, seed, source policy, latency).  Everything the
+conformance engine reports references specs, never raw instances, so any
+failure replays bit-identically from five scalars.
+
+Families cover every :mod:`repro.workloads.clusters` generator (the
+regimes the paper's analysis distinguishes) plus an ``adversarial``
+catalogue of hand-built corner cases: degenerate sizes, homogeneous
+clusters, extreme ratios and latencies, zero-beta populations, maximal
+heterogeneity.  The named corpora sweep families × source policies ×
+sizes × seeds; the seeded fuzzer draws unbounded random specs from the
+same space.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.core.multicast import MulticastSet
+from repro.exceptions import ConformanceError
+from repro.workloads.clusters import (
+    bounded_ratio_cluster,
+    limited_type_cluster,
+    pareto_cluster,
+    power_of_two_cluster,
+    two_class_cluster,
+    uniform_ratio_cluster,
+)
+from repro.workloads.generator import multicast_from_cluster
+
+__all__ = [
+    "ScenarioSpec",
+    "FAMILIES",
+    "SOURCE_POLICIES",
+    "ADVERSARIAL_CASES",
+    "CORPUS_SUITES",
+    "generate_corpus",
+    "corpus_suite",
+    "fuzz_specs",
+]
+
+#: Source policies swept by the generated corpora.
+SOURCE_POLICIES: Tuple[str, ...] = ("slowest", "fastest", "median", "random")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One replayable scenario: everything needed to rebuild its instance.
+
+    ``family`` names a generator in :data:`FAMILIES`; ``n`` is the
+    destination count; ``seed`` feeds every random draw; ``source`` is the
+    :data:`repro.workloads.generator.SourcePolicy`; ``latency`` is the
+    network latency ``L``.  ``label`` is informational (adversarial cases
+    carry their case name).
+    """
+
+    family: str
+    n: int
+    seed: int
+    source: str = "slowest"
+    latency: float = 1
+    label: str = ""
+
+    def build(self) -> MulticastSet:
+        """Deterministically rebuild this scenario's instance."""
+        try:
+            builder = FAMILIES[self.family]
+        except KeyError:
+            raise ConformanceError(
+                f"unknown scenario family {self.family!r}; "
+                f"available: {sorted(FAMILIES)}"
+            ) from None
+        return builder(self)
+
+    @property
+    def key(self) -> str:
+        """Compact one-line identity, used in reports and progress lines."""
+        suffix = f" [{self.label}]" if self.label else ""
+        return (
+            f"{self.family}(n={self.n}, seed={self.seed}, "
+            f"source={self.source}, L={self.latency:g}){suffix}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload (embedded in ``repro/conformance-v1`` records)."""
+        return {
+            "family": self.family,
+            "n": self.n,
+            "seed": self.seed,
+            "source": self.source,
+            "latency": self.latency,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                family=data["family"],
+                n=int(data["n"]),
+                seed=int(data["seed"]),
+                source=data.get("source", "slowest"),
+                latency=data.get("latency", 1),
+                label=data.get("label", ""),
+            )
+        except KeyError as missing:
+            raise ConformanceError(f"scenario record missing field {missing}") from None
+
+
+# ----------------------------------------------------------------------
+# cluster-generator families
+# ----------------------------------------------------------------------
+def _from_cluster(nodes, spec: ScenarioSpec) -> MulticastSet:
+    return multicast_from_cluster(
+        nodes, latency=spec.latency, source=spec.source, seed=spec.seed
+    )
+
+
+def _split(total: int, parts: int) -> List[int]:
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def _two_class(spec: ScenarioSpec) -> MulticastSet:
+    n_slow = max(1, (spec.n + 1) // 3)
+    return _from_cluster(two_class_cluster(spec.n + 1 - n_slow, n_slow), spec)
+
+
+def _bounded_ratio(spec: ScenarioSpec) -> MulticastSet:
+    return _from_cluster(bounded_ratio_cluster(spec.n + 1, spec.seed), spec)
+
+
+def _bounded_ratio_wide(spec: ScenarioSpec) -> MulticastSet:
+    nodes = bounded_ratio_cluster(spec.n + 1, spec.seed, ratio_range=(1.0, 4.0))
+    return _from_cluster(nodes, spec)
+
+
+def _two_type(spec: ScenarioSpec) -> MulticastSet:
+    counts = _split(spec.n + 1, 2)
+    return _from_cluster(limited_type_cluster([(1, 1), (3, 5)], counts), spec)
+
+
+def _three_type(spec: ScenarioSpec) -> MulticastSet:
+    counts = _split(spec.n + 1, min(3, spec.n + 1))
+    types = [(1, 1), (2, 3), (5, 8)][: len(counts)]
+    return _from_cluster(limited_type_cluster(types, counts), spec)
+
+
+def _uniform_ratio(spec: ScenarioSpec) -> MulticastSet:
+    ratio = 1 + spec.seed % 3
+    return _from_cluster(uniform_ratio_cluster(spec.n + 1, spec.seed, ratio), spec)
+
+
+def _power_of_two(spec: ScenarioSpec) -> MulticastSet:
+    ratio = 1 + spec.seed % 3
+    return _from_cluster(power_of_two_cluster(spec.n + 1, spec.seed, ratio), spec)
+
+
+def _pareto(spec: ScenarioSpec) -> MulticastSet:
+    return _from_cluster(pareto_cluster(spec.n + 1, spec.seed), spec)
+
+
+# ----------------------------------------------------------------------
+# adversarial catalogue (family "adversarial"; seed selects the case)
+# ----------------------------------------------------------------------
+def _adv_homogeneous(spec: ScenarioSpec) -> MulticastSet:
+    """All nodes identical — the k=1 regime where the DP is the oracle."""
+    return MulticastSet.from_overheads((2, 2), [(2, 2)] * spec.n, spec.latency)
+
+
+def _adv_extreme_ratio(spec: ScenarioSpec) -> MulticastSet:
+    """Receive overheads 100x the sends (stresses the Theorem 1 factor)."""
+    pairs = [(s, 100 * s) for s in range(1, spec.n + 2)]
+    return MulticastSet.from_overheads(pairs[0], pairs[1:], spec.latency)
+
+
+def _adv_huge_latency(spec: ScenarioSpec) -> MulticastSet:
+    """Latency dwarfs every overhead (wire-bound regime)."""
+    sends = [1 + (i % 3) for i in range(spec.n + 1)]
+    pairs = [(s, s + 1) for s in sends]
+    return MulticastSet.from_overheads(pairs[0], pairs[1:], 1000)
+
+
+def _adv_fast_source(spec: ScenarioSpec) -> MulticastSet:
+    """One very fast source, uniformly slow destinations."""
+    return MulticastSet.from_overheads((1, 1), [(40, 70)] * spec.n, spec.latency)
+
+
+def _adv_slow_source(spec: ScenarioSpec) -> MulticastSet:
+    """A legacy-machine source in front of a fast cluster (Figure 1 spirit)."""
+    return MulticastSet.from_overheads((50, 80), [(1, 1)] * spec.n, spec.latency)
+
+
+def _adv_zero_beta(spec: ScenarioSpec) -> MulticastSet:
+    """beta = 0: every destination shares one receive overhead."""
+    return MulticastSet.from_overheads((3, 4), [(2, 2)] * spec.n, spec.latency)
+
+
+def _adv_unit_ratio(spec: ScenarioSpec) -> MulticastSet:
+    """Distinct sends with receive == send (alpha = 1 everywhere)."""
+    pairs = [(i, i) for i in range(1, spec.n + 2)]
+    return MulticastSet.from_overheads(pairs[0], pairs[1:], spec.latency)
+
+
+def _adv_max_heterogeneity(spec: ScenarioSpec) -> MulticastSet:
+    """Every node its own type (k = n + 1, far outside the DP regime)."""
+    pairs = [(2 * i + 1, 3 * i + 2) for i in range(spec.n + 1)]
+    return MulticastSet.from_overheads(pairs[0], pairs[1:], spec.latency)
+
+
+def _adv_one_fast_many_slow(spec: ScenarioSpec) -> MulticastSet:
+    """A single fast helper among identical slow destinations."""
+    dests = [(1, 1)] + [(8, 13)] * max(1, spec.n - 1)
+    return MulticastSet.from_overheads((8, 13), dests, spec.latency)
+
+
+def _adv_figure1(spec: ScenarioSpec) -> MulticastSet:
+    """The paper's exact Figure 1 instance (n and seed ignored)."""
+    return MulticastSet.from_overheads(
+        (2, 3), [(1, 1), (1, 1), (1, 1), (2, 3)], 1
+    )
+
+
+#: The adversarial case catalogue; ``seed`` indexes into it.
+ADVERSARIAL_CASES: Tuple[Tuple[str, Callable[[ScenarioSpec], MulticastSet]], ...] = (
+    ("homogeneous", _adv_homogeneous),
+    ("extreme-ratio", _adv_extreme_ratio),
+    ("huge-latency", _adv_huge_latency),
+    ("fast-source", _adv_fast_source),
+    ("slow-source", _adv_slow_source),
+    ("zero-beta", _adv_zero_beta),
+    ("unit-ratio", _adv_unit_ratio),
+    ("max-heterogeneity", _adv_max_heterogeneity),
+    ("one-fast-many-slow", _adv_one_fast_many_slow),
+    ("figure1", _adv_figure1),
+)
+
+
+def _adversarial(spec: ScenarioSpec) -> MulticastSet:
+    name, builder = ADVERSARIAL_CASES[spec.seed % len(ADVERSARIAL_CASES)]
+    del name
+    return builder(spec)
+
+
+#: Scenario family registry: name -> builder(spec) -> MulticastSet.
+FAMILIES: Dict[str, Callable[[ScenarioSpec], MulticastSet]] = {
+    "two-class": _two_class,
+    "bounded-ratio": _bounded_ratio,
+    "bounded-ratio-wide": _bounded_ratio_wide,
+    "two-type": _two_type,
+    "three-type": _three_type,
+    "uniform-ratio": _uniform_ratio,
+    "power-of-two": _power_of_two,
+    "pareto": _pareto,
+    "adversarial": _adversarial,
+}
+
+#: Families built from cluster generators (swept with source policies).
+_CLUSTER_FAMILIES: Tuple[str, ...] = tuple(
+    name for name in FAMILIES if name != "adversarial"
+)
+
+
+@dataclass(frozen=True)
+class CorpusSuite:
+    """A named corpus definition: the sweep axes for :func:`generate_corpus`."""
+
+    name: str
+    description: str
+    sizes: Tuple[int, ...]
+    seeds: Tuple[int, ...]
+    sources: Tuple[str, ...] = SOURCE_POLICIES
+    adversarial_sizes: Tuple[int, ...] = (1, 2, 5)
+
+    def specs(self) -> List[ScenarioSpec]:
+        """Materialize the full sweep (deterministic order)."""
+        out: List[ScenarioSpec] = []
+        for family in _CLUSTER_FAMILIES:
+            for n in self.sizes:
+                for source in self.sources:
+                    for seed in self.seeds:
+                        out.append(
+                            ScenarioSpec(
+                                family=family,
+                                n=n,
+                                seed=seed,
+                                source=source,
+                                latency=1 + seed % 3,
+                            )
+                        )
+        for case_index, (label, _builder) in enumerate(ADVERSARIAL_CASES):
+            for n in self.adversarial_sizes:
+                out.append(
+                    ScenarioSpec(
+                        family="adversarial",
+                        n=n,
+                        seed=case_index,
+                        source="first",
+                        latency=1,
+                        label=label,
+                    )
+                )
+        return out
+
+
+#: Named corpora.  ``quick`` is the CI gate: every cluster family x every
+#: source policy x a small-size sweep where the exact oracle applies, plus
+#: the adversarial catalogue — ~280 scenarios, a couple of minutes.
+CORPUS_SUITES: Dict[str, CorpusSuite] = {
+    s.name: s
+    for s in (
+        CorpusSuite(
+            "smoke",
+            "minimal pulse for unit tests and docs (seconds)",
+            sizes=(3, 5),
+            seeds=(0,),
+            sources=("slowest", "fastest"),
+            adversarial_sizes=(2,),
+        ),
+        CorpusSuite(
+            "quick",
+            "CI gate: all families x source policies, oracle-sized instances",
+            sizes=(2, 3, 5, 8),
+            seeds=(0, 1),
+        ),
+        CorpusSuite(
+            "full",
+            "nightly sweep: adds sizes beyond the exact oracle's reach",
+            sizes=(2, 3, 5, 8, 12, 16, 24, 32),
+            seeds=(0, 1, 2),
+        ),
+    )
+}
+
+
+def corpus_suite(name: str) -> CorpusSuite:
+    """Look up a corpus suite by name."""
+    try:
+        return CORPUS_SUITES[name]
+    except KeyError:
+        raise ConformanceError(
+            f"unknown corpus suite {name!r}; available: {sorted(CORPUS_SUITES)}"
+        ) from None
+
+
+def generate_corpus(suite: str = "quick") -> List[ScenarioSpec]:
+    """The named corpus as a list of specs (deterministic order)."""
+    return corpus_suite(suite).specs()
+
+
+def fuzz_specs(
+    seed: int,
+    *,
+    max_n: int = 10,
+    sizes: Sequence[int] = (),
+) -> Iterator[ScenarioSpec]:
+    """Endless stream of random scenario specs, fully determined by ``seed``.
+
+    Draws uniformly over families (adversarial cases included), source
+    policies, sizes ``1..max_n`` (or the explicit ``sizes``) and a wide
+    seed space, so a budgeted fuzz run explores corners the fixed sweeps
+    do not.  The stream is deterministic: the same ``seed`` yields the
+    same specs in the same order, which is what makes every fuzz failure
+    replayable.
+    """
+    rng = random.Random(seed)
+    families = sorted(FAMILIES)
+    size_pool = tuple(sizes) or tuple(range(1, max_n + 1))
+    while True:
+        family = rng.choice(families)
+        n = rng.choice(size_pool)
+        if family == "adversarial":
+            case_index = rng.randrange(len(ADVERSARIAL_CASES))
+            yield ScenarioSpec(
+                family=family,
+                n=max(1, n),
+                seed=case_index,
+                source="first",
+                latency=1,
+                label=ADVERSARIAL_CASES[case_index][0],
+            )
+            continue
+        yield ScenarioSpec(
+            family=family,
+            n=max(2, n),  # cluster families need >= 2 nodes (and types)
+            seed=rng.randrange(1 << 16),
+            source=rng.choice(SOURCE_POLICIES),
+            latency=rng.choice((1, 1, 2, 3, 5)),
+        )

@@ -1,0 +1,241 @@
+"""``repro/conformance-v1`` records on the :mod:`repro.io.segments` substrate.
+
+Two record kinds share the format:
+
+.. code-block:: json
+
+    {"format": "repro/conformance-v1", "kind": "scenario",
+     "spec": {"family": "two-class", "n": 5, "seed": 0, ...}}
+
+    {"format": "repro/conformance-v1", "kind": "failure",
+     "spec": {...}, "invariant": "oracle-optimality", "solver": "greedy",
+     "message": "...", "digest": "<sha256 prefix>"}
+
+Scenario records persist generated corpora; failure records are the
+replayable artifacts the runner emits on invariant violations.  The
+``digest`` is a content hash over the *deterministic* failure identity —
+spec, invariant, solver, message — so ``repro conformance replay`` can
+prove a reproduction is bit-identical by recomputing it.
+
+Directories of records reuse the plan store's segment layout (rotating
+``segment-NNNNNN.jsonl`` files with crash-tolerant loading); single
+failures also round-trip through standalone JSON files, which is the form
+committed to the ``tests/corpus/`` regression corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.conformance.corpus import ScenarioSpec
+from repro.exceptions import ConformanceError
+from repro.io.segments import (
+    append_jsonl,
+    iter_jsonl,
+    list_segments,
+    repair_torn_tail,
+    segment_index,
+    segment_name,
+)
+
+__all__ = [
+    "CONFORMANCE_FORMAT",
+    "FailureRecord",
+    "failure_digest",
+    "scenario_record",
+    "record_from_dict",
+    "write_records",
+    "load_records",
+    "load_record_file",
+]
+
+CONFORMANCE_FORMAT = "repro/conformance-v1"
+
+#: Records per segment before the writer rotates (small: corpora are small).
+SEGMENT_MAX_RECORDS = 256
+
+Record = Union[ScenarioSpec, "FailureRecord"]
+
+
+def failure_digest(
+    spec: ScenarioSpec, invariant: str, solver: Optional[str], message: str
+) -> str:
+    """Deterministic content hash of a failure's identity (hex prefix).
+
+    Everything hashed is derived from the seed-complete spec and the
+    deterministic solver/invariant pipeline, so an honest replay of the
+    same library version recomputes the same digest bit-for-bit.
+    """
+    payload = json.dumps(
+        {
+            "spec": spec.to_dict(),
+            "invariant": invariant,
+            "solver": solver,
+            "message": message,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+class FailureRecord:
+    """One invariant violation, replayable from its embedded spec."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        invariant: str,
+        solver: Optional[str],
+        message: str,
+        digest: Optional[str] = None,
+    ) -> None:
+        self.spec = spec
+        self.invariant = invariant
+        self.solver = solver
+        self.message = message
+        self.digest = digest or failure_digest(spec, invariant, solver, message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready ``repro/conformance-v1`` failure record."""
+        return {
+            "format": CONFORMANCE_FORMAT,
+            "kind": "failure",
+            "spec": self.spec.to_dict(),
+            "invariant": self.invariant,
+            "solver": self.solver,
+            "message": self.message,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureRecord":
+        """Inverse of :meth:`to_dict` (format/kind checked)."""
+        _check_format(data)
+        if data.get("kind") != "failure":
+            raise ConformanceError(
+                f"not a failure record: kind={data.get('kind')!r}"
+            )
+        try:
+            spec, invariant = data["spec"], data["invariant"]
+        except KeyError as missing:
+            raise ConformanceError(
+                f"failure record missing field {missing}"
+            ) from None
+        return cls(
+            spec=ScenarioSpec.from_dict(spec),
+            invariant=invariant,
+            solver=data.get("solver"),
+            message=data.get("message", ""),
+            digest=data.get("digest"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f" solver={self.solver}" if self.solver else ""
+        return f"FailureRecord({self.invariant}{where} on {self.spec.key})"
+
+
+def scenario_record(spec: ScenarioSpec) -> Dict[str, Any]:
+    """JSON-ready ``repro/conformance-v1`` scenario record."""
+    return {"format": CONFORMANCE_FORMAT, "kind": "scenario", "spec": spec.to_dict()}
+
+
+def _check_format(data: Mapping[str, Any]) -> None:
+    if data.get("format") != CONFORMANCE_FORMAT:
+        raise ConformanceError(
+            f"not a {CONFORMANCE_FORMAT} record: {data.get('format')!r}"
+        )
+
+
+def record_from_dict(data: Mapping[str, Any]) -> Record:
+    """Decode either record kind (scenario -> spec, failure -> record)."""
+    _check_format(data)
+    kind = data.get("kind")
+    if kind == "scenario":
+        try:
+            spec = data["spec"]
+        except KeyError:
+            raise ConformanceError("scenario record missing field 'spec'") from None
+        return ScenarioSpec.from_dict(spec)
+    if kind == "failure":
+        return FailureRecord.from_dict(data)
+    raise ConformanceError(f"unknown conformance record kind {kind!r}")
+
+
+def _record_payload(record: Record) -> Dict[str, Any]:
+    if isinstance(record, ScenarioSpec):
+        return scenario_record(record)
+    if isinstance(record, FailureRecord):
+        return record.to_dict()
+    raise ConformanceError(f"cannot persist a {type(record).__name__}")
+
+
+def write_records(root: Union[str, Path], records: Iterable[Record]) -> int:
+    """Append records to a segments directory; returns records written.
+
+    Follows the plan store's layout: the newest segment receives appends
+    and rotates at :data:`SEGMENT_MAX_RECORDS`, so a crash can at worst
+    truncate the final line (tolerated by :func:`load_records`).
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    existing = list_segments(root)
+    if existing:
+        # a torn tail (crash mid-append) must come off disk before we
+        # append, or the new record would glue onto the fragment
+        repair_torn_tail(existing[-1])
+        active = segment_index(existing[-1])
+        filled = sum(1 for _ in iter_jsonl(existing[-1], on_error="raise"))
+    else:
+        active, filled = 1, 0
+    written = 0
+    batch: List[Dict[str, Any]] = []
+
+    def flush() -> None:
+        nonlocal filled, active, written
+        if batch:
+            append_jsonl(root / segment_name(active), batch)
+            written += len(batch)
+            filled += len(batch)
+            batch.clear()
+        if filled >= SEGMENT_MAX_RECORDS:
+            active += 1
+            filled = 0
+
+    for record in records:
+        batch.append(_record_payload(record))
+        if filled + len(batch) >= SEGMENT_MAX_RECORDS:
+            flush()
+    flush()
+    return written
+
+
+def load_records(root: Union[str, Path]) -> List[Record]:
+    """Load every record under a segments directory, in write order.
+
+    A torn final line in the newest segment (crash mid-append) is dropped;
+    corrupt interior lines raise :class:`ConformanceError`.
+    """
+    root = Path(root)
+    segments = list_segments(root)
+    if not segments:
+        raise ConformanceError(f"no conformance records under {root}")
+    out: List[Record] = []
+    for position, segment in enumerate(segments):
+        on_error = "truncate" if position == len(segments) - 1 else "raise"
+        for _number, payload in iter_jsonl(segment, on_error=on_error):
+            out.append(record_from_dict(payload))
+    return out
+
+
+def load_record_file(path: Union[str, Path]) -> Record:
+    """Load one standalone JSON record file (the ``tests/corpus/`` form)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except ValueError:
+        raise ConformanceError(f"{path}: not valid JSON") from None
+    if not isinstance(data, dict):
+        raise ConformanceError(f"{path}: expected a JSON object")
+    return record_from_dict(data)

@@ -1,0 +1,450 @@
+"""The differential conformance runner.
+
+:class:`ConformanceRunner` sweeps a scenario corpus: for each spec it
+builds the instance, runs **every** registered solver whose capabilities
+declare the instance practical, derives the exact-oracle value (the
+branch-and-bound ``exact`` solver, cross-checked against the Section 4
+``dp`` wherever both apply), evaluates the full invariant catalogue, and
+optionally proves the planning service answers bit-identically to the
+direct planner.  Violations become replayable
+:class:`~repro.conformance.records.FailureRecord` artifacts: the runner
+auto-shrinks each one (smaller ``n``, unit latency — always staying
+inside the seed-complete spec space) so what lands in the regression
+corpus is the minimal reproducing recipe.
+
+``replay`` closes the loop: given a failure record it rebuilds the
+scenario from its spec, re-evaluates just that invariant and compares
+content digests, proving (or disproving) a bit-identical reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.planner import Planner
+from repro.api.request import PlanRequest, PlanResult
+from repro.api.solvers import bound_values, capable_solvers
+from repro.conformance.corpus import ScenarioSpec
+from repro.conformance.invariants import (
+    InvariantEntry,
+    ScenarioOutcome,
+    Violation,
+    canonical_result_payload,
+    get_invariant,
+    invariant_items,
+)
+from repro.conformance.records import FailureRecord, failure_digest
+from repro.exceptions import ConformanceError
+
+__all__ = ["ConformanceRunner", "InvariantReport", "ReplayOutcome"]
+
+#: Invariant name under which service/planner divergence is reported.
+SERVICE_PARITY = "service-parity"
+
+
+@dataclass
+class InvariantReport:
+    """Aggregated outcome of one conformance sweep.
+
+    ``checks`` counts invariant evaluations (scenario x invariant);
+    ``per_invariant`` maps invariant name -> ``{"passed": .., "failed": ..}``.
+    ``ok`` is the single bit CI gates on.
+    """
+
+    scenarios: int = 0
+    checks: int = 0
+    failures: List[FailureRecord] = field(default_factory=list)
+    per_invariant: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    solvers: Tuple[str, ...] = ()
+    families: Tuple[str, ...] = ()
+    errors: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """No invariant violations and no scenario crashed."""
+        return not self.failures and not self.errors
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (failures as conformance-v1 records)."""
+        return {
+            "scenarios": self.scenarios,
+            "checks": self.checks,
+            "per_invariant": {k: dict(v) for k, v in sorted(self.per_invariant.items())},
+            "solvers": list(self.solvers),
+            "families": list(self.families),
+            "failures": [f.to_dict() for f in self.failures],
+            "errors": list(self.errors),
+            "elapsed_s": self.elapsed_s,
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (what the CLI prints)."""
+        rate = self.scenarios / self.elapsed_s if self.elapsed_s > 0 else 0.0
+        lines = [
+            f"conformance: {self.scenarios} scenarios, {self.checks} invariant "
+            f"checks, {len(self.failures)} violations "
+            f"({self.elapsed_s:.1f}s, {rate:.0f} scenarios/s)",
+            f"solvers exercised ({len(self.solvers)}): {', '.join(self.solvers)}",
+            f"families covered ({len(self.families)}): {', '.join(self.families)}",
+        ]
+        for name, counts in sorted(self.per_invariant.items()):
+            status = "ok" if counts.get("failed", 0) == 0 else "FAIL"
+            lines.append(
+                f"  {name:<20} passed={counts.get('passed', 0):<5} "
+                f"failed={counts.get('failed', 0):<3} {status}"
+            )
+        for failure in self.failures:
+            solver = f" solver={failure.solver}" if failure.solver else ""
+            lines.append(
+                f"  FAILURE {failure.invariant}{solver} on {failure.spec.key}: "
+                f"{failure.message} (digest {failure.digest})"
+            )
+        for error in self.errors:
+            lines.append(f"  ERROR {error}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """Result of replaying one failure record from its seed."""
+
+    record: FailureRecord
+    reproduced: bool
+    digest: Optional[str]
+    detail: str
+
+    @property
+    def bit_identical(self) -> bool:
+        """Whether the replayed failure hashed to the recorded digest."""
+        return self.reproduced and self.digest == self.record.digest
+
+
+class ConformanceRunner:
+    """Differential cross-solver conformance engine.
+
+    Parameters
+    ----------
+    planner:
+        Engine used for all solves; defaults to an uncached planner so
+        every scenario measures a real solve.
+    invariants:
+        Invariant names to evaluate (default: the whole catalogue).
+    solvers:
+        Restrict the differential sweep to these solver names (default:
+        every registered solver capable of each instance).
+    oracle_max_n:
+        Largest ``n`` the branch-and-bound oracle is asked to certify.
+    service_every:
+        Check planner/service bit-parity on every k-th scenario
+        (``0`` disables the service check entirely).
+    shrink:
+        Auto-shrink failing scenarios to minimal reproducing specs.
+    """
+
+    def __init__(
+        self,
+        *,
+        planner: Optional[Planner] = None,
+        invariants: Optional[Sequence[str]] = None,
+        solvers: Optional[Sequence[str]] = None,
+        oracle_max_n: int = 9,
+        service_every: int = 8,
+        shrink: bool = True,
+    ) -> None:
+        if service_every < 0:
+            raise ConformanceError(
+                f"service_every must be >= 0, got {service_every}"
+            )
+        self.planner = planner if planner is not None else Planner(cache_size=0)
+        if invariants is None:
+            self._invariants: List[InvariantEntry] = list(invariant_items())
+        else:
+            self._invariants = [get_invariant(name) for name in invariants]
+        self._solver_filter = tuple(solvers) if solvers is not None else None
+        self.oracle_max_n = oracle_max_n
+        self.service_every = service_every
+        self.shrink = shrink
+        self._service = None  # lazily started PlanningService
+        self._service_client = None
+
+    # ------------------------------------------------------------------
+    # scenario evaluation
+    # ------------------------------------------------------------------
+    def _solver_names(self, mset) -> List[str]:
+        names = capable_solvers(mset)
+        if self._solver_filter is not None:
+            names = [n for n in names if n in self._solver_filter]
+        return names
+
+    def evaluate(self, spec: ScenarioSpec) -> ScenarioOutcome:
+        """Build one scenario and run every capable solver over it.
+
+        A solver that raises — any exception, not just library errors —
+        does not abort the sweep: it is recorded in
+        :attr:`ScenarioOutcome.solver_errors` and surfaces as a
+        replayable ``no-crash`` violation, while every other solver's
+        invariants still run.
+        """
+        mset = spec.build()
+        results: Dict[str, PlanResult] = {}
+        solver_errors: Dict[str, str] = {}
+        for name in self._solver_names(mset):
+            try:
+                results[name] = self.planner.plan(
+                    PlanRequest(instance=mset, solver=name)
+                )
+            except Exception as exc:  # noqa: BLE001 - crashes are findings
+                solver_errors[name] = f"{type(exc).__name__}: {exc}"
+        oracle_value: Optional[float] = None
+        oracle_solver: Optional[str] = None
+        exact_result = results.get("exact")
+        if exact_result is not None and mset.n <= self.oracle_max_n:
+            oracle_value, oracle_solver = exact_result.value, "exact"
+        elif "dp" in results:
+            # inside its regime the Section 4 DP is exact; it becomes the
+            # oracle whenever branch-and-bound is impractical
+            oracle_value, oracle_solver = results["dp"].value, "dp"
+        return ScenarioOutcome(
+            spec=spec,
+            mset=mset,
+            results=results,
+            oracle_value=oracle_value,
+            oracle_solver=oracle_solver,
+            bounds=bound_values(mset),
+            planner=self.planner,
+            solver_errors=solver_errors,
+        )
+
+    def check(self, spec: ScenarioSpec) -> List[FailureRecord]:
+        """Evaluate one scenario against the configured invariant suite."""
+        outcome = self.evaluate(spec)
+        failures: List[FailureRecord] = []
+        for entry in self._invariants:
+            for violation in entry(outcome):
+                failures.append(
+                    FailureRecord(spec, entry.name, violation.solver, violation.message)
+                )
+        return failures
+
+    # ------------------------------------------------------------------
+    # sweeping
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Iterable[ScenarioSpec],
+        *,
+        deadline_s: Optional[float] = None,
+        progress: Optional[Callable[[int, ScenarioSpec], None]] = None,
+    ) -> InvariantReport:
+        """Sweep a corpus (or spec stream) and aggregate the report.
+
+        ``deadline_s`` stops the sweep after a wall-clock budget (used by
+        ``conformance fuzz``); ``progress`` is invoked per scenario.
+        """
+        report = InvariantReport(
+            per_invariant={e.name: {"passed": 0, "failed": 0} for e in self._invariants}
+        )
+        if self.service_every:
+            report.per_invariant[SERVICE_PARITY] = {"passed": 0, "failed": 0}
+        start = time.perf_counter()
+        solvers_seen: set = set()
+        families_seen: set = set()
+        try:
+            for index, spec in enumerate(specs):
+                if deadline_s is not None and time.perf_counter() - start >= deadline_s:
+                    break
+                if progress is not None:
+                    progress(index, spec)
+                try:
+                    outcome = self.evaluate(spec)
+                except Exception as exc:  # noqa: BLE001 - keep sweeping
+                    report.errors.append(
+                        f"{spec.key}: scenario crashed: {type(exc).__name__}: {exc}"
+                    )
+                    continue
+                report.scenarios += 1
+                solvers_seen.update(outcome.results)
+                families_seen.add(spec.family)
+                for entry in self._invariants:
+                    try:
+                        violations = entry(outcome)
+                    except Exception as exc:  # noqa: BLE001 - keep sweeping
+                        report.errors.append(
+                            f"{spec.key}: invariant {entry.name} crashed: "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                        continue
+                    report.checks += 1
+                    bucket = report.per_invariant[entry.name]
+                    if violations:
+                        bucket["failed"] += 1
+                        for violation in violations:
+                            report.failures.append(
+                                self._finalize_failure(
+                                    spec, entry.name, violation
+                                )
+                            )
+                    else:
+                        bucket["passed"] += 1
+                if self.service_every and index % self.service_every == 0:
+                    report.checks += 1
+                    parity = self._check_service_parity(outcome)
+                    bucket = report.per_invariant[SERVICE_PARITY]
+                    if parity:
+                        bucket["failed"] += 1
+                        report.failures.extend(parity)
+                    else:
+                        bucket["passed"] += 1
+        finally:
+            self._stop_service()
+        report.solvers = tuple(sorted(solvers_seen))
+        report.families = tuple(sorted(families_seen))
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+    def _finalize_failure(
+        self, spec: ScenarioSpec, invariant: str, violation: Violation
+    ) -> FailureRecord:
+        record = FailureRecord(spec, invariant, violation.solver, violation.message)
+        if self.shrink:
+            record = self.shrink_failure(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # shrinking
+    # ------------------------------------------------------------------
+    def _reproduces(
+        self, spec: ScenarioSpec, invariant: str, solver: Optional[str]
+    ) -> Optional[Violation]:
+        """Re-check one candidate spec; the matching violation or ``None``."""
+        try:
+            outcome = self.evaluate(spec)
+            violations = get_invariant(invariant)(outcome)
+        except Exception:  # noqa: BLE001 - a broken candidate does not count
+            return None
+        for violation in violations:
+            if violation.solver == solver:
+                return violation
+        return None
+
+    def shrink_failure(self, record: FailureRecord) -> FailureRecord:
+        """Greedily shrink a failure to a minimal reproducing spec.
+
+        Candidates stay inside the seed-complete spec space — smaller
+        ``n``, then unit latency — so the shrunk artifact replays from
+        five scalars exactly like the original.  The original record is
+        returned unchanged when no candidate reproduces.
+        """
+        spec, message = record.spec, record.message
+        changed = True
+        while changed:
+            changed = False
+            candidates = []
+            if spec.n > 1:
+                candidates.append(replace(spec, n=spec.n - 1))
+                if spec.n > 2:
+                    candidates.append(replace(spec, n=max(1, spec.n // 2)))
+            if spec.latency != 1:
+                candidates.append(replace(spec, latency=1))
+            for candidate in candidates:
+                violation = self._reproduces(candidate, record.invariant, record.solver)
+                if violation is not None:
+                    spec, message = candidate, violation.message
+                    changed = True
+                    break
+        if spec == record.spec:
+            return record
+        return FailureRecord(spec, record.invariant, record.solver, message)
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay(self, record: FailureRecord) -> ReplayOutcome:
+        """Rebuild a failure from its spec and verify a bit-identical repro."""
+        if record.invariant == SERVICE_PARITY:
+            outcome = self.evaluate(record.spec)
+            violations = self._check_service_parity(outcome)
+            matching = [v for v in violations if v.solver == record.solver]
+            self._stop_service()
+            if not matching:
+                return ReplayOutcome(
+                    record, False, None, "service parity holds on replay"
+                )
+            digest = matching[0].digest
+            return ReplayOutcome(
+                record,
+                True,
+                digest,
+                "digest match" if digest == record.digest else "digest MISMATCH",
+            )
+        violation = self._reproduces(record.spec, record.invariant, record.solver)
+        if violation is None:
+            return ReplayOutcome(
+                record, False, None, f"invariant {record.invariant} holds on replay"
+            )
+        digest = failure_digest(
+            record.spec, record.invariant, violation.solver, violation.message
+        )
+        return ReplayOutcome(
+            record,
+            True,
+            digest,
+            "digest match" if digest == record.digest else "digest MISMATCH",
+        )
+
+    # ------------------------------------------------------------------
+    # service parity
+    # ------------------------------------------------------------------
+    def _ensure_service(self):
+        if self._service is None:
+            from repro.service.client import InProcessClient
+            from repro.service.server import PlanningService
+
+            # an uncached planner inside the service forces real solves,
+            # making parity a statement about the whole service path
+            self._service = PlanningService(
+                planner=Planner(cache_size=0), num_shards=2, worker_mode="thread"
+            )
+            self._service.start_background()
+            self._service_client = InProcessClient(
+                self._service, client_id="conformance"
+            )
+        return self._service_client
+
+    def _stop_service(self) -> None:
+        if self._service is not None:
+            self._service.stop()
+            self._service = None
+            self._service_client = None
+
+    def _check_service_parity(self, outcome: ScenarioOutcome) -> List[FailureRecord]:
+        """Service answers must be bit-identical to the direct planner's.
+
+        Volatile fields (wall-clock, cache provenance) are neutralized by
+        :func:`~repro.conformance.invariants.canonical_result_payload`;
+        everything computed — schedule, values, exactness, bounds, solver
+        stats — must agree byte for byte.
+        """
+        client = self._ensure_service()
+        failures: List[FailureRecord] = []
+        for name, direct in sorted(outcome.results.items()):
+            served = client.plan(
+                PlanRequest(instance=outcome.mset, solver=name),
+            )
+            direct_payload = canonical_result_payload(direct)
+            served_payload = canonical_result_payload(served.result)
+            if direct_payload != served_payload:
+                failures.append(
+                    FailureRecord(
+                        outcome.spec,
+                        SERVICE_PARITY,
+                        name,
+                        "service answer diverges from the direct planner "
+                        f"(tier={served.tier})",
+                    )
+                )
+        return failures

@@ -52,6 +52,17 @@ class WorkloadError(ReproError):
     """A workload generator received unsatisfiable parameters."""
 
 
+class ConformanceError(ReproError):
+    """The conformance engine was misused or fed malformed records.
+
+    Raised for unknown scenario families or corpus suites, undecodable
+    ``repro/conformance-v1`` records, and replay requests that do not
+    reference a failure.  Invariant *violations* are not exceptions — they
+    are data (:class:`repro.conformance.FailureRecord`) so the runner can
+    keep sweeping and report everything at once.
+    """
+
+
 class ServiceError(ReproError):
     """The planning service refused or failed a request.
 

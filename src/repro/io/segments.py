@@ -31,6 +31,7 @@ __all__ = [
     "append_jsonl",
     "write_jsonl",
     "iter_jsonl",
+    "repair_torn_tail",
 ]
 
 #: Segment file names: ``segment-<6-digit index>.jsonl``.
@@ -85,6 +86,27 @@ def write_jsonl(path: Union[str, Path], records: Iterable[Dict[str, Any]]) -> in
     """
     Path(path).write_text("")
     return append_jsonl(path, records)
+
+
+def repair_torn_tail(path: Union[str, Path]) -> bool:
+    """Physically drop a torn final line left by a crash mid-append.
+
+    Every complete append ends with ``\\n``, so a file not ending in a
+    newline holds a partial record.  Writers that re-open a segment for
+    appending must remove it from disk (not just skip it on read): a
+    later append would otherwise glue its JSON onto the fragment,
+    corrupting an interior line for good.  Returns whether a tail was
+    dropped; a missing file is left alone.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return False
+    text = path.read_text(encoding="utf-8")
+    if not text or text.endswith("\n"):
+        return False
+    keep, newline, _torn = text.rpartition("\n")
+    path.write_text(keep + newline, encoding="utf-8")
+    return True
 
 
 def iter_jsonl(

@@ -43,6 +43,7 @@ from repro.io.segments import (
     append_jsonl,
     iter_jsonl,
     list_segments,
+    repair_torn_tail,
     segment_index,
     segment_name,
     write_jsonl,
@@ -118,29 +119,14 @@ class PlanStore:
     # ------------------------------------------------------------------
     # loading / warm start
     # ------------------------------------------------------------------
-    @staticmethod
-    def _repair_torn_tail(segment: Path) -> None:
-        """Physically drop a torn final line left by a crash mid-append.
-
-        Every complete append ends with ``\\n``, so a file not ending in a
-        newline holds a partial record.  It must be removed from disk (not
-        just skipped on load): a later append would otherwise glue its
-        JSON onto the fragment, corrupting an interior line for good.
-        """
-        text = segment.read_text(encoding="utf-8")
-        if not text or text.endswith("\n"):
-            return
-        keep, newline, _torn = text.rpartition("\n")
-        segment.write_text(keep + newline, encoding="utf-8")
-
     def _load(self) -> None:
         segments = list_segments(self.root)
         for position, segment in enumerate(segments):
             last = position == len(segments) - 1
             if last:
-                self._repair_torn_tail(segment)
+                repair_torn_tail(segment)
             # belt and braces: tolerate a torn tail on the newest segment
-            # even though _repair_torn_tail should have removed it
+            # even though repair_torn_tail should have removed it
             on_error = "truncate" if last else "raise"
             records = 0
             for number, record in iter_jsonl(segment, on_error=on_error):

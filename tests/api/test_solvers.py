@@ -99,3 +99,38 @@ class TestBounds:
         assert set(values) == {"first-hop", "homogeneous-relaxation"}
         for value in values.values():
             assert value <= 8  # the known optimum
+
+
+class TestUnregisterSolver:
+    def test_ad_hoc_solver_is_removed(self):
+        import uuid
+
+        from repro.api import (
+            SolverCapabilities,
+            SolverOutput,
+            available_solvers,
+            register_solver,
+            unregister_solver,
+        )
+        from repro.core.greedy import greedy_schedule
+
+        name = f"throwaway-{uuid.uuid4().hex[:8]}"
+
+        @register_solver(name, "test", capabilities=SolverCapabilities(max_n=0))
+        def _throwaway(mset, **options):
+            return SolverOutput(schedule=greedy_schedule(mset))
+
+        assert name in available_solvers()
+        assert unregister_solver(name) is True
+        assert name not in available_solvers()
+        assert unregister_solver(name) is False
+
+    @pytest.mark.parametrize("name", ["dp", "exact"])
+    def test_builtin_oracles_reappear_on_the_next_lookup(self, name):
+        """Dropping an oracle must not last the rest of the process —
+        conformance sweeps would silently lose their optimality checks."""
+        from repro.api import available_solvers, get_solver, unregister_solver
+
+        assert unregister_solver(name) is True
+        assert name in available_solvers()
+        assert get_solver(name).capabilities.exact

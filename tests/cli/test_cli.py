@@ -196,3 +196,110 @@ class TestServiceCommands:
         assert main(["store", "verify", str(missing)]) == 2
         assert "not a directory" in capsys.readouterr().err
         assert not missing.exists()  # a read-only command must not mkdir
+
+
+class TestConformanceCommands:
+    def test_corpus_listing(self, capsys):
+        assert main(["conformance", "corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "quick" in out and "full" in out and "smoke" in out
+
+    def test_corpus_write_then_run(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        assert main(["conformance", "corpus", "--suite", "smoke",
+                     "-o", corpus_dir]) == 0
+        assert "42 'smoke' scenarios" in capsys.readouterr().out
+        assert main(["conformance", "run", "--corpus", corpus_dir,
+                     "--no-service"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out and "42 scenarios" in out
+
+    def test_run_smoke_suite_with_service_parity(self, capsys):
+        assert main(["conformance", "run", "--suite", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "service-parity" in out
+        assert "0 violations" in out
+
+    def test_run_unknown_suite_fails_cleanly(self, capsys):
+        assert main(["conformance", "run", "--suite", "nope"]) == 2
+        assert "unknown corpus suite" in capsys.readouterr().err
+
+    def test_run_on_a_failure_only_directory_fails_cleanly(self, tmp_path, capsys):
+        """Pointing --corpus at a failure-artifact directory must not pass
+        vacuously with zero scenarios."""
+        from repro.conformance import FailureRecord, ScenarioSpec, write_records
+
+        root = str(tmp_path / "failures-only")
+        write_records(root, [FailureRecord(
+            ScenarioSpec("two-class", 3, 0), "scaling", "greedy", "msg")])
+        assert main(["conformance", "run", "--corpus", root]) == 2
+        assert "holds no scenario records" in capsys.readouterr().err
+
+    def test_replay_malformed_record_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "missing-spec.json"
+        path.write_text('{"format": "repro/conformance-v1", "kind": "scenario"}')
+        assert main(["conformance", "replay", str(path)]) == 2
+        assert "missing field 'spec'" in capsys.readouterr().err
+
+    def test_fuzz_budget_and_determinism(self, capsys):
+        assert main(["conformance", "fuzz", "--budget", "2s", "--seed", "5",
+                     "--no-service"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=5" in out and "0 violations" in out
+
+    def test_fuzz_malformed_budget_fails_cleanly(self, capsys):
+        assert main(["conformance", "fuzz", "--budget", "soon"]) == 2
+        assert "malformed budget" in capsys.readouterr().err
+
+    def test_replay_committed_corpus_file(self, capsys):
+        import pathlib
+
+        corpus = pathlib.Path(__file__).resolve().parents[1] / "corpus"
+        case = str(corpus / "scenario-figure1.json")
+        assert main(["conformance", "replay", case]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_replay_empty_path_fails_cleanly(self, tmp_path, capsys):
+        assert main(["conformance", "replay", str(tmp_path / "nothing")]) == 2
+        assert "no conformance records" in capsys.readouterr().err
+
+    def test_run_catches_and_persists_failures(self, tmp_path, capsys):
+        """A fraudulent solver drives exit 1, failure artifacts and the
+        regression corpus; replaying the artifact reproduces bit-identically."""
+        import uuid
+
+        from repro.api import (
+            SolverCapabilities,
+            SolverOutput,
+            register_solver,
+            unregister_solver,
+        )
+        from repro.core.schedule import Schedule
+
+        name = f"cli-broken-{uuid.uuid4().hex[:8]}"
+
+        @register_solver(name, "test: chain claimed optimal",
+                         capabilities=SolverCapabilities(exact=True, max_n=6))
+        def _chain(mset, **options):
+            return SolverOutput(
+                schedule=Schedule(mset, {i: [i + 1] for i in range(mset.n)})
+            )
+
+        failures_dir = str(tmp_path / "failures")
+        regression_dir = tmp_path / "regression"
+        try:
+            assert main(["conformance", "run", "--suite", "smoke", "--no-service",
+                         "--failures", failures_dir,
+                         "--regression", str(regression_dir)]) == 1
+            out = capsys.readouterr().out
+            assert "FAILURE" in out and "failure artifacts" in out
+            cases = list(regression_dir.glob("*.json"))
+            assert cases
+            # while the bug is live, the artifact reproduces bit-identically
+            assert main(["conformance", "replay", str(cases[0])]) == 0
+            assert "reproduced bit-identically" in capsys.readouterr().out
+        finally:
+            unregister_solver(name)
+        # after the "fix" (solver removed) the regression no longer reproduces
+        assert main(["conformance", "replay", str(cases[0])]) == 1
+        assert "NOT reproduced" in capsys.readouterr().out

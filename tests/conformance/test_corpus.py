@@ -1,0 +1,97 @@
+"""Scenario corpus: determinism, coverage, and spec round-trips."""
+
+import itertools
+
+import pytest
+
+from repro.conformance import (
+    ADVERSARIAL_CASES,
+    CORPUS_SUITES,
+    FAMILIES,
+    SOURCE_POLICIES,
+    ScenarioSpec,
+    fuzz_specs,
+    generate_corpus,
+)
+from repro.core.multicast import MulticastSet
+from repro.exceptions import ConformanceError
+
+
+class TestScenarioSpec:
+    def test_round_trips_through_dict(self):
+        spec = ScenarioSpec("two-class", 5, 3, source="median", latency=2, label="x")
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_build_is_deterministic(self):
+        spec = ScenarioSpec("bounded-ratio", 6, 4, source="random", latency=2)
+        assert spec.build() == spec.build()
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ConformanceError, match="unknown scenario family"):
+            ScenarioSpec("no-such-family", 4, 0).build()
+
+    def test_missing_field_raises(self):
+        with pytest.raises(ConformanceError, match="missing field"):
+            ScenarioSpec.from_dict({"family": "two-class", "n": 3})
+
+    def test_key_mentions_the_recipe(self):
+        spec = ScenarioSpec("pareto", 8, 1, source="fastest", latency=3)
+        assert "pareto" in spec.key and "n=8" in spec.key and "fastest" in spec.key
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_every_family_builds_valid_instances(self, family):
+        for n, seed in itertools.product((1, 2, 5), (0, 1)):
+            spec = ScenarioSpec(family, n, seed, source="first", latency=1)
+            mset = spec.build()
+            assert isinstance(mset, MulticastSet)
+            assert mset.n >= 1
+
+    @pytest.mark.parametrize("case_index", range(len(ADVERSARIAL_CASES)))
+    def test_adversarial_catalogue_builds(self, case_index):
+        label, _builder = ADVERSARIAL_CASES[case_index]
+        spec = ScenarioSpec("adversarial", 3, case_index, source="first", label=label)
+        assert spec.build().n >= 1
+
+
+class TestCorpora:
+    def test_generation_is_deterministic(self):
+        assert generate_corpus("quick") == generate_corpus("quick")
+
+    def test_quick_meets_the_acceptance_floor(self):
+        """The CI gate sweeps >= 200 scenarios across every family."""
+        specs = generate_corpus("quick")
+        assert len(specs) >= 200
+        assert {s.family for s in specs} == set(FAMILIES)
+        cluster_specs = [s for s in specs if s.family != "adversarial"]
+        assert {s.source for s in cluster_specs} == set(SOURCE_POLICIES)
+
+    def test_every_suite_is_listed_and_nonempty(self):
+        for name, suite in CORPUS_SUITES.items():
+            assert suite.specs(), name
+            assert suite.description
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ConformanceError, match="unknown corpus suite"):
+            generate_corpus("no-such-suite")
+
+    def test_smoke_is_a_strict_subset_size(self):
+        assert len(generate_corpus("smoke")) < len(generate_corpus("quick"))
+
+
+class TestFuzz:
+    def test_stream_is_deterministic_per_seed(self):
+        a = list(itertools.islice(fuzz_specs(42), 50))
+        b = list(itertools.islice(fuzz_specs(42), 50))
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        a = list(itertools.islice(fuzz_specs(1), 50))
+        b = list(itertools.islice(fuzz_specs(2), 50))
+        assert a != b
+
+    def test_specs_build_and_respect_max_n(self):
+        for spec in itertools.islice(fuzz_specs(7, max_n=6), 80):
+            assert spec.n <= 6 or spec.family == "adversarial"
+            spec.build()

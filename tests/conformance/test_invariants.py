@@ -1,0 +1,148 @@
+"""The invariant catalogue: registry behaviour and violation sensitivity.
+
+Detection tests tamper a real outcome (a wrong ``value``, a fake bound, a
+bogus oracle) and assert the targeted invariant — and only the expected
+ones — fires.  This is the conformance engine's own conformance check.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.conformance import (
+    ConformanceRunner,
+    ScenarioSpec,
+    available_invariants,
+    get_invariant,
+    register_invariant,
+)
+from repro.conformance.invariants import ScenarioOutcome, canonical_result_payload
+from repro.exceptions import ConformanceError
+
+BUILTINS = {
+    "value-consistency",
+    "replay-agreement",
+    "oracle-optimality",
+    "bounds-sandwich",
+    "theorem1-guarantee",
+    "leaf-reversal",
+    "scaling",
+    "permutation",
+    "serialization",
+}
+
+
+@pytest.fixture(scope="module")
+def outcome() -> ScenarioOutcome:
+    spec = ScenarioSpec("two-class", 5, 0, source="slowest", latency=1)
+    return ConformanceRunner(service_every=0).evaluate(spec)
+
+
+def _tampered(outcome: ScenarioOutcome, solver: str, **changes) -> ScenarioOutcome:
+    results = dict(outcome.results)
+    results[solver] = replace(results[solver], **changes)
+    return replace_outcome(outcome, results=results)
+
+
+def replace_outcome(outcome: ScenarioOutcome, **changes) -> ScenarioOutcome:
+    fields = {
+        "spec": outcome.spec,
+        "mset": outcome.mset,
+        "results": outcome.results,
+        "oracle_value": outcome.oracle_value,
+        "oracle_solver": outcome.oracle_solver,
+        "bounds": outcome.bounds,
+        "planner": outcome.planner,
+    }
+    fields.update(changes)
+    return ScenarioOutcome(**fields)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert BUILTINS <= set(available_invariants())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConformanceError, match="registered twice"):
+            register_invariant("value-consistency", "dup")(lambda outcome: [])
+
+    def test_unknown_invariant_raises(self):
+        with pytest.raises(ConformanceError, match="unknown invariant"):
+            get_invariant("no-such-invariant")
+
+    def test_entries_carry_descriptions(self):
+        for name in BUILTINS:
+            assert get_invariant(name).description
+
+
+class TestHoldOnHealthyOutcome:
+    @pytest.mark.parametrize("name", sorted(BUILTINS))
+    def test_invariant_holds(self, outcome, name):
+        assert get_invariant(name)(outcome) == []
+
+
+class TestDetection:
+    def test_value_consistency_catches_wrong_value(self, outcome):
+        bad = _tampered(outcome, "greedy", value=outcome.results["greedy"].value + 1)
+        violations = get_invariant("value-consistency")(bad)
+        assert any(v.solver == "greedy" and "!= schedule R_T" in v.message
+                   for v in violations)
+
+    def test_replay_agreement_catches_wrong_value(self, outcome):
+        bad = _tampered(outcome, "greedy", value=outcome.results["greedy"].value + 1)
+        violations = get_invariant("replay-agreement")(bad)
+        assert any("simulated R_T" in v.message for v in violations)
+
+    def test_oracle_optimality_catches_beating_the_oracle(self, outcome):
+        assert outcome.oracle_value is not None
+        bogus = replace_outcome(outcome, oracle_value=outcome.oracle_value + 10)
+        violations = get_invariant("oracle-optimality")(bogus)
+        assert any("beats" in v.message for v in violations)
+
+    def test_oracle_optimality_catches_exact_disagreement(self, outcome):
+        bad = _tampered(outcome, "dp", value=outcome.results["dp"].value + 1,
+                        exact=True)
+        violations = get_invariant("oracle-optimality")(bad)
+        assert any(v.solver == "dp" and "disagrees" in v.message
+                   for v in violations)
+
+    def test_bounds_sandwich_catches_inflated_bound(self, outcome):
+        bogus = replace_outcome(
+            outcome, bounds={**outcome.bounds, "fake-bound": 1e9}
+        )
+        violations = get_invariant("bounds-sandwich")(bogus)
+        assert any("fake-bound" in v.message for v in violations)
+
+    def test_theorem1_catches_a_busted_greedy(self, outcome):
+        bad = _tampered(outcome, "greedy", value=1e9)
+        violations = get_invariant("theorem1-guarantee")(bad)
+        assert any("Theorem 1" in v.message for v in violations)
+
+    def test_leaf_reversal_catches_understated_value(self, outcome):
+        bad = _tampered(outcome, "chain", value=outcome.results["chain"].value - 5)
+        violations = get_invariant("leaf-reversal")(bad)
+        assert any("increased R_T" in v.message for v in violations)
+
+    def test_scaling_catches_non_homogeneous_value(self, outcome):
+        bad = _tampered(outcome, "greedy", value=outcome.results["greedy"].value + 1)
+        violations = get_invariant("scaling")(bad)
+        assert any(v.solver == "greedy" for v in violations)
+
+    def test_permutation_catches_order_sensitivity(self, outcome):
+        bad = _tampered(outcome, "greedy", value=outcome.results["greedy"].value + 1)
+        violations = get_invariant("permutation")(bad)
+        assert any("permutation changed the value" in v.message
+                   for v in violations)
+
+
+class TestCanonicalPayload:
+    def test_volatile_fields_are_neutralized(self, outcome):
+        result = outcome.results["greedy"]
+        wobbled = replace(result, elapsed_s=1.23, cache_hit=True, tag="anything")
+        assert canonical_result_payload(result) == canonical_result_payload(wobbled)
+
+    def test_computed_fields_still_compared(self, outcome):
+        result = outcome.results["greedy"]
+        assert canonical_result_payload(result) != canonical_result_payload(
+            replace(result, value=result.value + 1)
+        )

@@ -1,0 +1,149 @@
+"""Conformance records: segment persistence, digests, round-trips."""
+
+import json
+
+import pytest
+
+from repro.conformance import (
+    CONFORMANCE_FORMAT,
+    FailureRecord,
+    ScenarioSpec,
+    failure_digest,
+    load_records,
+    record_from_dict,
+    write_records,
+)
+from repro.conformance.records import SEGMENT_MAX_RECORDS, load_record_file, scenario_record
+from repro.exceptions import ConformanceError
+from repro.io.segments import list_segments
+
+
+@pytest.fixture
+def spec():
+    return ScenarioSpec("two-class", 4, 1, source="slowest", latency=2)
+
+
+@pytest.fixture
+def failure(spec):
+    return FailureRecord(spec, "oracle-optimality", "greedy", "value 9 beats 8")
+
+
+class TestDigest:
+    def test_digest_is_deterministic(self, spec):
+        a = failure_digest(spec, "scaling", "dp", "msg")
+        b = failure_digest(spec, "scaling", "dp", "msg")
+        assert a == b
+
+    def test_digest_depends_on_every_component(self, spec):
+        base = failure_digest(spec, "scaling", "dp", "msg")
+        assert failure_digest(spec, "scaling", "dp", "other") != base
+        assert failure_digest(spec, "scaling", "exact", "msg") != base
+        assert failure_digest(spec, "bounds-sandwich", "dp", "msg") != base
+
+    def test_failure_record_autofills_digest(self, failure, spec):
+        assert failure.digest == failure_digest(
+            spec, "oracle-optimality", "greedy", "value 9 beats 8"
+        )
+
+
+class TestRoundTrips:
+    def test_failure_round_trips(self, failure):
+        again = FailureRecord.from_dict(failure.to_dict())
+        assert again.to_dict() == failure.to_dict()
+
+    def test_scenario_record_round_trips(self, spec):
+        assert record_from_dict(scenario_record(spec)) == spec
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConformanceError, match="not a repro/conformance-v1"):
+            record_from_dict({"format": "repro/plan-result-v1"})
+
+    def test_scenario_record_missing_spec_rejected(self):
+        with pytest.raises(ConformanceError, match="missing field 'spec'"):
+            record_from_dict({"format": CONFORMANCE_FORMAT, "kind": "scenario"})
+
+    def test_failure_record_missing_fields_rejected(self, spec):
+        payload = {"format": CONFORMANCE_FORMAT, "kind": "failure",
+                   "spec": spec.to_dict()}
+        with pytest.raises(ConformanceError, match="missing field"):
+            FailureRecord.from_dict(payload)
+
+    def test_unknown_kind_rejected(self, spec):
+        payload = scenario_record(spec)
+        payload["kind"] = "telemetry"
+        with pytest.raises(ConformanceError, match="unknown conformance record kind"):
+            record_from_dict(payload)
+
+    def test_record_format_is_stamped(self, failure, spec):
+        assert failure.to_dict()["format"] == CONFORMANCE_FORMAT
+        assert scenario_record(spec)["format"] == CONFORMANCE_FORMAT
+
+
+class TestSegmentPersistence:
+    def test_write_then_load_preserves_order(self, tmp_path, spec, failure):
+        records = [spec, failure, ScenarioSpec("pareto", 3, 9)]
+        assert write_records(tmp_path / "records", records) == 3
+        loaded = load_records(tmp_path / "records")
+        assert loaded[0] == spec
+        assert isinstance(loaded[1], FailureRecord)
+        assert loaded[1].digest == failure.digest
+        assert loaded[2] == ScenarioSpec("pareto", 3, 9)
+
+    def test_appending_accumulates(self, tmp_path, spec):
+        root = tmp_path / "records"
+        write_records(root, [spec])
+        write_records(root, [spec])
+        assert len(load_records(root)) == 2
+
+    def test_rotation_at_segment_capacity(self, tmp_path):
+        root = tmp_path / "records"
+        specs = [ScenarioSpec("two-class", 2, seed) for seed in range(SEGMENT_MAX_RECORDS + 5)]
+        write_records(root, specs)
+        assert len(list_segments(root)) == 2
+        assert len(load_records(root)) == SEGMENT_MAX_RECORDS + 5
+
+    def test_torn_tail_is_tolerated(self, tmp_path, spec):
+        root = tmp_path / "records"
+        write_records(root, [spec, spec])
+        segment = list_segments(root)[-1]
+        with open(segment, "a") as fh:
+            fh.write('{"format": "repro/conformance-v1", "kind": "scen')
+        assert len(load_records(root)) == 2
+
+    def test_append_after_crash_repairs_the_torn_tail(self, tmp_path, spec):
+        """A post-crash append must drop the partial line first, not glue
+        the new record onto it (which would corrupt an interior line)."""
+        root = tmp_path / "records"
+        write_records(root, [spec])
+        segment = list_segments(root)[-1]
+        with open(segment, "a") as fh:
+            fh.write('{"format": "repro/conformance-v1", "kind": "scen')
+        assert write_records(root, [spec, spec]) == 2
+        loaded = load_records(root)
+        assert len(loaded) == 3
+        assert all(record == spec for record in loaded)
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ConformanceError, match="no conformance records"):
+            load_records(tmp_path / "nothing")
+
+
+class TestSingleFileRecords:
+    def test_file_round_trip(self, tmp_path, failure):
+        path = tmp_path / "case.json"
+        path.write_text(json.dumps(failure.to_dict(), indent=2))
+        loaded = load_record_file(path)
+        assert isinstance(loaded, FailureRecord)
+        assert loaded.digest == failure.digest
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ConformanceError, match="not valid JSON"):
+            load_record_file(path)
+
+    def test_non_object_raises(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConformanceError, match="expected a JSON object"):
+            load_record_file(path)

@@ -1,0 +1,39 @@
+"""Replay the committed regression corpus (``tests/corpus/``).
+
+Scenario records must pass the entire invariant catalogue; failure
+records (shrunk counterexamples of fixed bugs) must *not* reproduce.
+Adding a record to ``tests/corpus/`` is all it takes to pin a regression
+forever — this module discovers the directory, so no test edit is needed.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.conformance import ConformanceRunner, FailureRecord, ScenarioSpec
+from repro.conformance.records import load_record_file
+
+CORPUS = pathlib.Path(__file__).resolve().parents[1] / "corpus"
+RECORD_FILES = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_directory_is_seeded():
+    """The committed corpus always carries the historical seed scenarios."""
+    assert CORPUS.is_dir()
+    assert len(RECORD_FILES) >= 8
+
+
+@pytest.mark.parametrize("path", RECORD_FILES, ids=lambda p: p.stem)
+def test_committed_record_replays_clean(path):
+    record = load_record_file(path)
+    runner = ConformanceRunner(service_every=0)
+    if isinstance(record, ScenarioSpec):
+        report = runner.run([record])
+        assert report.ok, report.summary()
+    else:
+        assert isinstance(record, FailureRecord)
+        outcome = runner.replay(record)
+        assert not outcome.reproduced, (
+            f"fixed regression came back: {record.invariant} on "
+            f"{record.spec.key}: {outcome.detail}"
+        )

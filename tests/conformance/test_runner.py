@@ -1,0 +1,230 @@
+"""ConformanceRunner: differential sweeps, shrinking, replay, parity."""
+
+import uuid
+
+import pytest
+
+from repro.api import (
+    SolverCapabilities,
+    SolverOutput,
+    available_solvers,
+    register_solver,
+    unregister_solver,
+)
+from repro.conformance import (
+    ConformanceRunner,
+    FailureRecord,
+    ScenarioSpec,
+    generate_corpus,
+)
+from repro.core.greedy import greedy_schedule
+from repro.core.schedule import Schedule
+from repro.exceptions import ConformanceError
+
+
+@pytest.fixture
+def broken_exact():
+    """A chain scheduler fraudulently claiming optimality (small n only)."""
+    name = f"broken-exact-{uuid.uuid4().hex[:8]}"
+
+    @register_solver(name, "test: chain claimed optimal",
+                     capabilities=SolverCapabilities(exact=True, max_n=8))
+    def _chain(mset, **options):
+        children = {i: [i + 1] for i in range(mset.n)}
+        return SolverOutput(schedule=Schedule(mset, children))
+
+    yield name
+    unregister_solver(name)
+
+
+@pytest.fixture
+def latency_warped():
+    """A solver whose structure flips with the latency (breaks scaling)."""
+    name = f"warped-{uuid.uuid4().hex[:8]}"
+
+    @register_solver(name, "test: latency-sensitive structure",
+                     capabilities=SolverCapabilities(max_n=8))
+    def _warped(mset, **options):
+        if mset.latency >= 3:
+            children = {i: [i + 1] for i in range(mset.n)}  # chain
+        else:
+            children = {0: list(range(1, mset.n + 1))}  # star
+        return SolverOutput(schedule=Schedule(mset, children))
+
+    yield name
+    unregister_solver(name)
+
+
+class TestHealthySweep:
+    def test_smoke_corpus_is_clean(self):
+        report = ConformanceRunner(service_every=0).run(generate_corpus("smoke"))
+        assert report.ok
+        assert report.scenarios == len(generate_corpus("smoke"))
+        assert not report.failures and not report.errors
+
+    def test_every_registered_solver_is_exercised(self):
+        report = ConformanceRunner(service_every=0).run(generate_corpus("smoke"))
+        assert set(report.solvers) == set(available_solvers())
+
+    def test_all_families_covered(self):
+        report = ConformanceRunner(service_every=0).run(generate_corpus("smoke"))
+        assert "adversarial" in report.families
+        assert len(report.families) >= 8
+
+    def test_report_to_dict_is_json_ready(self):
+        import json
+
+        report = ConformanceRunner(service_every=0).run(
+            [ScenarioSpec("two-class", 3, 0)]
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert payload["scenarios"] == 1
+
+    def test_solver_filter_restricts_the_sweep(self):
+        runner = ConformanceRunner(
+            service_every=0, solvers=("greedy", "greedy+reversal")
+        )
+        report = runner.run([ScenarioSpec("two-class", 4, 0)])
+        assert set(report.solvers) == {"greedy", "greedy+reversal"}
+
+    def test_invariant_filter(self):
+        runner = ConformanceRunner(
+            service_every=0, invariants=["value-consistency"]
+        )
+        report = runner.run([ScenarioSpec("two-class", 4, 0)])
+        assert set(report.per_invariant) == {"value-consistency"}
+
+    def test_deadline_stops_the_sweep_early(self):
+        from repro.conformance import fuzz_specs
+
+        report = ConformanceRunner(service_every=0).run(
+            fuzz_specs(0), deadline_s=0.5
+        )
+        assert report.scenarios >= 1
+        assert report.elapsed_s < 30
+
+    def test_oracle_certifies_small_scenarios(self):
+        runner = ConformanceRunner(service_every=0)
+        outcome = runner.evaluate(ScenarioSpec("bounded-ratio", 5, 0))
+        assert outcome.oracle_solver == "exact"
+        assert outcome.oracle_value is not None
+
+    def test_dp_becomes_oracle_beyond_exact_reach(self):
+        runner = ConformanceRunner(service_every=0, oracle_max_n=3)
+        outcome = runner.evaluate(ScenarioSpec("two-class", 12, 0))
+        assert outcome.oracle_solver == "dp"
+
+
+class TestFailureFlow:
+    def test_broken_exact_is_caught_and_shrunk(self, broken_exact):
+        runner = ConformanceRunner(service_every=0)
+        spec = ScenarioSpec("two-class", 8, 0, source="slowest", latency=3)
+        report = runner.run([spec])
+        assert not report.ok
+        caught = [f for f in report.failures if f.solver == broken_exact]
+        assert caught, "the fraudulent exact solver must be caught"
+        assert any(f.invariant == "oracle-optimality" for f in caught)
+        # shrinking found a smaller recipe and kept it replayable
+        smallest = min(f.spec.n for f in caught)
+        assert smallest < 8
+        assert all(f.spec.family == "two-class" for f in caught)
+
+    def test_scaling_invariant_catches_latency_warping(self, latency_warped):
+        runner = ConformanceRunner(
+            service_every=0,
+            solvers=(latency_warped,),
+            invariants=["scaling"],
+        )
+        report = runner.run([ScenarioSpec("two-class", 6, 0, latency=1)])
+        assert not report.ok
+        assert report.failures[0].invariant == "scaling"
+
+    def test_replay_reproduces_bit_identically(self, broken_exact):
+        runner = ConformanceRunner(service_every=0)
+        report = runner.run(
+            [ScenarioSpec("two-class", 6, 0, source="slowest", latency=2)]
+        )
+        failure = next(f for f in report.failures if f.solver == broken_exact)
+        # simulate a cold process: rebuild the record from its JSON form
+        revived = FailureRecord.from_dict(failure.to_dict())
+        outcome = ConformanceRunner(service_every=0).replay(revived)
+        assert outcome.reproduced
+        assert outcome.bit_identical
+
+    def test_replay_reports_a_fixed_failure(self, broken_exact):
+        stale = FailureRecord(
+            ScenarioSpec("two-class", 4, 0),
+            "oracle-optimality",
+            "greedy",  # the real greedy is not broken
+            "value 9 beats 8",
+        )
+        outcome = ConformanceRunner(service_every=0).replay(stale)
+        assert not outcome.reproduced
+        assert "holds on replay" in outcome.detail
+
+    def test_no_shrink_keeps_the_original_spec(self, broken_exact):
+        runner = ConformanceRunner(service_every=0, shrink=False)
+        spec = ScenarioSpec("two-class", 8, 0, latency=3)
+        report = runner.run([spec])
+        caught = [f for f in report.failures if f.solver == broken_exact]
+        assert caught and all(f.spec == spec for f in caught)
+
+    def test_crashing_solver_is_a_replayable_finding_not_an_abort(self):
+        """A solver raising a non-library error (ZeroDivisionError) must not
+        abort the sweep: it surfaces as a no-crash violation and every other
+        solver's invariants still run."""
+        name = f"crasher-{uuid.uuid4().hex[:8]}"
+
+        @register_solver(name, "test: always raises",
+                         capabilities=SolverCapabilities(max_n=8))
+        def _crasher(mset, **options):
+            return 1 // 0
+
+        try:
+            runner = ConformanceRunner(service_every=0)
+            report = runner.run([ScenarioSpec("two-class", 5, 0)])
+            assert not report.ok
+            assert not report.errors  # a crash is a finding, not an abort
+            crashes = [f for f in report.failures if f.invariant == "no-crash"]
+            assert crashes and crashes[0].solver == name
+            assert "ZeroDivisionError" in crashes[0].message
+            # the healthy solvers were still swept differentially
+            assert report.per_invariant["oracle-optimality"]["passed"] == 1
+            # and the finding replays bit-identically like any other
+            outcome = runner.replay(crashes[0])
+            assert outcome.bit_identical
+        finally:
+            unregister_solver(name)
+
+    def test_unbuildable_scenario_reported_as_error(self):
+        report = ConformanceRunner(service_every=0).run(
+            [ScenarioSpec("no-such-family", 4, 0)]
+        )
+        assert not report.ok
+        assert report.errors and "no-such-family" in report.errors[0]
+        assert report.scenarios == 0
+
+
+class TestServiceParity:
+    def test_service_answers_bit_identical(self):
+        runner = ConformanceRunner(service_every=1)
+        report = runner.run(
+            [
+                ScenarioSpec("two-class", 4, 0),
+                ScenarioSpec("adversarial", 2, 9, source="first", label="figure1"),
+            ]
+        )
+        assert report.ok
+        parity = report.per_invariant["service-parity"]
+        assert parity["passed"] == 2 and parity["failed"] == 0
+
+    def test_service_every_zero_skips_parity(self):
+        report = ConformanceRunner(service_every=0).run(
+            [ScenarioSpec("two-class", 3, 0)]
+        )
+        assert "service-parity" not in report.per_invariant
+
+    def test_negative_service_every_rejected(self):
+        with pytest.raises(ConformanceError, match="service_every"):
+            ConformanceRunner(service_every=-1)

@@ -86,3 +86,28 @@ class TestReadWrite:
         path.write_text("")
         with pytest.raises(ReproError, match="on_error"):
             list(iter_jsonl(path, on_error="ignore"))
+
+
+class TestRepairTornTail:
+    def test_drops_a_partial_final_line(self, tmp_path):
+        from repro.io.segments import append_jsonl, iter_jsonl, repair_torn_tail
+
+        path = tmp_path / "segment-000001.jsonl"
+        append_jsonl(path, [{"a": 1}, {"a": 2}])
+        with open(path, "a") as fh:
+            fh.write('{"a": 3')  # crash mid-append
+        assert repair_torn_tail(path) is True
+        assert [r for _n, r in iter_jsonl(path)] == [{"a": 1}, {"a": 2}]
+        # appends after the repair stay well-formed
+        append_jsonl(path, [{"a": 4}])
+        assert [r for _n, r in iter_jsonl(path)] == [{"a": 1}, {"a": 2}, {"a": 4}]
+
+    def test_intact_and_missing_files_untouched(self, tmp_path):
+        from repro.io.segments import append_jsonl, repair_torn_tail
+
+        path = tmp_path / "segment-000001.jsonl"
+        assert repair_torn_tail(path) is False  # missing: left alone
+        append_jsonl(path, [{"a": 1}])
+        before = path.read_text()
+        assert repair_torn_tail(path) is False
+        assert path.read_text() == before

@@ -1,0 +1,140 @@
+"""ServiceClient fail-closed behaviour on timeouts and protocol faults.
+
+Once a request is abandoned mid-flight — a read timeout, a transport
+error, an out-of-order response — the connection's stream may still hold
+the stale response, so the client must refuse further use instead of
+misreading a stale line as the answer to a later request.  These tests
+drive the client against stub servers that misbehave deterministically.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.client import ServiceClient
+
+
+class _StubServer:
+    """A one-connection TCP stub driven by a per-line behaviour function."""
+
+    def __init__(self, behaviour):
+        self._behaviour = behaviour
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        try:
+            conn, _peer = self._listener.accept()
+        except OSError:  # pragma: no cover - closed before a connection
+            return
+        with conn:
+            reader = conn.makefile("rb")
+            while True:
+                line = reader.readline()
+                if not line:
+                    return
+                reply = self._behaviour(json.loads(line))
+                if reply is None:
+                    return  # hang up without answering
+                if reply == "silence":
+                    continue  # swallow the request (client times out)
+                conn.sendall((json.dumps(reply) + "\n").encode())
+
+    def close(self):
+        self._listener.close()
+
+
+@pytest.fixture
+def stub(request):
+    servers = []
+
+    def make(behaviour):
+        server = _StubServer(behaviour)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+class TestFailClosed:
+    def test_timeout_breaks_the_connection_for_good(self, stub, fig1_mset):
+        server = stub(lambda message: "silence")
+        client = ServiceClient("127.0.0.1", server.port, timeout=0.2)
+        with pytest.raises(ServiceError, match="connection failed"):
+            client.plan(fig1_mset, solver="greedy")
+        # the stream may still hold the stale response: every later use
+        # must fail closed instead of answering from it
+        with pytest.raises(ServiceError, match="create a new ServiceClient"):
+            client.plan(fig1_mset, solver="greedy")
+        with pytest.raises(ServiceError, match="create a new ServiceClient"):
+            client.ping()
+        with pytest.raises(ServiceError, match="create a new ServiceClient"):
+            client.metrics()
+
+    def test_out_of_order_response_fails_closed(self, stub, fig1_mset):
+        server = stub(lambda message: {"type": "pong", "id": -999})
+        client = ServiceClient("127.0.0.1", server.port, timeout=2.0)
+        with pytest.raises(ServiceError, match="out-of-order response"):
+            client.ping()
+        with pytest.raises(ServiceError, match="create a new ServiceClient"):
+            client.ping()
+
+    def test_server_hangup_fails_closed(self, stub, fig1_mset):
+        server = stub(lambda message: None)
+        client = ServiceClient("127.0.0.1", server.port, timeout=2.0)
+        with pytest.raises(ServiceError, match="closed the connection"):
+            client.ping()
+        with pytest.raises(ServiceError, match="create a new ServiceClient"):
+            client.ping()
+
+    def test_fresh_client_recovers_after_a_timeout(self, fig1_mset):
+        """The documented recovery path: a new client against a real server."""
+        import time
+        import uuid
+
+        from repro.api import (
+            SolverCapabilities,
+            SolverOutput,
+            register_solver,
+            unregister_solver,
+        )
+        from repro.core.greedy import greedy_schedule
+        from repro.service.server import PlanningService
+
+        name = f"dawdling-{uuid.uuid4().hex[:8]}"
+
+        @register_solver(name, "test: slower than the read timeout",
+                         capabilities=SolverCapabilities(max_n=0))
+        def _dawdling(mset, **options):
+            time.sleep(1.0)
+            return SolverOutput(schedule=greedy_schedule(mset))
+
+        service = PlanningService(num_shards=1)
+        host, port = service.start_background(tcp=True)
+        try:
+            # connect succeeds instantly; the response read times out
+            victim = ServiceClient(host, port, timeout=0.2)
+            with pytest.raises(ServiceError, match="connection failed"):
+                victim.plan(fig1_mset, solver=name)
+            with pytest.raises(ServiceError, match="create a new ServiceClient"):
+                victim.plan(fig1_mset, solver="greedy")
+            with ServiceClient(host, port, timeout=30.0) as fresh:
+                assert fresh.plan(fig1_mset, solver="greedy").result.value > 0
+        finally:
+            service.stop()
+            unregister_solver(name)
+
+    def test_close_is_idempotent_after_abandon(self, stub):
+        server = stub(lambda message: None)
+        client = ServiceClient("127.0.0.1", server.port, timeout=1.0)
+        with pytest.raises(ServiceError):
+            client.ping()
+        client.close()
+        client.close()

@@ -1,0 +1,113 @@
+"""Duplicate-solve coalescing under concurrent identical submits.
+
+Identical requests always hash to the same shard, whose worker re-checks
+the cache right before solving — so a burst of identical submits must
+produce exactly one real solve, with every response bit-identical to the
+first.  Covered here directly over both client surfaces (in-process and
+TCP) and for the submit-while-solving race.
+"""
+
+import threading
+import time
+import uuid
+
+import pytest
+
+from repro.api import SolverCapabilities, SolverOutput, register_solver, unregister_solver
+from repro.conformance.invariants import canonical_result_payload
+from repro.core.greedy import greedy_schedule
+from repro.service.client import InProcessClient, ServiceClient
+from repro.service.server import PlanningService
+
+
+@pytest.fixture
+def sleepy_solver():
+    """A deliberately slow solver so duplicates really race the first solve."""
+    name = f"sleepy-{uuid.uuid4().hex[:8]}"
+
+    @register_solver(name, "test: slow greedy",
+                     capabilities=SolverCapabilities(max_n=0))
+    def _sleepy(mset, **options):
+        time.sleep(0.25)
+        return SolverOutput(schedule=greedy_schedule(mset))
+
+    yield name
+    unregister_solver(name)
+
+
+def _submit_concurrently(submit, count):
+    """Run ``submit(i)`` from ``count`` threads; returns (plans, errors)."""
+    plans, errors = [], []
+    barrier = threading.Barrier(count)
+
+    def run(i):
+        try:
+            barrier.wait(timeout=10)
+            plans.append(submit(i))
+        except Exception as exc:  # pragma: no cover - surfaced by assertion
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    return plans, errors
+
+
+class TestInProcessCoalescing:
+    def test_identical_submits_solve_once_and_answer_identically(
+        self, fig1_mset, sleepy_solver
+    ):
+        with PlanningService(num_shards=2, worker_mode="thread") as service:
+            def submit(i):
+                client = InProcessClient(service, client_id=f"client-{i}")
+                return client.plan(fig1_mset, solver=sleepy_solver)
+
+            plans, errors = _submit_concurrently(submit, 6)
+            assert not errors
+            assert len(plans) == 6
+            assert service.metrics.get("solves") == 1
+            assert service.metrics.get("coalesced") == 5
+            payloads = {canonical_result_payload(p.result) for p in plans}
+            assert len(payloads) == 1, "coalesced answers must be bit-identical"
+
+    def test_same_client_id_duplicates_also_coalesce(self, fig1_mset, sleepy_solver):
+        """Fair-queue sub-queues are per client; coalescing must not be."""
+        with PlanningService(num_shards=1, worker_mode="thread") as service:
+            client = InProcessClient(service, client_id="burst")
+            plans, errors = _submit_concurrently(
+                lambda i: client.plan(fig1_mset, solver=sleepy_solver), 4
+            )
+            assert not errors
+            assert service.metrics.get("solves") == 1
+            assert service.metrics.get("coalesced") == 3
+            assert len({p.result.value for p in plans}) == 1
+
+    def test_distinct_requests_do_not_coalesce(self, fig1_mset, small_random_msets):
+        with PlanningService(num_shards=2, worker_mode="thread") as service:
+            client = InProcessClient(service)
+            for mset in small_random_msets:
+                client.plan(mset, solver="greedy")
+            assert service.metrics.get("solves") == len(small_random_msets)
+            assert service.metrics.get("coalesced") == 0
+
+
+class TestTcpCoalescing:
+    def test_identical_wire_submits_solve_once(self, fig1_mset, sleepy_solver):
+        service = PlanningService(num_shards=2, worker_mode="thread")
+        host, port = service.start_background(tcp=True)
+        try:
+            def submit(i):
+                with ServiceClient(host, port, client_id=f"wire-{i}",
+                                   timeout=30.0) as client:
+                    return client.plan(fig1_mset, solver=sleepy_solver)
+
+            plans, errors = _submit_concurrently(submit, 4)
+            assert not errors
+            assert service.metrics.get("solves") == 1
+            assert service.metrics.get("coalesced") == 3
+            payloads = {canonical_result_payload(p.result) for p in plans}
+            assert len(payloads) == 1
+        finally:
+            service.stop()

@@ -5,6 +5,13 @@ integer overheads and latency, and the overhead-correlation condition
 (strictly larger sends imply strictly larger receives; equal sends share a
 receive).  Strategies return the instance so shrinking produces minimal
 counterexamples in model terms.
+
+The module registers :func:`multicast_sets` as the canonical strategy for
+:class:`~repro.core.multicast.MulticastSet` in Hypothesis's type registry,
+so ``st.from_type(MulticastSet)`` (and inference inside ``st.builds``)
+resolves to correlated instances; all examples execute under the shared
+settings profile pinned in ``tests/conftest.py`` (no deadline, CI
+derandomized) so property runs are reproducible across CI and local runs.
 """
 
 from __future__ import annotations
@@ -133,3 +140,8 @@ def power_of_two_multicasts(
     latency = draw(st.integers(min_value=1, max_value=3))
     pairs = [(2**e, ratio * 2**e) for e in exps]
     return MulticastSet.from_overheads(pairs[0], pairs[1:], latency)
+
+
+# canonical strategy for the model type: st.from_type(MulticastSet) and
+# type inference in st.builds() draw correlated instances everywhere
+st.register_type_strategy(MulticastSet, multicast_sets())

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.cli",
     "repro.service",
+    "repro.conformance",
 ]
 
 
@@ -164,6 +165,30 @@ class TestDocsConsistency:
         for layer in ("repro.service", "repro.api", "CORE SOLVERS", "MODEL"):
             assert layer in design, f"DESIGN.md architecture missing {layer!r}"
         assert "FairQueue" in design and "PlanStore" in design
+
+    def test_design_verification_covers_every_invariant(self):
+        """DESIGN.md §4 documents the whole invariant catalogue."""
+        from repro.conformance import available_invariants
+
+        design = (REPO / "DESIGN.md").read_text()
+        assert "## 4. Verification" in design
+        for name in available_invariants() + ["service-parity"]:
+            assert f"`{name}`" in design, (
+                f"DESIGN.md Verification section missing invariant {name!r}"
+            )
+
+    def test_api_md_documents_the_conformance_engine(self):
+        api = (REPO / "API.md").read_text()
+        assert "## Verification — the conformance engine" in api
+        for token in ("ConformanceRunner", "conformance replay",
+                      "repro/conformance-v1"):
+            assert token in api, f"API.md verification section missing {token!r}"
+
+    def test_conformance_corpus_suites_documented(self):
+        """The committed regression corpus ships its README."""
+        readme = (REPO / "tests" / "corpus" / "README.md").read_text()
+        assert "repro/conformance-v1" in readme
+        assert "conformance replay" in readme
 
     def test_bench_file_per_experiment(self):
         """Every experiment id maps to at least one bench module."""
