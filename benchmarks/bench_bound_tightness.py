@@ -4,8 +4,6 @@ Times the certified-lower-bound computation and the exact solver (the two
 ingredients of the E6 decomposition) and attaches the measured factor slack.
 """
 
-import pytest
-
 from repro.core.bounds import (
     certified_lower_bound,
     theorem1_factor,

@@ -8,8 +8,6 @@ its 2-minute budget, so the harness itself is benchmarked like any other
 hot path.
 """
 
-import pytest
-
 from repro.conformance import ConformanceRunner, generate_corpus
 
 

@@ -35,7 +35,7 @@ def test_dp_polynomial_degree():
     """Non-timed: log-log slope stays at or below Theorem 2's 2k."""
     from repro.analysis.complexity import fit_power
 
-    planner = Planner(cache_size=0)
+    planner = Planner(cache_size=0, reuse_tables=False)
     for k, sizes in ((2, (16, 32, 48, 64)), (3, (9, 15, 21, 27))):
         times = []
         for n in sizes:

@@ -4,8 +4,6 @@ Regenerates the Figure 1 numbers (completions 10 and 9, narrated receptions
 4/6/7/10, true optimum 8) while timing the constructions.
 """
 
-import pytest
-
 from repro.core.greedy import greedy_schedule
 from repro.core.leaf_reversal import greedy_with_reversal
 from repro.experiments.fig1 import (

@@ -6,8 +6,6 @@ each mode plus the LRU-cache effect on a repeated batch.  Parallel results
 are asserted identical to serial ones (the batch API's core contract).
 """
 
-import pytest
-
 from repro.api import Planner, PlanRequest
 from repro.workloads.clusters import bounded_ratio_cluster
 from repro.workloads.generator import multicast_from_cluster

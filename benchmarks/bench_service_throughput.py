@@ -25,10 +25,15 @@ from repro.service import InProcessClient, PlanningService
 
 SOLVERS = ("greedy", "greedy+reversal", "dp")
 SIZES = (8, 12, 16, 20, 24)
+# three-type mixes keep the cold solves expensive: the iterative DP made
+# two-type instances near-free, which would let fixed service overhead
+# dominate both paths and wash out the warm-vs-cold contrast this
+# benchmark exists to measure
+K3_SIZES = (15, 21)
 
 
 def _e1_workload():
-    """Figure 1 plus E1-style two-type instances at growing sizes."""
+    """Figure 1 plus E1-style two/three-type instances at growing sizes."""
     instances = [
         MulticastSet.from_overheads(
             source=(2, 3),
@@ -44,6 +49,17 @@ def _e1_workload():
                 latency=1,
             )
         )
+    for n in K3_SIZES:
+        third = n // 3
+        instances.append(
+            MulticastSet.from_overheads(
+                source=(2, 3),
+                destinations=[(1, 1)] * third
+                + [(2, 3)] * third
+                + [(5, 8)] * (n - 2 * third),
+                latency=1,
+            )
+        )
     return [
         PlanRequest(instance=mset, solver=solver, tag=f"{mset.n}/{solver}")
         for mset in instances
@@ -55,7 +71,7 @@ def _cold_service(store_path=None):
     # cache_size=0: no LRU, so every benchmark round measures the same path
     # (real solves cold, store reads warm) instead of memory hits
     return PlanningService(
-        planner=Planner(cache_size=0),
+        planner=Planner(cache_size=0, reuse_tables=False),
         store_path=store_path,
         num_shards=2,
         worker_mode="thread",

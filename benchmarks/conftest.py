@@ -30,5 +30,6 @@ def fig1_mset() -> MulticastSet:
 
 @pytest.fixture
 def planner() -> Planner:
-    """Cache-disabled planner: timed kernels must measure real solves."""
-    return Planner(cache_size=0)
+    """Cache- and table-reuse-disabled planner: timed kernels must
+    measure real solves, not LRU hits or optimal-table lookups."""
+    return Planner(cache_size=0, reuse_tables=False)

@@ -43,6 +43,7 @@ from repro.api.planner import (
     plan_batch,
 )
 from repro.api.request import BatchResult, PlanRequest, PlanResult
+from repro.api.tables import OptimalTableCache
 from repro.api.solvers import (
     SolverCapabilities,
     SolverEntry,
@@ -66,6 +67,7 @@ __all__ = [
     "CacheInfo",
     "CacheTier",
     "CacheKey",
+    "OptimalTableCache",
     "plan",
     "plan_batch",
     "instance_fingerprint",
@@ -91,13 +93,30 @@ __all__ = [
     # conformance (lazy: repro.conformance consumes this package)
     "ConformanceRunner",
     "InvariantReport",
+    # perf (lazy: repro.perf kernels plan through this facade)
+    "PerfRunner",
+    "BenchmarkRecord",
+    "ComparisonReport",
+    "compare_records",
+    "load_baseline",
+    "load_baselines",
+    "write_baseline",
+    "environment_fingerprint",
 ]
 
-# conformance engine entry points, re-exported lazily because
-# repro.conformance itself plans through this facade
-_CONFORMANCE = {
+# conformance + perf entry points, re-exported lazily because both
+# packages consume this facade (their kernels plan through Planner)
+_LAZY_EXPORTS = {
     "ConformanceRunner": ("repro.conformance.runner", "ConformanceRunner"),
     "InvariantReport": ("repro.conformance.runner", "InvariantReport"),
+    "PerfRunner": ("repro.perf.runner", "PerfRunner"),
+    "BenchmarkRecord": ("repro.perf.baseline", "BenchmarkRecord"),
+    "ComparisonReport": ("repro.perf.compare", "ComparisonReport"),
+    "compare_records": ("repro.perf.compare", "compare_records"),
+    "load_baseline": ("repro.perf.baseline", "load_baseline"),
+    "load_baselines": ("repro.perf.baseline", "load_baselines"),
+    "write_baseline": ("repro.perf.baseline", "write_baseline"),
+    "environment_fingerprint": ("repro.perf.environment", "environment_fingerprint"),
 }
 
 # ----------------------------------------------------------------------
@@ -113,11 +132,11 @@ _LEGACY = {
 
 
 def __getattr__(name: str):
-    """Resolve lazy conformance exports and deprecated legacy names."""
-    if name in _CONFORMANCE:
+    """Resolve lazy conformance/perf exports and deprecated legacy names."""
+    if name in _LAZY_EXPORTS:
         import importlib
 
-        module_name, attr = _CONFORMANCE[name]
+        module_name, attr = _LAZY_EXPORTS[name]
         return getattr(importlib.import_module(module_name), attr)
     if name in _LEGACY:
         module_name, attr = _LEGACY[name]

@@ -32,8 +32,10 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.request import DEFAULT_SOLVER, BatchResult, PlanRequest, PlanResult
-from repro.api.solvers import SolverEntry, resolve
+from repro.api.solvers import SolverEntry, SolverOutput, resolve
+from repro.api.tables import OptimalTableCache
 from repro.core.bounds import bound_report, certified_lower_bound
+from repro.core.dp import estimated_states
 from repro.core.multicast import MulticastSet
 from repro.exceptions import ReproError
 
@@ -115,13 +117,19 @@ def _execute(
     request: PlanRequest,
     options: Dict[str, Any],
     fingerprint: Optional[str] = None,
+    solver_fn: Optional[Any] = None,
 ) -> PlanResult:
-    """Run one solver and assemble the result (no caching at this layer)."""
+    """Run one solver and assemble the result (no caching at this layer).
+
+    ``solver_fn`` substitutes the solve itself (the planner's shared
+    optimal-table fast path) while keeping the result assembly — bounds,
+    provenance, capabilities — identical to a direct run of ``entry``.
+    """
     mset = request.instance
     if fingerprint is None:
         fingerprint = instance_fingerprint(mset)
     start = time.perf_counter()
-    output = entry(mset, **options)
+    output = solver_fn(mset) if solver_fn is not None else entry(mset, **options)
     elapsed = time.perf_counter() - start
     schedule = output.schedule
     value = schedule.reception_completion
@@ -183,6 +191,17 @@ class Planner:
         External :class:`CacheTier` instances consulted (in order) after
         an LRU miss and populated after every solve.  More can be added
         later with :meth:`add_cache_tier`.
+    reuse_tables:
+        When ``True`` (default), solvers whose capabilities declare
+        ``reusable_table`` (the Section 4 ``dp``) are served through a
+        shared per-type-system :class:`~repro.api.tables.OptimalTableCache`:
+        the first instance of a ``(send, receive)`` type system builds the
+        network's full optimal table, and every later instance over the
+        same system is answered by an ``O(n)`` schedule materialization —
+        bit-identical to a direct solve.  Benchmarks and timing
+        experiments that must measure real solves pass ``False``.
+    table_cache_size:
+        LRU capacity (distinct type systems) of the shared table cache.
 
     Examples
     --------
@@ -198,9 +217,15 @@ class Planner:
         cache_size: int = 256,
         default_solver: str = DEFAULT_SOLVER,
         cache_tiers: Optional[Iterable[CacheTier]] = None,
+        reuse_tables: bool = True,
+        table_cache_size: int = 8,
     ) -> None:
         if cache_size < 0:
             raise ReproError(f"cache_size must be >= 0, got {cache_size}")
+        if table_cache_size < 1:
+            raise ReproError(
+                f"table_cache_size must be >= 1, got {table_cache_size}"
+            )
         self._cache: "OrderedDict[CacheKey, PlanResult]" = OrderedDict()
         self._cache_size = cache_size
         self._lock = threading.Lock()
@@ -208,6 +233,9 @@ class Planner:
         self._misses = 0
         self._tier_hits = 0
         self._tiers: List[CacheTier] = list(cache_tiers or ())
+        self._tables: Optional[OptimalTableCache] = (
+            OptimalTableCache(max_tables=table_cache_size) if reuse_tables else None
+        )
         self.default_solver = default_solver
 
     def add_cache_tier(self, tier: CacheTier) -> None:
@@ -291,9 +319,52 @@ class Planner:
         hit = self._lookup(request, key)
         if hit is not None:
             return hit[0]
-        result = _execute(entry, request, merged, key[0])
+        result = self._solve(entry, request, merged, key[0])
         self._store(key, result)
         return result
+
+    def _solve(
+        self,
+        entry: SolverEntry,
+        request: PlanRequest,
+        merged: Dict[str, Any],
+        fingerprint: str,
+    ) -> PlanResult:
+        """One real solve, routed through the optimal-table fast path.
+
+        Table reuse applies when the solver declares ``reusable_table``
+        and its options are ones the table honors (only ``max_states``);
+        everything else — including instances too large for the state
+        budget — takes the direct path.  Either way the assembled result
+        is bit-identical, so cache tiers and the planning service cannot
+        observe which path ran.
+        """
+        if (
+            self._tables is not None
+            and entry.capabilities.reusable_table
+            and not (set(merged) - {"max_states"})
+        ):
+            table = self._tables.acquire(
+                request.instance, merged.get("max_states")
+            )
+            if table is not None:
+                def from_table(mset: MulticastSet) -> SolverOutput:
+                    return SolverOutput(
+                        schedule=table.schedule_for(mset),
+                        # the instance's own table size: deterministic per
+                        # instance, matching a direct solve_dp exactly
+                        stats={"states_computed": estimated_states(mset)},
+                    )
+
+                return _execute(
+                    entry, request, merged, fingerprint, solver_fn=from_table
+                )
+        return _execute(entry, request, merged, fingerprint)
+
+    @property
+    def table_cache(self) -> Optional[OptimalTableCache]:
+        """The shared optimal-table cache (``None`` when reuse is off)."""
+        return self._tables
 
     def request_key(self, request: PlanRequest) -> CacheKey:
         """The cache key a request resolves to (fingerprint computed once).

@@ -71,6 +71,12 @@ class SolverCapabilities:
         is practical for, or ``None`` when ``k`` is irrelevant.
     options:
         Names of the keyword options the solver accepts (informational).
+    reusable_table:
+        ``True`` when the solver's work for one instance can be captured
+        in a precomputed per-network table (the Theorem 2 closing note)
+        that answers *other* instances over the same ``(send, receive)``
+        type system and latency.  The planner exploits this through its
+        :class:`~repro.api.tables.OptimalTableCache` fast path.
     """
 
     exact: bool = False
@@ -78,6 +84,7 @@ class SolverCapabilities:
     max_n: Optional[int] = None
     requires_k_types: Optional[int] = None
     options: Tuple[str, ...] = ()
+    reusable_table: bool = False
 
     def supports(self, mset: MulticastSet) -> bool:
         """Whether this solver is practical for ``mset`` (advisory)."""
@@ -357,6 +364,7 @@ def _register_builtins() -> None:
             complexity="O(n^{2k})",
             requires_k_types=4,
             options=("max_states",),
+            reusable_table=True,
         ),
     )
     _SOLVERS["exact"] = SolverEntry(

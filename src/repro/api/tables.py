@@ -1,0 +1,129 @@
+"""Planner fast path: per-type-system :class:`OptimalTable` reuse.
+
+The Theorem 2 closing note observes that for a network with small ``k``
+the whole DP table can be precomputed once, after which *any* multicast
+drawn from that network is answered in constant time plus an ``O(n)``
+schedule materialization.  Production planning traffic is exactly that
+shape — many instances over the same few workstation models — so the
+:class:`~repro.api.planner.Planner` keeps an :class:`OptimalTableCache`:
+an LRU of built :class:`~repro.core.dp_table.OptimalTable` objects keyed
+by ``(type overheads, latency)``.
+
+* The first instance of a type system pays one table build (the same cost
+  as a direct ``solve_dp``); every later instance over the same system —
+  of any destination mix the table spans — reuses it.
+* An instance needing more destinations of some type than the cached
+  table covers triggers a rebuild for the element-wise maximum (one
+  bigger solve, after which both shapes are lookups).
+* Results are **bit-identical** to direct :func:`repro.core.dp.solve_dp`
+  answers: the iterative DP core computes the same values and argmin
+  choices for every sub-box regardless of table capacity, and the
+  reported ``states_computed`` statistic is the *instance's own* table
+  size, so provenance stays a deterministic function of the instance (the
+  conformance service-parity invariant compares it byte-for-byte).
+
+Benchmarks and experiments that need every plan to be a real solve
+construct their planner with ``reuse_tables=False``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.core.dp import DEFAULT_MAX_STATES, estimated_states
+from repro.core.dp_table import OptimalTable
+from repro.core.multicast import MulticastSet
+
+__all__ = ["OptimalTableCache"]
+
+#: Cache key: the full (send, receive) type catalogue plus the latency.
+TableKey = Tuple[Tuple[Tuple[float, float], ...], float]
+
+
+class OptimalTableCache:
+    """Thread-safe LRU of built optimal tables, keyed by type system.
+
+    Parameters
+    ----------
+    max_tables:
+        Capacity of the LRU; the least recently used table is evicted.
+    max_states:
+        Default per-table state budget (instances may tighten it via the
+        ``dp`` solver's ``max_states`` option; the cache never *grows* a
+        table past the effective budget and returns ``None`` instead,
+        letting the caller fall back to a direct solve).
+    """
+
+    def __init__(
+        self,
+        max_tables: int = 8,
+        max_states: int = DEFAULT_MAX_STATES,
+    ) -> None:
+        self._tables: "OrderedDict[TableKey, OptimalTable]" = OrderedDict()
+        self._max_tables = max_tables
+        self._max_states = max_states
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._builds = 0
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered by an already-built table."""
+        return self._hits
+
+    @property
+    def builds(self) -> int:
+        """Tables built (first sight of a type system, or capacity growth)."""
+        return self._builds
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def acquire(
+        self, mset: MulticastSet, max_states: Optional[int] = None
+    ) -> Optional[OptimalTable]:
+        """A built table spanning ``mset``, or ``None`` when not worth it.
+
+        ``None`` means the caller should run the solver directly: the
+        instance alone busts the state budget (the direct path raises the
+        canonical :class:`~repro.exceptions.SolverError`), or growing the
+        cached table to span this instance would.
+        """
+        budget = self._max_states if max_states is None else max_states
+        if estimated_states(mset) > budget:
+            return None
+        key: TableKey = (mset.type_keys(), mset.latency)
+        counts = mset.destination_type_counts()
+        with self._lock:
+            table = self._tables.get(key)
+            if table is not None:
+                self._tables.move_to_end(key)
+                spec = table.spec
+                if all(c <= m for c, m in zip(counts, spec.max_counts)):
+                    self._hits += 1
+                    return table
+                grown = tuple(max(c, m) for c, m in zip(counts, spec.max_counts))
+                est = len(grown)
+                for c in grown:
+                    est *= c + 1
+                if est > budget:
+                    # growth would bust the budget; keep the old table for
+                    # the shapes it already serves and solve this directly
+                    return None
+                counts = grown
+            table = OptimalTable(key[0], counts, key[1]).build()
+            self._builds += 1
+            self._tables[key] = table
+            self._tables.move_to_end(key)
+            while len(self._tables) > self._max_tables:
+                self._tables.popitem(last=False)
+            return table
+
+    def clear(self) -> None:
+        """Drop every cached table and reset the counters."""
+        with self._lock:
+            self._tables.clear()
+            self._hits = 0
+            self._builds = 0

@@ -12,6 +12,7 @@ Subcommands
 ``submit``      plan instances through a running service
 ``store``       inspect/verify/compact a persistent plan store
 ``conformance`` differential cross-solver verification (run/fuzz/corpus/replay)
+``perf``        benchmark baselines: run kernels, compare, refresh (run/compare/baseline)
 
 Every solver — the paper's greedy family, the baselines, the Section 4
 ``dp`` and the branch-and-bound ``exact`` oracle — is resolved through the
@@ -164,6 +165,51 @@ def build_parser() -> argparse.ArgumentParser:
                        "bit-identically")
     crep.add_argument("path",
                       help="a records directory or a single JSON record file")
+
+    perf = sub.add_parser(
+        "perf", help="benchmark baselines (see DESIGN.md, Performance)")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    prun = perf_sub.add_parser(
+        "run", help="run perf kernels; exit 1 if a committed floor is missed")
+    prun.add_argument("--mode", default="quick", choices=["quick", "full"],
+                      help="workload size (quick = CI gate, full = baseline)")
+    prun.add_argument("--kernel", action="append", default=None,
+                      help="kernel name (repeatable; default: all; "
+                           "pass 'list' to print the catalogue)")
+    prun.add_argument("--repeats", type=int, default=5,
+                      help="timed repetitions per case")
+    prun.add_argument("-o", "--output", default=None,
+                      help="write BENCH_<kernel>.json records here")
+
+    pcmp = perf_sub.add_parser(
+        "compare", help="run kernels and compare against committed baselines; "
+                        "exit 1 on regression or floor violation")
+    pcmp.add_argument("--baseline", action="append", nargs="+", required=True,
+                      help="BENCH_<kernel>.json files or directories of them "
+                           "(repeatable; shell globs like BENCH_*.json work)")
+    pcmp.add_argument("--tolerance", default="25%",
+                      help="allowed slowdown vs baseline, e.g. 25%% or 0.25 "
+                           "(timings are advisory when the environment "
+                           "fingerprint differs; floors always enforce)")
+    pcmp.add_argument("--mode", default="quick", choices=["quick", "full"],
+                      help="workload size for the comparison run")
+    pcmp.add_argument("--repeats", type=int, default=5,
+                      help="timed repetitions per case")
+    pcmp.add_argument("-o", "--output", default=None,
+                      help="also write the current run's records here "
+                           "(the CI artifact)")
+
+    pbase = perf_sub.add_parser(
+        "baseline", help="run kernels and (re)write the committed baselines")
+    pbase.add_argument("--mode", default="quick", choices=["quick", "full"],
+                       help="workload size recorded in the baselines")
+    pbase.add_argument("--kernel", action="append", default=None,
+                       help="kernel name (repeatable; default: all)")
+    pbase.add_argument("--repeats", type=int, default=5,
+                       help="timed repetitions per case")
+    pbase.add_argument("-o", "--output", default=".",
+                       help="directory for BENCH_<kernel>.json (default: .)")
     return parser
 
 
@@ -527,6 +573,121 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _parse_tolerance(text: str) -> float:
+    """``25%`` / ``0.25`` -> 0.25."""
+    text = text.strip()
+    try:
+        if text.endswith("%"):
+            return float(text[:-1]) / 100.0
+        return float(text)
+    except ValueError:
+        raise ReproError(
+            f"malformed tolerance {text!r}; use e.g. 25% or 0.25"
+        ) from None
+
+
+def _print_perf_records(records) -> None:
+    for record in records:
+        floors = (
+            "  floors: "
+            + ", ".join(f"{k} >= {v:g}" for k, v in sorted(record.floors.items()))
+            if record.floors
+            else ""
+        )
+        summary = (
+            "  summary: "
+            + ", ".join(f"{k}={v:g}" for k, v in sorted(record.summary.items()))
+            if record.summary
+            else ""
+        )
+        print(f"{record.name} [{record.mode}] digest={record.digest}")
+        for case in record.results:
+            timing = case.timing
+            print(
+                f"  {case.case}: min={timing.min_s * 1e3:.3f} ms "
+                f"mean={timing.mean_s * 1e3:.3f} ms ({timing.repeats} repeats)"
+            )
+        if summary:
+            print(summary)
+        if floors:
+            print(floors)
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        KERNELS,
+        PerfRunner,
+        compare_records,
+        load_baselines,
+        write_baseline,
+    )
+
+    command = args.perf_command
+    if command in ("run", "baseline") and args.kernel == ["list"]:
+        for name, kernel in sorted(KERNELS.items()):
+            floors = (
+                "  [floors: "
+                + ", ".join(f"{k} >= {v:g}" for k, v in sorted(kernel.floors.items()))
+                + "]"
+                if kernel.floors
+                else ""
+            )
+            print(f"{name:<20} {kernel.description}{floors}")
+        return 0
+
+    if command == "run":
+        runner = PerfRunner(
+            mode=args.mode, kernels=args.kernel, repeats=args.repeats
+        )
+        records = runner.run(progress=lambda line: print(f"ran {line}"))
+        _print_perf_records(records)
+        if args.output:
+            for record in records:
+                path = write_baseline(args.output, record)
+                print(f"wrote {path}")
+        # self-gate: a run whose own floors are unmet is a failed run
+        # (each record doubles as its own baseline for the floor check)
+        report = compare_records(records, records, tolerance=0.0)
+        failed = [floor for floor in report.floors if floor.failed]
+        for floor in failed:
+            print(floor.describe())
+        return 1 if failed else 0
+
+    if command == "compare":
+        tolerance = _parse_tolerance(args.tolerance)
+        paths = [path for group in args.baseline for path in group]
+        baselines = load_baselines(paths)
+        known = [b.name for b in baselines if b.name in KERNELS]
+        for baseline in baselines:
+            if baseline.name not in KERNELS:
+                print(f"warning: baseline kernel {baseline.name!r} is not "
+                      "registered; skipping")
+        if not known:
+            raise ReproError("no baseline matches a registered perf kernel")
+        runner = PerfRunner(mode=args.mode, kernels=known, repeats=args.repeats)
+        currents = runner.run(progress=lambda line: print(f"ran {line}"))
+        if args.output:
+            for record in currents:
+                path = write_baseline(args.output, record)
+                print(f"wrote {path}")
+        report = compare_records(
+            [b for b in baselines if b.name in KERNELS],
+            currents,
+            tolerance=tolerance,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    # baseline: run and (re)write the committed records
+    runner = PerfRunner(mode=args.mode, kernels=args.kernel, repeats=args.repeats)
+    written = runner.run_and_write(
+        args.output, progress=lambda line: print(f"ran {line}")
+    )
+    for name in sorted(written):
+        print(f"wrote {written[name]}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "schedule": _cmd_schedule,
@@ -538,6 +699,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "store": _cmd_store,
     "conformance": _cmd_conformance,
+    "perf": _cmd_perf,
 }
 
 

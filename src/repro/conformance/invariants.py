@@ -41,7 +41,6 @@ from repro.core.bounds import theorem1_factor
 from repro.core.leaf_reversal import reverse_leaves
 from repro.core.multicast import MulticastSet
 from repro.core.node import Node
-from repro.core.schedule import Schedule
 from repro.exceptions import ConformanceError, ReproError
 from repro.io.serialization import (
     multicast_from_dict,

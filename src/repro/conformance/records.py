@@ -25,7 +25,6 @@ committed to the ``tests/corpus/`` regression corpus.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
@@ -36,6 +35,7 @@ from repro.io.segments import (
     append_jsonl,
     iter_jsonl,
     list_segments,
+    record_digest,
     repair_torn_tail,
     segment_index,
     segment_name,
@@ -67,18 +67,17 @@ def failure_digest(
 
     Everything hashed is derived from the seed-complete spec and the
     deterministic solver/invariant pipeline, so an honest replay of the
-    same library version recomputes the same digest bit-for-bit.
+    same library version recomputes the same digest bit-for-bit.  The
+    stamp itself is the shared :func:`repro.io.segments.record_digest`.
     """
-    payload = json.dumps(
+    return record_digest(
         {
             "spec": spec.to_dict(),
             "invariant": invariant,
             "solver": solver,
             "message": message,
-        },
-        sort_keys=True,
+        }
     )
-    return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
 
 class FailureRecord:

@@ -164,6 +164,9 @@ class ConformanceRunner:
             self._invariants: List[InvariantEntry] = list(invariant_items())
         else:
             self._invariants = [get_invariant(name) for name in invariants]
+        # certified lower bounds are only consumed by bounds-sandwich;
+        # filtered sweeps (the throughput benchmarks) skip computing them
+        self._needs_bounds = invariants is None or "bounds-sandwich" in invariants
         self._solver_filter = tuple(solvers) if solvers is not None else None
         self.oracle_max_n = oracle_max_n
         self.service_every = service_every
@@ -214,7 +217,7 @@ class ConformanceRunner:
             results=results,
             oracle_value=oracle_value,
             oracle_solver=oracle_solver,
-            bounds=bound_values(mset),
+            bounds=bound_values(mset) if self._needs_bounds else {},
             planner=self.planner,
             solver_errors=solver_errors,
         )
@@ -323,6 +326,10 @@ class ConformanceRunner:
         """Re-check one candidate spec; the matching violation or ``None``."""
         try:
             outcome = self.evaluate(spec)
+            if invariant == "bounds-sandwich" and not self._needs_bounds:
+                # replay/shrink resolves invariants globally, so a runner
+                # filtered past bounds-sandwich still backfills the bounds
+                outcome.bounds = bound_values(outcome.mset)
             violations = get_invariant(invariant)(outcome)
         except Exception:  # noqa: BLE001 - a broken candidate does not count
             return None
@@ -366,10 +373,14 @@ class ConformanceRunner:
     def replay(self, record: FailureRecord) -> ReplayOutcome:
         """Rebuild a failure from its spec and verify a bit-identical repro."""
         if record.invariant == SERVICE_PARITY:
-            outcome = self.evaluate(record.spec)
-            violations = self._check_service_parity(outcome)
-            matching = [v for v in violations if v.solver == record.solver]
-            self._stop_service()
+            try:
+                outcome = self.evaluate(record.spec)
+                violations = self._check_service_parity(outcome)
+                matching = [v for v in violations if v.solver == record.solver]
+            finally:
+                # a spec that no longer builds must not leak the lazily
+                # started background service and its worker threads
+                self._stop_service()
             if not matching:
                 return ReplayOutcome(
                     record, False, None, "service parity holds on replay"

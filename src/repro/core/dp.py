@@ -17,6 +17,21 @@ rest of the multicast, performed by the same source after its first send
 overhead has elapsed.  Dynamic programming over all ``O(k * n^k)`` states,
 each scanned in ``O(k * n^k)``, gives ``O(n^{2k})`` for constant ``k``.
 
+Implementation notes (hot path): the recurrence is evaluated *iteratively*
+over count vectors packed into single integers by a mixed-radix encoding
+(``code = sum_j i_j * stride_j``), so the table is a flat list per source
+type and the inner minimization is pure list indexing — no recursion, no
+tuple hashing, no dict lookups.  Split enumeration walks packed codes in
+the same lexicographic order as the original recursive scan, so values
+*and* argmin choices (hence reconstructed schedules) are bit-identical to
+the reference implementation (kept in :mod:`repro.perf.reference` and
+asserted across the conformance corpus).  Homogeneous instances
+(``k == 1``) short-circuit through a closed-form specialization of the
+recurrence: with a single type, ``tau(y) + S + L + R`` is non-decreasing
+in the split point ``y``, so the balanced-split minimum is found with an
+early-exit scan in amortized ``O(n)`` per state instead of ``O(n)``
+always.
+
 This module solves single instances and reconstructs an explicit optimal
 :class:`~repro.core.schedule.Schedule`.  The full-network precomputed table
 of the Theorem 2 closing note lives in :mod:`repro.core.dp_table`.
@@ -29,17 +44,24 @@ the ``O(n^{2k})`` complexity); reproduced by experiments E4 and E8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.multicast import MulticastSet
 from repro.core.schedule import Schedule
 from repro.exceptions import SolverError
 
-__all__ = ["TypeSystem", "DPSolution", "solve_dp", "optimal_completion_dp"]
+__all__ = [
+    "TypeSystem",
+    "DPSolution",
+    "solve_dp",
+    "optimal_completion_dp",
+    "DEFAULT_MAX_STATES",
+]
 
 Counts = Tuple[int, ...]
-Choice = Optional[Tuple[int, Counts]]  # (first-child type l, subtree split y)
+
+#: Guard rail shared by :func:`solve_dp` and the planner's table cache.
+DEFAULT_MAX_STATES = 20_000_000
 
 
 @dataclass(frozen=True)
@@ -71,7 +93,7 @@ class TypeSystem:
 
 @dataclass(frozen=True)
 class DPSolution:
-    """Result of a DP solve: the optimum and the memo for reuse."""
+    """Result of a DP solve: the optimum and the table size for reuse."""
 
     value: float
     schedule: Schedule
@@ -79,57 +101,199 @@ class DPSolution:
 
 
 class _DPCore:
-    """Shared recurrence engine; also the backend of ``dp_table``."""
+    """Shared recurrence engine; also the backend of ``dp_table``.
+
+    Evaluates Lemma 4 bottom-up over packed integer count-states.  The
+    table covers the box ``[0, max] x sources`` for the largest ``max``
+    ever requested; asking for counts beyond the current capacity rebuilds
+    the table for the element-wise maximum (cost of one full solve of the
+    bigger box, after which every sub-instance is a lookup).
+    """
 
     def __init__(self, types: TypeSystem, latency: float) -> None:
         self.types = types
         self.latency = latency
-        self.memo: Dict[Tuple[int, Counts], Tuple[float, Choice]] = {}
+        self._max: Optional[Counts] = None
+        self._strides: Tuple[int, ...] = ()
+        self._size = 0
+        self._tau: List[List[float]] = []
+        self._choice: List[List[Optional[Tuple[int, int]]]] = []
+        #: Total table entries materialized (``k * prod(max_j + 1)``).
+        self.states_filled = 0
 
-    def tau(self, s: int, counts: Counts) -> float:
-        """``tau(s, i_1..i_k)`` with memoization (recursive form)."""
-        got = self.memo.get((s, counts))
-        if got is not None:
-            return got[0]
-        if not any(counts):
-            self.memo[(s, counts)] = (0.0, None)
-            return 0.0
-        value, choice = self._best(s, counts)
-        self.memo[(s, counts)] = (value, choice)
-        return value
+    # ------------------------------------------------------------------
+    # packing helpers
+    # ------------------------------------------------------------------
+    def _pack(self, counts: Counts) -> int:
+        return sum(c * st for c, st in zip(counts, self._strides))
 
-    def _best(self, s: int, counts: Counts) -> Tuple[float, Choice]:
+    def _unpack(self, code: int) -> Counts:
+        assert self._max is not None
+        return tuple(
+            (code // st) % (m + 1) for st, m in zip(self._strides, self._max)
+        )
+
+    def covers(self, counts: Counts) -> bool:
+        """Whether the current table already spans ``counts``."""
+        return self._max is not None and all(
+            c <= m for c, m in zip(counts, self._max)
+        )
+
+    def ensure(self, counts: Counts) -> None:
+        """Fill the table for the box ``[0, counts]`` (grows capacity)."""
+        if self.covers(counts):
+            return
+        if self._max is None:
+            self._build(tuple(counts))
+        else:
+            self._build(tuple(max(c, m) for c, m in zip(counts, self._max)))
+
+    # ------------------------------------------------------------------
+    # the iterative fill
+    # ------------------------------------------------------------------
+    def _build(self, max_counts: Counts) -> None:
         ts = self.types
-        L = self.latency
-        S_s = ts.send(s)
-        best = float("inf")
-        best_choice: Choice = None
         k = ts.k
-        for ell in range(k):
-            if counts[ell] < 1:
-                continue
-            first_fixed = S_s + L + ts.receive(ell)
-            # enumerate subtree splits y: 0 <= y_j <= i_j, y_ell <= i_ell - 1
-            ranges = [
-                range(counts[j] + 1) if j != ell else range(counts[ell])
-                for j in range(k)
-            ]
-            for y in product(*ranges):
-                rest = tuple(
-                    counts[j] - y[j] - (1 if j == ell else 0) for j in range(k)
-                )
-                candidate = max(
-                    self.tau(ell, y) + first_fixed,
-                    self.tau(s, rest) + S_s,
-                )
-                if candidate < best:
-                    best = candidate
-                    best_choice = (ell, y)
-        return best, best_choice
+        L = self.latency
+        strides: List[int] = []
+        size = 1
+        for c in max_counts:
+            strides.append(size)
+            size *= c + 1
+        sends = [ts.send(t) for t in range(k)]
+        recvs = [ts.receive(t) for t in range(k)]
+        tau = [[0.0] * size for _ in range(k)]
+        choice: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * size for _ in range(k)
+        ]
+        if k == 1:
+            self._fill_homogeneous(size, sends[0], recvs[0], L, tau[0], choice[0])
+        else:
+            self._fill_general(
+                k, size, max_counts, strides, sends, recvs, L, tau, choice
+            )
+        self._max = max_counts
+        self._strides = tuple(strides)
+        self._size = size
+        self._tau = tau
+        self._choice = choice
+        self.states_filled = k * size
+
+    @staticmethod
+    def _fill_homogeneous(
+        size: int,
+        S: float,
+        R: float,
+        L: float,
+        tau: List[float],
+        choice: List[Optional[Tuple[int, int]]],
+    ) -> None:
+        """Closed-form ``k == 1`` scan: Lemma 4 with a single type.
+
+        ``tau`` is non-decreasing, so ``tau(y) + (S + L + R)`` is
+        non-decreasing in the split ``y`` and the scan can stop at the
+        first ``y`` whose subtree term alone reaches the incumbent — the
+        balanced-split structure of the homogeneous optimum.  Scan order
+        and tie-breaks match the general path exactly (first strict
+        improvement on ascending ``y``), so values and choices are
+        bit-identical to the unspecialized recurrence.
+        """
+        inf = float("inf")
+        first_fixed = S + L + R
+        for m in range(1, size):
+            best = inf
+            best_y = 0
+            rest_top = m - 1
+            for y in range(m):
+                a = tau[y] + first_fixed
+                if a >= best:
+                    break
+                b = tau[rest_top - y] + S
+                if b > a:
+                    a = b
+                if a < best:
+                    best = a
+                    best_y = y
+            tau[m] = best
+            choice[m] = (0, best_y)
+
+    @staticmethod
+    def _fill_general(
+        k: int,
+        size: int,
+        max_counts: Counts,
+        strides: List[int],
+        sends: List[float],
+        recvs: List[float],
+        L: float,
+        tau: List[List[float]],
+        choice: List[List[Optional[Tuple[int, int]]]],
+    ) -> None:
+        """Bottom-up fill over packed codes (general ``k``).
+
+        Iterating codes in ascending order is a valid topological order:
+        every referenced sub-state (a split ``y`` or the ``rest`` vector)
+        is component-wise ``<=`` the current counts with at least the
+        first-child component strictly smaller, hence has a smaller code.
+        """
+        inf = float("inf")
+        # per-dimension packed-code multiples: mult[j][i] == i * stride_j
+        mult = [
+            [i * strides[j] for i in range(max_counts[j] + 1)] for j in range(k)
+        ]
+        # odometer decode of the current code, maintained incrementally
+        digits = [0] * k
+        for code in range(1, size):
+            # increment the mixed-radix odometer
+            for j in range(k):
+                if digits[j] < max_counts[j]:
+                    digits[j] += 1
+                    break
+                digits[j] = 0
+            # enumerate each first-child type's split sub-box once per code
+            # (shared across source types); order matches the reference
+            # scan: dimensions ascending, last dimension fastest
+            avail: List[Tuple[int, List[int]]] = []
+            for ell in range(k):
+                c_ell = digits[ell]
+                if c_ell < 1:
+                    continue
+                ycodes = [0]
+                for j in range(k):
+                    lim = c_ell if j == ell else digits[j] + 1
+                    mj = mult[j][:lim]
+                    ycodes = [c + d for c in ycodes for d in mj]
+                avail.append((ell, ycodes))
+            for s in range(k):
+                S_s = sends[s]
+                tau_s = tau[s]
+                best = inf
+                best_ell = -1
+                best_y = 0
+                for ell, ycodes in avail:
+                    tau_ell = tau[ell]
+                    first_fixed = S_s + L + recvs[ell]
+                    base = code - strides[ell]
+                    for ycode in ycodes:
+                        a = tau_ell[ycode] + first_fixed
+                        b = tau_s[base - ycode] + S_s
+                        if b > a:
+                            a = b
+                        if a < best:
+                            best = a
+                            best_ell = ell
+                            best_y = ycode
+                tau_s[code] = best
+                choice[s][code] = (best_ell, best_y)
 
     # ------------------------------------------------------------------
-    # schedule reconstruction
+    # queries
     # ------------------------------------------------------------------
+    def tau(self, s: int, counts: Counts) -> float:
+        """``tau(s, i_1..i_k)`` — a table lookup after :meth:`ensure`."""
+        self.ensure(counts)
+        return self._tau[s][self._pack(counts)]
+
     def typed_children(self, s: int, counts: Counts) -> List[Tuple[int, Counts]]:
         """Delivery-ordered children of a type-``s`` root covering ``counts``.
 
@@ -137,18 +301,17 @@ class _DPCore:
         nests "rest" subproblems on the same source; unrolling that nesting
         yields the root's full delivery-ordered child list.
         """
+        self.ensure(counts)
         out: List[Tuple[int, Counts]] = []
-        cur = counts
-        while any(cur):
-            value_choice = self.memo.get((s, cur))
-            if value_choice is None:
-                self.tau(s, cur)
-                value_choice = self.memo[(s, cur)]
-            choice = value_choice[1]
-            assert choice is not None
-            ell, y = choice
-            out.append((ell, y))
-            cur = tuple(cur[j] - y[j] - (1 if j == ell else 0) for j in range(self.types.k))
+        code = self._pack(counts)
+        choices = self._choice[s]
+        strides = self._strides
+        while code:
+            chosen = choices[code]
+            assert chosen is not None
+            ell, ycode = chosen
+            out.append((ell, self._unpack(ycode)))
+            code = code - ycode - strides[ell]
         return out
 
 
@@ -156,10 +319,10 @@ def _bind_schedule(
     core: _DPCore, mset: MulticastSet, source_type: int, counts: Counts
 ) -> Schedule:
     """Materialize the optimal typed tree onto the concrete node indices."""
-    pools: Dict[int, List[int]] = {
+    pools = {
         t: list(reversed(idxs)) for t, idxs in mset.destinations_by_type().items()
     }
-    children: Dict[int, List[int]] = {}
+    children = {}
 
     def expand(node_index: int, node_type: int, node_counts: Counts) -> None:
         kids = core.typed_children(node_type, node_counts)
@@ -175,7 +338,19 @@ def _bind_schedule(
     return Schedule(mset, {p: kids for p, kids in children.items() if kids})
 
 
-def solve_dp(mset: MulticastSet, *, max_states: int = 20_000_000) -> DPSolution:
+def estimated_states(mset: MulticastSet) -> int:
+    """The DP table size an instance needs: ``k * prod(counts_j + 1)``.
+
+    With the iterative core this is exact (the table is filled densely),
+    so it doubles as the deterministic ``states_computed`` statistic.
+    """
+    est = mset.num_types
+    for c in mset.destination_type_counts():
+        est *= c + 1
+    return est
+
+
+def solve_dp(mset: MulticastSet, *, max_states: int = DEFAULT_MAX_STATES) -> DPSolution:
     """Solve ``mset`` optimally via the Section 4 dynamic program.
 
     Parameters
@@ -184,7 +359,7 @@ def solve_dp(mset: MulticastSet, *, max_states: int = 20_000_000) -> DPSolution:
         The instance.  Its type count ``k`` is discovered automatically;
         complexity is ``O(n^{2k})``, so this is practical for small ``k``.
     max_states:
-        Guard rail: estimated state count ``k * prod(n_j + 1)`` above which a
+        Guard rail: table size ``k * prod(n_j + 1)`` above which a
         :class:`~repro.exceptions.SolverError` is raised rather than melting
         the machine.
 
@@ -195,9 +370,7 @@ def solve_dp(mset: MulticastSet, *, max_states: int = 20_000_000) -> DPSolution:
     """
     types = TypeSystem.of(mset)
     counts = mset.destination_type_counts()
-    est = types.k
-    for c in counts:
-        est *= c + 1
+    est = estimated_states(mset)
     if est > max_states:
         raise SolverError(
             f"DP state space too large: ~{est} states for k={types.k}, n={mset.n} "
@@ -212,7 +385,9 @@ def solve_dp(mset: MulticastSet, *, max_states: int = 20_000_000) -> DPSolution:
             "DP reconstruction inconsistent with DP value: "
             f"{schedule.reception_completion} != {value}"
         )  # pragma: no cover - internal invariant
-    return DPSolution(value=value, schedule=schedule, states_computed=len(core.memo))
+    return DPSolution(
+        value=value, schedule=schedule, states_computed=core.states_filled
+    )
 
 
 def optimal_completion_dp(mset: MulticastSet, **kwargs) -> float:

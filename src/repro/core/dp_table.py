@@ -21,7 +21,6 @@ count vector ``i <= n`` bottom-up.  Afterwards:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.dp import TypeSystem, _DPCore
@@ -83,27 +82,19 @@ class OptimalTable:
     def build(self) -> "OptimalTable":
         """Fill the whole table bottom-up (idempotent).
 
-        Iterates count vectors in non-decreasing total order so that every
-        sub-state is already memoized when visited — this keeps the recursion
-        of :class:`_DPCore` from ever growing a deep stack.
+        The iterative :class:`_DPCore` fills the full
+        ``sources x [0, max_counts]`` box in one densely packed pass.
         """
         if self._built:
             return self
-        k = self.spec.types.k
-        vectors = sorted(
-            product(*(range(c + 1) for c in self.spec.max_counts)),
-            key=sum,
-        )
-        for counts in vectors:
-            for s in range(k):
-                self._core.tau(s, counts)
+        self._core.ensure(self.spec.max_counts)
         self._built = True
         return self
 
     @property
     def entries(self) -> int:
         """Number of table entries currently materialized."""
-        return len(self._core.memo)
+        return self._core.states_filled
 
     # ------------------------------------------------------------------
     # queries

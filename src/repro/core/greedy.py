@@ -10,7 +10,7 @@ Pseudo-code from the paper::
 
 with destinations ``p_1..p_n`` indexed in non-decreasing order of overhead.
 
-The implementation follows Lemma 1's priority-queue scheme exactly:
+The implementation follows Lemma 1's priority-queue scheme:
 
 * the key of a queued node is the *next earliest delivery time* of a message
   sent by that node;
@@ -24,6 +24,20 @@ order (the paper leaves ties unspecified; this choice makes runs
 deterministic and, pleasantly, prefers senders that entered the tree
 earlier, i.e. faster ones).
 
+Hot-path refinement: under the paper's correlation assumption the
+*first-send* keys of newly inserted nodes form a non-decreasing sequence
+(selection times ``c`` are non-decreasing, and ``o_receive + o_send`` is
+non-decreasing along the canonical destination order), so those
+candidates live in a plain FIFO scanned at its head instead of the heap.
+Only *re-entering* senders are heaped, halving heap traffic; the merged
+pop order — including insertion-order tie-breaks — is provably identical
+to the single-heap scheme, and the uncorrelated fallback keeps the
+classic loop.  Output times are produced in the slotted multiplicative
+form :func:`repro.core.timing.compute_times` uses and handed to the
+trusted :class:`~repro.core.schedule.Schedule` constructor, so schedules
+are bit-identical to the unoptimized pipeline (asserted against the
+frozen reference in ``tests/perf``).
+
 Paper reference: Section 2 ("An Approximation Algorithm for Multicast"),
 the greedy pseudo-code and Lemma 1 (``O(n log n)`` running time);
 reproduced by experiments E3 (scaling) and E10 (ablation).
@@ -33,7 +47,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.multicast import MulticastSet
 from repro.core.schedule import Schedule
@@ -89,32 +103,88 @@ def greedy_schedule(
     """
     n = mset.n
     L = mset.latency
+    sends = mset._sends
+    receives = mset._receives
     children: List[List[int]] = [[] for _ in range(n + 1)]
-    # heap entries: (next delivery time, insertion tick, node index)
-    heap: List[Tuple[float, int, int]] = []
-    tick = 0
-    heapq.heappush(heap, (mset.send(0) + L, tick, 0))
-    steps: List[GreedyStep] = []
-    for i in range(1, n + 1):
-        c, _t, p = heapq.heappop(heap)
-        children[p].append(i)
-        reception = c + mset.receive(i)
-        tick += 1
-        heapq.heappush(heap, (reception + mset.send(i) + L, tick, i))
-        tick += 1
-        heapq.heappush(heap, (c + mset.send(p), tick, p))
-        if collect_trace:
-            steps.append(
-                GreedyStep(
-                    iteration=i,
-                    receiver=i,
-                    sender=p,
-                    delivery_time=c,
-                    reception_time=reception,
+    delivery = [0.0] * (n + 1)
+    reception = [0.0] * (n + 1)
+    parent = [-1] * (n + 1)
+    steps: Optional[List[GreedyStep]] = [] if collect_trace else None
+    # heap entries: (next delivery time, insertion tick, node index).  Ticks
+    # 2i-1 (receiver candidate) / 2i (sender re-entry) reproduce the classic
+    # single-queue insertion order, which is what breaks key ties.
+    heap: List[Tuple[float, int, int]] = [(sends[0] + L, 0, 0)]
+    heappush = heapq.heappush
+    heapreplace = heapq.heapreplace
+    if mset.correlated:
+        # first-send candidate keys are non-decreasing (see module notes):
+        # qkeys[j] is the key of node j+1 with implicit tick 2j+1, consumed
+        # at the head — only re-entering senders pay for heap maintenance
+        qkeys: List[float] = []
+        qappend = qkeys.append
+        head = 0
+        for i in range(1, n + 1):
+            ck, ctick, cnode = heap[0]
+            if head + 1 < i and (
+                (qk := qkeys[head]) < ck or (qk == ck and 2 * head + 1 < ctick)
+            ):
+                p = head + 1
+                c = qk
+                head += 1
+                s_p = sends[p]
+                heappush(heap, (c + s_p, 2 * i, p))
+            else:
+                p = cnode
+                c = ck
+                s_p = sends[p]
+                heapreplace(heap, (c + s_p, 2 * i, p))
+            r_i = receives[i]
+            kids = children[p]
+            kids.append(i)
+            parent[i] = p
+            d = reception[p] + len(kids) * s_p + L
+            delivery[i] = d
+            reception[i] = d + r_i
+            r_acc = c + r_i
+            qappend(r_acc + sends[i] + L)
+            if steps is not None:
+                steps.append(
+                    GreedyStep(
+                        iteration=i,
+                        receiver=i,
+                        sender=p,
+                        delivery_time=c,
+                        reception_time=r_acc,
+                    )
                 )
-            )
-    schedule = Schedule(mset, {v: kids for v, kids in enumerate(children) if kids})
-    if collect_trace:
+    else:
+        # uncorrelated instances (experiments outside the paper's model):
+        # candidate keys need not be monotone, so everything stays heaped
+        for i in range(1, n + 1):
+            c, _tick, p = heap[0]
+            s_p = sends[p]
+            r_i = receives[i]
+            kids = children[p]
+            kids.append(i)
+            parent[i] = p
+            d = reception[p] + len(kids) * s_p + L
+            delivery[i] = d
+            reception[i] = d + r_i
+            r_acc = c + r_i
+            heappush(heap, (r_acc + sends[i] + L, 2 * i - 1, i))
+            heapreplace(heap, (c + s_p, 2 * i, p))
+            if steps is not None:
+                steps.append(
+                    GreedyStep(
+                        iteration=i,
+                        receiver=i,
+                        sender=p,
+                        delivery_time=c,
+                        reception_time=r_acc,
+                    )
+                )
+    schedule = Schedule._from_solver(mset, children, delivery, reception, parent)
+    if steps is not None:
         return schedule, GreedyTrace(tuple(steps))
     return schedule
 

@@ -76,6 +76,41 @@ class Schedule:
                 parent[child] = p
         self._parent = tuple(parent)
 
+    @classmethod
+    def _from_solver(
+        cls,
+        multicast: MulticastSet,
+        child_lists: Sequence[Sequence[int]],
+        delivery: Sequence[float],
+        reception: Sequence[float],
+        parent: Sequence[int],
+    ) -> "Schedule":
+        """Trusted fast path for internal solvers (no validation pass).
+
+        ``child_lists`` is indexed by node with plain delivery-ordered
+        child indices (slot = position, the canonical form); ``delivery``
+        / ``reception`` / ``parent`` are the already-evaluated Section 2
+        recurrence outputs.  The caller guarantees the tree is a valid
+        spanning arborescence and the times satisfy
+        ``d(w) = r(v) + slot * o_send(v) + L`` exactly as
+        :func:`~repro.core.timing.compute_times` would evaluate them —
+        the greedy hot loop produces both as a by-product, and skipping
+        re-validation + re-evaluation roughly halves schedule
+        construction cost (see ``tests/perf`` for the equivalence test).
+        """
+        self = object.__new__(cls)
+        self._mset = multicast
+        slots = range(1, multicast.n + 1)
+        self._children = {
+            p: tuple(zip(kids, slots))
+            for p, kids in enumerate(child_lists)
+            if kids
+        }
+        self._delivery = tuple(delivery)
+        self._reception = tuple(reception)
+        self._parent = tuple(parent)
+        return self
+
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------

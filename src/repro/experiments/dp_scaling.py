@@ -23,7 +23,7 @@ from repro.workloads.generator import multicast_from_cluster
 from repro.workloads.suites import suite
 
 # timing experiment: caching would turn repeats into no-ops
-_PLANNER = Planner(cache_size=0)
+_PLANNER = Planner(cache_size=0, reuse_tables=False)
 
 __all__ = ["run", "DEFAULTS", "TYPE_SETS"]
 

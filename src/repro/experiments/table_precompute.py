@@ -20,7 +20,7 @@ from repro.api import Planner
 from repro.core.dp_table import OptimalTable
 
 # timing experiment: fresh solves must not be served from a cache
-_PLANNER = Planner(cache_size=0)
+_PLANNER = Planner(cache_size=0, reuse_tables=False)
 from repro.workloads.clusters import limited_type_cluster
 from repro.workloads.generator import multicast_from_cluster
 

@@ -16,6 +16,7 @@ store layers keys and the ``repro/plan-result-v1`` payload format
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from pathlib import Path
@@ -32,7 +33,21 @@ __all__ = [
     "write_jsonl",
     "iter_jsonl",
     "repair_torn_tail",
+    "record_digest",
 ]
+
+
+def record_digest(payload: Any, *, length: int = 32) -> str:
+    """Deterministic content hash of a JSON-ready payload (hex prefix).
+
+    The canonical stamp for records layered on this substrate: sorted-key
+    JSON hashed with sha256, truncated to ``length`` hex characters.
+    Conformance failure records and ``repro/perf-v1`` benchmark baselines
+    both stamp themselves with it, so any honest re-serialization of the
+    same content reproduces the same digest bit-for-bit.
+    """
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:length]
 
 #: Segment file names: ``segment-<6-digit index>.jsonl``.
 SEGMENT_PATTERN = re.compile(r"^segment-(\d{6})\.jsonl$")

@@ -1,0 +1,64 @@
+"""repro.perf — the performance-baseline subsystem.
+
+The paper's headline claims are ultimately about *speed* (Theorem 2 is
+worthless if the DP cannot plan a real cluster), so this package makes
+the repo's performance trajectory a first-class, machine-checked
+artifact:
+
+* :mod:`repro.perf.kernels` — a curated registry of benchmark kernels
+  mirroring the ``benchmarks/bench_*.py`` suite (DP solve, DP table
+  build, greedy scheduling, planner batch throughput, conformance sweep,
+  service throughput), each attaching the paper-relevant metrics the
+  pytest benchmarks stamp into ``extra_info``;
+* :mod:`repro.perf.measure` — the timing harness (warmup + repeated
+  best-of measurement);
+* :mod:`repro.perf.baseline` — ``repro/perf-v1`` records written as
+  ``BENCH_<kernel>.json``: timings, extra metrics, an environment
+  fingerprint and a :func:`repro.io.segments.record_digest` stamp;
+* :mod:`repro.perf.compare` — regression detection against a committed
+  baseline with a configurable tolerance; absolute timings are enforced
+  only when the environment fingerprint matches (foreign machines get
+  warnings), while *relative* floors — the committed ``>= 3x`` DP and
+  ``>= 2x`` greedy ``speedup_vs_reference`` wins measured against the
+  frozen :mod:`repro.perf.reference` kernels — are enforced everywhere;
+* :mod:`repro.perf.runner` — :class:`~repro.perf.runner.PerfRunner`,
+  the orchestrator behind the ``hnow-multicast perf {run,compare,
+  baseline}`` CLI and the CI ``perf-gate`` job.
+
+Everything is exposed through :mod:`repro.api` (lazy exports) so
+consumers never import this package directly unless they want to.
+"""
+
+from repro.perf.baseline import (
+    PERF_FORMAT,
+    BenchmarkRecord,
+    CaseResult,
+    baseline_filename,
+    load_baseline,
+    load_baselines,
+    write_baseline,
+)
+from repro.perf.compare import ComparisonReport, compare_records
+from repro.perf.environment import environment_fingerprint
+from repro.perf.kernels import KERNELS, Kernel, available_kernels
+from repro.perf.measure import TimingStats, measure
+from repro.perf.runner import PerfRunner
+
+__all__ = [
+    "PERF_FORMAT",
+    "BenchmarkRecord",
+    "CaseResult",
+    "TimingStats",
+    "Kernel",
+    "KERNELS",
+    "available_kernels",
+    "measure",
+    "environment_fingerprint",
+    "baseline_filename",
+    "write_baseline",
+    "load_baseline",
+    "load_baselines",
+    "ComparisonReport",
+    "compare_records",
+    "PerfRunner",
+]

@@ -1,0 +1,218 @@
+"""``repro/perf-v1`` benchmark records and the ``BENCH_<name>.json`` files.
+
+One record captures one kernel's run:
+
+.. code-block:: json
+
+    {"format": "repro/perf-v1", "name": "dp_scaling", "mode": "quick",
+     "environment": {"python": "3.11.7", "...": "..."},
+     "results": [
+        {"case": "k=2,n=16",
+         "timing": {"min_s": 0.001, "mean_s": 0.0012, "...": "..."},
+         "extra_info": {"states": 160, "optimum": 13.0}}
+     ],
+     "summary": {"speedup_vs_reference": 9.1},
+     "floors": {"speedup_vs_reference": 3.0},
+     "digest": "<sha256 prefix>"}
+
+``extra_info`` carries the same paper metrics the pytest benchmarks
+attach; ``summary`` holds kernel-level aggregates; ``floors`` are the
+committed machine-independent minima ``perf compare`` enforces on every
+run (the DP/greedy optimization wins).  The ``digest`` is the shared
+:func:`repro.io.segments.record_digest` over the rest of the payload, so
+a tampered or truncated baseline is detected on load.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.io.segments import record_digest
+from repro.perf.measure import TimingStats
+
+__all__ = [
+    "PERF_FORMAT",
+    "CaseResult",
+    "BenchmarkRecord",
+    "baseline_filename",
+    "write_baseline",
+    "load_baseline",
+    "load_baselines",
+]
+
+PERF_FORMAT = "repro/perf-v1"
+
+#: Committed baselines live at the repository root as ``BENCH_<name>.json``.
+BASELINE_PREFIX = "BENCH_"
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One measured case of a kernel: label, timings, paper metrics."""
+
+    case: str
+    timing: TimingStats
+    extra_info: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload."""
+        return {
+            "case": self.case,
+            "timing": self.timing.to_dict(),
+            "extra_info": dict(self.extra_info),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CaseResult":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                case=data["case"],
+                timing=TimingStats.from_dict(data["timing"]),
+                extra_info=dict(data.get("extra_info", {})),
+            )
+        except KeyError as missing:
+            raise ReproError(f"case result missing field {missing}") from None
+
+
+@dataclass(frozen=True)
+class BenchmarkRecord:
+    """One kernel's full run: cases, aggregates, environment, floors."""
+
+    name: str
+    mode: str
+    environment: Dict[str, Any]
+    results: Tuple[CaseResult, ...]
+    summary: Dict[str, Any] = field(default_factory=dict)
+    floors: Dict[str, float] = field(default_factory=dict)
+
+    def payload(self) -> Dict[str, Any]:
+        """The digest-covered body (everything except the stamp)."""
+        return {
+            "format": PERF_FORMAT,
+            "name": self.name,
+            "mode": self.mode,
+            "environment": dict(self.environment),
+            "results": [case.to_dict() for case in self.results],
+            "summary": dict(self.summary),
+            "floors": dict(self.floors),
+        }
+
+    @property
+    def digest(self) -> str:
+        """Content stamp over :meth:`payload` (shared record_digest)."""
+        return record_digest(self.payload())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready record including the digest stamp."""
+        body = self.payload()
+        body["digest"] = self.digest
+        return body
+
+    def case(self, label: str) -> CaseResult:
+        """The case with the given label (raises if absent)."""
+        for result in self.results:
+            if result.case == label:
+                return result
+        raise ReproError(f"kernel {self.name!r} has no case {label!r}")
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], *, verify_digest: bool = True
+    ) -> "BenchmarkRecord":
+        """Inverse of :meth:`to_dict`; checks format and digest."""
+        if data.get("format") != PERF_FORMAT:
+            raise ReproError(
+                f"not a {PERF_FORMAT} record: format={data.get('format')!r}"
+            )
+        try:
+            record = cls(
+                name=data["name"],
+                mode=data.get("mode", "quick"),
+                environment=dict(data.get("environment", {})),
+                results=tuple(
+                    CaseResult.from_dict(case) for case in data["results"]
+                ),
+                summary=dict(data.get("summary", {})),
+                floors={
+                    key: float(value)
+                    for key, value in data.get("floors", {}).items()
+                },
+            )
+        except KeyError as missing:
+            raise ReproError(f"perf record missing field {missing}") from None
+        stamped = data.get("digest")
+        if verify_digest and stamped is not None and stamped != record.digest:
+            raise ReproError(
+                f"perf record {record.name!r} digest mismatch: "
+                f"stamped {stamped} != recomputed {record.digest} "
+                "(baseline edited by hand?)"
+            )
+        return record
+
+
+def baseline_filename(name: str) -> str:
+    """``BENCH_<kernel>.json`` — the committed baseline file name."""
+    return f"{BASELINE_PREFIX}{name}.json"
+
+
+def write_baseline(root: Union[str, Path], record: BenchmarkRecord) -> Path:
+    """Write a record to ``<root>/BENCH_<name>.json``; returns the path."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / baseline_filename(record.name)
+    path.write_text(
+        json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_baseline(path: Union[str, Path]) -> BenchmarkRecord:
+    """Load one ``BENCH_*.json`` record (format + digest checked)."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ReproError(f"no baseline at {path}") from None
+    except ValueError:
+        raise ReproError(f"{path}: not valid JSON") from None
+    if not isinstance(data, dict):
+        raise ReproError(f"{path}: expected a JSON object")
+    return BenchmarkRecord.from_dict(data)
+
+
+def load_baselines(
+    paths: Sequence[Union[str, Path]],
+) -> List[BenchmarkRecord]:
+    """Load many baselines; directories expand to their ``BENCH_*.json``.
+
+    Duplicate kernel names raise — a compare run against two baselines of
+    the same kernel would silently check only one of them.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found = sorted(path.glob(f"{BASELINE_PREFIX}*.json"))
+            if not found:
+                raise ReproError(f"no {BASELINE_PREFIX}*.json files under {path}")
+            files.extend(found)
+        else:
+            files.append(path)
+    records: List[BenchmarkRecord] = []
+    seen: Dict[str, Path] = {}
+    for file in files:
+        record = load_baseline(file)
+        if record.name in seen:
+            raise ReproError(
+                f"kernel {record.name!r} appears in both {seen[record.name]} "
+                f"and {file}"
+            )
+        seen[record.name] = file
+        records.append(record)
+    return records

@@ -1,0 +1,195 @@
+"""Baseline comparison: regression detection with an environment policy.
+
+Two classes of check, deliberately different in strictness:
+
+* **Absolute timings** — each case's current ``min_s`` must stay within
+  ``(1 + tolerance)`` of the baseline's.  Wall-clock only transfers
+  between identical machines, so these are *enforced* when the
+  environment fingerprints match and demoted to warnings when they do
+  not (a CI runner comparing against a laptop baseline must not flap).
+* **Floors** — machine-independent minima committed in the baseline
+  (``speedup_vs_reference`` for the DP and greedy kernels).  These are
+  ratios measured between two implementations *on the same box in the
+  same run*, so they are enforced everywhere, fingerprint match or not.
+  They are what actually gates the optimization wins in CI.
+
+``ComparisonReport.ok`` is the CI verdict; ``summary()`` renders the
+human-readable table the ``perf compare`` command prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.perf.baseline import BenchmarkRecord
+from repro.perf.environment import environment_mismatches
+
+__all__ = ["CaseDelta", "FloorCheck", "ComparisonReport", "compare_records"]
+
+
+@dataclass(frozen=True)
+class CaseDelta:
+    """One case's baseline-vs-current timing comparison."""
+
+    kernel: str
+    case: str
+    baseline_min_s: float
+    current_min_s: float
+    tolerance: float
+    enforced: bool
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (1.0 = unchanged, > 1 = slower)."""
+        if self.baseline_min_s <= 0:
+            return float("inf") if self.current_min_s > 0 else 1.0
+        return self.current_min_s / self.baseline_min_s
+
+    @property
+    def regressed(self) -> bool:
+        """Whether the slowdown exceeds the tolerance."""
+        return self.ratio > 1.0 + self.tolerance
+
+    @property
+    def failed(self) -> bool:
+        """Regressed *and* enforced (same-environment comparison)."""
+        return self.enforced and self.regressed
+
+    def describe(self) -> str:
+        """One report line."""
+        verdict = (
+            "REGRESSED"
+            if self.failed
+            else ("regressed (advisory)" if self.regressed else "ok")
+        )
+        return (
+            f"{self.kernel}/{self.case}: {self.baseline_min_s * 1e3:.3f} ms "
+            f"-> {self.current_min_s * 1e3:.3f} ms ({self.ratio:.2f}x) {verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class FloorCheck:
+    """One machine-independent floor check (always enforced)."""
+
+    kernel: str
+    metric: str
+    floor: float
+    value: Optional[float]
+
+    @property
+    def failed(self) -> bool:
+        """Whether the metric is missing or below its committed floor."""
+        return self.value is None or self.value < self.floor
+
+    def describe(self) -> str:
+        """One report line."""
+        if self.value is None:
+            return f"{self.kernel}: summary metric {self.metric!r} MISSING"
+        verdict = "FLOOR VIOLATED" if self.failed else "ok"
+        return (
+            f"{self.kernel}: {self.metric} = {self.value:g} "
+            f"(floor {self.floor:g}) {verdict}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Everything ``perf compare`` decided, plus the exit verdict."""
+
+    tolerance: float
+    deltas: List[CaseDelta] = field(default_factory=list)
+    floors: List[FloorCheck] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """CI verdict: no enforced timing regression, no floor violation."""
+        return not any(d.failed for d in self.deltas) and not any(
+            f.failed for f in self.floors
+        )
+
+    def summary(self) -> str:
+        """Render the human-readable comparison report."""
+        lines: List[str] = []
+        regressions = sum(1 for d in self.deltas if d.failed)
+        advisories = sum(1 for d in self.deltas if d.regressed and not d.failed)
+        violations = sum(1 for f in self.floors if f.failed)
+        lines.append(
+            f"perf compare: {len(self.deltas)} cases at tolerance "
+            f"{self.tolerance:.0%} -> {regressions} regressions, "
+            f"{advisories} advisory slowdowns, {violations} floor violations"
+        )
+        for delta in self.deltas:
+            lines.append("  " + delta.describe())
+        for floor in self.floors:
+            lines.append("  " + floor.describe())
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def compare_records(
+    baselines: Sequence[BenchmarkRecord],
+    currents: Sequence[BenchmarkRecord],
+    *,
+    tolerance: float = 0.25,
+) -> ComparisonReport:
+    """Compare current kernel runs against committed baselines.
+
+    ``baselines`` and ``currents`` are matched by kernel name; cases
+    within a kernel by label.  Timing checks are enforced only when the
+    environment fingerprints match (otherwise demoted to warnings);
+    committed floors from the baseline records are enforced always.
+    """
+    if tolerance < 0:
+        raise ReproError(f"tolerance must be >= 0, got {tolerance}")
+    report = ComparisonReport(tolerance=tolerance)
+    current_by_name: Dict[str, BenchmarkRecord] = {c.name: c for c in currents}
+    for baseline in baselines:
+        current = current_by_name.get(baseline.name)
+        if current is None:
+            report.warnings.append(
+                f"kernel {baseline.name!r} has a baseline but was not run"
+            )
+            continue
+        mismatches = environment_mismatches(
+            baseline.environment, current.environment
+        )
+        enforced = not mismatches
+        if mismatches:
+            report.warnings.append(
+                f"{baseline.name}: environment differs from baseline "
+                f"({'; '.join(mismatches)}); timing checks are advisory"
+            )
+        current_cases = {case.case: case for case in current.results}
+        for base_case in baseline.results:
+            case = current_cases.get(base_case.case)
+            if case is None:
+                report.warnings.append(
+                    f"{baseline.name}: case {base_case.case!r} missing from "
+                    "the current run"
+                )
+                continue
+            report.deltas.append(
+                CaseDelta(
+                    kernel=baseline.name,
+                    case=base_case.case,
+                    baseline_min_s=base_case.timing.min_s,
+                    current_min_s=case.timing.min_s,
+                    tolerance=tolerance,
+                    enforced=enforced,
+                )
+            )
+        for metric, floor in sorted(baseline.floors.items()):
+            raw: Any = current.summary.get(metric)
+            value = float(raw) if isinstance(raw, (int, float)) else None
+            report.floors.append(
+                FloorCheck(
+                    kernel=baseline.name, metric=metric, floor=floor, value=value
+                )
+            )
+    return report

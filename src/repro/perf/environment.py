@@ -1,0 +1,48 @@
+"""Environment fingerprinting for benchmark baselines.
+
+Absolute wall-clock numbers only compare meaningfully on the machine
+that produced them, so every ``repro/perf-v1`` record embeds a
+fingerprint of where it was measured.  ``perf compare`` enforces timing
+tolerances only when the current fingerprint matches the baseline's;
+on foreign machines the timings demote to warnings and the
+machine-independent *relative* floors carry the gate (see
+:mod:`repro.perf.compare`).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Any, Dict, List, Mapping
+
+__all__ = ["environment_fingerprint", "environment_mismatches"]
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """The measurement environment as a flat, JSON-ready mapping."""
+    import repro
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+        "repro_version": repro.__version__,
+    }
+
+
+def environment_mismatches(
+    baseline: Mapping[str, Any], current: Mapping[str, Any]
+) -> List[str]:
+    """Human-readable diffs between two fingerprints (empty = same box).
+
+    Every key of either side participates, so a record from a future
+    format revision still compares conservatively.
+    """
+    out: List[str] = []
+    for key in sorted(set(baseline) | set(current)):
+        left, right = baseline.get(key), current.get(key)
+        if left != right:
+            out.append(f"{key}: baseline {left!r} vs current {right!r}")
+    return out

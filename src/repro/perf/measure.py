@@ -1,0 +1,120 @@
+"""The timing harness: warmup + repeated measurement of one kernel.
+
+Deliberately tiny — ``perf_counter`` around a zero-argument thunk, one
+untimed warmup, ``repeats`` timed runs — because the interesting
+machinery (baselines, comparison policy, floors) lives above it.  The
+*minimum* over repeats is the headline number: it is the least noisy
+estimator of a kernel's true cost on a busy machine, and it is what the
+tolerance check in :mod:`repro.perf.compare` uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = ["TimingStats", "measure", "measure_pair"]
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Summary of one measured case (seconds)."""
+
+    min_s: float
+    mean_s: float
+    max_s: float
+    stddev_s: float
+    repeats: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload (embedded in ``repro/perf-v1`` records)."""
+        return {
+            "min_s": self.min_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+            "stddev_s": self.stddev_s,
+            "repeats": self.repeats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimingStats":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                min_s=float(data["min_s"]),
+                mean_s=float(data["mean_s"]),
+                max_s=float(data["max_s"]),
+                stddev_s=float(data["stddev_s"]),
+                repeats=int(data["repeats"]),
+            )
+        except KeyError as missing:
+            raise ReproError(f"timing stats missing field {missing}") from None
+
+
+def measure(
+    thunk: Callable[[], Any], *, repeats: int = 5, warmup: int = 1
+) -> Tuple[TimingStats, Any]:
+    """Time ``thunk`` and return ``(stats, last_payload)``.
+
+    The payload of the final timed run is returned so kernels can derive
+    their paper metrics (optimum values, states, schedule properties)
+    without re-running anything.
+    """
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    payload = None
+    for _ in range(warmup):
+        payload = thunk()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        payload = thunk()
+        samples.append(time.perf_counter() - start)
+    return _stats(samples), payload
+
+
+def _stats(samples) -> TimingStats:
+    mean = sum(samples) / len(samples)
+    variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+    return TimingStats(
+        min_s=min(samples),
+        mean_s=mean,
+        max_s=max(samples),
+        stddev_s=variance**0.5,
+        repeats=len(samples),
+    )
+
+
+def measure_pair(
+    thunk_a: Callable[[], Any],
+    thunk_b: Callable[[], Any],
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Tuple[Tuple[TimingStats, Any], Tuple[TimingStats, Any]]:
+    """Time two thunks with *interleaved* runs: A, B, A, B, ...
+
+    The tool for speedup ratios: when the two implementations alternate
+    within the same measurement window, machine-load drift hits both
+    sides equally and the min/min ratio stays stable, which a sequential
+    all-A-then-all-B schedule cannot guarantee.  Returns
+    ``((stats_a, payload_a), (stats_b, payload_b))``.
+    """
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    payload_a = payload_b = None
+    for _ in range(warmup):
+        payload_a = thunk_a()
+        payload_b = thunk_b()
+    samples_a, samples_b = [], []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        payload_a = thunk_a()
+        samples_a.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        payload_b = thunk_b()
+        samples_b.append(time.perf_counter() - start)
+    return (_stats(samples_a), payload_a), (_stats(samples_b), payload_b)

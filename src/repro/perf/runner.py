@@ -1,0 +1,105 @@
+"""The benchmark-baseline runner: orchestrates kernels into records.
+
+:class:`PerfRunner` is what the ``hnow-multicast perf`` CLI and the CI
+``perf-gate`` job drive: pick kernels, run them in a mode (``quick`` for
+gates, ``full`` for real baselines), assemble ``repro/perf-v1``
+:class:`~repro.perf.baseline.BenchmarkRecord` objects complete with the
+environment fingerprint, and optionally persist them as
+``BENCH_<kernel>.json`` files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ReproError
+from repro.perf.baseline import BenchmarkRecord, write_baseline
+from repro.perf.environment import environment_fingerprint
+from repro.perf.kernels import available_kernels, get_kernel
+
+__all__ = ["PerfRunner"]
+
+
+class PerfRunner:
+    """Run a curated subset of benchmark kernels and emit baseline records.
+
+    Parameters
+    ----------
+    mode:
+        ``"quick"`` (CI-sized workloads, seconds) or ``"full"`` (the
+        baseline-grade sweep).
+    kernels:
+        Kernel names to run; defaults to every registered kernel.
+    repeats:
+        Timed repetitions per case (expensive kernels clamp this down
+        themselves).
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "quick",
+        kernels: Optional[Sequence[str]] = None,
+        repeats: int = 5,
+    ) -> None:
+        if repeats < 1:
+            raise ReproError(f"repeats must be >= 1, got {repeats}")
+        names = list(kernels) if kernels is not None else available_kernels()
+        # resolve eagerly so a typo fails before minutes of measurement
+        self._kernels = [get_kernel(name) for name in names]
+        self.mode = mode
+        self.repeats = repeats
+
+    @property
+    def kernel_names(self) -> List[str]:
+        """The kernels this runner will execute, in run order."""
+        return [kernel.name for kernel in self._kernels]
+
+    def run_kernel(self, name: str) -> BenchmarkRecord:
+        """Run one kernel and assemble its record."""
+        kernel = get_kernel(name)
+        cases, summary = kernel.run(self.mode, self.repeats)
+        return BenchmarkRecord(
+            name=kernel.name,
+            mode=self.mode,
+            environment=environment_fingerprint(),
+            results=tuple(cases),
+            summary=summary,
+            floors=dict(kernel.floors),
+        )
+
+    def run(self, progress=None) -> List[BenchmarkRecord]:
+        """Run every selected kernel; ``progress`` gets one line per kernel."""
+        records: List[BenchmarkRecord] = []
+        for kernel in self._kernels:
+            record = self.run_kernel(kernel.name)
+            records.append(record)
+            if progress is not None:
+                total = sum(case.timing.min_s for case in record.results)
+                progress(
+                    f"{kernel.name}: {len(record.results)} cases, "
+                    f"sum(min) = {total * 1e3:.1f} ms"
+                    + (
+                        f", {self._summary_line(record)}"
+                        if record.summary
+                        else ""
+                    )
+                )
+        return records
+
+    @staticmethod
+    def _summary_line(record: BenchmarkRecord) -> str:
+        return ", ".join(
+            f"{key}={value:g}" if isinstance(value, (int, float)) else f"{key}={value}"
+            for key, value in sorted(record.summary.items())
+        )
+
+    def run_and_write(
+        self, root: Union[str, Path], progress=None
+    ) -> Dict[str, Path]:
+        """Run and persist ``BENCH_<name>.json`` per kernel under ``root``."""
+        written: Dict[str, Path] = {}
+        for record in self.run(progress=progress):
+            written[record.name] = write_baseline(root, record)
+        return written

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 import socket
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.api.request import PlanRequest, PlanResult
 from repro.core.multicast import MulticastSet

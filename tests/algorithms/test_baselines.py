@@ -8,7 +8,6 @@ from repro.algorithms.baselines import (
     sequential_star,
     sequential_star_naive,
 )
-from repro.core.multicast import MulticastSet
 
 
 class TestStar:

@@ -1,0 +1,138 @@
+"""The planner's optimal-table fast path: parity, reuse, guard rails."""
+
+import json
+
+import pytest
+
+from repro.api import OptimalTableCache, Planner, PlanRequest
+from repro.core.multicast import MulticastSet
+from repro.exceptions import ReproError, SolverError
+from repro.io.serialization import plan_result_to_dict
+
+
+def _canonical(result):
+    payload = plan_result_to_dict(result)
+    payload["elapsed_s"] = 0.0
+    payload["cache_hit"] = False
+    payload["tag"] = None
+    return json.dumps(payload, sort_keys=True)
+
+
+def _two_type(fast, slow, latency=1):
+    return MulticastSet.from_overheads(
+        source=(2, 3),
+        destinations=[(1, 1)] * fast + [(2, 3)] * slow,
+        latency=latency,
+    )
+
+
+class TestParity:
+    @pytest.mark.parametrize("shape", [(3, 1), (5, 2), (2, 6), (1, 1)])
+    def test_byte_identical_to_direct_solve(self, shape):
+        direct = Planner(cache_size=0, reuse_tables=False)
+        reusing = Planner(cache_size=0, reuse_tables=True)
+        mset = _two_type(*shape)
+        assert _canonical(direct.plan(mset, "dp")) == _canonical(
+            reusing.plan(mset, "dp")
+        )
+
+    def test_bounds_requests_also_identical(self):
+        direct = Planner(cache_size=0, reuse_tables=False)
+        reusing = Planner(cache_size=0, reuse_tables=True)
+        request_for = lambda: PlanRequest(
+            instance=_two_type(4, 3), solver="dp", include_bounds=True
+        )
+        assert _canonical(direct.plan(request_for())) == _canonical(
+            reusing.plan(request_for())
+        )
+
+    def test_parity_independent_of_cache_history(self):
+        # a planner that has served other shapes first must answer the
+        # same bytes as a fresh one (service-parity depends on this)
+        fresh = Planner(cache_size=0, reuse_tables=True)
+        warmed = Planner(cache_size=0, reuse_tables=True)
+        for fast, slow in [(6, 6), (2, 1), (5, 3)]:
+            warmed.plan(_two_type(fast, slow), "dp")
+        mset = _two_type(3, 2)
+        assert _canonical(fresh.plan(mset, "dp")) == _canonical(
+            warmed.plan(mset, "dp")
+        )
+
+
+class TestReuse:
+    def test_repeated_type_system_hits_the_table(self):
+        planner = Planner(cache_size=0, reuse_tables=True)
+        planner.plan(_two_type(4, 4), "dp")
+        cache = planner.table_cache
+        assert cache is not None and cache.builds == 1
+        planner.plan(_two_type(2, 3), "dp")  # smaller mix, same types
+        assert cache.builds == 1 and cache.hits == 1
+
+    def test_growth_rebuilds_once(self):
+        planner = Planner(cache_size=0, reuse_tables=True)
+        planner.plan(_two_type(2, 2), "dp")
+        planner.plan(_two_type(6, 6), "dp")  # outgrows the first table
+        cache = planner.table_cache
+        assert cache.builds == 2
+        planner.plan(_two_type(5, 6), "dp")
+        assert cache.builds == 2 and cache.hits == 1
+
+    def test_latency_is_part_of_the_key(self):
+        planner = Planner(cache_size=0, reuse_tables=True)
+        planner.plan(_two_type(3, 3, latency=1), "dp")
+        planner.plan(_two_type(3, 3, latency=2), "dp")
+        assert planner.table_cache.builds == 2
+
+    def test_reuse_disabled_has_no_cache(self):
+        planner = Planner(cache_size=0, reuse_tables=False)
+        planner.plan(_two_type(3, 3), "dp")
+        assert planner.table_cache is None
+
+    def test_non_reusable_solvers_bypass_the_cache(self):
+        planner = Planner(cache_size=0, reuse_tables=True)
+        planner.plan(_two_type(4, 4), "greedy")
+        assert len(planner.table_cache) == 0
+
+    def test_parallel_batch_shares_the_table(self):
+        planner = Planner(cache_size=0, reuse_tables=True)
+        requests = [
+            PlanRequest(instance=_two_type(fast, 8 - fast), solver="dp")
+            for fast in range(1, 8)
+        ] * 2
+        batch = planner.plan_batch(requests, jobs=4)
+        serial = Planner(cache_size=0, reuse_tables=False).plan_batch(requests)
+        assert [_canonical(r) for r in batch] == [_canonical(r) for r in serial]
+
+
+class TestGuards:
+    def test_max_states_still_raises_identically(self):
+        planner = Planner(cache_size=0, reuse_tables=True)
+        with pytest.raises(SolverError, match="state space too large"):
+            planner.plan(_two_type(9, 9), "dp", max_states=10)
+
+    def test_oversized_growth_falls_back_to_direct_solve(self):
+        cache = OptimalTableCache(max_states=60)
+        small = _two_type(2, 2)  # 2 * 3 * 3 = 18 states
+        assert cache.acquire(small) is not None
+        big = _two_type(4, 4)  # growth would need 2 * 5 * 5 = 50 <= 60: ok
+        assert cache.acquire(big) is not None
+        huge = _two_type(9, 9)  # 2 * 10 * 10 = 200 > 60: direct path
+        assert cache.acquire(huge) is None
+        assert cache.builds == 2
+
+    def test_lru_eviction(self):
+        cache = OptimalTableCache(max_tables=1)
+        cache.acquire(_two_type(2, 2, latency=1))
+        cache.acquire(_two_type(2, 2, latency=2))
+        assert len(cache) == 1
+
+    def test_clear_resets_counters(self):
+        cache = OptimalTableCache()
+        cache.acquire(_two_type(2, 2))
+        cache.acquire(_two_type(2, 1))
+        cache.clear()
+        assert (len(cache), cache.hits, cache.builds) == (0, 0, 0)
+
+    def test_table_cache_size_validated(self):
+        with pytest.raises(ReproError, match="table_cache_size"):
+            Planner(table_cache_size=0)

@@ -17,7 +17,6 @@ from repro.conformance import (
     ScenarioSpec,
     generate_corpus,
 )
-from repro.core.greedy import greedy_schedule
 from repro.core.schedule import Schedule
 from repro.exceptions import ConformanceError
 

@@ -1,7 +1,5 @@
 """Unit tests for Theorem 1 bounds and certified lower bounds."""
 
-import math
-
 import pytest
 
 from repro.core.bounds import (

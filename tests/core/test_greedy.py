@@ -1,7 +1,5 @@
 """Unit tests for the greedy algorithm (Section 2, Lemma 1)."""
 
-import pytest
-
 from repro.core.greedy import greedy_completion, greedy_schedule
 from repro.core.multicast import MulticastSet
 

@@ -2,8 +2,6 @@
 
 import itertools
 
-import pytest
-
 from repro.core.greedy import greedy_schedule
 from repro.core.leaf_reversal import greedy_with_reversal, leaf_slots, reverse_leaves
 from repro.core.multicast import MulticastSet

@@ -45,7 +45,9 @@ class TestRatioBound:
 
 class TestScalingExperiments:
     def test_greedy_scaling_fits_nlogn(self):
-        tables = scaling.run(sizes=(256, 512, 1024, 2048), repeats=3)
+        # sizes start at 512: the optimized greedy finishes 256 nodes in
+        # tens of microseconds, where scheduler jitter drowns the fit
+        tables = scaling.run(sizes=(512, 1024, 2048, 4096), repeats=5)
         note = tables[0].notes[0]
         assert "R^2" in note
         # extract the nlogn fit quality and require a sane fit

@@ -1,7 +1,5 @@
 """E1: the Figure 1 reproduction must match the paper exactly."""
 
-import pytest
-
 from repro.experiments.fig1 import (
     PAPER_COMPLETION_A,
     PAPER_COMPLETION_B,

@@ -41,7 +41,6 @@ class TestNodeModelGreedy:
     def test_fastest_served_first(self):
         inst = NodeModelInstance((2, 1, 5))
         children = node_model_greedy(inst)
-        ready = {}
         # fastest destination (cost 1) must be the source's first child
         assert children[0][0] == 1
 

@@ -1,0 +1,107 @@
+"""``repro/perf-v1`` record round-trips, digests and file handling."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.perf.baseline import (
+    BenchmarkRecord,
+    CaseResult,
+    baseline_filename,
+    load_baseline,
+    load_baselines,
+    write_baseline,
+)
+from repro.perf.measure import TimingStats
+
+
+def _record(name="dp_scaling", min_s=0.002, **overrides):
+    timing = TimingStats(
+        min_s=min_s, mean_s=min_s * 1.2, max_s=min_s * 2, stddev_s=min_s / 10,
+        repeats=5,
+    )
+    fields = dict(
+        name=name,
+        mode="quick",
+        environment={"python": "3.11.7", "machine": "x86_64"},
+        results=(
+            CaseResult("k=2,n=16", timing, {"states": 160, "optimum": 13.0}),
+        ),
+        summary={"speedup_vs_reference": 6.5},
+        floors={"speedup_vs_reference": 3.0},
+    )
+    fields.update(overrides)
+    return BenchmarkRecord(**fields)
+
+
+class TestRecordRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        record = _record()
+        clone = BenchmarkRecord.from_dict(record.to_dict())
+        assert clone == record
+        assert clone.digest == record.digest
+
+    def test_digest_is_deterministic_and_content_bound(self):
+        assert _record().digest == _record().digest
+        assert _record().digest != _record(min_s=0.003).digest
+
+    def test_format_checked(self):
+        with pytest.raises(ReproError, match="repro/perf-v1"):
+            BenchmarkRecord.from_dict({"format": "something-else"})
+
+    def test_tampered_digest_rejected(self):
+        data = _record().to_dict()
+        data["summary"]["speedup_vs_reference"] = 99.0  # edited by hand
+        with pytest.raises(ReproError, match="digest mismatch"):
+            BenchmarkRecord.from_dict(data)
+
+    def test_case_lookup(self):
+        record = _record()
+        assert record.case("k=2,n=16").extra_info["states"] == 160
+        with pytest.raises(ReproError, match="no case"):
+            record.case("k=9,n=9")
+
+
+class TestBaselineFiles:
+    def test_write_then_load_round_trips(self, tmp_path):
+        record = _record()
+        path = write_baseline(tmp_path, record)
+        assert path.name == baseline_filename("dp_scaling") == "BENCH_dp_scaling.json"
+        assert load_baseline(path) == record
+
+    def test_file_is_sorted_pretty_json(self, tmp_path):
+        path = write_baseline(tmp_path, _record())
+        text = path.read_text()
+        assert text.endswith("\n")
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="no baseline"):
+            load_baseline(tmp_path / "BENCH_nope.json")
+
+    def test_malformed_json_rejected(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_baseline(bad)
+
+    def test_directory_expansion(self, tmp_path):
+        write_baseline(tmp_path, _record("dp_scaling"))
+        write_baseline(tmp_path, _record("greedy_scaling"))
+        (tmp_path / "unrelated.json").write_text("{}")
+        names = [r.name for r in load_baselines([tmp_path])]
+        assert names == ["dp_scaling", "greedy_scaling"]
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="no BENCH_"):
+            load_baselines([tmp_path])
+
+    def test_duplicate_kernel_rejected(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        write_baseline(a, _record())
+        write_baseline(b, _record())
+        with pytest.raises(ReproError, match="appears in both"):
+            load_baselines([a, b])

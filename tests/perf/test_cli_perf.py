@@ -1,0 +1,143 @@
+"""CLI exit codes and plumbing for ``hnow-multicast perf``.
+
+The dp_table kernel (fast, floor-free) exercises the run path; compare
+exit codes are driven by hand-built baselines so the tests stay
+deterministic on any machine.
+"""
+
+import json
+
+from repro.cli.main import main
+from repro.perf.baseline import (
+    BenchmarkRecord,
+    CaseResult,
+    load_baseline,
+    write_baseline,
+)
+from repro.perf.environment import environment_fingerprint
+from repro.perf.measure import TimingStats
+
+
+def _run_dp_table(tmp_path):
+    out = tmp_path / "records"
+    code = main([
+        "perf", "run", "--kernel", "dp_table", "--repeats", "1",
+        "-o", str(out),
+    ])
+    return code, out / "BENCH_dp_table.json"
+
+
+class TestPerfRun:
+    def test_run_writes_records_and_exits_zero(self, tmp_path, capsys):
+        code, path = _run_dp_table(tmp_path)
+        assert code == 0
+        record = load_baseline(path)
+        assert record.name == "dp_table"
+        assert record.environment == environment_fingerprint()
+        assert all(case.timing.min_s > 0 for case in record.results)
+        assert "dp_table" in capsys.readouterr().out
+
+    def test_kernel_list(self, capsys):
+        assert main(["perf", "run", "--kernel", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dp_scaling", "greedy_scaling", "service_throughput"):
+            assert name in out
+
+    def test_unknown_kernel_is_usage_error(self, capsys):
+        assert main(["perf", "run", "--kernel", "nope"]) == 2
+        assert "unknown perf kernel" in capsys.readouterr().err
+
+
+class TestPerfCompare:
+    def test_green_compare_exits_zero(self, tmp_path, capsys):
+        _, path = _run_dp_table(tmp_path)
+        code = main([
+            "perf", "compare", "--baseline", str(path),
+            "--tolerance", "10000%", "--repeats", "1",
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        _, path = _run_dp_table(tmp_path)
+        record = load_baseline(path)
+        # shrink the recorded timings 1000x: the same machine cannot keep
+        # up with them, so the (env-matched, enforced) tolerance trips
+        shrunk = BenchmarkRecord(
+            name=record.name,
+            mode=record.mode,
+            environment=record.environment,
+            results=tuple(
+                CaseResult(
+                    case.case,
+                    TimingStats(
+                        min_s=case.timing.min_s / 1000,
+                        mean_s=case.timing.mean_s / 1000,
+                        max_s=case.timing.max_s / 1000,
+                        stddev_s=0.0,
+                        repeats=case.timing.repeats,
+                    ),
+                    dict(case.extra_info),
+                )
+                for case in record.results
+            ),
+            summary=dict(record.summary),
+            floors=dict(record.floors),
+        )
+        write_baseline(path.parent, shrunk)
+        code = main([
+            "perf", "compare", "--baseline", str(path),
+            "--tolerance", "25%", "--repeats", "1",
+        ])
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_floor_violation_exits_one(self, tmp_path, capsys):
+        _, path = _run_dp_table(tmp_path)
+        record = load_baseline(path)
+        gated = BenchmarkRecord(
+            name=record.name,
+            mode=record.mode,
+            environment=record.environment,
+            results=record.results,
+            summary=record.summary,
+            floors={"speedup_vs_reference": 99.0},  # dp_table reports none
+        )
+        write_baseline(path.parent, gated)
+        code = main([
+            "perf", "compare", "--baseline", str(path),
+            "--tolerance", "10000%", "--repeats", "1",
+        ])
+        assert code == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_malformed_tolerance_is_usage_error(self, tmp_path, capsys):
+        _, path = _run_dp_table(tmp_path)
+        assert main([
+            "perf", "compare", "--baseline", str(path), "--tolerance", "fast",
+        ]) == 2
+        assert "malformed tolerance" in capsys.readouterr().err
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        assert main([
+            "perf", "compare", "--baseline", str(tmp_path / "BENCH_x.json"),
+        ]) == 2
+
+    def test_tampered_baseline_is_rejected(self, tmp_path, capsys):
+        _, path = _run_dp_table(tmp_path)
+        data = json.loads(path.read_text())
+        data["results"][0]["timing"]["min_s"] = 1e-9
+        path.write_text(json.dumps(data))
+        assert main(["perf", "compare", "--baseline", str(path)]) == 2
+        assert "digest mismatch" in capsys.readouterr().err
+
+
+class TestPerfBaseline:
+    def test_baseline_writes_to_output_dir(self, tmp_path, capsys):
+        code = main([
+            "perf", "baseline", "--kernel", "dp_table", "--repeats", "1",
+            "-o", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "BENCH_dp_table.json").exists()
+        assert "wrote" in capsys.readouterr().out

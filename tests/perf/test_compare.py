@@ -1,0 +1,144 @@
+"""Regression detection: tolerances, environment policy, floors."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.perf.baseline import BenchmarkRecord, CaseResult
+from repro.perf.compare import compare_records
+from repro.perf.environment import environment_fingerprint, environment_mismatches
+from repro.perf.measure import TimingStats
+
+
+ENV_A = {"python": "3.11.7", "machine": "x86_64"}
+ENV_B = {"python": "3.12.1", "machine": "arm64"}
+
+
+def _timing(min_s):
+    return TimingStats(
+        min_s=min_s, mean_s=min_s, max_s=min_s, stddev_s=0.0, repeats=3
+    )
+
+
+def _record(name, min_s, *, env=ENV_A, summary=None, floors=None, case="n=1024"):
+    return BenchmarkRecord(
+        name=name,
+        mode="quick",
+        environment=dict(env),
+        results=(CaseResult(case, _timing(min_s)),),
+        summary=dict(summary or {}),
+        floors=dict(floors or {}),
+    )
+
+
+class TestTimingPolicy:
+    def test_within_tolerance_passes(self):
+        report = compare_records(
+            [_record("greedy_scaling", 0.010)],
+            [_record("greedy_scaling", 0.012)],
+            tolerance=0.25,
+        )
+        assert report.ok
+        assert report.deltas[0].ratio == pytest.approx(1.2)
+        assert not report.deltas[0].regressed
+
+    def test_above_tolerance_fails_on_same_environment(self):
+        report = compare_records(
+            [_record("greedy_scaling", 0.010)],
+            [_record("greedy_scaling", 0.014)],
+            tolerance=0.25,
+        )
+        assert not report.ok
+        assert report.deltas[0].failed
+        assert "REGRESSED" in report.summary()
+        assert report.summary().endswith("FAIL")
+
+    def test_speedup_never_fails(self):
+        report = compare_records(
+            [_record("greedy_scaling", 0.010)],
+            [_record("greedy_scaling", 0.004)],
+            tolerance=0.0,
+        )
+        assert report.ok
+
+    def test_environment_mismatch_demotes_timings_to_warnings(self):
+        report = compare_records(
+            [_record("greedy_scaling", 0.010, env=ENV_A)],
+            [_record("greedy_scaling", 0.050, env=ENV_B)],
+            tolerance=0.25,
+        )
+        assert report.ok  # 5x slower, but on a different machine
+        assert report.deltas[0].regressed and not report.deltas[0].failed
+        assert any("environment differs" in w for w in report.warnings)
+        assert "advisory" in report.summary()
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ReproError, match="tolerance"):
+            compare_records([], [], tolerance=-0.1)
+
+
+class TestFloors:
+    def test_floor_enforced_even_across_environments(self):
+        baseline = _record(
+            "greedy_scaling", 0.010, env=ENV_A,
+            floors={"speedup_vs_reference": 2.0},
+        )
+        current = _record(
+            "greedy_scaling", 0.010, env=ENV_B,
+            summary={"speedup_vs_reference": 1.4},
+        )
+        report = compare_records([baseline], [current], tolerance=0.25)
+        assert not report.ok
+        assert report.floors[0].failed
+        assert "FLOOR VIOLATED" in report.summary()
+
+    def test_floor_met_passes(self):
+        baseline = _record(
+            "dp_scaling", 0.010, floors={"speedup_vs_reference": 3.0}
+        )
+        current = _record(
+            "dp_scaling", 0.010, summary={"speedup_vs_reference": 6.1}
+        )
+        assert compare_records([baseline], [current], tolerance=0.25).ok
+
+    def test_missing_summary_metric_fails(self):
+        baseline = _record(
+            "dp_scaling", 0.010, floors={"speedup_vs_reference": 3.0}
+        )
+        current = _record("dp_scaling", 0.010)  # no summary at all
+        report = compare_records([baseline], [current], tolerance=0.25)
+        assert not report.ok
+        assert "MISSING" in report.summary()
+
+
+class TestCoverageWarnings:
+    def test_unran_kernel_warns(self):
+        report = compare_records(
+            [_record("dp_scaling", 0.010)], [], tolerance=0.25
+        )
+        assert report.ok  # nothing regressed; but visibly incomplete
+        assert any("was not run" in w for w in report.warnings)
+
+    def test_missing_case_warns(self):
+        report = compare_records(
+            [_record("dp_scaling", 0.010, case="k=3,n=21")],
+            [_record("dp_scaling", 0.010, case="k=2,n=16")],
+            tolerance=0.25,
+        )
+        assert any("missing from the current run" in w for w in report.warnings)
+
+
+class TestEnvironment:
+    def test_fingerprint_shape(self):
+        env = environment_fingerprint()
+        for key in ("python", "implementation", "platform", "machine",
+                    "cpu_count", "repro_version"):
+            assert key in env
+
+    def test_mismatch_reporting(self):
+        assert environment_mismatches(ENV_A, ENV_A) == []
+        diffs = environment_mismatches(ENV_A, ENV_B)
+        assert any("machine" in d for d in diffs)
+        # keys present on only one side still surface
+        assert environment_mismatches({"python": "3.11"}, {}) == [
+            "python: baseline '3.11' vs current None"
+        ]

@@ -1,0 +1,52 @@
+"""Unit tests for the perf timing harness."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.perf.measure import TimingStats, measure, measure_pair
+
+
+class TestMeasure:
+    def test_returns_stats_and_payload(self):
+        calls = []
+        stats, payload = measure(lambda: calls.append(1) or len(calls), repeats=3)
+        assert payload == len(calls)
+        assert calls == [1] * 4  # 1 warmup + 3 timed
+        assert stats.repeats == 3
+        assert 0 <= stats.min_s <= stats.mean_s <= stats.max_s
+
+    def test_warmup_configurable(self):
+        calls = []
+        measure(lambda: calls.append(1), repeats=2, warmup=0)
+        assert len(calls) == 2
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ReproError, match="repeats"):
+            measure(lambda: None, repeats=0)
+
+    def test_pair_interleaves(self):
+        order = []
+        measure_pair(
+            lambda: order.append("a"),
+            lambda: order.append("b"),
+            repeats=3,
+            warmup=1,
+        )
+        assert order == ["a", "b"] * 4  # warmup pair + 3 timed pairs
+
+    def test_pair_returns_both_payloads(self):
+        (sa, pa), (sb, pb) = measure_pair(lambda: "A", lambda: "B", repeats=2)
+        assert (pa, pb) == ("A", "B")
+        assert sa.repeats == sb.repeats == 2
+
+
+class TestTimingStats:
+    def test_round_trip(self):
+        stats = TimingStats(
+            min_s=0.001, mean_s=0.002, max_s=0.004, stddev_s=0.0005, repeats=7
+        )
+        assert TimingStats.from_dict(stats.to_dict()) == stats
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ReproError, match="min_s"):
+            TimingStats.from_dict({"mean_s": 1.0})

@@ -5,10 +5,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms.local_search import improve_schedule
-from repro.core.greedy import greedy_schedule
 from repro.core.leaf_reversal import greedy_with_reversal
 from repro.core.schedule import Schedule
-from repro.model.wan import WanNetwork, WanSchedule, cluster_aware_wan, flat_greedy_wan
+from repro.model.wan import WanNetwork, cluster_aware_wan, flat_greedy_wan
 
 from tests.strategies import multicast_sets
 

@@ -1,7 +1,5 @@
 """ShardRouter: stable routing, worker modes, dispatch accounting."""
 
-import asyncio
-
 import pytest
 
 from repro.api import PlanRequest, Planner, instance_fingerprint

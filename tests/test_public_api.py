@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.cli",
     "repro.service",
     "repro.conformance",
+    "repro.perf",
 ]
 
 
@@ -189,6 +190,45 @@ class TestDocsConsistency:
         readme = (REPO / "tests" / "corpus" / "README.md").read_text()
         assert "repro/conformance-v1" in readme
         assert "conformance replay" in readme
+
+    def test_design_performance_section_covers_every_kernel(self):
+        """DESIGN.md §5 documents the perf subsystem and its kernels."""
+        from repro.perf import available_kernels
+
+        design = (REPO / "DESIGN.md").read_text()
+        assert "## 5. Performance" in design
+        for name in available_kernels():
+            assert f"{name}" in design, (
+                f"DESIGN.md Performance section missing kernel {name!r}"
+            )
+        assert "speedup_vs_reference" in design
+        assert "repro/perf-v1" in design
+
+    def test_api_md_documents_performance_tracking(self):
+        api = (REPO / "API.md").read_text()
+        assert "## Performance tracking" in api
+        for token in ("PerfRunner", "perf compare", "repro/perf-v1",
+                      "BENCH_"):
+            assert token in api, f"API.md perf section missing {token!r}"
+
+    def test_readme_documents_performance_tracking(self):
+        readme = (REPO / "README.md").read_text()
+        assert "Performance tracking" in readme
+        assert "perf compare" in readme
+        assert "repro/perf" in readme
+
+    def test_committed_baselines_load_and_carry_the_floors(self):
+        """The acceptance baselines exist, verify by digest, and commit
+        the DP/greedy speedup floors the perf gate enforces."""
+        from repro.perf import load_baseline
+
+        dp = load_baseline(REPO / "BENCH_dp_scaling.json")
+        greedy = load_baseline(REPO / "BENCH_greedy_scaling.json")
+        assert dp.floors.get("speedup_vs_reference") == 3.0
+        assert greedy.floors.get("speedup_vs_reference") == 2.0
+        # the committed runs themselves must honor their own floors
+        assert dp.summary["speedup_vs_reference"] >= 3.0
+        assert greedy.summary["speedup_vs_reference"] >= 2.0
 
     def test_bench_file_per_experiment(self):
         """Every experiment id maps to at least one bench module."""
