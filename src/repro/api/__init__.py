@@ -44,6 +44,7 @@ from repro.api.planner import (
 )
 from repro.api.request import BatchResult, PlanRequest, PlanResult
 from repro.api.tables import OptimalTableCache
+from repro.core.canonical import CanonicalForm, canonical_key, canonicalize
 from repro.api.solvers import (
     SolverCapabilities,
     SolverEntry,
@@ -71,6 +72,10 @@ __all__ = [
     "plan",
     "plan_batch",
     "instance_fingerprint",
+    # canonicalization (see repro.core.canonical)
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_key",
     # request/response
     "PlanRequest",
     "PlanResult",

@@ -3,13 +3,22 @@
 :class:`Planner` is the façade's workhorse.  It resolves solver specs
 through the capability-aware registry (:mod:`repro.api.solvers`), times
 each solve, assembles :class:`~repro.api.request.PlanResult` responses,
-and memoizes them in a thread-safe LRU cache keyed by a canonical
-*instance fingerprint* plus the resolved solver configuration — repeated
-requests for the same plan are served without re-solving.
+and memoizes them in a thread-safe LRU cache keyed by the instance's
+*canonical key* (:mod:`repro.core.canonical`) plus the resolved solver
+configuration — repeated requests are served without re-solving even when
+they are merely *equivalent* (renamed nodes, power-of-two-rescaled
+overheads) rather than byte-equal: a cached result is re-bound onto the
+requesting instance bit-identically to a direct solve.
 
 ``plan_batch`` fans a sequence of requests out over a thread pool (or, for
 CPU-bound workloads on picklable instances, a process pool) and returns
-results in submission order, identical to serial execution.
+results in submission order, identical to serial execution.  With
+``group_solve`` (the default on the thread path) requests whose solver
+declares ``reusable_table`` are first *bucketed by canonical type system*:
+one optimal table per bucket is built (or incrementally extended) for the
+bucket's element-wise maximum destination counts, and every request in the
+bucket is answered by an ``O(n)`` table materialization — the Theorem 2
+closing note amortized across the whole batch.
 
 Beyond the in-memory LRU the planner accepts *external cache tiers*
 (:class:`CacheTier`): objects with ``get``/``put`` keyed by the planner's
@@ -29,14 +38,17 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.request import DEFAULT_SOLVER, BatchResult, PlanRequest, PlanResult
 from repro.api.solvers import SolverEntry, SolverOutput, resolve
-from repro.api.tables import OptimalTableCache
+from repro.api.tables import DEFAULT_TABLE_BUDGET, OptimalTableCache
 from repro.core.bounds import bound_report, certified_lower_bound
-from repro.core.dp import estimated_states
+from repro.core.canonical import map_schedule
+from repro.core.dp import DEFAULT_MAX_STATES, box_states, estimated_states
+from repro.core.dp_table import OptimalTable
 from repro.core.multicast import MulticastSet
+from repro.core.schedule import Schedule
 from repro.exceptions import ReproError
 
 __all__ = [
@@ -51,7 +63,7 @@ __all__ = [
 
 Plannable = Union[PlanRequest, MulticastSet]
 
-#: The planner's cache key: (fingerprint, solver name, options key, bounds?).
+#: The planner's cache key: (canonical key, solver name, options key, bounds?).
 CacheKey = Tuple[str, str, str, bool]
 
 
@@ -80,11 +92,15 @@ class CacheTier:
 
 
 def instance_fingerprint(mset: MulticastSet) -> str:
-    """Canonical content hash of an instance (hex sha256 prefix).
+    """Raw content hash of an instance (hex sha256 prefix).
 
     Computed over the sorted-key JSON of the canonical serialization, so
     two instances with identical nodes (in any input order — the model
     canonicalizes destination order) and latency share a fingerprint.
+    Node names and absolute scale *are* part of this hash; the planner's
+    cache keys use the broader
+    :func:`repro.core.canonical.canonical_key` instead, which also folds
+    away renaming and power-of-two rescaling.
     """
     from repro.io.serialization import multicast_to_dict
 
@@ -98,7 +114,10 @@ class CacheInfo:
 
     ``tier_hits`` counts lookups that missed the in-memory LRU but were
     served by an external :class:`CacheTier` (they are not included in
-    ``hits``; ``misses`` counts real solves only).
+    ``hits``; ``misses`` counts real solves only).  ``canonical_hits``
+    counts the subset of hits (memory or tier) that were served across
+    instances — the cached result was planned for an *equivalent* instance
+    (renamed / power-of-two-rescaled) and re-bound onto the request.
     """
 
     hits: int
@@ -106,6 +125,7 @@ class CacheInfo:
     currsize: int
     maxsize: int
     tier_hits: int = 0
+    canonical_hits: int = 0
 
 
 def _options_key(options: Dict[str, Any]) -> str:
@@ -127,7 +147,7 @@ def _execute(
     """
     mset = request.instance
     if fingerprint is None:
-        fingerprint = instance_fingerprint(mset)
+        fingerprint = mset.canonical_form().key
     start = time.perf_counter()
     output = solver_fn(mset) if solver_fn is not None else entry(mset, **options)
     elapsed = time.perf_counter() - start
@@ -161,11 +181,61 @@ def _execute(
     )
 
 
+def _table_solver_fn(
+    tables: OptimalTableCache,
+    entry: SolverEntry,
+    options: Dict[str, Any],
+    mset: MulticastSet,
+) -> Optional[Callable[[MulticastSet], SolverOutput]]:
+    """The optimal-table fast path for one solve, or ``None`` to go direct.
+
+    Applies when the solver declares ``reusable_table`` and its options
+    are ones the table honors (only ``max_states``).  Tables live in
+    *canonical* space (:mod:`repro.core.canonical`), so renamed and
+    power-of-two-rescaled networks share them; the materialized schedule
+    is mapped back onto the request's own instance bit-identically.
+    """
+    if not entry.capabilities.reusable_table or (set(options) - {"max_states"}):
+        return None
+    canon = mset.canonical_form()
+    table = tables.acquire(canon.mset, options.get("max_states"))
+    if table is None:
+        return None
+    return _from_table(table, canon.mset)
+
+
+def _from_table(
+    table: OptimalTable, canonical_mset: MulticastSet
+) -> Callable[[MulticastSet], SolverOutput]:
+    def solver_fn(mset: MulticastSet) -> SolverOutput:
+        return SolverOutput(
+            schedule=map_schedule(table.schedule_for(canonical_mset), mset),
+            # the instance's own table size: deterministic per instance,
+            # matching a direct solve_dp exactly
+            stats={"states_computed": estimated_states(mset)},
+        )
+
+    return solver_fn
+
+
+#: Shared table cache for planner-less solves: process-pool ``plan_batch``
+#: workers and the planning service's shard workers
+#: (:func:`_plan_standalone`) amortize repeated same-network traffic here.
+#: Results stay bit-identical to direct solves, so callers cannot observe
+#: which path ran.
+_STANDALONE_TABLES = OptimalTableCache()
+
+
 def _plan_standalone(request: PlanRequest) -> PlanResult:
-    """Process-pool entry point: plan one request with no shared state."""
+    """Process-pool / service-shard entry point: no shared planner state.
+
+    Reuses the module-level :data:`_STANDALONE_TABLES` so a worker that
+    keeps seeing the same network answers from its resident table.
+    """
     entry, spec_options = resolve(request.solver)
     options = {**spec_options, **request.options}
-    return _execute(entry, request, options)
+    solver_fn = _table_solver_fn(_STANDALONE_TABLES, entry, options, request.instance)
+    return _execute(entry, request, options, solver_fn=solver_fn)
 
 
 def _plan_standalone_or_error(request: PlanRequest) -> Union[PlanResult, ReproError]:
@@ -195,13 +265,15 @@ class Planner:
         When ``True`` (default), solvers whose capabilities declare
         ``reusable_table`` (the Section 4 ``dp``) are served through a
         shared per-type-system :class:`~repro.api.tables.OptimalTableCache`:
-        the first instance of a ``(send, receive)`` type system builds the
-        network's full optimal table, and every later instance over the
-        same system is answered by an ``O(n)`` schedule materialization —
-        bit-identical to a direct solve.  Benchmarks and timing
-        experiments that must measure real solves pass ``False``.
-    table_cache_size:
-        LRU capacity (distinct type systems) of the shared table cache.
+        the first instance of a canonical ``(send, receive)`` type system
+        builds the network's full optimal table, and every later instance
+        over the same system is answered by an ``O(n)`` schedule
+        materialization — bit-identical to a direct solve.  Benchmarks and
+        timing experiments that must measure real solves pass ``False``.
+    table_cache_states:
+        Memory budget of the shared table cache: the total DP states its
+        resident tables may hold (least-recently-used tables are evicted
+        past it).
 
     Examples
     --------
@@ -218,13 +290,13 @@ class Planner:
         default_solver: str = DEFAULT_SOLVER,
         cache_tiers: Optional[Iterable[CacheTier]] = None,
         reuse_tables: bool = True,
-        table_cache_size: int = 8,
+        table_cache_states: int = DEFAULT_TABLE_BUDGET,
     ) -> None:
         if cache_size < 0:
             raise ReproError(f"cache_size must be >= 0, got {cache_size}")
-        if table_cache_size < 1:
+        if table_cache_states < 1:
             raise ReproError(
-                f"table_cache_size must be >= 1, got {table_cache_size}"
+                f"table_cache_states must be >= 1, got {table_cache_states}"
             )
         self._cache: "OrderedDict[CacheKey, PlanResult]" = OrderedDict()
         self._cache_size = cache_size
@@ -232,9 +304,12 @@ class Planner:
         self._hits = 0
         self._misses = 0
         self._tier_hits = 0
+        self._canonical_hits = 0
         self._tiers: List[CacheTier] = list(cache_tiers or ())
         self._tables: Optional[OptimalTableCache] = (
-            OptimalTableCache(max_tables=table_cache_size) if reuse_tables else None
+            OptimalTableCache(max_total_states=table_cache_states)
+            if reuse_tables
+            else None
         )
         self.default_solver = default_solver
 
@@ -288,16 +363,16 @@ class Planner:
             f"cannot plan a {type(job).__name__}; expected PlanRequest or MulticastSet"
         )
 
-    def _cache_key(
-        self, fingerprint: str, entry: SolverEntry, options: Dict[str, Any], include_bounds: bool
-    ) -> CacheKey:
-        return (fingerprint, entry.name, _options_key(options), include_bounds)
-
     def _request_key(self, request: PlanRequest) -> Tuple[SolverEntry, Dict[str, Any], CacheKey]:
         entry, spec_options = resolve(request.solver)
         merged = {**spec_options, **request.options}
-        fingerprint = instance_fingerprint(request.instance)
-        return entry, merged, self._cache_key(fingerprint, entry, merged, request.include_bounds)
+        key = (
+            request.instance.canonical_form().key,
+            entry.name,
+            _options_key(merged),
+            request.include_bounds,
+        )
+        return entry, merged, key
 
     # ------------------------------------------------------------------
     # planning
@@ -329,6 +404,7 @@ class Planner:
         request: PlanRequest,
         merged: Dict[str, Any],
         fingerprint: str,
+        solver_fn: Optional[Callable[[MulticastSet], SolverOutput]] = None,
     ) -> PlanResult:
         """One real solve, routed through the optimal-table fast path.
 
@@ -337,29 +413,14 @@ class Planner:
         everything else — including instances too large for the state
         budget — takes the direct path.  Either way the assembled result
         is bit-identical, so cache tiers and the planning service cannot
-        observe which path ran.
+        observe which path ran.  ``solver_fn`` injects a pre-acquired
+        group-solve table.
         """
-        if (
-            self._tables is not None
-            and entry.capabilities.reusable_table
-            and not (set(merged) - {"max_states"})
-        ):
-            table = self._tables.acquire(
-                request.instance, merged.get("max_states")
+        if solver_fn is None and self._tables is not None:
+            solver_fn = _table_solver_fn(
+                self._tables, entry, merged, request.instance
             )
-            if table is not None:
-                def from_table(mset: MulticastSet) -> SolverOutput:
-                    return SolverOutput(
-                        schedule=table.schedule_for(mset),
-                        # the instance's own table size: deterministic per
-                        # instance, matching a direct solve_dp exactly
-                        stats={"states_computed": estimated_states(mset)},
-                    )
-
-                return _execute(
-                    entry, request, merged, fingerprint, solver_fn=from_table
-                )
-        return _execute(entry, request, merged, fingerprint)
+        return _execute(entry, request, merged, fingerprint, solver_fn=solver_fn)
 
     @property
     def table_cache(self) -> Optional[OptimalTableCache]:
@@ -367,12 +428,12 @@ class Planner:
         return self._tables
 
     def request_key(self, request: PlanRequest) -> CacheKey:
-        """The cache key a request resolves to (fingerprint computed once).
+        """The cache key a request resolves to (canonical key computed once).
 
         Services that look up, route and store per request should compute
         this once and pass it to :meth:`cache_lookup` /
-        :meth:`cache_store` — the fingerprint is an O(n) serialization +
-        hash, and ``key[0]`` doubles as the shard-routing input.
+        :meth:`cache_store` — the canonical key is an O(n) normalization +
+        hash, cached on the instance afterwards.
         """
         request = self._as_request(request, None, {})
         return self._request_key(request)[2]
@@ -385,7 +446,7 @@ class Planner:
         Returns ``(result, tier)`` where ``tier`` is ``"memory"`` for an
         LRU hit or the external tier's ``name``, or ``None`` on a full
         miss.  ``key`` (from :meth:`request_key`) skips recomputing the
-        fingerprint.  This is the fast path the planning service runs
+        canonical key.  This is the fast path the planning service runs
         before dispatching a real solve to a worker shard.
         """
         request = self._as_request(request, None, {})
@@ -409,6 +470,43 @@ class Planner:
             key = self._request_key(request)[2]
         self._store(key, result)
 
+    def _materialize_hit(self, cached: PlanResult, request: PlanRequest) -> PlanResult:
+        """Adapt a cached result to the requesting instance.
+
+        Byte-equal instances get the PR-4 fast path (field fix-ups only).
+        An *equivalent* instance — same canonical key, different bytes —
+        gets the schedule re-bound by index and every instance-derived
+        field recomputed from the request's own overheads, exactly as a
+        direct solve would, so the hit is bit-identical to solving.
+        """
+        if cached.schedule.multicast == request.instance:
+            # elapsed_s is 0.0 on hits by contract: nothing was solved
+            return replace(cached, cache_hit=True, tag=request.tag, elapsed_s=0.0)
+        with self._lock:
+            self._canonical_hits += 1
+        mset = request.instance
+        schedule = Schedule(mset, cached.schedule.children)
+        value = schedule.reception_completion
+        bounds = None
+        if request.include_bounds:
+            if cached.exact:
+                opt_value, opt_is_exact = value, True
+            else:
+                opt_value, opt_is_exact = certified_lower_bound(mset), False
+            bounds = bound_report(mset, value, opt_value, opt_is_exact=opt_is_exact)
+        return PlanResult(
+            solver=cached.solver,
+            schedule=schedule,
+            value=value,
+            delivery_completion=schedule.delivery_completion,
+            exact=cached.exact,
+            bounds=bounds,
+            elapsed_s=0.0,
+            cache_hit=True,
+            tag=request.tag,
+            provenance=dict(cached.provenance),
+        )
+
     def _lookup(
         self, request: PlanRequest, key: CacheKey
     ) -> Optional[Tuple[PlanResult, str]]:
@@ -418,11 +516,8 @@ class Planner:
                 if cached is not None:
                     self._cache.move_to_end(key)
                     self._hits += 1
-                    # elapsed_s is 0.0 on hits by contract: nothing was solved
-                    return (
-                        replace(cached, cache_hit=True, tag=request.tag, elapsed_s=0.0),
-                        "memory",
-                    )
+            if cached is not None:
+                return (self._materialize_hit(cached, request), "memory")
         for tier in self.cache_tiers:
             found = tier.get(key)
             if found is None:
@@ -436,7 +531,7 @@ class Planner:
                     while len(self._cache) > self._cache_size:
                         self._cache.popitem(last=False)
             return (
-                replace(found, cache_hit=True, tag=request.tag, elapsed_s=0.0),
+                self._materialize_hit(found, request),
                 getattr(tier, "name", type(tier).__name__),
             )
         return None
@@ -452,6 +547,9 @@ class Planner:
         for tier in self.cache_tiers:
             tier.put(key, result)
 
+    # ------------------------------------------------------------------
+    # batch planning
+    # ------------------------------------------------------------------
     def plan_batch(
         self,
         jobs_in: Iterable[Plannable],
@@ -459,6 +557,7 @@ class Planner:
         jobs: int = 1,
         executor: str = "thread",
         on_error: str = "raise",
+        group_solve: Optional[bool] = None,
     ) -> BatchResult:
         """Plan many requests, optionally in parallel; order is preserved.
 
@@ -478,6 +577,15 @@ class Planner:
             :class:`~repro.exceptions.ReproError`; ``"skip"`` drops failed
             requests from the batch (submission order of the survivors is
             kept).  Non-library exceptions always propagate.
+        group_solve:
+            Amortize table-reusable solves across the batch: requests are
+            bucketed by canonical type system, one optimal table per
+            bucket is built (or extended) for the bucket's element-wise
+            maximum counts, and every bucketed request is answered by a
+            table materialization — bit-identical to per-instance solves.
+            Defaults to on for the thread executor; the process executor
+            cannot share in-memory tables (explicitly requesting it there
+            raises).
         """
         requests = [self._as_request(j, None, {}) for j in jobs_in]
         if jobs < 1:
@@ -486,13 +594,26 @@ class Planner:
             raise ReproError(f"executor must be 'thread' or 'process', got {executor!r}")
         if on_error not in ("raise", "skip"):
             raise ReproError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+        if group_solve is None:
+            group_solve = executor == "thread"
+        elif group_solve and executor == "process":
+            raise ReproError(
+                "group_solve shares in-memory tables and requires the "
+                "thread executor"
+            )
         start = time.perf_counter()
+        prepared = self._group_tables(requests) if group_solve else {}
+
+        def plan_one(item: Tuple[int, PlanRequest]) -> Union[PlanResult, ReproError]:
+            index, request = item
+            return self._plan_or_error(request, prepared.get(index))
+
         outcomes: List[Union[PlanResult, ReproError]]
         if jobs == 1 or len(requests) <= 1:
-            outcomes = [self._plan_or_error(r) for r in requests]
+            outcomes = [plan_one(item) for item in enumerate(requests)]
         elif executor == "thread":
             with ThreadPoolExecutor(max_workers=jobs) as pool:
-                outcomes = list(pool.map(self._plan_or_error, requests))
+                outcomes = list(pool.map(plan_one, enumerate(requests)))
         else:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 outcomes = list(pool.map(_plan_standalone_or_error, requests))
@@ -503,9 +624,121 @@ class Planner:
         elapsed = time.perf_counter() - start
         return BatchResult(results=results, elapsed_s=elapsed, jobs=jobs)
 
-    def _plan_or_error(self, request: PlanRequest) -> Union[PlanResult, ReproError]:
+    def _group_tables(
+        self, requests: Sequence[PlanRequest]
+    ) -> Dict[int, Callable[[MulticastSet], SolverOutput]]:
+        """The group-solve sweep: one table per canonical type-system bucket.
+
+        Returns ``{request index: solver_fn}`` for every request the
+        bucket tables can answer.  Requests that resolve to non-reusable
+        solvers, carry options the tables cannot honor, or exceed their
+        state budgets are left out — the per-request path handles them
+        (and raises) exactly as without grouping.
+        """
+        buckets: Dict[
+            Tuple[Tuple[Tuple[float, float], ...], float],
+            List[Tuple[int, Any, int]],
+        ] = {}
+        for index, request in enumerate(requests):
+            try:
+                entry, merged, key = self._request_key(request)
+            except ReproError:
+                continue  # the per-request path raises the canonical error
+            if not entry.capabilities.reusable_table or (
+                set(merged) - {"max_states"}
+            ):
+                continue
+            if self._cache_size > 0:
+                with self._lock:
+                    cached = key in self._cache
+                if cached:
+                    continue  # already answered by the LRU: nothing to build
+            canon = request.instance.canonical_form()
+            budget = merged.get("max_states", DEFAULT_MAX_STATES)
+            if estimated_states(canon.mset) > budget:
+                continue  # busts its own budget: direct path raises
+            bucket = (canon.mset.type_keys(), canon.mset.latency)
+            buckets.setdefault(bucket, []).append((index, canon, budget))
+        prepared: Dict[int, Callable[[MulticastSet], SolverOutput]] = {}
+        for (type_keys, latency), members in buckets.items():
+            grown = tuple(
+                max(counts)
+                for counts in zip(
+                    *(
+                        canon.mset.destination_type_counts()
+                        for _i, canon, _b in members
+                    )
+                )
+            )
+            est = box_states(len(type_keys), grown)
+            included = [m for m in members if est <= m[2]]
+            if not included:
+                continue
+            table = self._acquire_bucket_table(
+                type_keys, latency, grown, max(m[2] for m in included)
+            )
+            if table is None:
+                continue
+            for index, canon, _budget in included:
+                prepared[index] = _from_table(table, canon.mset)
+        return prepared
+
+    def _acquire_bucket_table(
+        self,
+        type_keys: Tuple[Tuple[float, float], ...],
+        latency: float,
+        counts: Tuple[int, ...],
+        max_states: int,
+    ) -> Optional[OptimalTable]:
+        """A table for one group-solve bucket: cached when reuse is on,
+        batch-local otherwise (``reuse_tables=False`` still amortizes
+        within the batch when group-solve is explicitly requested)."""
+        if self._tables is not None:
+            return self._tables.acquire_box(type_keys, latency, counts, max_states)
+        if box_states(len(type_keys), counts) > max_states:
+            return None  # pragma: no cover - filtered by the bucket pass
+        return OptimalTable(type_keys, counts, latency).build()
+
+    def prewarm_tables(self, instances: Iterable[MulticastSet]) -> int:
+        """Group-build the optimal tables a sweep of instances will need.
+
+        Buckets the instances by canonical type system and sizes each
+        bucket's table to its element-wise maximum counts up front, so a
+        following sweep (the conformance runner, an experiment grid)
+        answers every table-eligible solve by lookup with no growth churn.
+        Returns the number of bucket tables built or extended; a no-op
+        when table reuse is disabled.
+        """
+        if self._tables is None:
+            return 0
+        buckets: Dict[Tuple[Tuple[Tuple[float, float], ...], float], List[Any]] = {}
+        for mset in instances:
+            canon = mset.canonical_form()
+            buckets.setdefault(
+                (canon.mset.type_keys(), canon.mset.latency), []
+            ).append(canon.mset.destination_type_counts())
+        warmed = 0
+        for (type_keys, latency), counts_list in buckets.items():
+            grown = tuple(max(counts) for counts in zip(*counts_list))
+            if self._tables.acquire_box(type_keys, latency, grown) is not None:
+                warmed += 1
+        return warmed
+
+    def _plan_or_error(
+        self,
+        request: PlanRequest,
+        solver_fn: Optional[Callable[[MulticastSet], SolverOutput]] = None,
+    ) -> Union[PlanResult, ReproError]:
         try:
-            return self.plan(request)
+            if solver_fn is None:
+                return self.plan(request)
+            entry, merged, key = self._request_key(request)
+            hit = self._lookup(request, key)
+            if hit is not None:
+                return hit[0]
+            result = self._solve(entry, request, merged, key[0], solver_fn=solver_fn)
+            self._store(key, result)
+            return result
         except ReproError as exc:
             return exc
 
@@ -521,6 +754,7 @@ class Planner:
                 currsize=len(self._cache),
                 maxsize=self._cache_size,
                 tier_hits=self._tier_hits,
+                canonical_hits=self._canonical_hits,
             )
 
     def clear_cache(self) -> None:
@@ -534,6 +768,7 @@ class Planner:
             self._hits = 0
             self._misses = 0
             self._tier_hits = 0
+            self._canonical_hits = 0
 
 
 _DEFAULT_PLANNER = Planner()
@@ -550,8 +785,13 @@ def plan_batch(
     jobs: int = 1,
     executor: str = "thread",
     on_error: str = "raise",
+    group_solve: Optional[bool] = None,
 ) -> BatchResult:
     """Batch-plan with the module-level shared :class:`Planner`."""
     return _DEFAULT_PLANNER.plan_batch(
-        jobs_in, jobs=jobs, executor=executor, on_error=on_error
+        jobs_in,
+        jobs=jobs,
+        executor=executor,
+        on_error=on_error,
+        group_solve=group_solve,
     )

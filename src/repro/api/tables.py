@@ -9,12 +9,22 @@ shape — many instances over the same few workstation models — so the
 an LRU of built :class:`~repro.core.dp_table.OptimalTable` objects keyed
 by ``(type overheads, latency)``.
 
+* The planner hands the cache *canonical* instances
+  (:mod:`repro.core.canonical`), so renamed or power-of-two-rescaled
+  networks share one table.
 * The first instance of a type system pays one table build (the same cost
   as a direct ``solve_dp``); every later instance over the same system —
   of any destination mix the table spans — reuses it.
 * An instance needing more destinations of some type than the cached
-  table covers triggers a rebuild for the element-wise maximum (one
-  bigger solve, after which both shapes are lookups).
+  table covers triggers an *incremental extension*
+  (:meth:`~repro.core.dp_table.OptimalTable.extended`): existing entries
+  are copied and only the new states are computed, so growth costs the
+  margin, not a rebuild.
+* Eviction is by **memory held**, not table count: the cache tracks the
+  total DP states of every resident table and evicts least-recently-used
+  tables until the ``max_total_states`` budget is met.  A single table
+  larger than the whole budget is never admitted (the caller falls back
+  to a direct solve).
 * Results are **bit-identical** to direct :func:`repro.core.dp.solve_dp`
   answers: the iterative DP core computes the same values and argmin
   choices for every sub-box regardless of table capacity, and the
@@ -30,25 +40,32 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
-from repro.core.dp import DEFAULT_MAX_STATES, estimated_states
+from repro.core.dp import DEFAULT_MAX_STATES, box_states
 from repro.core.dp_table import OptimalTable
 from repro.core.multicast import MulticastSet
 
-__all__ = ["OptimalTableCache"]
+__all__ = ["OptimalTableCache", "DEFAULT_TABLE_BUDGET"]
 
 #: Cache key: the full (send, receive) type catalogue plus the latency.
 TableKey = Tuple[Tuple[Tuple[float, float], ...], float]
 
+#: Default total-states memory budget across every resident table.  DP
+#: states are a float plus an argmin tuple each, so this bounds the cache
+#: to low hundreds of megabytes in the worst CPython case.
+DEFAULT_TABLE_BUDGET = 2_000_000
+
 
 class OptimalTableCache:
-    """Thread-safe LRU of built optimal tables, keyed by type system.
+    """Thread-safe LRU of built optimal tables, bounded by held DP states.
 
     Parameters
     ----------
-    max_tables:
-        Capacity of the LRU; the least recently used table is evicted.
+    max_total_states:
+        Memory budget: the sum of every resident table's entry count.
+        Least-recently-used tables are evicted until the budget holds; a
+        single table over the whole budget is refused outright.
     max_states:
         Default per-table state budget (instances may tighten it via the
         ``dp`` solver's ``max_states`` option; the cache never *grows* a
@@ -58,15 +75,23 @@ class OptimalTableCache:
 
     def __init__(
         self,
-        max_tables: int = 8,
+        max_total_states: int = DEFAULT_TABLE_BUDGET,
         max_states: int = DEFAULT_MAX_STATES,
     ) -> None:
+        if max_total_states < 1:
+            from repro.exceptions import ReproError
+
+            raise ReproError(
+                f"max_total_states must be >= 1, got {max_total_states}"
+            )
         self._tables: "OrderedDict[TableKey, OptimalTable]" = OrderedDict()
-        self._max_tables = max_tables
+        self._max_total_states = max_total_states
         self._max_states = max_states
         self._lock = threading.Lock()
         self._hits = 0
         self._builds = 0
+        self._extensions = 0
+        self._evictions = 0
 
     @property
     def hits(self) -> int:
@@ -75,11 +100,49 @@ class OptimalTableCache:
 
     @property
     def builds(self) -> int:
-        """Tables built (first sight of a type system, or capacity growth)."""
+        """Tables built from scratch (first sight of a type system)."""
         return self._builds
+
+    @property
+    def extensions(self) -> int:
+        """Incremental capacity growths (only the new states computed)."""
+        return self._extensions
+
+    @property
+    def evictions(self) -> int:
+        """Tables dropped to respect the total-states budget."""
+        return self._evictions
+
+    @property
+    def states_held(self) -> int:
+        """Total DP states across every resident table."""
+        with self._lock:
+            return sum(t.entries for t in self._tables.values())
+
+    @property
+    def max_total_states(self) -> int:
+        """The committed memory budget (total resident DP states)."""
+        return self._max_total_states
 
     def __len__(self) -> int:
         return len(self._tables)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: occupancy, budget, hit/build/extend/evict."""
+        with self._lock:
+            return {
+                "tables": len(self._tables),
+                "states_held": sum(t.entries for t in self._tables.values()),
+                "max_total_states": self._max_total_states,
+                "hits": self._hits,
+                "builds": self._builds,
+                "extensions": self._extensions,
+                "evictions": self._evictions,
+            }
+
+    def _budget(self, max_states: Optional[int]) -> int:
+        per_table = self._max_states if max_states is None else max_states
+        return min(per_table, self._max_total_states)
 
     def acquire(
         self, mset: MulticastSet, max_states: Optional[int] = None
@@ -91,11 +154,31 @@ class OptimalTableCache:
         canonical :class:`~repro.exceptions.SolverError`), or growing the
         cached table to span this instance would.
         """
-        budget = self._max_states if max_states is None else max_states
-        if estimated_states(mset) > budget:
+        return self.acquire_box(
+            mset.type_keys(),
+            mset.latency,
+            mset.destination_type_counts(),
+            max_states,
+        )
+
+    def acquire_box(
+        self,
+        type_keys: Sequence[Tuple[float, float]],
+        latency: Union[int, float],
+        counts: Sequence[int],
+        max_states: Optional[int] = None,
+    ) -> Optional[OptimalTable]:
+        """A built table covering the box ``[0, counts]`` for a network.
+
+        This is :meth:`acquire` with the box made explicit — the group
+        solver passes each bucket's element-wise maximum so one table (one
+        build or extension) answers the whole bucket.
+        """
+        budget = self._budget(max_states)
+        counts = tuple(int(c) for c in counts)
+        if box_states(len(type_keys), counts) > budget:
             return None
-        key: TableKey = (mset.type_keys(), mset.latency)
-        counts = mset.destination_type_counts()
+        key: TableKey = (tuple(tuple(t) for t in type_keys), latency)
         with self._lock:
             table = self._tables.get(key)
             if table is not None:
@@ -105,21 +188,29 @@ class OptimalTableCache:
                     self._hits += 1
                     return table
                 grown = tuple(max(c, m) for c, m in zip(counts, spec.max_counts))
-                est = len(grown)
-                for c in grown:
-                    est *= c + 1
-                if est > budget:
+                if box_states(len(type_keys), grown) > budget:
                     # growth would bust the budget; keep the old table for
                     # the shapes it already serves and solve this directly
                     return None
-                counts = grown
-            table = OptimalTable(key[0], counts, key[1]).build()
-            self._builds += 1
+                # incremental extension: a *new* table object (readers of
+                # the old one stay consistent) computing only the margin
+                table = table.extended(grown)
+                self._extensions += 1
+            else:
+                table = OptimalTable(key[0], counts, latency).build()
+                self._builds += 1
             self._tables[key] = table
             self._tables.move_to_end(key)
-            while len(self._tables) > self._max_tables:
-                self._tables.popitem(last=False)
+            self._evict_over_budget()
             return table
+
+    def _evict_over_budget(self) -> None:
+        """Drop LRU tables until the total-states budget holds (locked)."""
+        held = sum(t.entries for t in self._tables.values())
+        while held > self._max_total_states and len(self._tables) > 1:
+            _key, dropped = self._tables.popitem(last=False)
+            held -= dropped.entries
+            self._evictions += 1
 
     def clear(self) -> None:
         """Drop every cached table and reset the counters."""
@@ -127,3 +218,5 @@ class OptimalTableCache:
             self._tables.clear()
             self._hits = 0
             self._builds = 0
+            self._extensions = 0
+            self._evictions = 0

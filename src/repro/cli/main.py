@@ -6,6 +6,7 @@ Subcommands
 ``schedule``    schedule an instance with any registered solver
 ``simulate``    execute a schedule on the discrete-event simulator
 ``compare``     run every capable solver on one instance (optionally parallel)
+``plan-batch``  plan many instances in one amortized group-solve batch
 ``experiment``  run the E1..E10 reproduction experiments
 ``fig1``        pretty-print the Figure 1 reproduction
 ``serve``       run the long-lived planning service (TCP JSON-lines)
@@ -72,6 +73,21 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("instance", help="instance JSON path")
     cmp_.add_argument("-j", "--jobs", type=int, default=1,
                       help="parallel planning workers (default 1 = serial)")
+
+    pba = sub.add_parser(
+        "plan-batch",
+        help="plan many instance JSONs in one amortized batch (group-solve)")
+    pba.add_argument("instances", nargs="+", help="instance JSON paths")
+    pba.add_argument("--solver", default=None,
+                     help="solver spec for every instance (default: "
+                          "the planner's default)")
+    pba.add_argument("-j", "--jobs", type=int, default=1,
+                     help="parallel planning workers (default 1 = serial)")
+    pba.add_argument("--no-group-solve", action="store_true",
+                     help="escape hatch: plan instance-by-instance instead "
+                          "of bucketing by canonical type system")
+    pba.add_argument("--json", action="store_true",
+                     help="emit results as repro/plan-result-v1 JSON lines")
 
     exp = sub.add_parser("experiment", help="run reproduction experiments")
     exp.add_argument("names", nargs="*", default=[],
@@ -320,6 +336,51 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.jobs > 1:
         table.add_note(f"planned with {args.jobs} parallel workers")
     print(table.render())
+    return 0
+
+
+def _cmd_plan_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import Planner, PlanRequest
+    from repro.io.serialization import load_multicast, plan_result_to_dict
+
+    requests = []
+    for path in args.instances:
+        try:
+            mset = load_multicast(path)
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot load instance {path}: {exc}") from exc
+        requests.append(
+            PlanRequest(
+                instance=mset,
+                **({"solver": args.solver} if args.solver else {}),
+                tag=path,
+            )
+        )
+    planner = Planner()
+    batch = planner.plan_batch(
+        requests,
+        jobs=max(1, args.jobs),
+        group_solve=False if args.no_group_solve else None,
+    )
+    for result in batch:
+        if args.json:
+            print(json.dumps(plan_result_to_dict(result), sort_keys=True))
+        else:
+            print(
+                f"{result.tag}: R_T={result.value:g} solver={result.solver}"
+                + (" optimal" if result.exact else "")
+            )
+    tables = planner.table_cache
+    mode = "per-instance" if args.no_group_solve else "group-solve"
+    stats = tables.stats() if tables is not None else {}
+    print(
+        f"planned {len(batch)} instances in {batch.elapsed_s * 1e3:.1f} ms "
+        f"({mode}; tables built={stats.get('builds', 0)} "
+        f"extended={stats.get('extensions', 0)} hits={stats.get('hits', 0)} "
+        f"states={stats.get('states_held', 0)})"
+    )
     return 0
 
 
@@ -693,6 +754,7 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
+    "plan-batch": _cmd_plan_batch,
     "experiment": _cmd_experiment,
     "fig1": _cmd_fig1,
     "serve": _cmd_serve,

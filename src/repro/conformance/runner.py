@@ -143,6 +143,15 @@ class ConformanceRunner:
         (``0`` disables the service check entirely).
     shrink:
         Auto-shrink failing scenarios to minimal reproducing specs.
+    group_solve:
+        Amortize the sweep's table-reusable solves: before sweeping a
+        materialized corpus, the runner group-prewarms the planner's
+        optimal tables (:meth:`~repro.api.Planner.prewarm_tables`) — one
+        table per canonical type-system bucket, sized for the bucket's
+        element-wise maximum — so every ``dp`` solve in the sweep is a
+        lookup with no growth churn.  Results are bit-identical either
+        way (the invariants themselves keep proving it), so this only
+        changes sweep wall-clock.
     """
 
     def __init__(
@@ -154,6 +163,7 @@ class ConformanceRunner:
         oracle_max_n: int = 9,
         service_every: int = 8,
         shrink: bool = True,
+        group_solve: bool = True,
     ) -> None:
         if service_every < 0:
             raise ConformanceError(
@@ -171,8 +181,30 @@ class ConformanceRunner:
         self.oracle_max_n = oracle_max_n
         self.service_every = service_every
         self.shrink = shrink
+        self.group_solve = group_solve
         self._service = None  # lazily started PlanningService
         self._service_client = None
+
+    # ------------------------------------------------------------------
+    # group-solve amortization
+    # ------------------------------------------------------------------
+    def _prewarm(self, specs: Sequence[ScenarioSpec]) -> int:
+        """Pre-size the planner's optimal tables for a whole corpus.
+
+        Rebuilds each spec's instance (cheap, deterministic) and hands the
+        ``dp``-practical ones to :meth:`~repro.api.Planner.prewarm_tables`;
+        instances whose buckets bust the table budget are simply skipped by
+        the cache and solve directly as before.
+        """
+        instances = []
+        for spec in specs:
+            try:
+                mset = spec.build()
+            except Exception:  # noqa: BLE001 - run() reports the crash itself
+                continue
+            if "dp" in self._solver_names(mset):
+                instances.append(mset)
+        return self.planner.prewarm_tables(instances)
 
     # ------------------------------------------------------------------
     # scenario evaluation
@@ -253,6 +285,10 @@ class ConformanceRunner:
         )
         if self.service_every:
             report.per_invariant[SERVICE_PARITY] = {"passed": 0, "failed": 0}
+        if self.group_solve and isinstance(specs, (list, tuple)):
+            # materialized corpus: group-build every bucket's table up
+            # front (spec streams — the fuzzer — warm incrementally)
+            self._prewarm(specs)
         start = time.perf_counter()
         solvers_seen: set = set()
         families_seen: set = set()

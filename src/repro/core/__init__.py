@@ -15,10 +15,14 @@ The public surface of the reproduction's primary contribution:
 * :func:`~repro.core.brute_force.solve_exact` — exact branch-and-bound
   validation oracle;
 * :mod:`~repro.core.transform` — Lemma 3 exchange and Theorem 1 rounding;
-* :mod:`~repro.core.bounds` — Theorem 1's bound and certified lower bounds.
+* :mod:`~repro.core.bounds` — Theorem 1's bound and certified lower bounds;
+* :mod:`~repro.core.canonical` — canonical instance forms and equivalence
+  keys (renaming + exact power-of-two rescaling) behind the planner's
+  amortized caching (DESIGN.md §6).
 """
 
 from repro.core.node import Node, overhead_key, same_type
+from repro.core.canonical import CanonicalForm, canonicalize, canonical_key, map_schedule
 from repro.core.multicast import MulticastSet
 from repro.core.schedule import Schedule
 from repro.core.greedy import greedy_schedule, greedy_completion, GreedyTrace, GreedyStep
@@ -86,4 +90,8 @@ __all__ = [
     "certified_lower_bound",
     "BoundReport",
     "bound_report",
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_key",
+    "map_schedule",
 ]

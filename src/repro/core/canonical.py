@@ -1,0 +1,162 @@
+"""Canonical instance forms: one key per equivalence class of multicasts.
+
+Production traffic is full of instances that are *equivalent but not
+byte-equal*: the same cluster submitted under different node names, or the
+same network expressed in different time units.  Two proven metamorphic
+invariants (:mod:`repro.conformance.invariants`) say such instances share
+their optimal structure:
+
+* **permutation/renaming** — solvers see overheads and indices, never
+  names, and :class:`~repro.core.multicast.MulticastSet` already sorts
+  destinations canonically, so renaming nodes changes nothing;
+* **scaling** — multiplying every overhead and the latency by ``c > 0``
+  scales every completion time by exactly ``c`` and leaves every argmin
+  comparison unchanged.
+
+This module folds both into a *canonical form*: nodes renamed to ``p0`` /
+``d1..dn`` and all model parameters rescaled so the largest lies in
+``[1, 2)``.  The rescale factor is deliberately restricted to **powers of
+two**: dividing an IEEE double by ``2**s`` only shifts its exponent, so
+every sum, max and comparison a solver performs on the canonical instance
+rounds *identically* to the original's — schedules planned on the
+canonical form bind back onto the original instance **bit-identically**
+(asserted by the round-trip property tests).  Arbitrary rational factors
+(the conformance suite's ``x3``) preserve values only up to rounding, so
+they are intentionally *not* part of the class: a cache hit must never be
+allowed to change a single output bit.
+
+Consumers:
+
+* :class:`repro.api.planner.Planner` keys its result LRU and cache tiers
+  by :attr:`CanonicalForm.key`, so equivalent requests hit;
+* :class:`repro.api.tables.OptimalTableCache` keys optimal tables by the
+  canonical type system, so renamed/rescaled networks share one table;
+* the service :class:`~repro.service.shard.ShardRouter` routes by
+  :attr:`CanonicalForm.network_key`, landing same-network traffic on the
+  shard whose worker already holds that network's table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node
+from repro.core.schedule import Schedule
+from repro.exceptions import SolverError
+
+__all__ = ["CanonicalForm", "canonicalize", "canonical_key", "map_schedule"]
+
+#: Smallest positive normal double: rescaled parameters must stay at or
+#: above this for the power-of-two shift to be exact (subnormals round).
+_SMALLEST_NORMAL = 2.2250738585072014e-308
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """An instance's canonical representative and its class keys.
+
+    Attributes
+    ----------
+    mset:
+        The canonical instance: nodes renamed ``p0``/``d1..dn`` (in the
+        model's canonical destination order) and every overhead plus the
+        latency divided by :attr:`scale`.  Destination ``i`` of the
+        canonical instance corresponds to destination ``i`` of the
+        original, so schedules transfer by index (:func:`map_schedule`).
+    scale:
+        The exact power of two with ``original = canonical * scale``.
+    key:
+        Content hash identifying the instance's equivalence class
+        (renaming + power-of-two rescaling).  The planner's cache key.
+    network_key:
+        Content hash of the canonical *type system* — the distinct
+        ``(o_send, o_receive)`` pairs plus the latency.  All instances
+        drawn from the same network share it whatever their destination
+        mix; it is the shard-routing and group-solve bucket key.
+    """
+
+    mset: MulticastSet
+    scale: float
+    key: str
+    network_key: str
+
+
+def canonicalize(mset: MulticastSet) -> CanonicalForm:
+    """The canonical form of ``mset`` (cached via ``mset.canonical_form()``).
+
+    The rescale exponent is chosen so the largest model parameter lands in
+    ``[1, 2)``; if the instance's dynamic range is so extreme that the
+    shift would push a parameter into the subnormal range (where rounding
+    breaks exactness), rescaling is skipped and only renaming applies.
+    """
+    nodes = mset.nodes
+    largest = max(mset.latency, *(nd.send_overhead for nd in nodes),
+                  *(nd.receive_overhead for nd in nodes))
+    smallest = min(mset.latency, *(nd.send_overhead for nd in nodes),
+                   *(nd.receive_overhead for nd in nodes))
+    shift = math.frexp(largest)[1] - 1
+    if math.ldexp(float(smallest), -shift) < _SMALLEST_NORMAL:
+        shift = 0  # pragma: no cover - pathological >2^1000 dynamic range
+
+    def down(value: float) -> float:
+        return math.ldexp(float(value), -shift)
+
+    source = Node("p0", down(mset.source.send_overhead),
+                  down(mset.source.receive_overhead))
+    dests = [
+        Node(f"d{i}", down(d.send_overhead), down(d.receive_overhead))
+        for i, d in enumerate(mset.destinations, start=1)
+    ]
+    latency = down(mset.latency)
+    canonical = MulticastSet(source, dests, latency, validate_correlation=False)
+    key = _digest(
+        {
+            "v": "repro/canonical-v1",
+            "latency": latency,
+            "source": source.type_key,
+            "destinations": [d.type_key for d in canonical.destinations],
+        }
+    )
+    network_key = _digest(
+        {
+            "v": "repro/canonical-network-v1",
+            "latency": latency,
+            "types": [list(t) for t in canonical.type_keys()],
+        }
+    )
+    return CanonicalForm(
+        mset=canonical,
+        scale=math.ldexp(1.0, shift),
+        key=key,
+        network_key=network_key,
+    )
+
+
+def canonical_key(mset: MulticastSet) -> str:
+    """The instance's equivalence-class key (see :class:`CanonicalForm`)."""
+    return mset.canonical_form().key
+
+
+def map_schedule(schedule: Schedule, mset: MulticastSet) -> Schedule:
+    """Bind a schedule planned on one instance onto an equivalent one.
+
+    Node indices transfer unchanged (canonicalization preserves the
+    canonical destination order), so only the timing is recomputed — from
+    ``mset``'s own overheads, exactly as a direct solve would.
+    """
+    if schedule.multicast.n != mset.n:
+        raise SolverError(
+            f"cannot map a schedule for n={schedule.multicast.n} onto an "
+            f"instance with n={mset.n}"
+        )
+    return Schedule(mset, schedule.children)

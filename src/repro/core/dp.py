@@ -44,7 +44,7 @@ the ``O(n^{2k})`` complexity); reproduced by experiments E4 and E8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.multicast import MulticastSet
 from repro.core.schedule import Schedule
@@ -53,6 +53,7 @@ from repro.exceptions import SolverError
 __all__ = [
     "TypeSystem",
     "DPSolution",
+    "box_states",
     "solve_dp",
     "optimal_completion_dp",
     "DEFAULT_MAX_STATES",
@@ -140,13 +141,48 @@ class _DPCore:
         )
 
     def ensure(self, counts: Counts) -> None:
-        """Fill the table for the box ``[0, counts]`` (grows capacity)."""
+        """Fill the table for the box ``[0, counts]`` (grows capacity).
+
+        Growth is *incremental*: existing entries are copied into the
+        larger box's packed layout and only the genuinely new states run
+        the Lemma 4 minimization, so outgrowing a table costs the margin,
+        not a rebuild.  Values and argmin choices are bit-identical to a
+        fresh build of the larger box (each state's scan depends only on
+        its own count vector, never on table capacity).
+        """
         if self.covers(counts):
             return
         if self._max is None:
             self._build(tuple(counts))
         else:
-            self._build(tuple(max(c, m) for c, m in zip(counts, self._max)))
+            grown = tuple(max(c, m) for c, m in zip(counts, self._max))
+            self._adopt(self.extended_to(grown))
+
+    def extended_to(self, new_max: Counts) -> "_DPCore":
+        """A new core spanning ``[0, new_max]``, reusing this one's states.
+
+        This core is left untouched (readers holding it stay consistent);
+        the returned core is bit-identical to ``_DPCore(...)._build(new_max)``.
+        """
+        if self._max is None:
+            core = _DPCore(self.types, self.latency)
+            core._build(tuple(new_max))
+            return core
+        if any(n < m for n, m in zip(new_max, self._max)):
+            raise SolverError(
+                f"cannot shrink a DP table from {self._max} to {tuple(new_max)}"
+            )
+        core = _DPCore(self.types, self.latency)
+        core._grow_from(self, tuple(new_max))
+        return core
+
+    def _adopt(self, core: "_DPCore") -> None:
+        self._max = core._max
+        self._strides = core._strides
+        self._size = core._size
+        self._tau = core._tau
+        self._choice = core._choice
+        self.states_filled = core.states_filled
 
     # ------------------------------------------------------------------
     # the iterative fill
@@ -179,6 +215,75 @@ class _DPCore:
         self._choice = choice
         self.states_filled = k * size
 
+    def _grow_from(self, old: "_DPCore", new_max: Counts) -> None:
+        """Fill this (empty) core for ``[0, new_max]`` reusing ``old``'s box.
+
+        Old entries are copied into the larger box's packed layout (argmin
+        splits re-packed from the old strides); only states outside the
+        old box run the minimization.  Marginal cost: one O(old) copy plus
+        the Lemma 4 scan for the new states.
+        """
+        ts = self.types
+        k = ts.k
+        L = self.latency
+        old_max = old._max
+        assert old_max is not None
+        strides: List[int] = []
+        size = 1
+        for c in new_max:
+            strides.append(size)
+            size *= c + 1
+        sends = [ts.send(t) for t in range(k)]
+        recvs = [ts.receive(t) for t in range(k)]
+        tau = [[0.0] * size for _ in range(k)]
+        choice: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * size for _ in range(k)
+        ]
+        if k == 1:
+            # single dimension: the packed layout is the identity, so the
+            # old table is a prefix — bulk-copy it and continue the scan
+            tau[0][: old._size] = old._tau[0]
+            choice[0][: old._size] = old._choice[0]
+            self._fill_homogeneous(
+                size, sends[0], recvs[0], L, tau[0], choice[0], start=old._size
+            )
+        else:
+            old_strides = old._strides
+            old_tau, old_choice = old._tau, old._choice
+            # copy old entries to their new packed positions, walking both
+            # codes with one mixed-radix odometer
+            digits = [0] * k
+            new_code = 0
+            for old_code in range(old._size):
+                if old_code:
+                    for j in range(k):
+                        if digits[j] < old_max[j]:
+                            digits[j] += 1
+                            new_code += strides[j]
+                            break
+                        digits[j] = 0
+                        new_code -= old_max[j] * strides[j]
+                for s in range(k):
+                    tau[s][new_code] = old_tau[s][old_code]
+                    chosen = old_choice[s][old_code]
+                    if chosen is not None:
+                        ell, rem = chosen
+                        y_new = 0
+                        for j in range(k - 1, 0, -1):
+                            d, rem = divmod(rem, old_strides[j])
+                            y_new += d * strides[j]
+                        choice[s][new_code] = (ell, y_new + rem)
+            self._fill_general(
+                k, size, new_max, strides, sends, recvs, L, tau, choice,
+                skip_inside=old_max,
+            )
+        self._max = new_max
+        self._strides = tuple(strides)
+        self._size = size
+        self._tau = tau
+        self._choice = choice
+        self.states_filled = k * size
+
     @staticmethod
     def _fill_homogeneous(
         size: int,
@@ -187,6 +292,7 @@ class _DPCore:
         L: float,
         tau: List[float],
         choice: List[Optional[Tuple[int, int]]],
+        start: int = 1,
     ) -> None:
         """Closed-form ``k == 1`` scan: Lemma 4 with a single type.
 
@@ -196,11 +302,13 @@ class _DPCore:
         balanced-split structure of the homogeneous optimum.  Scan order
         and tie-breaks match the general path exactly (first strict
         improvement on ascending ``y``), so values and choices are
-        bit-identical to the unspecialized recurrence.
+        bit-identical to the unspecialized recurrence.  ``start`` lets an
+        incremental extension resume where the previous box ended (each
+        state only reads smaller ones, so the suffix fill is identical).
         """
         inf = float("inf")
         first_fixed = S + L + R
-        for m in range(1, size):
+        for m in range(max(1, start), size):
             best = inf
             best_y = 0
             rest_top = m - 1
@@ -228,6 +336,7 @@ class _DPCore:
         L: float,
         tau: List[List[float]],
         choice: List[List[Optional[Tuple[int, int]]]],
+        skip_inside: Optional[Counts] = None,
     ) -> None:
         """Bottom-up fill over packed codes (general ``k``).
 
@@ -235,6 +344,9 @@ class _DPCore:
         every referenced sub-state (a split ``y`` or the ``rest`` vector)
         is component-wise ``<=`` the current counts with at least the
         first-child component strictly smaller, hence has a smaller code.
+        ``skip_inside`` marks a sub-box whose entries are already present
+        (an incremental extension's copied prefix): those codes are left
+        untouched and only the new states run the minimization.
         """
         inf = float("inf")
         # per-dimension packed-code multiples: mult[j][i] == i * stride_j
@@ -250,6 +362,10 @@ class _DPCore:
                     digits[j] += 1
                     break
                 digits[j] = 0
+            if skip_inside is not None and all(
+                d <= m for d, m in zip(digits, skip_inside)
+            ):
+                continue
             # enumerate each first-child type's split sub-box once per code
             # (shared across source types); order matches the reference
             # scan: dimensions ascending, last dimension fastest
@@ -338,16 +454,26 @@ def _bind_schedule(
     return Schedule(mset, {p: kids for p, kids in children.items() if kids})
 
 
+def box_states(k: int, counts: Sequence[int]) -> int:
+    """DP states of the box ``sources x [0, counts]``: ``k * prod(c_j + 1)``.
+
+    The one sizing formula every budget check shares — the solver guard,
+    the table cache's admission/growth gates and the planner's group-solve
+    bucketing all call this, so they can never drift apart.
+    """
+    est = k
+    for c in counts:
+        est *= c + 1
+    return est
+
+
 def estimated_states(mset: MulticastSet) -> int:
     """The DP table size an instance needs: ``k * prod(counts_j + 1)``.
 
     With the iterative core this is exact (the table is filled densely),
     so it doubles as the deterministic ``states_computed`` statistic.
     """
-    est = mset.num_types
-    for c in mset.destination_type_counts():
-        est *= c + 1
-    return est
+    return box_states(mset.num_types, mset.destination_type_counts())
 
 
 def solve_dp(mset: MulticastSet, *, max_states: int = DEFAULT_MAX_STATES) -> DPSolution:

@@ -20,7 +20,7 @@ count vector ``i <= n`` bottom-up.  Afterwards:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.dp import TypeSystem, _DPCore
@@ -90,6 +90,30 @@ class OptimalTable:
         self._core.ensure(self.spec.max_counts)
         self._built = True
         return self
+
+    def extended(self, max_counts: Sequence[int]) -> "OptimalTable":
+        """A **new** built table grown to cover ``max_counts`` as well.
+
+        Existing entries are copied into the larger box and only the new
+        states are computed (see :meth:`_DPCore.extended_to`), so growth
+        costs the margin rather than a rebuild — and the result is
+        bit-identical (values, argmin choices, schedules) to building the
+        larger box from scratch.  This table is left untouched, keeping
+        concurrent readers of the cached table consistent.
+        """
+        counts = tuple(int(c) for c in max_counts)
+        if len(counts) != self.spec.types.k:
+            raise SolverError(
+                f"expected {self.spec.types.k} counts, got {len(counts)}"
+            )
+        if any(c < 0 for c in counts):
+            raise SolverError("max_counts must be non-negative")
+        grown = tuple(max(c, m) for c, m in zip(counts, self.spec.max_counts))
+        table = OptimalTable.__new__(OptimalTable)
+        table.spec = replace(self.spec, max_counts=grown)
+        table._core = self._core.extended_to(grown)
+        table._built = True
+        return table
 
     @property
     def entries(self) -> int:

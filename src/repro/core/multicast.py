@@ -223,6 +223,24 @@ class MulticastSet:
         return max(recvs) - min(recvs)
 
     # ------------------------------------------------------------------
+    # canonical form (see repro.core.canonical)
+    # ------------------------------------------------------------------
+    def canonical_form(self):
+        """This instance's cached :class:`~repro.core.canonical.CanonicalForm`.
+
+        Computed once per instance (the planner, the table cache and the
+        service shard router all consult it on every request) and safe to
+        cache because the instance is immutable.
+        """
+        cached = self.__dict__.get("_canonical")
+        if cached is None:
+            from repro.core.canonical import canonicalize
+
+            cached = canonicalize(self)
+            object.__setattr__(self, "_canonical", cached)
+        return cached
+
+    # ------------------------------------------------------------------
     # transforms
     # ------------------------------------------------------------------
     def with_latency(self, latency: Number) -> "MulticastSet":

@@ -17,13 +17,17 @@ from typing import Dict, List
 
 from repro.analysis.complexity import fit_power
 from repro.analysis.tables import Table
-from repro.api import Planner
+from repro.api import Planner, PlanRequest
 from repro.workloads.clusters import limited_type_cluster
 from repro.workloads.generator import multicast_from_cluster
 from repro.workloads.suites import suite
 
-# timing experiment: caching would turn repeats into no-ops
+# timing experiment (E4b): caching would turn repeats into no-ops
 _PLANNER = Planner(cache_size=0, reuse_tables=False)
+# correctness sweep (E4a): group-solve amortizes the dp side of the grid —
+# one table per canonical type system answers the whole suite, bit-identical
+# to per-instance solves (the exact cross-check still certifies every row)
+_GROUP_PLANNER = Planner(cache_size=0)
 
 __all__ = ["run", "DEFAULTS", "TYPE_SETS"]
 
@@ -59,10 +63,16 @@ def run(
         ["suite", "n", "seed", "DP value", "exact value", "equal", "DP states"],
     )
     for suite_name in optimality_suites:
-        for n, seed, mset in suite(suite_name).instances():
-            if n > optimality_max_n:
-                continue
-            dp = _PLANNER.plan(mset, solver="dp")
+        rows = [
+            (n, seed, mset)
+            for n, seed, mset in suite(suite_name).instances()
+            if n <= optimality_max_n
+        ]
+        dp_batch = _GROUP_PLANNER.plan_batch(
+            [PlanRequest(instance=mset, solver="dp") for _n, _seed, mset in rows],
+            group_solve=True,
+        )
+        for (n, seed, mset), dp in zip(rows, dp_batch):
             exact = _PLANNER.plan(mset, solver="exact")
             opt_table.add_row(
                 [

@@ -3,8 +3,11 @@
 Each experiment module exposes ``run(**params) -> list[Table]`` and a
 ``DEFAULTS`` dict; the runner wires them to names, the CLI, and
 EXPERIMENTS.md generation.  Solver invocations inside the experiment
-modules go through the :mod:`repro.api` façade (timing-sensitive modules
-use a cache-disabled :class:`~repro.api.Planner`).
+modules go through the :mod:`repro.api` façade: timing-sensitive modules
+use a cache-disabled :class:`~repro.api.Planner`, while correctness grids
+(E4a's DP-vs-exact sweep) batch their table-reusable solves through
+``plan_batch(group_solve=True)`` so one optimal table per canonical type
+system answers the whole grid.
 """
 
 from __future__ import annotations

@@ -235,6 +235,125 @@ def _planner_batch(mode: str, repeats: int):
 
 
 # ----------------------------------------------------------------------
+# batch_amortized — group-solve plan_batch vs per-instance planning
+# ----------------------------------------------------------------------
+def _batch_amortized(mode: str, repeats: int):
+    """Same-type-system sweeps answered by one table per canonical bucket.
+
+    The workload mixes raw instances with renamed / power-of-two-rescaled
+    equivalents, so the canonical bucketing (not just exact key reuse) is
+    what earns the speedup.  The baseline is *raw* per-instance planning
+    (``reuse_tables=False`` — every request a full solve, the pre-PR-4
+    shape of fleet traffic), mirroring how the DP/greedy kernels compare
+    against their frozen references.  Two integrity gates keep the floor
+    honest: every output is asserted byte-identical — provenance and
+    ``states_computed`` included — against that baseline, and the grouped
+    planner's table-cache counters must show the bucket signature (one
+    build per canonical bucket, zero per-request hits or extensions), so
+    a regression that silently falls back to per-request table reuse
+    fails the kernel rather than coasting on the cache.
+    """
+    import json
+
+    from repro.api import Planner, PlanRequest
+    from repro.core.multicast import MulticastSet
+    from repro.io.serialization import plan_result_to_dict
+
+    def two_type(fast: int, slow: int, scale: int = 1):
+        return MulticastSet.from_overheads(
+            source=(2 * scale, 3 * scale),
+            destinations=[(1 * scale, 1 * scale)] * fast
+            + [(2 * scale, 3 * scale)] * slow,
+            latency=scale,
+        )
+
+    def three_type(a: int, b: int, c: int):
+        return MulticastSet.from_overheads(
+            source=(5, 8),
+            destinations=[(1, 1)] * a + [(2, 3)] * b + [(5, 8)] * c,
+            latency=1,
+        )
+
+    top = 13 if mode == "quick" else 16
+    requests = [
+        PlanRequest(instance=two_type(fast, slow, scale), solver="dp")
+        for scale in (1, 2)  # power-of-two-scaled sweeps share one bucket
+        for fast in range(top + 1)
+        for slow in range(top + 1)
+        if fast + slow > 0
+    ]
+    if mode == "full":
+        requests += [
+            PlanRequest(instance=three_type(a, b, c), solver="dp")
+            for a in range(6)
+            for b in range(6)
+            for c in range(6)
+            if a + b + c > 0
+        ]
+
+    def payload(result) -> str:
+        body = plan_result_to_dict(result)
+        body["elapsed_s"] = 0.0
+        return json.dumps(body, sort_keys=True)
+
+    grouped_planner: List[Any] = []
+
+    def grouped():
+        # fresh planner per run: the bucket tables are built inside the
+        # timed region, so the speedup includes the amortized build
+        planner = Planner(cache_size=0)
+        grouped_planner[:] = [planner]
+        return planner.plan_batch(requests, group_solve=True)
+
+    def per_instance():
+        planner = Planner(cache_size=0, reuse_tables=False)
+        return planner.plan_batch(requests, group_solve=False)
+
+    (stats, batch), (ref_stats, ref_batch) = measure_pair(
+        grouped, per_instance, repeats=repeats
+    )
+    if len(batch) != len(requests) or len(ref_batch) != len(requests):
+        raise ReproError("batch_amortized dropped requests")
+    buckets = len(
+        {
+            (canon.mset.type_keys(), canon.mset.latency)
+            for canon in (r.instance.canonical_form() for r in requests)
+        }
+    )
+    table_stats = grouped_planner[0].table_cache.stats()
+    if (
+        table_stats["builds"] != buckets
+        or table_stats["hits"]
+        or table_stats["extensions"]
+    ):
+        raise ReproError(
+            "group-solve did not run as a bucket sweep: expected "
+            f"{buckets} bucket builds and no per-request table traffic, "
+            f"got {table_stats}"
+        )
+    for ours, theirs in zip(batch, ref_batch):
+        if payload(ours) != payload(theirs):
+            raise ReproError(
+                "group-solve output diverged from per-instance planning "
+                f"on tag={theirs.tag!r}"
+            )
+    speedup = round(ref_stats.min_s / stats.min_s, 3)
+    cases = [
+        CaseResult(
+            case=f"sweep[{len(requests)}]",
+            timing=stats,
+            extra_info={
+                "instances": len(requests),
+                "instances_per_s": round(len(requests) / stats.min_s),
+                "per_instance_min_s": ref_stats.min_s,
+                "speedup_vs_per_instance": speedup,
+            },
+        )
+    ]
+    return cases, {"speedup_vs_per_instance": speedup}
+
+
+# ----------------------------------------------------------------------
 # conformance_sweep — the verifier itself must stay CI-fast
 # ----------------------------------------------------------------------
 def _conformance_sweep(mode: str, repeats: int):
@@ -343,6 +462,12 @@ KERNELS: Dict[str, Kernel] = {
             "planner_batch",
             "repro.api plan_batch throughput, serial and 4-way",
             _planner_batch,
+        ),
+        Kernel(
+            "batch_amortized",
+            "group-solve plan_batch vs per-instance planning, bit-identical",
+            _batch_amortized,
+            floors={"speedup_vs_per_instance": 3.0},
         ),
         Kernel(
             "conformance_sweep",

@@ -5,8 +5,8 @@ Request life cycle::
     client ──plan──▶ submit: Planner.cache_lookup ──hit──▶ response
                         │ miss
                         ▼ admission cap (global _admitted counter)
-                  per-shard FairQueues (by fingerprint; per-client
-                        │              round-robin within a shard)
+                  per-shard FairQueues (by canonical network key;
+                        │        per-client round-robin within a shard)
                         ▼
                   shard workers ──▶ re-check cache (dedup) ──▶ solve
                   (one per shard,        │
@@ -25,7 +25,9 @@ serving thread, so a slow solve on one shard never blocks another
 shard's backlog or any cache hit.  Identical concurrent requests —
 which always share a shard — are deduplicated by a cache re-check right
 before solving (the first solves, the rest become cache hits; counted
-as ``coalesced``).  Cache-tier I/O and solves all run off the event
+as ``coalesced``; with canonical cache keys this also coalesces requests
+that are merely *equivalent* — renamed nodes, power-of-two-rescaled
+overheads).  Cache-tier I/O and solves all run off the event
 loop.
 
 :class:`PlanningService` runs either embedded (``start_background()`` +
@@ -237,7 +239,9 @@ class PlanningService:
         self.metrics.set_gauge("queue_depth", self._admitted)
         future: "asyncio.Future[Tuple[PlanResult, str]]" = loop.create_future()
         try:
-            shard = self.router.shard_of(key[0])
+            # canonical-network routing: same-network traffic lands on
+            # the shard whose worker already holds that network's table
+            shard = self.router.shard_for(request)
             await queues[shard].put(client_id, (request, key, future))
             return await future
         finally:

@@ -1,11 +1,14 @@
-"""Fingerprint-sharded solver workers for the planning service.
+"""Canonically-sharded solver workers for the planning service.
 
 The service fans real solves out to a fixed set of *shards*.  A request is
-routed by its canonical instance fingerprint
-(:func:`repro.api.instance_fingerprint`), so identical instances always
-land on the same shard: concurrent duplicate requests serialize behind one
-worker instead of burning several on the same solve, and each shard's OS
-process keeps a stable working set.
+routed by its canonical **network** key
+(:attr:`repro.core.canonical.CanonicalForm.network_key` — the instance's
+canonical type system plus latency), so all traffic drawn from the same
+network lands on the same shard: concurrent duplicate (or merely
+*equivalent*) requests serialize behind one worker instead of burning
+several on the same solve, and the shard's worker answers repeated
+same-network ``dp`` traffic from the optimal table it already holds
+(:data:`repro.api.planner._STANDALONE_TABLES`) instead of rebuilding it.
 
 Each shard owns one single-worker executor, created lazily:
 
@@ -24,7 +27,7 @@ import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, Optional
 
-from repro.api.planner import _plan_standalone, instance_fingerprint
+from repro.api.planner import _plan_standalone
 from repro.api.request import PlanRequest, PlanResult
 from repro.exceptions import ReproError
 
@@ -50,13 +53,20 @@ class ShardRouter:
         self._supervisors: Dict[int, Executor] = {}
         self._dispatched: Dict[int, int] = {s: 0 for s in range(num_shards)}
 
-    def shard_of(self, fingerprint: str) -> int:
-        """Stable shard id for a fingerprint (hex prefix modulo shards)."""
-        return int(fingerprint[:8], 16) % self.num_shards
+    def shard_of(self, routing_key: str) -> int:
+        """Stable shard id for a routing key (hex prefix modulo shards)."""
+        return int(routing_key[:8], 16) % self.num_shards
 
     def shard_for(self, request: PlanRequest) -> int:
-        """Shard id a request routes to."""
-        return self.shard_of(instance_fingerprint(request.instance))
+        """Shard id a request routes to: by canonical *network* key.
+
+        Same-network traffic — whatever the destination mix, node names
+        or power-of-two time unit — shares a shard, so the worker that
+        already built that network's optimal table keeps serving it.
+        Identical (and equivalent) concurrent requests still always share
+        a shard, which the service's duplicate-coalescing relies on.
+        """
+        return self.shard_of(request.instance.canonical_form().network_key)
 
     def _executor(self, shard: int) -> Optional[Executor]:
         if self.mode == "inline":

@@ -68,14 +68,28 @@ class TestReuse:
         planner.plan(_two_type(2, 3), "dp")  # smaller mix, same types
         assert cache.builds == 1 and cache.hits == 1
 
-    def test_growth_rebuilds_once(self):
+    def test_growth_extends_incrementally(self):
         planner = Planner(cache_size=0, reuse_tables=True)
         planner.plan(_two_type(2, 2), "dp")
         planner.plan(_two_type(6, 6), "dp")  # outgrows the first table
         cache = planner.table_cache
-        assert cache.builds == 2
+        assert cache.builds == 1 and cache.extensions == 1
         planner.plan(_two_type(5, 6), "dp")
-        assert cache.builds == 2 and cache.hits == 1
+        assert cache.builds == 1 and cache.extensions == 1 and cache.hits == 1
+
+    def test_equivalent_networks_share_a_table(self):
+        # renamed nodes and power-of-two-rescaled overheads canonicalize
+        # onto the same table (the planner passes canonical instances)
+        planner = Planner(cache_size=0, reuse_tables=True)
+        planner.plan(_two_type(4, 4), "dp")
+        scaled = MulticastSet.from_overheads(
+            source=(4, 6),
+            destinations=[(2, 2)] * 3 + [(4, 6)] * 2,
+            latency=2,
+        )
+        planner.plan(scaled, "dp")
+        cache = planner.table_cache
+        assert cache.builds == 1 and cache.hits == 1
 
     def test_latency_is_part_of_the_key(self):
         planner = Planner(cache_size=0, reuse_tables=True)
@@ -118,13 +132,31 @@ class TestGuards:
         assert cache.acquire(big) is not None
         huge = _two_type(9, 9)  # 2 * 10 * 10 = 200 > 60: direct path
         assert cache.acquire(huge) is None
-        assert cache.builds == 2
+        assert cache.builds == 1 and cache.extensions == 1
 
-    def test_lru_eviction(self):
-        cache = OptimalTableCache(max_tables=1)
+    def test_eviction_by_held_states(self):
+        # budget of 60 states: the 50-state second table evicts the first
+        cache = OptimalTableCache(max_total_states=60)
+        cache.acquire(_two_type(2, 2, latency=1))  # 18 states
+        cache.acquire(_two_type(2, 2, latency=2))  # 18 more: both fit
+        assert len(cache) == 2 and cache.evictions == 0
+        cache.acquire(_two_type(4, 4, latency=3))  # 50 states: evict LRU
+        assert len(cache) < 3
+        assert cache.evictions >= 1
+        assert cache.states_held <= cache.max_total_states
+
+    def test_growth_guard_respects_the_budget(self):
+        # growing a resident table past the budget evicts colder tables,
+        # never exceeds the committed total, and refuses single tables
+        # larger than the whole budget
+        cache = OptimalTableCache(max_total_states=120)
         cache.acquire(_two_type(2, 2, latency=1))
         cache.acquire(_two_type(2, 2, latency=2))
-        assert len(cache) == 1
+        grown = cache.acquire(_two_type(6, 6, latency=1))  # 98 states
+        assert grown is not None
+        assert cache.states_held <= cache.max_total_states
+        assert cache.acquire(_two_type(9, 9, latency=1)) is None  # 200 > 120
+        assert cache.states_held <= cache.max_total_states
 
     def test_clear_resets_counters(self):
         cache = OptimalTableCache()
@@ -132,7 +164,8 @@ class TestGuards:
         cache.acquire(_two_type(2, 1))
         cache.clear()
         assert (len(cache), cache.hits, cache.builds) == (0, 0, 0)
+        assert (cache.extensions, cache.evictions) == (0, 0)
 
-    def test_table_cache_size_validated(self):
-        with pytest.raises(ReproError, match="table_cache_size"):
-            Planner(table_cache_size=0)
+    def test_table_cache_states_validated(self):
+        with pytest.raises(ReproError, match="table_cache_states"):
+            Planner(table_cache_states=0)

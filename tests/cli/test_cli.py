@@ -104,6 +104,63 @@ class TestCompare:
         assert "4 parallel workers" in parallel
 
 
+class TestPlanBatch:
+    @pytest.fixture
+    def sweep_files(self, tmp_path):
+        from repro.core.multicast import MulticastSet
+
+        paths = []
+        for i, (fast, slow) in enumerate([(3, 1), (2, 2), (5, 3), (1, 4)]):
+            mset = MulticastSet.from_overheads(
+                source=(2, 3),
+                destinations=[(1, 1)] * fast + [(2, 3)] * slow,
+                latency=1,
+            )
+            paths.append(str(save_json(mset, tmp_path / f"inst{i}.json")))
+        return paths
+
+    def test_plan_batch_group_solve(self, sweep_files, capsys):
+        assert main(["plan-batch", "--solver", "dp", *sweep_files]) == 0
+        out = capsys.readouterr().out
+        for path in sweep_files:
+            assert f"{path}: R_T=" in out
+        assert "group-solve" in out and "tables built=1" in out
+
+    def test_no_group_solve_escape_hatch_matches(self, sweep_files, capsys):
+        assert main(["plan-batch", "--solver", "dp", *sweep_files]) == 0
+        grouped = capsys.readouterr().out.splitlines()
+        args = ["plan-batch", "--solver", "dp", "--no-group-solve", *sweep_files]
+        assert main(args) == 0
+        direct = capsys.readouterr().out.splitlines()
+        # identical per-instance results; only the summary line differs
+        assert grouped[:-1] == direct[:-1]
+        assert "per-instance" in direct[-1]
+
+    def test_plan_batch_json_lines(self, sweep_files, capsys):
+        assert main(["plan-batch", "--json", *sweep_files]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        records = [json.loads(line) for line in lines[:-1]]
+        assert all(r["format"] == "repro/plan-result-v1" for r in records)
+
+    def test_plan_batch_parallel_jobs(self, sweep_files, capsys):
+        assert main(["plan-batch", "-j", "4", *sweep_files]) == 0
+        assert "planned 4 instances" in capsys.readouterr().out
+
+    def test_missing_instance_is_usage_error(self, tmp_path, capsys):
+        assert main(["plan-batch", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_instance_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json{")
+        assert main(["plan-batch", str(bad)]) == 2
+        assert "cannot load instance" in capsys.readouterr().err
+
+    def test_unknown_solver_is_usage_error(self, sweep_files, capsys):
+        assert main(["plan-batch", "--solver", "nope", *sweep_files]) == 2
+        assert "unknown solver" in capsys.readouterr().err
+
+
 class TestExperimentAndFig1:
     def test_fig1(self, capsys):
         assert main(["fig1"]) == 0

@@ -1,0 +1,108 @@
+"""Incremental optimal-table growth is bit-identical to fresh builds.
+
+Satellite of the amortized-batch work: when an instance outgrows a cached
+box, :meth:`repro.core.dp._DPCore.extended_to` copies the existing entries
+into the larger box's packed layout and computes only the margin.  Over
+randomized growth sequences the extended table must match a from-scratch
+build of the final box exactly — values, packed argmin choices, and the
+schedules reconstructed from them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import TypeSystem, _DPCore
+from repro.core.dp_table import OptimalTable
+from repro.core.multicast import MulticastSet
+from repro.exceptions import SolverError
+
+import pytest
+
+from tests.strategies import correlated_types
+
+
+@st.composite
+def growth_chains(draw):
+    """A type system plus a random sequence of count-vector requests."""
+    types = draw(correlated_types(max_types=3, max_send=9))
+    k = len(types)
+    latency = draw(st.integers(min_value=1, max_value=4))
+    steps = draw(
+        st.lists(
+            st.tuples(*(st.integers(min_value=0, max_value=5) for _ in range(k))),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    return types, latency, steps
+
+
+class TestCoreExtension:
+    @settings(max_examples=80)
+    @given(chain=growth_chains())
+    def test_extension_chain_matches_fresh_build(self, chain):
+        types, latency, steps = chain
+        system = TypeSystem(tuple(types))
+        incremental = _DPCore(system, latency)
+        for counts in steps:
+            incremental.ensure(counts)
+        fresh = _DPCore(system, latency)
+        fresh.ensure(incremental._max)
+        assert incremental._max == fresh._max
+        assert incremental._strides == fresh._strides
+        assert incremental.states_filled == fresh.states_filled
+        for s in range(system.k):
+            assert incremental._tau[s] == fresh._tau[s]
+            assert incremental._choice[s] == fresh._choice[s]
+
+    def test_extended_to_rejects_shrinking(self):
+        core = _DPCore(TypeSystem(((1, 1), (2, 3))), 1)
+        core.ensure((3, 3))
+        with pytest.raises(SolverError, match="shrink"):
+            core.extended_to((2, 4))
+
+
+class TestTableExtension:
+    def _mset(self, fast, slow):
+        return MulticastSet.from_overheads(
+            source=(2, 3),
+            destinations=[(1, 1)] * fast + [(2, 3)] * slow,
+            latency=1,
+        )
+
+    def test_extended_table_schedules_match_fresh(self):
+        types = [(1, 1), (2, 3)]
+        grown = OptimalTable(types, (2, 2), latency=1).build()
+        for step in [(4, 2), (4, 5), (7, 7)]:
+            grown = grown.extended(step)
+        fresh = OptimalTable(types, (7, 7), latency=1).build()
+        assert grown.spec == fresh.spec
+        assert grown.entries == fresh.entries
+        for fast in range(8):
+            for slow in range(8):
+                if fast + slow == 0:
+                    continue
+                assert grown.completion(1, (fast, slow)) == fresh.completion(
+                    1, (fast, slow)
+                )
+                mset = self._mset(fast, slow)
+                assert grown.schedule_for(mset) == fresh.schedule_for(mset)
+
+    def test_extended_leaves_the_original_usable(self):
+        # concurrent readers of the cached table must stay consistent:
+        # extension returns a new object and never mutates the old one
+        table = OptimalTable([(1, 1), (2, 3)], (3, 3), latency=1).build()
+        before = (table.spec.max_counts, table.entries)
+        bigger = table.extended((6, 6))
+        assert (table.spec.max_counts, table.entries) == before
+        assert bigger is not table
+        assert bigger.spec.max_counts == (6, 6)
+        mset = self._mset(2, 3)
+        assert table.schedule_for(mset) == bigger.schedule_for(mset)
+
+    def test_extended_validates_counts(self):
+        table = OptimalTable([(1, 1), (2, 3)], (3, 3), latency=1).build()
+        with pytest.raises(SolverError, match="expected 2 counts"):
+            table.extended((4,))
+        with pytest.raises(SolverError, match="non-negative"):
+            table.extended((-1, 4))

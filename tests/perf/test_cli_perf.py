@@ -47,6 +47,21 @@ class TestPerfRun:
         assert main(["perf", "run", "--kernel", "nope"]) == 2
         assert "unknown perf kernel" in capsys.readouterr().err
 
+    def test_run_batch_amortized_self_gates_its_floor(self, tmp_path, capsys):
+        # the kernel's own run enforces the committed >= 3x group-solve
+        # floor (exit 1 on a miss) and writes a loadable record
+        out = tmp_path / "records"
+        code = main([
+            "perf", "run", "--kernel", "batch_amortized", "--repeats", "1",
+            "-o", str(out),
+        ])
+        printed = capsys.readouterr().out
+        record = load_baseline(out / "BENCH_batch_amortized.json")
+        assert record.floors == {"speedup_vs_per_instance": 3.0}
+        speedup = record.summary["speedup_vs_per_instance"]
+        assert code == (0 if speedup >= 3.0 else 1)
+        assert "batch_amortized" in printed
+
 
 class TestPerfCompare:
     def test_green_compare_exits_zero(self, tmp_path, capsys):

@@ -271,7 +271,6 @@ class TestDeduplication:
 
         from repro.api import (
             PlanRequest,
-            Planner,
             SolverCapabilities,
             SolverOutput,
             register_solver,
@@ -290,17 +289,17 @@ class TestDeduplication:
             return SolverOutput(schedule=greedy_schedule(mset))
 
         with PlanningService(num_shards=2, worker_mode="thread") as service:
-            planner = Planner()
-            slow_shard = service.router.shard_of(
-                planner.request_key(PlanRequest(instance=fig1_mset))[0]
-            )
-            # find an instance that routes to the other shard
+            # routing is by canonical network key: find an instance whose
+            # network lands on the other shard
+            slow_shard = service.router.shard_for(PlanRequest(instance=fig1_mset))
             for seed in range(64):
                 other = multicast_from_cluster(
                     bounded_ratio_cluster(6, seed), latency=1, seed=seed
                 )
-                other_key = planner.request_key(PlanRequest(instance=other))
-                if service.router.shard_of(other_key[0]) != slow_shard:
+                if (
+                    service.router.shard_for(PlanRequest(instance=other))
+                    != slow_shard
+                ):
                     break
             else:  # pragma: no cover - 2^-64 unlucky
                 pytest.skip("no instance found on the other shard")

@@ -204,6 +204,45 @@ class TestDocsConsistency:
         assert "speedup_vs_reference" in design
         assert "repro/perf-v1" in design
 
+    def test_design_canonicalization_section(self):
+        """DESIGN.md §6 documents canonicalization + amortized batching."""
+        design = (REPO / "DESIGN.md").read_text()
+        assert "## 6. Canonicalization & amortized batch planning" in design
+        for token in (
+            "power of two",
+            "network_key",
+            "group_solve",
+            "max_total_states",
+            "extended_to",
+            "batch_amortized",
+            "plan-batch",
+        ):
+            assert token in design, (
+                f"DESIGN.md canonicalization section missing {token!r}"
+            )
+
+    def test_api_md_documents_batch_planning(self):
+        """API.md covers the group-solve knobs and canonical-key stats."""
+        api = (REPO / "API.md").read_text()
+        for token in (
+            "group_solve=",
+            "prewarm_tables",
+            "canonical_hits",
+            "table_cache_states",
+            "plan-batch",
+            "--no-group-solve",
+            "speedup_vs_per_instance",
+        ):
+            assert token in api, f"API.md batch-planning docs missing {token!r}"
+
+    def test_batch_amortized_baseline_carries_the_floor(self):
+        """The committed group-solve baseline enforces the >= 3x floor."""
+        from repro.perf import load_baseline
+
+        record = load_baseline(REPO / "BENCH_batch_amortized.json")
+        assert record.floors.get("speedup_vs_per_instance") == 3.0
+        assert record.summary["speedup_vs_per_instance"] >= 3.0
+
     def test_api_md_documents_performance_tracking(self):
         api = (REPO / "API.md").read_text()
         assert "## Performance tracking" in api
