@@ -470,6 +470,48 @@ class Planner:
             key = self._request_key(request)[2]
         self._store(key, result)
 
+    def solve_uncached(self, request: PlanRequest) -> PlanResult:
+        """One real solve: no cache lookup, no store — just the engine.
+
+        Runs the request through the same table fast path and result
+        assembly as :meth:`plan`, but never consults or populates the
+        caches.  The session repair engine
+        (:class:`repro.service.sessions.SessionManager`) uses this as its
+        rebuild path and publishes the result itself via
+        :meth:`cache_store`, keeping lookup, solve and publication as
+        separate steps it can interleave with its own bookkeeping.
+        """
+        request = self._as_request(request, None, {})
+        entry, merged, key = self._request_key(request)
+        return self._solve(entry, request, merged, key[0])
+
+    def solve_from_table(
+        self,
+        request: PlanRequest,
+        table: OptimalTable,
+        canonical_mset: MulticastSet,
+    ) -> PlanResult:
+        """Materialize a request's plan from a pre-acquired optimal table.
+
+        ``table`` must span ``canonical_mset`` (the request instance's
+        canonical form; :class:`~repro.exceptions.SolverError` otherwise).
+        The result — schedule, value, bounds, provenance,
+        ``states_computed`` — is bit-identical to a direct solve of the
+        request, exactly as the planner's own table fast path guarantees;
+        this entry point only lets a caller that manages table lifetime
+        itself (the session repair engine, which holds tables *pinned*
+        across a delta stream) inject the table instead of re-acquiring.
+        """
+        request = self._as_request(request, None, {})
+        entry, merged, key = self._request_key(request)
+        return _execute(
+            entry,
+            request,
+            merged,
+            key[0],
+            solver_fn=_from_table(table, canonical_mset),
+        )
+
     def _materialize_hit(self, cached: PlanResult, request: PlanRequest) -> PlanResult:
         """Adapt a cached result to the requesting instance.
 

@@ -45,6 +45,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 from repro.core.dp import DEFAULT_MAX_STATES, box_states
 from repro.core.dp_table import OptimalTable
 from repro.core.multicast import MulticastSet
+from repro.exceptions import ReproError
 
 __all__ = ["OptimalTableCache", "DEFAULT_TABLE_BUDGET"]
 
@@ -79,12 +80,11 @@ class OptimalTableCache:
         max_states: int = DEFAULT_MAX_STATES,
     ) -> None:
         if max_total_states < 1:
-            from repro.exceptions import ReproError
-
             raise ReproError(
                 f"max_total_states must be >= 1, got {max_total_states}"
             )
         self._tables: "OrderedDict[TableKey, OptimalTable]" = OrderedDict()
+        self._pins: Dict[TableKey, int] = {}
         self._max_total_states = max_total_states
         self._max_states = max_states
         self._lock = threading.Lock()
@@ -128,7 +128,7 @@ class OptimalTableCache:
         return len(self._tables)
 
     def stats(self) -> Dict[str, int]:
-        """Counter snapshot: occupancy, budget, hit/build/extend/evict."""
+        """Counter snapshot: occupancy, budget, hit/build/extend/evict/pin."""
         with self._lock:
             return {
                 "tables": len(self._tables),
@@ -138,6 +138,7 @@ class OptimalTableCache:
                 "builds": self._builds,
                 "extensions": self._extensions,
                 "evictions": self._evictions,
+                "pins": sum(self._pins.values()),
             }
 
     def _budget(self, max_states: Optional[int]) -> int:
@@ -145,20 +146,27 @@ class OptimalTableCache:
         return min(per_table, self._max_total_states)
 
     def acquire(
-        self, mset: MulticastSet, max_states: Optional[int] = None
+        self,
+        mset: MulticastSet,
+        max_states: Optional[int] = None,
+        *,
+        pin: bool = False,
     ) -> Optional[OptimalTable]:
         """A built table spanning ``mset``, or ``None`` when not worth it.
 
         ``None`` means the caller should run the solver directly: the
         instance alone busts the state budget (the direct path raises the
         canonical :class:`~repro.exceptions.SolverError`), or growing the
-        cached table to span this instance would.
+        cached table to span this instance would.  ``pin=True`` (see
+        :meth:`acquire_box`) shields the returned table's key from
+        eviction until a matching :meth:`release_box`.
         """
         return self.acquire_box(
             mset.type_keys(),
             mset.latency,
             mset.destination_type_counts(),
             max_states,
+            pin=pin,
         )
 
     def acquire_box(
@@ -167,12 +175,24 @@ class OptimalTableCache:
         latency: Union[int, float],
         counts: Sequence[int],
         max_states: Optional[int] = None,
+        *,
+        pin: bool = False,
     ) -> Optional[OptimalTable]:
         """A built table covering the box ``[0, counts]`` for a network.
 
         This is :meth:`acquire` with the box made explicit — the group
         solver passes each bucket's element-wise maximum so one table (one
         build or extension) answers the whole bucket.
+
+        ``pin=True`` registers a pin on the table's key *under the same
+        lock that serves the acquire*, so there is no window in which a
+        concurrent acquire can evict the table between handing it out and
+        pinning it.  Pins are counted per key — the key survives
+        incremental extensions (which replace the entry in place), so a
+        session holding a pin keeps its network resident across capacity
+        growth.  Pinned keys are skipped by eviction; every pin must be
+        balanced by :meth:`release_box`.  No pin is taken when the
+        acquire returns ``None``.
         """
         budget = self._budget(max_states)
         counts = tuple(int(c) for c in counts)
@@ -186,6 +206,8 @@ class OptimalTableCache:
                 spec = table.spec
                 if all(c <= m for c, m in zip(counts, spec.max_counts)):
                     self._hits += 1
+                    if pin:
+                        self._pins[key] = self._pins.get(key, 0) + 1
                     return table
                 grown = tuple(max(c, m) for c, m in zip(counts, spec.max_counts))
                 if box_states(len(type_keys), grown) > budget:
@@ -201,21 +223,60 @@ class OptimalTableCache:
                 self._builds += 1
             self._tables[key] = table
             self._tables.move_to_end(key)
+            if pin:
+                self._pins[key] = self._pins.get(key, 0) + 1
             self._evict_over_budget()
             return table
 
+    def release_box(
+        self,
+        type_keys: Sequence[Tuple[float, float]],
+        latency: Union[int, float],
+    ) -> None:
+        """Drop one pin from a network's table (balance of a pinned acquire).
+
+        Raises :class:`~repro.exceptions.ReproError` on a release without
+        a matching pin — an unbalanced release would silently expose some
+        other holder's table to eviction mid-repair.
+        """
+        key: TableKey = (tuple(tuple(t) for t in type_keys), latency)
+        with self._lock:
+            count = self._pins.get(key, 0)
+            if count < 1:
+                raise ReproError(
+                    "release_box without a matching pinned acquire for "
+                    f"latency {latency!r}"
+                )
+            if count == 1:
+                del self._pins[key]
+            else:
+                self._pins[key] = count - 1
+            self._evict_over_budget()
+
     def _evict_over_budget(self) -> None:
-        """Drop LRU tables until the total-states budget holds (locked)."""
+        """Drop unpinned LRU tables until the total-states budget holds.
+
+        Runs under the cache lock.  Pinned keys — in-flight session
+        repairs holding a table reference — are never dropped, even over
+        budget: a pin is a correctness guarantee, so the budget degrades
+        to advisory while everything resident is pinned and is re-enforced
+        as pins release.
+        """
         held = sum(t.entries for t in self._tables.values())
-        while held > self._max_total_states and len(self._tables) > 1:
-            _key, dropped = self._tables.popitem(last=False)
+        for key in list(self._tables):
+            if held <= self._max_total_states or len(self._tables) <= 1:
+                break
+            if self._pins.get(key):
+                continue
+            dropped = self._tables.pop(key)
             held -= dropped.entries
             self._evictions += 1
 
     def clear(self) -> None:
-        """Drop every cached table and reset the counters."""
+        """Drop every cached table (pins included) and reset the counters."""
         with self._lock:
             self._tables.clear()
+            self._pins.clear()
             self._hits = 0
             self._builds = 0
             self._extensions = 0

@@ -22,6 +22,9 @@ Built-in catalogue
 ``permutation``           destination input order never changes any value
 ``serialization``         instances, schedules and results round-trip
                           bit-identically through :mod:`repro.io`
+``repair-identity``       session repair under a membership-delta chain is
+                          byte-equal to cold re-planning each post-delta
+                          membership
 
 Custom invariants register with :func:`register_invariant` and are picked
 up by every :class:`~repro.conformance.runner.ConformanceRunner` built
@@ -461,6 +464,58 @@ def _serialization(outcome: ScenarioOutcome) -> List[Violation]:
             out.append(
                 Violation("plan result is not bit-stable across a JSON round-trip", name)
             )
+    return out
+
+
+@register_invariant(
+    "repair-identity",
+    "session-repaired plans under membership churn are byte-equal to cold re-plans",
+)
+def _repair_identity(outcome: ScenarioOutcome) -> List[Violation]:
+    """Drive the production session engine over a deterministic churn chain.
+
+    For every table-reusable solver: open a session on the scenario's
+    instance, stream the :func:`repro.core.repair.churn_chain` derived
+    from the scenario seed, and demand each repaired plan byte-equal a
+    cold re-plan (fresh planner, no table reuse) of the same post-delta
+    membership — values, schedules, bounds and provenance alike.
+    """
+    # local imports: conformance must stay importable without the service
+    # package loaded, and repro.service.sessions imports nothing back
+    from repro.api.solvers import resolve
+    from repro.core.repair import apply_delta, churn_chain
+    from repro.service.sessions import SessionManager
+
+    out: List[Violation] = []
+    for name in sorted(outcome.results):
+        entry, _ = resolve(name)
+        if not entry.capabilities.reusable_table:
+            continue
+        chain = churn_chain(outcome.mset, seed=outcome.spec.seed, length=3)
+        manager = SessionManager(Planner(cache_size=0))
+        cold = Planner(cache_size=0, reuse_tables=False)
+        opened = manager.open(PlanRequest(instance=outcome.mset, solver=name))
+        try:
+            mset = outcome.mset
+            for delta in chain:
+                mset = apply_delta(mset, delta)
+                if not entry.capabilities.supports(mset):
+                    break  # churn pushed past the solver's practical range
+                update = manager.apply(opened.session_id, delta)
+                repaired = canonical_result_payload(update.result)
+                replanned = canonical_result_payload(
+                    cold.plan(PlanRequest(instance=mset, solver=name))
+                )
+                if repaired != replanned:
+                    out.append(
+                        Violation(
+                            f"repaired plan diverged from cold re-plan at "
+                            f"delta seq {delta.seq}",
+                            name,
+                        )
+                    )
+        finally:
+            manager.close(opened.session_id)
     return out
 
 

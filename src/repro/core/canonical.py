@@ -48,7 +48,13 @@ from repro.core.node import Node
 from repro.core.schedule import Schedule
 from repro.exceptions import SolverError
 
-__all__ = ["CanonicalForm", "canonicalize", "canonical_key", "map_schedule"]
+__all__ = [
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_key",
+    "map_schedule",
+    "same_network",
+]
 
 #: Smallest positive normal double: rescaled parameters must stay at or
 #: above this for the power-of-two shift to be exact (subnormals round).
@@ -145,6 +151,21 @@ def canonicalize(mset: MulticastSet) -> CanonicalForm:
 def canonical_key(mset: MulticastSet) -> str:
     """The instance's equivalence-class key (see :class:`CanonicalForm`)."""
     return mset.canonical_form().key
+
+
+def same_network(a: MulticastSet, b: MulticastSet) -> bool:
+    """Whether two instances draw from the same canonical network.
+
+    ``True`` exactly when the canonical type systems match — same distinct
+    ``(o_send, o_receive)`` pairs after the power-of-two rescale, same
+    canonical latency.  This is the repair engine's reuse-or-rebuild
+    predicate for membership deltas: joins, leaves and handovers *within*
+    the existing types keep the network key (the cached optimal table
+    still answers every query), while a delta that introduces a new type,
+    drains an old one, or moves the largest model parameter (and with it
+    the rescale exponent) changes it and forces the cold path.
+    """
+    return a.canonical_form().network_key == b.canonical_form().network_key
 
 
 def map_schedule(schedule: Schedule, mset: MulticastSet) -> Schedule:

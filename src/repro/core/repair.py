@@ -1,0 +1,296 @@
+"""Membership deltas and bit-identical schedule repair under churn.
+
+The paper plans a *frozen* multicast set, but live traffic is a stream of
+joins, leaves and handovers.  This module is the core of the online
+story: a :class:`MembershipDelta` describes one batch of membership
+changes, :func:`apply_delta` folds it into a new
+:class:`~repro.core.multicast.MulticastSet` **fail-closed** (unknown
+names, collisions, an emptied group or a correlation violation reject the
+whole delta and leave the previous membership untouched), and
+:func:`repair_mode` classifies how cheaply the post-delta schedule can be
+recomputed:
+
+* ``"suffix"`` — the delta stayed inside the group's canonical *network*
+  (same type system, same power-of-two scale:
+  :func:`repro.core.canonical.same_network`).  The cached
+  :class:`~repro.core.dp_table.OptimalTable` still answers every value
+  and argmin query (its entries are capacity-independent), so only the
+  ``O(n)`` suffix — schedule materialization and binding onto the new
+  membership — is recomputed.  A join that raises a type count past the
+  table's capacity costs an *incremental extension*
+  (:meth:`~repro.core.dp_table.OptimalTable.extended`), never a rebuild.
+* ``"rebuild"`` — the delta changed the type system or moved the largest
+  model parameter (hence the canonical scale and every downscaled type
+  key): the repaired plan takes the cold path.  Either way the result is
+  bit-identical to a from-scratch plan of the post-delta membership —
+  the ``repair-identity`` conformance invariant proves it continuously.
+
+:func:`churn_chain` generates the deterministic delta chains that the
+invariant, the ``delta_replan`` perf kernel and the property tests all
+share, and :func:`membership_delta_to_dict` / inverse give deltas the
+same versioned JSON treatment as every other wire payload
+(``repro/membership-delta-v1``, consumed by the service's ``session-v1``
+messages).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.core.canonical import same_network
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node
+from repro.exceptions import ModelError, ReproError
+
+__all__ = [
+    "DELTA_FORMAT",
+    "MembershipDelta",
+    "apply_delta",
+    "apply_deltas",
+    "churn_chain",
+    "membership_delta_from_dict",
+    "membership_delta_to_dict",
+    "repair_mode",
+]
+
+#: Versioned serialization format of one membership delta.
+DELTA_FORMAT = "repro/membership-delta-v1"
+
+
+@dataclass(frozen=True)
+class MembershipDelta:
+    """One batch of membership changes, ordered by a session sequence number.
+
+    Parameters
+    ----------
+    seq:
+        Positive sequence number.  Sessions accept exactly ``last + 1``
+        (and replay an exact duplicate of ``last`` idempotently); the
+        delta itself only requires ``seq >= 1``.
+    joins:
+        Nodes entering the group as destinations.
+    leaves:
+        Names of destinations leaving the group (the source never leaves).
+    handovers:
+        ``(old_name, replacement)`` pairs: the named destination leaves
+        and the replacement node takes its place in the same delta.
+
+    Within one delta the departures (``leaves`` plus handover old names)
+    are removed first, then every arrival (handover replacements plus
+    ``joins``) is added — so a replacement may reuse a departing name.
+    """
+
+    seq: int
+    joins: Tuple[Node, ...] = ()
+    leaves: Tuple[str, ...] = ()
+    handovers: Tuple[Tuple[str, Node], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seq, int) or isinstance(self.seq, bool) or self.seq < 1:
+            raise ModelError(
+                f"delta seq must be a positive integer, got {self.seq!r}"
+            )
+        joins = tuple(self.joins)
+        for node in joins:
+            if not isinstance(node, Node):
+                raise ModelError(f"delta join must be a Node, got {node!r}")
+        leaves = tuple(self.leaves)
+        for name in leaves:
+            if not isinstance(name, str) or not name:
+                raise ModelError(
+                    f"delta leave must be a non-empty node name, got {name!r}"
+                )
+        handovers: List[Tuple[str, Node]] = []
+        for pair in self.handovers:
+            old, replacement = pair
+            if not isinstance(old, str) or not old:
+                raise ModelError(
+                    f"handover old name must be a non-empty string, got {old!r}"
+                )
+            if not isinstance(replacement, Node):
+                raise ModelError(
+                    f"handover replacement must be a Node, got {replacement!r}"
+                )
+            handovers.append((old, replacement))
+        object.__setattr__(self, "joins", joins)
+        object.__setattr__(self, "leaves", leaves)
+        object.__setattr__(self, "handovers", tuple(handovers))
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the delta changes nothing (a pure seq advance)."""
+        return not (self.joins or self.leaves or self.handovers)
+
+
+def apply_delta(mset: MulticastSet, delta: MembershipDelta) -> MulticastSet:
+    """The post-delta membership, or :class:`ModelError` — fail-closed.
+
+    Every name is validated against the *current* membership before
+    anything is built: leaving or handing over an unknown (or already
+    departing) destination, touching the source, arriving under a name
+    still in use, or emptying the group rejects the whole delta.  The
+    returned instance re-runs the full model validation (including the
+    correlation assumption when ``mset`` honors it), so a delta can never
+    smuggle in an instance the constructor would have refused.
+    """
+    survivors: Dict[str, Node] = {d.name: d for d in mset.destinations}
+    departing = tuple(delta.leaves) + tuple(old for old, _ in delta.handovers)
+    seen: set = set()
+    for name in departing:
+        if name == mset.source.name:
+            raise ModelError(
+                f"delta {delta.seq}: the source {name!r} cannot leave the group"
+            )
+        if name in seen:
+            raise ModelError(
+                f"delta {delta.seq}: destination {name!r} departs twice"
+            )
+        if name not in survivors:
+            raise ModelError(
+                f"delta {delta.seq}: departure of unknown destination {name!r}"
+            )
+        seen.add(name)
+        del survivors[name]
+    arriving = tuple(node for _, node in delta.handovers) + tuple(delta.joins)
+    taken = {mset.source.name, *survivors}
+    for node in arriving:
+        if node.name in taken:
+            raise ModelError(
+                f"delta {delta.seq}: arriving node name {node.name!r} is "
+                f"already in the group"
+            )
+        taken.add(node.name)
+    destinations = list(survivors.values()) + list(arriving)
+    if not destinations:
+        raise ModelError(
+            f"delta {delta.seq} would leave the group with no destinations"
+        )
+    return MulticastSet(
+        mset.source,
+        destinations,
+        mset.latency,
+        validate_correlation=mset.correlated,
+    )
+
+
+def apply_deltas(mset: MulticastSet, deltas) -> MulticastSet:
+    """Fold a chain of deltas, in order, through :func:`apply_delta`."""
+    current = mset
+    for delta in deltas:
+        current = apply_delta(current, delta)
+    return current
+
+
+def repair_mode(before: MulticastSet, after: MulticastSet) -> str:
+    """How the repair engine recomputes ``after``'s schedule.
+
+    ``"suffix"`` — same canonical network (type system + power-of-two
+    scale): the cached optimal table is reused and only the ``O(n)``
+    materialization suffix runs.  ``"rebuild"`` — the network changed;
+    the post-delta plan takes the cold path.  Both are bit-identical to
+    planning ``after`` from scratch.
+    """
+    return "suffix" if same_network(before, after) else "rebuild"
+
+
+def _fresh_name(base: str, taken) -> str:
+    name = base
+    while name in taken:
+        name += "x"
+    return name
+
+
+def churn_chain(
+    mset: MulticastSet, *, seed: int = 0, length: int = 4, start_seq: int = 1
+):
+    """A deterministic chain of single-operation deltas over ``mset``.
+
+    Draws join/leave/handover operations from ``random.Random(seed)``:
+    joins and handover replacements clone the overheads of an existing
+    destination (so the correlation assumption keeps holding), leaves are
+    only drawn while a second destination remains (the group never
+    empties).  The conformance ``repair-identity`` invariant, the
+    ``delta_replan`` perf kernel's property twin and the churn fuzz tests
+    all derive their chains here, so a failing chain replays from
+    ``(instance, seed)`` alone.
+    """
+    rng = random.Random(seed)
+    current = mset
+    deltas: List[MembershipDelta] = []
+    for i in range(length):
+        ops = ["join", "handover"] + (["leave"] if current.n >= 2 else [])
+        op = rng.choice(ops)
+        taken = {nd.name for nd in current.nodes}
+        seq = start_seq + i
+        if op == "join":
+            template = rng.choice(current.destinations)
+            joined = template.renamed(_fresh_name(f"j{seed}n{i}", taken))
+            delta = MembershipDelta(seq=seq, joins=(joined,))
+        elif op == "leave":
+            name = rng.choice([d.name for d in current.destinations])
+            delta = MembershipDelta(seq=seq, leaves=(name,))
+        else:
+            victim = rng.choice(current.destinations)
+            replacement = victim.renamed(_fresh_name(f"h{seed}n{i}", taken))
+            delta = MembershipDelta(seq=seq, handovers=((victim.name, replacement),))
+        current = apply_delta(current, delta)
+        deltas.append(delta)
+    return tuple(deltas)
+
+
+# ----------------------------------------------------------------------
+# serialization (repro/membership-delta-v1)
+# ----------------------------------------------------------------------
+def _node_payload(node: Node) -> Dict[str, Any]:
+    return {
+        "name": node.name,
+        "send": node.send_overhead,
+        "receive": node.receive_overhead,
+    }
+
+
+def _node_from_payload(payload: Any) -> Node:
+    if not isinstance(payload, Mapping):
+        raise ReproError(f"delta node payload must be an object, got {payload!r}")
+    try:
+        return Node(payload["name"], payload["send"], payload["receive"])
+    except KeyError as exc:
+        raise ReproError(f"delta node payload missing field {exc}") from None
+
+
+def membership_delta_to_dict(delta: MembershipDelta) -> Dict[str, Any]:
+    """JSON-ready form of a delta (format :data:`DELTA_FORMAT`)."""
+    return {
+        "format": DELTA_FORMAT,
+        "seq": delta.seq,
+        "joins": [_node_payload(node) for node in delta.joins],
+        "leaves": list(delta.leaves),
+        "handovers": [
+            [old, _node_payload(node)] for old, node in delta.handovers
+        ],
+    }
+
+
+def membership_delta_from_dict(data: Mapping[str, Any]) -> MembershipDelta:
+    """Inverse of :func:`membership_delta_to_dict` (format-checked)."""
+    if not isinstance(data, Mapping):
+        raise ReproError(f"delta payload must be an object, got {data!r}")
+    found = data.get("format")
+    if found != DELTA_FORMAT:
+        raise ReproError(f"expected format {DELTA_FORMAT!r}, got {found!r}")
+    try:
+        handovers = tuple(
+            (old, _node_from_payload(node)) for old, node in data["handovers"]
+        )
+        return MembershipDelta(
+            seq=data["seq"],
+            joins=tuple(_node_from_payload(p) for p in data["joins"]),
+            leaves=tuple(data["leaves"]),
+            handovers=handovers,
+        )
+    except KeyError as exc:
+        raise ReproError(f"delta payload missing field {exc}") from None
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"malformed delta payload: {exc}") from None

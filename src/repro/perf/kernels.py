@@ -354,6 +354,124 @@ def _batch_amortized(mode: str, repeats: int):
 
 
 # ----------------------------------------------------------------------
+# delta_replan — session repair under churn vs cold re-planning
+# ----------------------------------------------------------------------
+def _delta_replan(mode: str, repeats: int):
+    """Single-join / single-leave deltas repaired from the pinned table.
+
+    One session rides a chain of three joins then three leaves; every
+    delta stays inside the base instance's canonical network (the source
+    carries the largest overheads, so the power-of-two scale never
+    moves), which is exactly the traffic the repair engine accelerates:
+    each repaired schedule is an ``O(n)`` materialization from the
+    session's pinned :class:`~repro.core.dp_table.OptimalTable` instead
+    of a cold DP re-plan.  The baseline re-plans every membership from
+    scratch (``reuse_tables=False``).  Three integrity gates keep the
+    floor honest: every update must actually take the repair path, every
+    repaired plan is asserted byte-identical — provenance included — to
+    the cold baseline of the same membership, and the shared table cache
+    must show the steady-state signature (one build, one incremental
+    extension per join, no evictions), so a regression that silently
+    rebuilds per delta fails the kernel rather than hiding in the timing.
+    """
+    import json
+
+    from repro.api import Planner, PlanRequest
+    from repro.core.multicast import MulticastSet
+    from repro.core.node import Node
+    from repro.core.repair import MembershipDelta, apply_delta
+    from repro.io.serialization import plan_result_to_dict
+    from repro.service.sessions import SessionManager
+
+    half = 10 if mode == "quick" else 16
+    base = MulticastSet.from_overheads(
+        source=(5, 8),
+        destinations=[(1, 1)] * half + [(2, 3)] * half,
+        latency=1,
+    )
+    deltas = [
+        MembershipDelta(seq=i, joins=(Node(f"j{i}", 2, 3),)) for i in (1, 2, 3)
+    ] + [
+        MembershipDelta(seq=4, leaves=("j1",)),
+        MembershipDelta(seq=5, leaves=(base.destinations[0].name,)),
+        MembershipDelta(seq=6, leaves=(base.destinations[-1].name,)),
+    ]
+    memberships = []
+    current = base
+    for delta in deltas:
+        current = apply_delta(current, delta)
+        memberships.append(current)
+
+    def payload(result) -> str:
+        body = plan_result_to_dict(result)
+        body["elapsed_s"] = 0.0
+        body["cache_hit"] = False
+        body["tag"] = None
+        return json.dumps(body, sort_keys=True)
+
+    # one planner across runs: the warmup run pays the table build and
+    # the per-join extensions, the timed runs measure steady-state repair
+    planner = Planner(cache_size=0)
+    updates_seen: List[Any] = []
+
+    def repair_run():
+        manager = SessionManager(planner)
+        opened = manager.open(PlanRequest(instance=base, solver="dp"))
+        try:
+            updates = [opened] + [
+                manager.apply(opened.session_id, delta) for delta in deltas
+            ]
+        finally:
+            manager.close(opened.session_id)
+        updates_seen[:] = updates
+        return [update.result for update in updates]
+
+    def full_replan():
+        cold = Planner(cache_size=0, reuse_tables=False)
+        return [
+            cold.plan(PlanRequest(instance=mset, solver="dp"))
+            for mset in [base] + memberships
+        ]
+
+    (stats, repaired), (ref_stats, replanned) = measure_pair(
+        repair_run, full_replan, repeats=repeats
+    )
+    if not all(update.repaired for update in updates_seen):
+        raise ReproError("delta_replan saw a non-repaired session update")
+    for ours, theirs in zip(repaired, replanned):
+        if payload(ours) != payload(theirs):
+            raise ReproError(
+                "repaired plan diverged from cold re-plan at position "
+                f"{repaired.index(ours)}"
+            )
+    table_stats = planner.table_cache.stats()
+    if (
+        table_stats["builds"] != 1
+        or table_stats["extensions"] != 3
+        or table_stats["evictions"]
+    ):
+        raise ReproError(
+            "delta_replan did not run as pinned-table repair: expected one "
+            f"build, three extensions and no evictions, got {table_stats}"
+        )
+    speedup = round(ref_stats.min_s / stats.min_s, 3)
+    cases = [
+        CaseResult(
+            case=f"chain[{len(deltas)}]@n={base.n}",
+            timing=stats,
+            extra_info={
+                "n": base.n,
+                "deltas": len(deltas),
+                "deltas_per_s": round(len(deltas) / stats.min_s),
+                "full_replan_min_s": ref_stats.min_s,
+                "speedup_vs_full_replan": speedup,
+            },
+        )
+    ]
+    return cases, {"speedup_vs_full_replan": speedup}
+
+
+# ----------------------------------------------------------------------
 # conformance_sweep — the verifier itself must stay CI-fast
 # ----------------------------------------------------------------------
 def _conformance_sweep(mode: str, repeats: int):
@@ -468,6 +586,13 @@ KERNELS: Dict[str, Kernel] = {
             "group-solve plan_batch vs per-instance planning, bit-identical",
             _batch_amortized,
             floors={"speedup_vs_per_instance": 3.0},
+        ),
+        Kernel(
+            "delta_replan",
+            "single-join/single-leave session repair vs cold re-planning, "
+            "bit-identical",
+            _delta_replan,
+            floors={"speedup_vs_full_replan": 5.0},
         ),
         Kernel(
             "conformance_sweep",

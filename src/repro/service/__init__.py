@@ -13,6 +13,9 @@ control plane (see SERVICE.md for the operator view):
 - :class:`~repro.service.client.ServiceClient` /
   :class:`~repro.service.client.InProcessClient` — wire and embedded
   clients with one surface (``repro submit`` uses the former);
+- :class:`~repro.service.sessions.SessionManager` — group sessions under
+  membership churn: delta streams repaired from pinned optimal tables,
+  bit-identical to cold re-plans;
 - :mod:`~repro.service.protocol` — the versioned wire protocol;
 - :class:`~repro.service.shard.ShardRouter` and
   :class:`~repro.service.metrics.MetricsRegistry` — worker routing and
@@ -30,6 +33,7 @@ Quickstart
 from repro.service.client import InProcessClient, ServedPlan, ServiceClient
 from repro.service.metrics import MetricsRegistry
 from repro.service.server import FairQueue, PlanningService
+from repro.service.sessions import GroupSession, SessionManager, SessionUpdate
 from repro.service.shard import ShardRouter
 from repro.service.store import PlanStore, StoreStats
 
@@ -43,4 +47,7 @@ __all__ = [
     "ServiceClient",
     "InProcessClient",
     "ServedPlan",
+    "SessionManager",
+    "GroupSession",
+    "SessionUpdate",
 ]

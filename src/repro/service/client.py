@@ -1,9 +1,10 @@
 """Clients of the planning service: TCP wire client and in-process client.
 
 Both expose the same surface — ``plan`` / ``plan_batch`` / ``ping`` /
-``metrics`` — so tests and examples can swap transports freely and assert
-the service path returns exactly what the direct :class:`repro.api.Planner`
-path returns.
+``metrics`` plus the group-session verbs ``open_session`` /
+``send_delta`` / ``resume_session`` / ``close_session`` — so tests and
+examples can swap transports freely and assert the service path returns
+exactly what the direct :class:`repro.api.Planner` path returns.
 
 :class:`ServiceClient` speaks the JSON-lines protocol of
 :mod:`repro.service.protocol` over a blocking socket (one connection,
@@ -22,9 +23,11 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.api.request import PlanRequest, PlanResult
 from repro.core.multicast import MulticastSet
+from repro.core.repair import MembershipDelta
 from repro.exceptions import ServiceError
 from repro.service import protocol
 from repro.service.server import PlanningService
+from repro.service.sessions import SessionUpdate
 
 __all__ = ["ServiceClient", "InProcessClient", "ServedPlan"]
 
@@ -144,6 +147,48 @@ class ServiceClient:
         """Plan many jobs over this connection (submission order kept)."""
         return [self.plan(job) for job in jobs]
 
+    # -- group sessions -------------------------------------------------
+    def _session_update(self, response: Dict[str, Any]) -> SessionUpdate:
+        if response["type"] == "error":
+            raise ServiceError(response.get("error", "unknown service error"))
+        return protocol.parse_session_update(response)
+
+    def open_session(
+        self,
+        job: Plannable,
+        solver: Optional[str] = None,
+        *,
+        session_id: Optional[str] = None,
+        **options: Any,
+    ) -> SessionUpdate:
+        """Open a group session; returns the opening update (seq 0)."""
+        request = _as_request(job, solver, options)
+        message = protocol.session_open_message(
+            request, id=next(self._ids), client=self.client_id, session=session_id
+        )
+        return self._session_update(self._roundtrip(message))
+
+    def send_delta(self, session_id: str, delta: MembershipDelta) -> SessionUpdate:
+        """Stream one membership delta; returns the repaired update."""
+        message = protocol.session_delta_message(
+            session_id, delta, id=next(self._ids), client=self.client_id
+        )
+        return self._session_update(self._roundtrip(message))
+
+    def resume_session(self, session_id: str) -> SessionUpdate:
+        """Reconnect: the session's last acknowledged update."""
+        message = protocol.session_resume_message(session_id, id=next(self._ids))
+        return self._session_update(self._roundtrip(message))
+
+    def close_session(self, session_id: str) -> None:
+        """Close an open session."""
+        message = protocol.session_close_message(session_id, id=next(self._ids))
+        response = self._roundtrip(message)
+        if response["type"] == "error":
+            raise ServiceError(response.get("error", "unknown service error"))
+        if response.get("type") != "session-closed":
+            raise ServiceError(f"unexpected response {response.get('type')!r}")
+
     def ping(self) -> bool:
         """Liveness probe; ``True`` when the service answers ``pong``."""
         response = self._roundtrip(protocol.ping_message(id=next(self._ids)))
@@ -204,6 +249,41 @@ class InProcessClient:
     def plan_batch(self, jobs: List[Plannable]) -> List[ServedPlan]:
         """Plan many jobs (submission order kept)."""
         return [self.plan(job) for job in jobs]
+
+    def open_session(
+        self,
+        job: Plannable,
+        solver: Optional[str] = None,
+        *,
+        session_id: Optional[str] = None,
+        **options: Any,
+    ) -> SessionUpdate:
+        """Open a group session; returns the opening update (seq 0)."""
+        request = _as_request(job, solver, options)
+        return self.service.open_session_sync(
+            request,
+            client_id=self.client_id,
+            session_id=session_id,
+            timeout=self.timeout,
+        )
+
+    def send_delta(self, session_id: str, delta: MembershipDelta) -> SessionUpdate:
+        """Stream one membership delta; returns the repaired update."""
+        return self.service.apply_session_delta_sync(
+            session_id, delta, client_id=self.client_id, timeout=self.timeout
+        )
+
+    def resume_session(self, session_id: str) -> SessionUpdate:
+        """The session's last acknowledged update (no state change)."""
+        return self.service.resume_session_sync(
+            session_id, client_id=self.client_id, timeout=self.timeout
+        )
+
+    def close_session(self, session_id: str) -> None:
+        """Close an open session."""
+        self.service.close_session_sync(
+            session_id, client_id=self.client_id, timeout=self.timeout
+        )
 
     def ping(self) -> bool:
         """``True`` while the embedded service is running."""

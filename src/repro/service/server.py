@@ -30,6 +30,13 @@ that are merely *equivalent* — renamed nodes, power-of-two-rescaled
 overheads).  Cache-tier I/O and solves all run off the event
 loop.
 
+Group sessions (``session-open`` / ``session-delta`` / ``session-resume``
+/ ``session-close``) ride the same admission cap and fair queues: every
+operation for a session is dispatched to the shard chosen at open (by
+canonical network key), so a session's delta stream is applied serially,
+in order, on the serving thread that holds its pinned optimal table —
+see :mod:`repro.service.sessions` for the repair engine itself.
+
 :class:`PlanningService` runs either embedded (``start_background()`` +
 :class:`~repro.service.client.InProcessClient`, used by tests and
 examples) or as a TCP JSON-lines server (``repro serve``); both paths go
@@ -41,6 +48,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import functools
 import threading
 from collections import deque
 from pathlib import Path
@@ -48,6 +56,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.api.planner import CacheKey, Planner
 from repro.api.request import PlanRequest, PlanResult
+from repro.core.repair import MembershipDelta
 from repro.exceptions import ReproError, ServiceError
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
@@ -55,8 +64,14 @@ from repro.service.protocol import (
     encode,
     error_message,
     parse_plan_request,
+    parse_session_delta,
+    parse_session_open,
+    parse_session_ref,
     result_message,
+    session_closed_message,
+    session_result_message,
 )
+from repro.service.sessions import SessionManager, SessionUpdate
 from repro.service.shard import ShardRouter
 from repro.service.store import PlanStore
 
@@ -179,6 +194,9 @@ class PlanningService:
             self.store = PlanStore(store_path, segment_max_records=segment_max_records)
         self.router = ShardRouter(num_shards, mode=worker_mode)
         self.metrics = MetricsRegistry()
+        # group sessions repair against the *service* planner (its table
+        # cache + tiers), sharing the service's metrics registry
+        self.sessions = SessionManager(self.planner, metrics=self.metrics)
         self.max_pending = max_pending
         self._shard_queues: List[FairQueue] = []  # created on the service loop
         self._admitted = 0  # miss-path requests in flight (queued + solving)
@@ -242,7 +260,8 @@ class PlanningService:
             # canonical-network routing: same-network traffic lands on
             # the shard whose worker already holds that network's table
             shard = self.router.shard_for(request)
-            await queues[shard].put(client_id, (request, key, future))
+            work = functools.partial(self._serve_miss, shard, request, key)
+            await queues[shard].put(client_id, ("plan", work, future))
             return await future
         finally:
             self._admitted -= 1
@@ -265,11 +284,11 @@ class PlanningService:
         loop = asyncio.get_running_loop()
         serving = self.router.serving_executor(shard)  # None in inline mode
         while True:
-            _client_id, (request, key, future) = await queue.get()
+            # items are (kind, work, future): "plan" work returns
+            # (result, tier), "session" work returns the operation's value
+            _client_id, (kind, work, future) = await queue.get()
             try:
-                result, tier = await loop.run_in_executor(
-                    serving, self._serve_miss, shard, request, key
-                )
+                payload = await loop.run_in_executor(serving, work)
             except asyncio.CancelledError:
                 if not future.done():
                     future.set_exception(ServiceError("service shutting down"))
@@ -279,14 +298,16 @@ class PlanningService:
                 if not future.done():
                     future.set_exception(exc)
                 continue
-            if tier == TIER_SOLVE:
-                self.metrics.inc("solves")
-            else:
-                # an identical request solved while this one queued: dedup
-                self.metrics.inc("coalesced")
-                self.metrics.inc(f"hits_{tier}")
+            if kind == "plan":
+                _result, tier = payload
+                if tier == TIER_SOLVE:
+                    self.metrics.inc("solves")
+                else:
+                    # an identical request solved while this one queued: dedup
+                    self.metrics.inc("coalesced")
+                    self.metrics.inc(f"hits_{tier}")
             if not future.done():
-                future.set_result((result, tier))
+                future.set_result(payload)
 
     def _serve_miss(
         self, shard: int, request: PlanRequest, key: CacheKey
@@ -303,6 +324,89 @@ class PlanningService:
         result = self.router.solve_in_worker(shard, request)
         self.planner.cache_store(request, result, key)
         return result, TIER_SOLVE
+
+    # ------------------------------------------------------------------
+    # group sessions (runs on the service event loop)
+    # ------------------------------------------------------------------
+    async def _run_session_op(
+        self, shard: int, client_id: str, work: Callable[[], Any]
+    ) -> Any:
+        """Admit one session operation onto a shard's serving thread.
+
+        Session operations ride the same admission cap and fair queues as
+        plan misses, and every operation for one session runs on that
+        session's shard — so deltas are applied serially, in order, by
+        the thread that holds the session's pinned table warm.
+        """
+        queues = self._shard_queues
+        if not queues:
+            raise ServiceError("service is not running")
+        self.metrics.inc("requests")
+        if self._admitted >= self.max_pending:
+            self.metrics.inc("rejected")
+            raise ServiceError(
+                f"admission queue full ({self._admitted} pending); retry later"
+            )
+        self._admitted += 1
+        self.metrics.set_gauge("queue_depth", self._admitted)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+        try:
+            await queues[shard].put(client_id, ("session", work, future))
+            return await future
+        finally:
+            self._admitted -= 1
+            self.metrics.set_gauge("queue_depth", self._admitted)
+
+    async def open_session(
+        self,
+        request: PlanRequest,
+        client_id: str = "local",
+        session_id: Optional[str] = None,
+    ) -> SessionUpdate:
+        """Open a group session; returns the opening update (seq 0)."""
+        if not self._shard_queues:
+            raise ServiceError("service is not running")
+        loop = asyncio.get_running_loop()
+        # canonical-network routing, computed off-loop like submit's lookup
+        shard = await loop.run_in_executor(None, self.router.shard_for, request)
+
+        def work() -> SessionUpdate:
+            update = self.sessions.open(
+                request, session_id=session_id, client_id=client_id
+            )
+            # later deltas route here, serializing the session's stream
+            self.sessions.session(update.session_id).shard = shard
+            return update
+
+        return await self._run_session_op(shard, client_id, work)
+
+    async def apply_session_delta(
+        self, session_id: str, delta: MembershipDelta, client_id: str = "local"
+    ) -> SessionUpdate:
+        """Apply one membership delta; returns the repaired update."""
+        session = self.sessions.session(session_id)
+        shard = session.shard if session.shard is not None else 0
+        work = functools.partial(self.sessions.apply, session_id, delta)
+        return await self._run_session_op(shard, client_id, work)
+
+    async def resume_session(
+        self, session_id: str, client_id: str = "local"
+    ) -> SessionUpdate:
+        """Replay the last acknowledged update (reconnect path)."""
+        session = self.sessions.session(session_id)
+        shard = session.shard if session.shard is not None else 0
+        work = functools.partial(self.sessions.resume, session_id)
+        return await self._run_session_op(shard, client_id, work)
+
+    async def close_session(
+        self, session_id: str, client_id: str = "local"
+    ) -> None:
+        """Close a session (releases its pinned table)."""
+        session = self.sessions.session(session_id)
+        shard = session.shard if session.shard is not None else 0
+        work = functools.partial(self.sessions.close, session_id)
+        return await self._run_session_op(shard, client_id, work)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -356,11 +460,14 @@ class PlanningService:
         self._dispatchers = []
         self._conn_tasks.clear()
         for shard_queue in self._shard_queues:
-            for _client, (_request, _key, future) in shard_queue.drain():
+            for _client, (_kind, _work, future) in shard_queue.drain():
                 if not future.done():
                     future.set_exception(ServiceError("service shutting down"))
         self._shard_queues = []
         self._address = None
+        # release every session's pinned table so a caller-supplied
+        # planner (and its table cache) is handed back unencumbered
+        self.sessions.close_all()
         if self.store is not None:
             self.planner.remove_cache_tier(self.store)
 
@@ -417,22 +524,18 @@ class PlanningService:
     def __exit__(self, *exc_info: Any) -> None:
         self.stop()
 
-    def submit_sync(
-        self,
-        request: PlanRequest,
-        client_id: str = "local",
-        timeout: Optional[float] = None,
-    ) -> Tuple[PlanResult, str]:
-        """Blocking :meth:`submit` from any thread (background mode only)."""
-        if self._loop is None:
+    def _sync(
+        self, coro_factory: Callable[[], Any], timeout: Optional[float]
+    ) -> Any:
+        """Run one service coroutine from any thread (background mode only)."""
+        loop = self._loop
+        if loop is None:
             raise ServiceError(
                 "service is not running; call start_background() first"
             )
         import concurrent.futures
 
-        future = asyncio.run_coroutine_threadsafe(
-            self.submit(request, client_id), self._loop
-        )
+        future = asyncio.run_coroutine_threadsafe(coro_factory(), loop)
         try:
             return future.result(timeout=timeout)
         except concurrent.futures.TimeoutError:
@@ -442,6 +545,61 @@ class PlanningService:
                 f"request timed out after {timeout}s (still running "
                 f"server-side unless cancellation won the race)"
             ) from None
+
+    def submit_sync(
+        self,
+        request: PlanRequest,
+        client_id: str = "local",
+        timeout: Optional[float] = None,
+    ) -> Tuple[PlanResult, str]:
+        """Blocking :meth:`submit` from any thread (background mode only)."""
+        return self._sync(lambda: self.submit(request, client_id), timeout)
+
+    def open_session_sync(
+        self,
+        request: PlanRequest,
+        client_id: str = "local",
+        session_id: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> SessionUpdate:
+        """Blocking :meth:`open_session` from any thread."""
+        return self._sync(
+            lambda: self.open_session(request, client_id, session_id), timeout
+        )
+
+    def apply_session_delta_sync(
+        self,
+        session_id: str,
+        delta: MembershipDelta,
+        client_id: str = "local",
+        timeout: Optional[float] = None,
+    ) -> SessionUpdate:
+        """Blocking :meth:`apply_session_delta` from any thread."""
+        return self._sync(
+            lambda: self.apply_session_delta(session_id, delta, client_id), timeout
+        )
+
+    def resume_session_sync(
+        self,
+        session_id: str,
+        client_id: str = "local",
+        timeout: Optional[float] = None,
+    ) -> SessionUpdate:
+        """Blocking :meth:`resume_session` from any thread."""
+        return self._sync(
+            lambda: self.resume_session(session_id, client_id), timeout
+        )
+
+    def close_session_sync(
+        self,
+        session_id: str,
+        client_id: str = "local",
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Blocking :meth:`close_session` from any thread."""
+        return self._sync(
+            lambda: self.close_session(session_id, client_id), timeout
+        )
 
     def run(
         self,
@@ -531,6 +689,19 @@ class PlanningService:
                     self._conn_tasks.add(task)
                     task.add_done_callback(plan_tasks.discard)
                     task.add_done_callback(self._conn_tasks.discard)
+                elif kind in (
+                    "session-open",
+                    "session-delta",
+                    "session-resume",
+                    "session-close",
+                ):
+                    task = asyncio.get_running_loop().create_task(
+                        self._handle_session(message, default_client, send)
+                    )
+                    plan_tasks.add(task)
+                    self._conn_tasks.add(task)
+                    task.add_done_callback(plan_tasks.discard)
+                    task.add_done_callback(self._conn_tasks.discard)
                 else:
                     self.metrics.inc("protocol_errors")
                     await send(
@@ -561,6 +732,46 @@ class PlanningService:
             client_id = str(message.get("client") or default_client)
             result, tier = await self.submit(request, client_id=client_id)
             await send(result_message(result, tier, id=message_id))
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            with contextlib.suppress(Exception):  # peer may already be gone
+                await send(error_message(str(exc), id=message_id))
+        except Exception as exc:  # noqa: BLE001 - report, don't drop the line
+            with contextlib.suppress(Exception):
+                await send(error_message(f"internal error: {exc}", id=message_id))
+
+    async def _handle_session(
+        self,
+        message: Dict[str, Any],
+        default_client: str,
+        send: Callable[[Dict[str, Any]], Any],
+    ) -> None:
+        message_id = message.get("id")
+        try:
+            kind = message["type"]
+            client_id = str(message.get("client") or default_client)
+            if kind == "session-open":
+                request, chosen = parse_session_open(message)
+                update = await self.open_session(
+                    request, client_id=client_id, session_id=chosen
+                )
+                await send(session_result_message(update, id=message_id))
+            elif kind == "session-delta":
+                session_id, delta = parse_session_delta(message)
+                update = await self.apply_session_delta(
+                    session_id, delta, client_id=client_id
+                )
+                await send(session_result_message(update, id=message_id))
+            elif kind == "session-resume":
+                update = await self.resume_session(
+                    parse_session_ref(message), client_id=client_id
+                )
+                await send(session_result_message(update, id=message_id))
+            else:  # session-close (the dispatch table admits nothing else)
+                session_id = parse_session_ref(message)
+                await self.close_session(session_id, client_id=client_id)
+                await send(session_closed_message(session_id, id=message_id))
         except asyncio.CancelledError:
             raise
         except ReproError as exc:

@@ -169,3 +169,75 @@ class TestGuards:
     def test_table_cache_states_validated(self):
         with pytest.raises(ReproError, match="table_cache_states"):
             Planner(table_cache_states=0)
+
+
+class TestPins:
+    """Pin-by-session: eviction must never drop a table a repair holds."""
+
+    def test_pinned_table_survives_eviction_pressure(self):
+        # budget of 60: the 50-state newcomer would evict the LRU 18-state
+        # table — unless that table is pinned by an in-flight session
+        cache = OptimalTableCache(max_total_states=60)
+        held = cache.acquire(_two_type(2, 2, latency=1), pin=True)  # 18
+        assert held is not None
+        cache.acquire(_two_type(4, 4, latency=3))  # 50 states of pressure
+        assert cache.acquire(_two_type(2, 2, latency=1)) is held
+        assert cache.stats()["pins"] == 1
+
+    def test_unpinned_tables_still_evict_under_the_same_pressure(self):
+        cache = OptimalTableCache(max_total_states=60)
+        cache.acquire(_two_type(2, 2, latency=1))  # same shape, no pin
+        cache.acquire(_two_type(4, 4, latency=3))
+        assert cache.evictions >= 1
+
+    def test_release_reexposes_the_table_to_eviction(self):
+        cache = OptimalTableCache(max_total_states=60)
+        mset = _two_type(2, 2, latency=1)
+        held = cache.acquire(mset, pin=True)
+        cache.acquire(_two_type(4, 4, latency=3))  # over budget, pin holds
+        assert cache.acquire(mset) is held  # the pinned table survived
+        cache.release_box(mset.type_keys(), mset.latency)
+        cache.acquire(_two_type(4, 4, latency=3))
+        # once unpinned, the budget applies to it like any other table
+        assert cache.states_held <= cache.max_total_states
+        assert cache.stats()["pins"] == 0
+
+    def test_pin_survives_incremental_extension(self):
+        # extension replaces the table object under the same key, so the
+        # pin keeps protecting the grown table
+        cache = OptimalTableCache(max_total_states=200)
+        cache.acquire(_two_type(2, 2, latency=1), pin=True)
+        grown = cache.acquire(_two_type(4, 4, latency=1))  # extends in place
+        assert cache.extensions == 1
+        cache.acquire(_two_type(6, 6, latency=2))  # 98 states of pressure
+        assert cache.acquire(_two_type(4, 4, latency=1)) is grown
+        cache.release_box(_two_type(2, 2, latency=1).type_keys(), 1)
+
+    def test_pins_are_counted_per_acquire(self):
+        cache = OptimalTableCache()
+        mset = _two_type(2, 2)
+        cache.acquire(mset, pin=True)
+        cache.acquire(mset, pin=True)  # hit path must also register pins
+        assert cache.stats()["pins"] == 2
+        cache.release_box(mset.type_keys(), mset.latency)
+        assert cache.stats()["pins"] == 1
+        cache.release_box(mset.type_keys(), mset.latency)
+        assert cache.stats()["pins"] == 0
+
+    def test_unbalanced_release_is_rejected(self):
+        cache = OptimalTableCache()
+        mset = _two_type(2, 2)
+        cache.acquire(mset)  # unpinned
+        with pytest.raises(ReproError, match="release_box without a matching"):
+            cache.release_box(mset.type_keys(), mset.latency)
+
+    def test_failed_acquire_takes_no_pin(self):
+        cache = OptimalTableCache(max_total_states=10)
+        assert cache.acquire(_two_type(4, 4), pin=True) is None  # 50 > 10
+        assert cache.stats()["pins"] == 0
+
+    def test_clear_drops_pins(self):
+        cache = OptimalTableCache()
+        cache.acquire(_two_type(2, 2), pin=True)
+        cache.clear()
+        assert cache.stats()["pins"] == 0

@@ -21,12 +21,16 @@ from typing import List, Tuple
 from hypothesis import strategies as st
 
 from repro.core.multicast import MulticastSet
+from repro.core.node import Node
+from repro.core.repair import MembershipDelta, apply_delta
 
 __all__ = [
     "correlated_types",
     "multicast_sets",
     "uniform_ratio_multicasts",
     "power_of_two_multicasts",
+    "membership_deltas",
+    "delta_chains",
 ]
 
 
@@ -142,6 +146,108 @@ def power_of_two_multicasts(
     return MulticastSet.from_overheads(pairs[0], pairs[1:], latency)
 
 
+@st.composite
+def membership_deltas(draw, *, max_batch: int = 3) -> MembershipDelta:
+    """Structurally valid deltas (shape only, not membership-checked).
+
+    Joins and handover replacements draw fresh correlated nodes; the
+    session/`apply_delta` layer is what validates a delta *against a
+    membership*, so this strategy exercises the wire/validation surface.
+    For chains guaranteed applicable to a concrete instance use
+    :func:`delta_chains`.
+    """
+    seq = draw(st.integers(min_value=1, max_value=99))
+    types = draw(correlated_types(max_types=3, max_send=8))
+    names = st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True)
+
+    def node(prefix: str, i: int):
+        send, receive = draw(st.sampled_from(types))
+        return Node(f"{prefix}{i}", send, receive)
+
+    joins = tuple(
+        node("j", i)
+        for i in range(draw(st.integers(min_value=0, max_value=max_batch)))
+    )
+    leaves = tuple(
+        draw(
+            st.lists(
+                names,
+                min_size=0,
+                max_size=max_batch,
+                unique=True,
+            )
+        )
+    )
+    handovers = tuple(
+        (draw(names), node("h", i))
+        for i in range(draw(st.integers(min_value=0, max_value=max_batch)))
+    )
+    return MembershipDelta(seq=seq, joins=joins, leaves=leaves, handovers=handovers)
+
+
+@st.composite
+def delta_chains(
+    draw, *, max_len: int = 5, max_batch: int = 2, **multicast_kwargs
+) -> Tuple[MulticastSet, Tuple[MembershipDelta, ...]]:
+    """``(base instance, applicable delta chain)`` that never empties the group.
+
+    Every delta is validated by actually folding it through
+    :func:`repro.core.repair.apply_delta` as it is drawn, so the chain is
+    applicable by construction: joins and handover replacements clone the
+    overheads of surviving members (keeping the correlation assumption),
+    leaves are only drawn while the group keeps a destination afterwards,
+    sequence numbers are consecutive from 1.  Shrinking trims both the
+    chain and the batches, so failures minimize to short chains of small
+    deltas over small instances.
+    """
+    base = draw(multicast_sets(**multicast_kwargs))
+    current = base
+    deltas: List[MembershipDelta] = []
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    counter = 0
+    for seq in range(1, length + 1):
+        taken = {node.name for node in current.nodes}
+        survivors = list(current.destinations)
+        joins: List[Node] = []
+        leaves: List[str] = []
+        handovers: List[Tuple[str, Node]] = []
+
+        def fresh(template: Node) -> Node:
+            nonlocal counter
+            counter += 1
+            name = f"m{counter}"
+            while name in taken:  # pragma: no cover - m* names are reserved
+                counter += 1
+                name = f"m{counter}"
+            taken.add(name)
+            return template.renamed(name)
+
+        for _ in range(draw(st.integers(min_value=0, max_value=max_batch))):
+            joins.append(fresh(draw(st.sampled_from(survivors))))
+        for _ in range(draw(st.integers(min_value=0, max_value=max_batch))):
+            if not survivors or len(survivors) + len(joins) + len(handovers) < 2:
+                break  # the group must keep a destination
+            victim = survivors.pop(
+                draw(st.integers(min_value=0, max_value=len(survivors) - 1))
+            )
+            if draw(st.booleans()):
+                handovers.append((victim.name, fresh(victim)))
+            else:
+                leaves.append(victim.name)
+        delta = MembershipDelta(
+            seq=seq,
+            joins=tuple(joins),
+            leaves=tuple(leaves),
+            handovers=tuple(handovers),
+        )
+        current = apply_delta(current, delta)
+        deltas.append(delta)
+    return base, tuple(deltas)
+
+
 # canonical strategy for the model type: st.from_type(MulticastSet) and
 # type inference in st.builds() draw correlated instances everywhere
 st.register_type_strategy(MulticastSet, multicast_sets())
+# and for deltas: st.from_type(MembershipDelta) draws structurally valid
+# join/leave/handover batches
+st.register_type_strategy(MembershipDelta, membership_deltas())

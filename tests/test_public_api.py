@@ -243,6 +243,32 @@ class TestDocsConsistency:
         assert record.floors.get("speedup_vs_per_instance") == 3.0
         assert record.summary["speedup_vs_per_instance"] >= 3.0
 
+    def test_delta_replan_baseline_carries_the_floor(self):
+        """The committed session-repair baseline enforces the >= 5x floor."""
+        from repro.perf import load_baseline
+
+        record = load_baseline(REPO / "BENCH_delta_replan.json")
+        assert record.floors.get("speedup_vs_full_replan") == 5.0
+        assert record.summary["speedup_vs_full_replan"] >= 5.0
+
+    def test_design_repair_section(self):
+        """DESIGN.md §7 documents sessions, repair and table pinning."""
+        design = (REPO / "DESIGN.md").read_text()
+        assert "## 7. Online planning under churn" in design
+        for token in (
+            "repro/membership-delta-v1",
+            "same_network",
+            "materialize schedule",
+            "repair-identity",
+            "delta_replan",
+            "pin=True",
+            "speedup_vs_full_replan",
+        ):
+            assert token in design, f"DESIGN.md repair section missing {token!r}"
+        service_md = (REPO / "SERVICE.md").read_text()
+        assert "repro/membership-delta-v1" in service_md
+        assert "session-resume" in service_md
+
     def test_api_md_documents_performance_tracking(self):
         api = (REPO / "API.md").read_text()
         assert "## Performance tracking" in api
