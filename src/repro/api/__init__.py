@@ -42,8 +42,16 @@ from repro.api.planner import (
     plan,
     plan_batch,
 )
+from repro.api.multigroup import (
+    DEFAULT_STRATEGY,
+    MultiGroupPlanner,
+    MultiGroupResult,
+    available_multi_group_solvers,
+    plan_groups,
+)
 from repro.api.request import BatchResult, PlanRequest, PlanResult
 from repro.api.tables import OptimalTableCache
+from repro.core.contention import MultiGroupInstance, MultiGroupSchedule
 from repro.core.canonical import CanonicalForm, canonical_key, canonicalize
 from repro.api.solvers import (
     SolverCapabilities,
@@ -95,6 +103,14 @@ __all__ = [
     "capable_solvers",
     "available_bounds",
     "bound_values",
+    # multi-group planning under shared-sender contention (DESIGN.md §8)
+    "MultiGroupInstance",
+    "MultiGroupSchedule",
+    "MultiGroupPlanner",
+    "MultiGroupResult",
+    "DEFAULT_STRATEGY",
+    "available_multi_group_solvers",
+    "plan_groups",
     # conformance (lazy: repro.conformance consumes this package)
     "ConformanceRunner",
     "InvariantReport",

@@ -77,6 +77,18 @@ class SolverCapabilities:
         that answers *other* instances over the same ``(send, receive)``
         type system and latency.  The planner exploits this through its
         :class:`~repro.api.tables.OptimalTableCache` fast path.
+    multi_group:
+        ``True`` for cross-group composition strategies (the ``mg-*``
+        entries) that consume a
+        :class:`~repro.core.contention.MultiGroupInstance` plus
+        already-solved per-group schedules and return a
+        :class:`~repro.core.contention.MultiGroupSchedule`.  They are
+        capability-gated out of every single-group path:
+        :meth:`supports` is ``False`` for a plain
+        :class:`~repro.core.multicast.MulticastSet`, so
+        :func:`capable_solvers`, the conformance sweep and
+        ``Planner.plan`` never feed them single-group instances — use
+        :class:`repro.api.MultiGroupPlanner` instead.
     """
 
     exact: bool = False
@@ -85,9 +97,13 @@ class SolverCapabilities:
     requires_k_types: Optional[int] = None
     options: Tuple[str, ...] = ()
     reusable_table: bool = False
+    multi_group: bool = False
 
     def supports(self, mset: MulticastSet) -> bool:
         """Whether this solver is practical for ``mset`` (advisory)."""
+        if self.multi_group:
+            # multi-group strategies never answer single-group instances
+            return False
         if self.max_n is not None and mset.n > self.max_n:
             return False
         if self.requires_k_types is not None and mset.num_types > self.requires_k_types:
@@ -180,8 +196,8 @@ def unregister_solver(name: str) -> bool:
     """
     global _LOADED
     removed = _SOLVERS.pop(name, None) is not None
-    if removed and name in ("dp", "exact"):
-        # the exact oracles register once behind the _LOADED flag; drop it
+    if removed and (name in ("dp", "exact") or name.startswith("mg-")):
+        # these built-ins register once behind the _LOADED flag; drop it
         # so the next lookup restores them (losing the oracle for the rest
         # of the process would make oracle invariants pass vacuously)
         with _LOAD_LOCK:
@@ -378,6 +394,40 @@ def _register_builtins() -> None:
             options=("max_destinations", "node_budget"),
         ),
     )
+    from repro.core.contention import MULTI_GROUP_STRATEGIES, MultiGroupInstance
+
+    def _wrap_multi_group(name: str, strategy: Any) -> SolverFn:
+        def run(instance: Any, **options: Any) -> Any:
+            schedules = options.pop("schedules", None)
+            if options:
+                raise SolverError(
+                    f"multi-group solver {name!r} takes no options, got {sorted(options)}"
+                )
+            if not isinstance(instance, MultiGroupInstance) or schedules is None:
+                raise SolverError(
+                    f"solver {name!r} composes multi-group schedules: call it "
+                    "through repro.api.MultiGroupPlanner with a MultiGroupInstance, "
+                    "not through single-group planning paths"
+                )
+            return strategy(instance, schedules)
+
+        return run
+
+    for strategy_name, (strategy_fn, strategy_desc) in MULTI_GROUP_STRATEGIES.items():
+        mg_name = f"mg-{strategy_name}"
+        if mg_name in _SOLVERS:  # a partial unregister left the others in place
+            continue
+        _SOLVERS[mg_name] = SolverEntry(
+            name=mg_name,
+            fn=_wrap_multi_group(mg_name, strategy_fn),
+            description=f"multi-group composition: {strategy_desc}",
+            capabilities=SolverCapabilities(
+                exact=False,
+                complexity="O(groups^2 * claims)",
+                multi_group=True,
+            ),
+        )
+
     _BOUNDS["first-hop"] = (
         first_hop_lower_bound,
         "o_send(p0) + L + max destination receive overhead",

@@ -7,6 +7,7 @@ Subcommands
 ``simulate``    execute a schedule on the discrete-event simulator
 ``compare``     run every capable solver on one instance (optionally parallel)
 ``plan-batch``  plan many instances in one amortized group-solve batch
+``plan-groups`` compose concurrent groups under shared-sender contention
 ``experiment``  run the E1..E10 reproduction experiments
 ``fig1``        pretty-print the Figure 1 reproduction
 ``serve``       run the long-lived planning service (TCP JSON-lines)
@@ -88,6 +89,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "of bucketing by canonical type system")
     pba.add_argument("--json", action="store_true",
                      help="emit results as repro/plan-result-v1 JSON lines")
+
+    pgr = sub.add_parser(
+        "plan-groups",
+        help="plan concurrent multicast groups under shared-sender "
+             "contention (DESIGN.md, Contention)")
+    pgr.add_argument("groups", nargs="+",
+                     help="per-group instance JSON paths, or a single "
+                          "repro/multi-group-v1 bundle")
+    pgr.add_argument("--strategy", default=None,
+                     help="multi-group composition solver (default "
+                          "mg-greedy-pack; see 'compare' for the catalogue)")
+    pgr.add_argument("--solver", default=None,
+                     help="inner single-group solver spec (default: the "
+                          "planner's default)")
+    pgr.add_argument("--compare", action="store_true",
+                     help="run every registered mg-* strategy (inner solves "
+                          "are shared through the planner cache)")
+    pgr.add_argument("-j", "--jobs", type=int, default=1,
+                     help="parallel inner planning workers (default 1)")
+    pgr.add_argument("--json", action="store_true",
+                     help="emit one JSON object per strategy")
 
     exp = sub.add_parser("experiment", help="run reproduction experiments")
     exp.add_argument("names", nargs="*", default=[],
@@ -384,6 +406,99 @@ def _cmd_plan_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_multi_group(paths: List[str]):
+    """Build a MultiGroupInstance from CLI paths.
+
+    A single path may be a ``repro/multi-group-v1`` bundle; otherwise every
+    path is one per-group ``repro/multicast-v1`` instance.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.core.contention import MultiGroupInstance
+    from repro.io.serialization import (
+        MULTI_GROUP_FORMAT,
+        load_multicast,
+        multi_group_from_dict,
+    )
+
+    if len(paths) == 1:
+        try:
+            data = json.loads(Path(paths[0]).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot load {paths[0]}: {exc}") from exc
+        if isinstance(data, dict) and data.get("format") == MULTI_GROUP_FORMAT:
+            return multi_group_from_dict(data)
+        raise ReproError(
+            f"{paths[0]} is not a {MULTI_GROUP_FORMAT} bundle; pass one "
+            "instance path per group to compose an ad-hoc multi-group plan"
+        )
+    groups = []
+    for path in paths:
+        try:
+            groups.append(load_multicast(path))
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot load instance {path}: {exc}") from exc
+    return MultiGroupInstance(tuple(groups))
+
+
+def _cmd_plan_groups(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import DEFAULT_STRATEGY, MultiGroupPlanner
+
+    instance = _load_multi_group(args.groups)
+    planner = MultiGroupPlanner()
+    jobs = max(1, args.jobs)
+    if args.compare:
+        if args.strategy is not None:
+            raise ReproError("--compare runs every strategy; drop --strategy")
+        results = planner.compare_strategies(
+            instance, solver=args.solver, jobs=jobs
+        )
+    else:
+        strategy = args.strategy or DEFAULT_STRATEGY
+        results = {
+            strategy: planner.plan_groups(
+                instance, strategy, solver=args.solver, jobs=jobs
+            )
+        }
+    shared = ", ".join(instance.shared_nodes()) or "(none)"
+    if not args.json:
+        print(
+            f"{instance.n_groups} groups, shared nodes: {shared}"
+        )
+    for name, result in sorted(results.items()):
+        if args.json:
+            payload = {
+                "strategy": result.strategy,
+                "solver": result.solver,
+                "offsets": list(result.offsets),
+                "completions": list(result.schedule.completions),
+                "max_makespan": result.max_makespan,
+                "weighted_sum": result.weighted_sum,
+            }
+            print(json.dumps(payload, sort_keys=True))
+        else:
+            offsets = ", ".join(f"{t:g}" for t in result.offsets)
+            print(
+                f"{name}: max_makespan={result.max_makespan:g} "
+                f"weighted_sum={result.weighted_sum:g} "
+                f"offsets=[{offsets}] (inner solver {result.solver})"
+            )
+    if not args.json:
+        cache = planner.planner.cache_info()
+        tables = planner.planner.table_cache
+        stats = tables.stats() if tables is not None else {}
+        print(
+            f"inner solves: cache hits={cache.hits} "
+            f"canonical={cache.canonical_hits} "
+            f"tables built={stats.get('builds', 0)} "
+            f"reused={stats.get('hits', 0)}"
+        )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.runner import render_report, run_all
 
@@ -548,7 +663,9 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         CORPUS_SUITES,
         ConformanceRunner,
         FailureRecord,
+        MultiGroupScenarioSpec,
         ScenarioSpec,
+        check_multi_group,
         generate_corpus,
         fuzz_specs,
         load_records,
@@ -582,7 +699,8 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
                 )
             skipped = len(records) - len(specs)
             origin = f"{len(specs)} scenarios from {args.corpus}" + (
-                f" ({skipped} failure records skipped)" if skipped else ""
+                f" ({skipped} non-scenario records skipped; use 'replay' "
+                "for failures and multi-group scenarios)" if skipped else ""
             )
         else:
             specs = generate_corpus(args.suite)
@@ -605,13 +723,15 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         return _report_and_exit(args, report)
 
     # replay: every failure record must reproduce bit-identically; scenario
-    # records re-run the full invariant suite (a corpus replay)
+    # records re-run the full invariant suite (a corpus replay); multi-group
+    # scenarios re-run the cross-group checks and re-verify their digests
     from pathlib import Path
 
     path = Path(args.path)
     records = [load_record_file(path)] if path.is_file() else load_records(path)
     failures = [r for r in records if isinstance(r, FailureRecord)]
     scenarios = [r for r in records if isinstance(r, ScenarioSpec)]
+    multi_groups = [r for r in records if isinstance(r, MultiGroupScenarioSpec)]
     exit_code = 0
     runner = ConformanceRunner(service_every=0)
     for failure in failures:
@@ -624,12 +744,23 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
             exit_code = 1
             print(f"NOT reproduced: {failure.invariant} solver={failure.solver} "
                   f"on {failure.spec.key}: {outcome.detail}")
+    for spec in multi_groups:
+        violations = check_multi_group(spec)
+        if not violations:
+            stamp = f" (digest {spec.digest})" if spec.digest else ""
+            print(f"multi-group replay ok: {spec.key}{stamp}")
+        else:
+            exit_code = 1
+            for violation in violations:
+                where = f" [{violation.solver}]" if violation.solver else ""
+                print(f"multi-group replay FAILED on {spec.key}:{where} "
+                      f"{violation.message}")
     if scenarios:
         report = runner.run(scenarios)
         print(report.summary())
         if not report.ok:
             exit_code = 1
-    if not failures and not scenarios:
+    if not failures and not scenarios and not multi_groups:
         raise ReproError(f"no conformance records found at {args.path}")
     return exit_code
 
@@ -755,6 +886,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
     "plan-batch": _cmd_plan_batch,
+    "plan-groups": _cmd_plan_groups,
     "experiment": _cmd_experiment,
     "fig1": _cmd_fig1,
     "serve": _cmd_serve,

@@ -25,6 +25,11 @@ Pieces
   the :mod:`repro.io.segments` substrate, so corpora persist and every
   reported failure replays bit-identically from its seed
   (``repro conformance replay``).
+* :mod:`~repro.conformance.contention` — the cross-group layer:
+  seed-complete multi-group scenarios (kind ``multi-group-scenario``),
+  the work-conservation / isolated-floor / replay-agreement /
+  strategy-dominance checks behind the registered ``contention-*``
+  invariants, and evaluation digests proving bit-identical replay.
 
 Quickstart
 ----------
@@ -58,6 +63,18 @@ from repro.conformance.invariants import (
     invariant_items,
     register_invariant,
 )
+from repro.conformance.contention import (
+    MULTI_GROUP_KIND,
+    MULTI_GROUP_SUITES,
+    MultiGroupOutcome,
+    MultiGroupScenarioSpec,
+    check_multi_group,
+    derive_contention_instance,
+    evaluate_multi_group,
+    multi_group_corpus,
+    multi_group_digest,
+    multi_group_record,
+)
 from repro.conformance.records import (
     CONFORMANCE_FORMAT,
     FailureRecord,
@@ -90,6 +107,17 @@ __all__ = [
     "get_invariant",
     "available_invariants",
     "invariant_items",
+    # cross-group contention
+    "MULTI_GROUP_KIND",
+    "MULTI_GROUP_SUITES",
+    "MultiGroupOutcome",
+    "MultiGroupScenarioSpec",
+    "check_multi_group",
+    "derive_contention_instance",
+    "evaluate_multi_group",
+    "multi_group_corpus",
+    "multi_group_digest",
+    "multi_group_record",
     # records
     "CONFORMANCE_FORMAT",
     "FailureRecord",

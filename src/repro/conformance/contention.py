@@ -1,0 +1,478 @@
+"""Cross-group conformance: multi-group scenarios, checks, and digests.
+
+The single-group conformance engine trusts a plan because every solver's
+output survives the invariant catalogue over a seed-complete corpus.
+This module extends that trust boundary across groups:
+
+* :class:`MultiGroupScenarioSpec` — a seed-complete recipe rebuilding a
+  :func:`repro.workloads.multigroup.multi_group_workload` instance; it
+  persists as a ``repro/conformance-v1`` record of kind
+  ``multi-group-scenario`` (see :mod:`repro.conformance.records`).
+* :func:`evaluate_multi_group` — plan a multi-group instance with every
+  registered ``mg-*`` strategy through one shared planner and compute
+  each group's isolated single-group optimum when an exact oracle is
+  capable.
+* The four cross-group checks, shared between the registered invariant
+  catalogue (where they sweep the regular quick corpus on derived
+  contended instances) and the committed multi-group corpus records:
+
+  - :func:`check_work_conservation` — no shared workstation is busy for
+    two groups in overlapping intervals;
+  - :func:`check_isolated_floor` — a group planned under contention
+    never beats its isolated single-group optimum;
+  - :func:`check_replay_agreement` — the merged discrete-event replay
+    reproduces the analytic offsets/makespan and stays overlap-free;
+  - :func:`check_strategy_dominance` — naive sequential is never better
+    than the best interleaved strategy.
+
+* :func:`multi_group_digest` — a content hash over the full evaluation
+  payload (offsets, trees, objectives per strategy), so committed corpus
+  records prove bit-identical replay, mirroring failure-record digests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.api.multigroup import MultiGroupPlanner, available_multi_group_solvers
+from repro.api.planner import Planner
+from repro.api.request import PlanRequest
+from repro.api.solvers import get_solver
+from repro.conformance.invariants import TOLERANCE, Violation
+from repro.core.contention import MultiGroupInstance
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node
+from repro.exceptions import ConformanceError, ContentionError, SimulationError
+from repro.io.segments import record_digest
+from repro.io.serialization import multi_group_to_dict
+from repro.simulation.multigroup import simulate_multi_group
+from repro.workloads.multigroup import multi_group_workload
+
+__all__ = [
+    "MULTI_GROUP_KIND",
+    "MultiGroupScenarioSpec",
+    "MultiGroupOutcome",
+    "MULTI_GROUP_SUITES",
+    "multi_group_corpus",
+    "derive_contention_instance",
+    "evaluate_multi_group",
+    "check_work_conservation",
+    "check_isolated_floor",
+    "check_replay_agreement",
+    "check_strategy_dominance",
+    "check_multi_group",
+    "multi_group_payload",
+    "multi_group_digest",
+    "multi_group_record",
+]
+
+#: Record kind of multi-group scenarios inside ``repro/conformance-v1``.
+MULTI_GROUP_KIND = "multi-group-scenario"
+
+
+@dataclass(frozen=True)
+class MultiGroupScenarioSpec:
+    """One replayable multi-group scenario (seed-complete).
+
+    The fields mirror :func:`multi_group_workload`'s arguments; ``digest``
+    (optional, excluded from identity) pins the evaluation payload a
+    committed record was generated from, so replay can prove
+    bit-identical reproduction.
+    """
+
+    groups: int
+    n: int
+    seed: int
+    latency: float = 1
+    relays: int = 0
+    label: str = ""
+    digest: Optional[str] = field(default=None, compare=False)
+
+    def build(self) -> MultiGroupInstance:
+        """Deterministically rebuild this scenario's instance."""
+        return multi_group_workload(
+            self.groups,
+            self.n,
+            self.seed,
+            latency=self.latency,
+            relays=self.relays,
+        )
+
+    @property
+    def key(self) -> str:
+        """Compact one-line identity, used in reports and progress lines."""
+        suffix = f" [{self.label}]" if self.label else ""
+        return (
+            f"multi-group(groups={self.groups}, n={self.n}, seed={self.seed}, "
+            f"L={self.latency:g}, relays={self.relays}){suffix}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready spec payload (no digest; records carry it alongside)."""
+        return {
+            "groups": self.groups,
+            "n": self.n,
+            "seed": self.seed,
+            "latency": self.latency,
+            "relays": self.relays,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], *, digest: Optional[str] = None
+    ) -> "MultiGroupScenarioSpec":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                groups=int(data["groups"]),
+                n=int(data["n"]),
+                seed=int(data["seed"]),
+                latency=data.get("latency", 1),
+                relays=int(data.get("relays", 0)),
+                label=data.get("label", ""),
+                digest=digest,
+            )
+        except KeyError as missing:
+            raise ConformanceError(
+                f"multi-group scenario record missing field {missing}"
+            ) from None
+
+
+# ----------------------------------------------------------------------
+# corpora
+# ----------------------------------------------------------------------
+def _sweep(
+    shapes: List[Tuple[int, int]], seeds: Tuple[int, ...], latencies: Tuple[float, ...]
+) -> List[MultiGroupScenarioSpec]:
+    out = []
+    for groups, n in shapes:
+        for seed in seeds:
+            for latency in latencies:
+                for relays in (0, min(1, groups - 1)):
+                    out.append(
+                        MultiGroupScenarioSpec(
+                            groups=groups,
+                            n=n,
+                            seed=seed,
+                            latency=latency,
+                            relays=relays,
+                        )
+                    )
+    # relays=0 duplicates when groups == 1 collapse via dict keying
+    unique: Dict[str, MultiGroupScenarioSpec] = {s.key: s for s in out}
+    return list(unique.values())
+
+
+#: Named multi-group corpora mirroring the single-group suites.
+MULTI_GROUP_SUITES: Dict[str, List[MultiGroupScenarioSpec]] = {
+    "smoke": _sweep([(2, 3), (3, 4)], (0,), (1,)),
+    "quick": _sweep([(2, 3), (2, 5), (3, 4), (4, 5)], (0, 1), (1, 4)),
+    "full": _sweep(
+        [(2, 3), (2, 5), (3, 4), (3, 8), (4, 5), (6, 6)], (0, 1, 2), (1, 4, 8)
+    ),
+}
+
+
+def multi_group_corpus(suite: str = "quick") -> List[MultiGroupScenarioSpec]:
+    """The named deterministic multi-group corpus (smoke/quick/full)."""
+    try:
+        return list(MULTI_GROUP_SUITES[suite])
+    except KeyError:
+        raise ConformanceError(
+            f"unknown multi-group suite {suite!r}; "
+            f"available: {sorted(MULTI_GROUP_SUITES)}"
+        ) from None
+
+
+def derive_contention_instance(mset: MulticastSet, groups: int = 3) -> MultiGroupInstance:
+    """A contended multi-group instance derived from one scenario instance.
+
+    Every derived group shares the scenario's source (send-slot
+    contention) and its first destination verbatim (receive-slot
+    contention); up to three further destinations are cloned per group
+    under fresh names, so the derived network keeps the scenario's type
+    structure.  Deterministic — the registered ``contention-*`` invariants
+    use it to sweep the regular conformance corpus cross-group.
+    """
+    shared_dest = mset.destinations[0]
+    extras = mset.destinations[1:4]
+    group_sets = []
+    for g in range(groups):
+        dests = [shared_dest] + [
+            Node(f"mg{g}x{i}", d.send_overhead, d.receive_overhead)
+            for i, d in enumerate(extras)
+        ]
+        group_sets.append(
+            MulticastSet(
+                mset.source,
+                dests,
+                mset.latency,
+                validate_correlation=mset.correlated,
+            )
+        )
+    return MultiGroupInstance(group_sets)
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+@dataclass
+class MultiGroupOutcome:
+    """Everything the cross-group checks consume for one instance.
+
+    ``results`` maps every registered ``mg-*`` strategy to its
+    :class:`~repro.api.multigroup.MultiGroupResult`; ``isolated`` holds
+    each group's isolated single-group optimum (``None`` where no exact
+    oracle is capable).
+    """
+
+    instance: MultiGroupInstance
+    inner_solver: str
+    results: Dict[str, Any]
+    isolated: Tuple[Optional[float], ...]
+
+
+def _pick_inner_solver(instance: MultiGroupInstance) -> str:
+    dp = get_solver("dp")
+    if all(dp.capabilities.supports(g) for g in instance.groups):
+        return "dp"
+    return "greedy+reversal"
+
+
+def evaluate_multi_group(
+    instance: MultiGroupInstance,
+    planner: Optional[Planner] = None,
+    *,
+    inner_solver: Optional[str] = None,
+) -> MultiGroupOutcome:
+    """Plan ``instance`` with every ``mg-*`` strategy and the exact oracles.
+
+    The inner single-group solver defaults to ``dp`` when every group is
+    within its capability envelope (making the isolated-floor check an
+    equality) and ``greedy+reversal`` otherwise.  All strategies share one
+    planner, so the inner solves are computed once and reused.
+    """
+    planner = planner if planner is not None else Planner()
+    inner = inner_solver or _pick_inner_solver(instance)
+    mg_planner = MultiGroupPlanner(planner)
+    results = mg_planner.compare_strategies(instance, solver=inner)
+    dp = get_solver("dp")
+    isolated: List[Optional[float]] = []
+    for group in instance.groups:
+        if dp.capabilities.supports(group):
+            isolated.append(
+                planner.plan(PlanRequest(instance=group, solver="dp")).value
+            )
+        else:
+            isolated.append(None)
+    return MultiGroupOutcome(
+        instance=instance,
+        inner_solver=inner,
+        results=results,
+        isolated=tuple(isolated),
+    )
+
+
+# ----------------------------------------------------------------------
+# cross-group checks
+# ----------------------------------------------------------------------
+def check_work_conservation(outcome: MultiGroupOutcome) -> List[Violation]:
+    """No shared workstation transmits/receives for two groups at once."""
+    out: List[Violation] = []
+    for name in sorted(outcome.results):
+        result = outcome.results[name]
+        try:
+            result.schedule.assert_no_contention()
+        except ContentionError as exc:
+            out.append(Violation(str(exc), name))
+        for g, offset in enumerate(result.offsets):
+            if not offset >= 0:
+                out.append(Violation(f"group {g} has negative offset {offset!r}", name))
+    return out
+
+
+def check_isolated_floor(outcome: MultiGroupOutcome) -> List[Violation]:
+    """Per-group completion under contention never beats isolated OPT."""
+    out: List[Violation] = []
+    for name in sorted(outcome.results):
+        result = outcome.results[name]
+        for g, (group_result, opt) in enumerate(
+            zip(result.group_results, outcome.isolated)
+        ):
+            if opt is not None and group_result.value < opt - TOLERANCE:
+                out.append(
+                    Violation(
+                        f"group {g} completes at {group_result.value:g} under "
+                        f"contention, beating its isolated optimum {opt:g}",
+                        name,
+                    )
+                )
+    return out
+
+
+def check_replay_agreement(outcome: MultiGroupOutcome) -> List[Violation]:
+    """The merged discrete-event replay agrees with the analytic schedule."""
+    out: List[Violation] = []
+    for name in sorted(outcome.results):
+        result = outcome.results[name]
+        try:
+            sim = simulate_multi_group(result.schedule)
+        except SimulationError as exc:
+            out.append(Violation(f"replay failed: {exc}", name))
+            continue
+        if abs(sim.makespan - result.max_makespan) > TOLERANCE:
+            out.append(
+                Violation(
+                    f"replayed makespan {sim.makespan:g} != analytic "
+                    f"{result.max_makespan:g}",
+                    name,
+                )
+            )
+        for g, completion in enumerate(sim.completions):
+            if abs(completion - result.schedule.group_completion(g)) > TOLERANCE:
+                out.append(
+                    Violation(
+                        f"group {g} replays to {completion:g}, analytic "
+                        f"completion is {result.schedule.group_completion(g):g}",
+                        name,
+                    )
+                )
+    return out
+
+
+def check_strategy_dominance(outcome: MultiGroupOutcome) -> List[Violation]:
+    """Naive sequential is never better than the best interleaved strategy."""
+    out: List[Violation] = []
+    results = outcome.results
+    if "mg-sequential" not in results:
+        return [Violation("mg-sequential is not registered")]
+    sequential = results["mg-sequential"].max_makespan
+    expected = sum(r.value for r in results["mg-sequential"].group_results)
+    if abs(sequential - expected) > TOLERANCE:
+        out.append(
+            Violation(
+                f"sequential max-makespan {sequential:g} != sum of group "
+                f"completions {expected:g}",
+                "mg-sequential",
+            )
+        )
+    interleaved = {
+        name: r.max_makespan for name, r in results.items() if name != "mg-sequential"
+    }
+    if interleaved:
+        best_name = min(interleaved, key=lambda name: (interleaved[name], name))
+        if sequential < interleaved[best_name] - TOLERANCE:
+            out.append(
+                Violation(
+                    f"sequential max-makespan {sequential:g} beats the best "
+                    f"interleaved strategy {best_name} "
+                    f"({interleaved[best_name]:g})",
+                    best_name,
+                )
+            )
+    return out
+
+
+_CHECKS = (
+    check_work_conservation,
+    check_isolated_floor,
+    check_replay_agreement,
+    check_strategy_dominance,
+)
+
+
+def check_multi_group(
+    spec: "MultiGroupScenarioSpec",
+    planner: Optional[Planner] = None,
+) -> List[Violation]:
+    """Run every cross-group check on one scenario; `[]` means all pass.
+
+    When the spec carries a ``digest`` (committed corpus records do), the
+    evaluation payload must also replay bit-identically.
+    """
+    outcome = evaluate_multi_group(spec.build(), planner)
+    violations: List[Violation] = []
+    for check in _CHECKS:
+        violations.extend(check(outcome))
+    if spec.digest is not None:
+        replayed = record_digest(
+            {"spec": spec.to_dict(), "payload": multi_group_payload(outcome)}
+        )
+        if replayed != spec.digest:
+            violations.append(
+                Violation(
+                    f"evaluation payload digest {replayed} != committed "
+                    f"digest {spec.digest} (replay is not bit-identical)"
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# bit-identical replay digests
+# ----------------------------------------------------------------------
+def multi_group_payload(outcome: MultiGroupOutcome) -> str:
+    """Canonical JSON of a full evaluation (volatile fields excluded).
+
+    Covers the instance, the inner solver, and — per strategy — offsets,
+    objectives, and every group's tree and completion.  Two evaluations
+    of the same spec must produce byte-equal payloads.
+    """
+    payload = {
+        "instance": multi_group_to_dict(outcome.instance),
+        "inner_solver": outcome.inner_solver,
+        "isolated": list(outcome.isolated),
+        "strategies": {
+            name: {
+                "offsets": list(result.offsets),
+                "max_makespan": result.max_makespan,
+                "weighted_sum": result.weighted_sum,
+                "groups": [
+                    {
+                        "value": group_result.value,
+                        "children": {
+                            str(parent): [[c, s] for c, s in kids]
+                            for parent, kids in sorted(
+                                group_result.schedule.children.items()
+                            )
+                        },
+                    }
+                    for group_result in result.group_results
+                ],
+            }
+            for name, result in sorted(outcome.results.items())
+        },
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def multi_group_digest(
+    spec: MultiGroupScenarioSpec, planner: Optional[Planner] = None
+) -> str:
+    """Content hash of a spec's evaluation, for bit-identical replay.
+
+    Committed ``multi-group-scenario`` records carry this digest;
+    :func:`check_multi_group` recomputes it on replay and flags any
+    drift.
+    """
+    outcome = evaluate_multi_group(spec.build(), planner)
+    return record_digest(
+        {"spec": spec.to_dict(), "payload": multi_group_payload(outcome)}
+    )
+
+
+def multi_group_record(spec: MultiGroupScenarioSpec) -> Dict[str, Any]:
+    """JSON-ready ``repro/conformance-v1`` multi-group scenario record."""
+    from repro.conformance.records import CONFORMANCE_FORMAT
+
+    record: Dict[str, Any] = {
+        "format": CONFORMANCE_FORMAT,
+        "kind": MULTI_GROUP_KIND,
+        "spec": spec.to_dict(),
+    }
+    if spec.digest is not None:
+        record["digest"] = spec.digest
+    return record

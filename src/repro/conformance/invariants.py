@@ -25,6 +25,17 @@ Built-in catalogue
 ``repair-identity``       session repair under a membership-delta chain is
                           byte-equal to cold re-planning each post-delta
                           membership
+``contention-work-conservation``
+                          no shared sender is busy for two groups in
+                          overlapping intervals on a derived contended
+                          multi-group instance
+``contention-isolated-floor``
+                          a group planned under contention never beats its
+                          isolated single-group optimum
+``contention-replay``     the merged multi-group discrete-event replay
+                          agrees with the analytic offsets and makespan
+``contention-dominance``  naive sequential is never better than the best
+                          interleaved multi-group strategy
 
 Custom invariants register with :func:`register_invariant` and are picked
 up by every :class:`~repro.conformance.runner.ConformanceRunner` built
@@ -517,6 +528,67 @@ def _repair_identity(outcome: ScenarioOutcome) -> List[Violation]:
         finally:
             manager.close(opened.session_id)
     return out
+
+
+def _contention_outcome(outcome: ScenarioOutcome):
+    """Evaluate the scenario's derived contended instance once, cached.
+
+    Four ``contention-*`` invariants consume the same evaluation; the
+    derivation and every strategy solve are deterministic functions of
+    the scenario instance, so computing them once per outcome is safe.
+    """
+    # local import: repro.conformance.contention consumes this module
+    from repro.conformance.contention import (
+        derive_contention_instance,
+        evaluate_multi_group,
+    )
+
+    cached = getattr(outcome, "_contention", None)
+    if cached is None:
+        instance = derive_contention_instance(outcome.mset)
+        cached = evaluate_multi_group(instance, outcome.planner)
+        outcome._contention = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@register_invariant(
+    "contention-work-conservation",
+    "no shared sender serves two multicast groups in overlapping intervals",
+)
+def _contention_work_conservation(outcome: ScenarioOutcome) -> List[Violation]:
+    from repro.conformance.contention import check_work_conservation
+
+    return check_work_conservation(_contention_outcome(outcome))
+
+
+@register_invariant(
+    "contention-isolated-floor",
+    "a group planned under contention never beats its isolated optimum",
+)
+def _contention_isolated_floor(outcome: ScenarioOutcome) -> List[Violation]:
+    from repro.conformance.contention import check_isolated_floor
+
+    return check_isolated_floor(_contention_outcome(outcome))
+
+
+@register_invariant(
+    "contention-replay",
+    "the merged multi-group replay agrees with the analytic schedule",
+)
+def _contention_replay(outcome: ScenarioOutcome) -> List[Violation]:
+    from repro.conformance.contention import check_replay_agreement
+
+    return check_replay_agreement(_contention_outcome(outcome))
+
+
+@register_invariant(
+    "contention-dominance",
+    "naive sequential never beats the best interleaved multi-group strategy",
+)
+def _contention_dominance(outcome: ScenarioOutcome) -> List[Violation]:
+    from repro.conformance.contention import check_strategy_dominance
+
+    return check_strategy_dominance(_contention_outcome(outcome))
 
 
 def canonical_result_payload(result: PlanResult) -> str:

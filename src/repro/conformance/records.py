@@ -1,17 +1,23 @@
 """``repro/conformance-v1`` records on the :mod:`repro.io.segments` substrate.
 
-Two record kinds share the format:
+Three record kinds share the format:
 
 .. code-block:: json
 
     {"format": "repro/conformance-v1", "kind": "scenario",
      "spec": {"family": "two-class", "n": 5, "seed": 0, ...}}
 
+    {"format": "repro/conformance-v1", "kind": "multi-group-scenario",
+     "spec": {"groups": 3, "n": 5, "seed": 0, ...},
+     "digest": "<sha256 prefix>"}
+
     {"format": "repro/conformance-v1", "kind": "failure",
      "spec": {...}, "invariant": "oracle-optimality", "solver": "greedy",
      "message": "...", "digest": "<sha256 prefix>"}
 
-Scenario records persist generated corpora; failure records are the
+Scenario records persist generated corpora (multi-group scenarios carry a
+digest over their full cross-group evaluation, proving bit-identical
+replay); failure records are the
 replayable artifacts the runner emits on invariant violations.  The
 ``digest`` is a content hash over the *deterministic* failure identity —
 spec, invariant, solver, message — so ``repro conformance replay`` can
@@ -57,7 +63,9 @@ CONFORMANCE_FORMAT = "repro/conformance-v1"
 #: Records per segment before the writer rotates (small: corpora are small).
 SEGMENT_MAX_RECORDS = 256
 
-Record = Union[ScenarioSpec, "FailureRecord"]
+# ScenarioSpec | MultiGroupScenarioSpec | FailureRecord (the multi-group
+# spec type is imported lazily to avoid a module cycle)
+Record = Union[ScenarioSpec, Any, "FailureRecord"]
 
 
 def failure_digest(
@@ -149,7 +157,7 @@ def _check_format(data: Mapping[str, Any]) -> None:
 
 
 def record_from_dict(data: Mapping[str, Any]) -> Record:
-    """Decode either record kind (scenario -> spec, failure -> record)."""
+    """Decode any record kind (scenarios -> specs, failure -> record)."""
     _check_format(data)
     kind = data.get("kind")
     if kind == "scenario":
@@ -158,12 +166,27 @@ def record_from_dict(data: Mapping[str, Any]) -> Record:
         except KeyError:
             raise ConformanceError("scenario record missing field 'spec'") from None
         return ScenarioSpec.from_dict(spec)
+    if kind == "multi-group-scenario":
+        # local import: repro.conformance.contention consumes this module
+        from repro.conformance.contention import MultiGroupScenarioSpec
+
+        try:
+            spec = data["spec"]
+        except KeyError:
+            raise ConformanceError(
+                "multi-group scenario record missing field 'spec'"
+            ) from None
+        return MultiGroupScenarioSpec.from_dict(spec, digest=data.get("digest"))
     if kind == "failure":
         return FailureRecord.from_dict(data)
     raise ConformanceError(f"unknown conformance record kind {kind!r}")
 
 
 def _record_payload(record: Record) -> Dict[str, Any]:
+    from repro.conformance.contention import MultiGroupScenarioSpec, multi_group_record
+
+    if isinstance(record, MultiGroupScenarioSpec):
+        return multi_group_record(record)
     if isinstance(record, ScenarioSpec):
         return scenario_record(record)
     if isinstance(record, FailureRecord):

@@ -18,7 +18,12 @@ The public surface of the reproduction's primary contribution:
 * :mod:`~repro.core.bounds` — Theorem 1's bound and certified lower bounds;
 * :mod:`~repro.core.canonical` — canonical instance forms and equivalence
   keys (renaming + exact power-of-two rescaling) behind the planner's
-  amortized caching (DESIGN.md §6).
+  amortized caching (DESIGN.md §6);
+* :mod:`~repro.core.contention` — concurrent multi-group planning under
+  shared-sender contention: :class:`~repro.core.contention.MultiGroupInstance`
+  / :class:`~repro.core.contention.MultiGroupSchedule` and the
+  sequential / round-robin / greedy-pack composition strategies
+  (DESIGN.md §8).
 """
 
 from repro.core.node import Node, overhead_key, same_type
@@ -42,6 +47,17 @@ from repro.core.transform import (
     exchange,
     swap_same_type,
     layer_schedule,
+)
+from repro.core.contention import (
+    ClaimInterval,
+    MultiGroupInstance,
+    MultiGroupSchedule,
+    MULTI_GROUP_STRATEGIES,
+    available_strategies,
+    busy_intervals,
+    plan_sequential,
+    plan_round_robin,
+    plan_greedy_pack,
 )
 from repro.core.bounds import (
     theorem1_factor,
@@ -94,4 +110,13 @@ __all__ = [
     "canonicalize",
     "canonical_key",
     "map_schedule",
+    "ClaimInterval",
+    "MultiGroupInstance",
+    "MultiGroupSchedule",
+    "MULTI_GROUP_STRATEGIES",
+    "available_strategies",
+    "busy_intervals",
+    "plan_sequential",
+    "plan_round_robin",
+    "plan_greedy_pack",
 ]

@@ -1,0 +1,433 @@
+"""Concurrent multi-group multicast under shared-sender contention.
+
+The paper schedules a single multicast in isolation.  In production
+traffic many multicast groups contend for the *same* senders' transmit
+slots: a node's send intervals are a single physical resource, claimed
+across groups.  This module supplies the cross-group layer on top of the
+unchanged single-group model:
+
+* :class:`MultiGroupInstance` — an ordered collection of
+  :class:`~repro.core.multicast.MulticastSet` groups.  Nodes are shared
+  *by name*: the same name appearing in two groups denotes one physical
+  workstation, so its overheads must agree everywhere.
+* :class:`MultiGroupSchedule` — one single-group
+  :class:`~repro.core.schedule.Schedule` per group plus a per-group start
+  offset.  Within a group the paper's timing recurrence is untouched; the
+  cross-group layer only decides *when each group's clock starts*.  A
+  schedule is valid when no shared node is busy for two groups in
+  overlapping intervals (work conservation).
+* Objectives — ``max_makespan`` (latest group completion) and
+  ``weighted_sum`` (weight-scaled completion total), both lower-is-better.
+* Baseline composition strategies — ``sequential`` (full serialization),
+  ``round-robin`` (fixed-stride staggered starts, TDMA style) and
+  ``greedy-pack`` (earliest feasible offset per group, largest groups
+  first).  Each consumes *already-solved* per-group schedules, so the
+  expensive inner subproblems route through :class:`repro.api.Planner`
+  and reuse canonical-key caching and shared ``OptimalTable``\\ s.
+
+Busy intervals follow the documented single-group timing model: a node
+``v`` sending in slot ``s`` is busy on
+``[r(v) + (s-1)*o_send(v), r(v) + s*o_send(v))`` and a destination is
+busy receiving on ``[d(v), r(v))``.  Offsets shift every interval of a
+group rigidly, which is why per-group schedules stay valid verbatim.
+
+Dominance guarantee: for any placement order, every greedy-pack offset is
+bounded by the corresponding fully-serialized offset, so
+``max_makespan(greedy-pack) <= max_makespan(sequential)`` holds exactly —
+the conformance layer enforces it as the ``contention-dominance``
+invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node, Number
+from repro.core.schedule import Schedule
+from repro.exceptions import ContentionError
+
+__all__ = [
+    "ClaimInterval",
+    "MultiGroupInstance",
+    "MultiGroupSchedule",
+    "MULTI_GROUP_STRATEGIES",
+    "available_strategies",
+    "busy_intervals",
+    "plan_sequential",
+    "plan_round_robin",
+    "plan_greedy_pack",
+]
+
+#: Tolerance for floating-point interval comparisons.  Overheads are
+#: typically small integers so claims land on exact floats; the epsilon
+#: only guards rescaled (power-of-two) workloads.
+TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class ClaimInterval:
+    """One busy interval a node claims on the shared timeline.
+
+    ``kind`` is ``"send"`` or ``"receive"``; ``group`` is the index of the
+    claiming group inside the :class:`MultiGroupInstance`.
+    """
+
+    node: str
+    group: int
+    kind: str
+    start: float
+    end: float
+
+
+def busy_intervals(schedule: Schedule) -> Dict[str, List[Tuple[str, float, float]]]:
+    """Group-relative busy intervals per node name for one schedule.
+
+    Returns ``{name: [(kind, start, end), ...]}`` with intervals in
+    chronological order per node.  Send busy periods use the slot formula
+    ``[r(v) + (s-1)*o_send, r(v) + s*o_send)``; receive busy periods span
+    delivery to reception completion.
+    """
+    mset = schedule.multicast
+    out: Dict[str, List[Tuple[str, float, float]]] = {}
+    for i, node in enumerate(mset.nodes):
+        intervals: List[Tuple[str, float, float]] = []
+        if i != 0:
+            intervals.append(
+                ("receive", schedule.delivery_time(i), schedule.reception_time(i))
+            )
+        ready = schedule.reception_time(i)
+        o_send = mset.send(i)
+        for _, slot in schedule.children_of(i):
+            intervals.append(("send", ready + (slot - 1) * o_send, ready + slot * o_send))
+        intervals.sort(key=lambda iv: (iv[1], iv[2]))
+        if intervals:
+            out[node.name] = intervals
+    return out
+
+
+@dataclass(frozen=True)
+class MultiGroupInstance:
+    """An ordered set of multicast groups sharing workstations by name.
+
+    Parameters
+    ----------
+    groups:
+        One :class:`MulticastSet` per group, at least one.  A node name
+        appearing in several groups denotes the *same* workstation, so its
+        ``(o_send, o_receive)`` must be identical in every occurrence.
+    weights:
+        Optional positive per-group weights for the weighted-sum
+        objective; defaults to ``1.0`` everywhere.
+    """
+
+    groups: Tuple[MulticastSet, ...]
+    weights: Tuple[float, ...]
+
+    def __init__(
+        self,
+        groups: Iterable[MulticastSet],
+        weights: Optional[Sequence[Number]] = None,
+    ) -> None:
+        gs = tuple(groups)
+        if not gs:
+            raise ContentionError("a multi-group instance needs at least one group")
+        for g in gs:
+            if not isinstance(g, MulticastSet):
+                raise ContentionError(f"groups must be MulticastSet, got {type(g).__name__}")
+        ws = tuple(float(w) for w in weights) if weights is not None else (1.0,) * len(gs)
+        if len(ws) != len(gs):
+            raise ContentionError(
+                f"got {len(ws)} weights for {len(gs)} groups; lengths must match"
+            )
+        for w in ws:
+            if not w > 0 or w != w or w == float("inf"):
+                raise ContentionError(f"weights must be positive and finite, got {w!r}")
+        seen: Dict[str, Node] = {}
+        for g in gs:
+            for nd in g.nodes:
+                prev = seen.setdefault(nd.name, nd)
+                if prev.type_key != nd.type_key:
+                    raise ContentionError(
+                        f"shared node {nd.name!r} has inconsistent overheads across "
+                        f"groups: {prev.type_key} vs {nd.type_key}"
+                    )
+        object.__setattr__(self, "groups", gs)
+        object.__setattr__(self, "weights", ws)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of groups."""
+        return len(self.groups)
+
+    def shared_nodes(self) -> Tuple[str, ...]:
+        """Names of workstations participating in two or more groups, sorted."""
+        counts: Dict[str, int] = {}
+        for g in self.groups:
+            for nd in g.nodes:
+                counts[nd.name] = counts.get(nd.name, 0) + 1
+        return tuple(sorted(name for name, c in counts.items() if c > 1))
+
+    def permuted(self, order: Sequence[int]) -> "MultiGroupInstance":
+        """The same instance with groups reordered by ``order``.
+
+        ``order`` must be a permutation of ``range(n_groups)``; weights
+        travel with their groups.
+        """
+        if sorted(order) != list(range(self.n_groups)):
+            raise ContentionError(
+                f"order {list(order)!r} is not a permutation of range({self.n_groups})"
+            )
+        return MultiGroupInstance(
+            [self.groups[i] for i in order], [self.weights[i] for i in order]
+        )
+
+
+class MultiGroupSchedule:
+    """Per-group schedules plus start offsets on a shared timeline.
+
+    Group ``g`` executes its single-group :class:`Schedule` shifted
+    rigidly by ``offsets[g]``; its completion on the shared timeline is
+    ``offsets[g] + reception_completion``.  Construction validates work
+    conservation (:meth:`assert_no_contention`) unless ``validate=False``.
+    """
+
+    def __init__(
+        self,
+        instance: MultiGroupInstance,
+        schedules: Sequence[Schedule],
+        offsets: Sequence[Number],
+        *,
+        validate: bool = True,
+    ) -> None:
+        schedules = tuple(schedules)
+        offs = tuple(float(t) for t in offsets)
+        if len(schedules) != instance.n_groups or len(offs) != instance.n_groups:
+            raise ContentionError(
+                f"expected {instance.n_groups} schedules and offsets, got "
+                f"{len(schedules)} and {len(offs)}"
+            )
+        for g, (mset, schedule) in enumerate(zip(instance.groups, schedules)):
+            if schedule.multicast != mset:
+                raise ContentionError(f"schedule {g} is not over instance group {g}")
+        for t in offs:
+            if not t >= 0 or t != t or t == float("inf"):
+                raise ContentionError(f"offsets must be finite and >= 0, got {t!r}")
+        self.instance = instance
+        self.schedules = schedules
+        self.offsets = offs
+        if validate:
+            self.assert_no_contention()
+
+    # ------------------------------------------------------------------
+    # objectives
+    # ------------------------------------------------------------------
+    def group_completion(self, g: int) -> float:
+        """Reception completion of group ``g`` on the shared timeline."""
+        return self.offsets[g] + self.schedules[g].reception_completion
+
+    @property
+    def completions(self) -> Tuple[float, ...]:
+        """Shared-timeline completion of every group, in group order."""
+        return tuple(self.group_completion(g) for g in range(self.instance.n_groups))
+
+    @property
+    def max_makespan(self) -> float:
+        """Latest group completion (the cross-group makespan objective)."""
+        return max(self.completions)
+
+    @property
+    def weighted_sum(self) -> float:
+        """Weight-scaled sum of group completions."""
+        return sum(w * c for w, c in zip(self.instance.weights, self.completions))
+
+    # ------------------------------------------------------------------
+    # work conservation
+    # ------------------------------------------------------------------
+    def claims(self) -> Dict[str, List[ClaimInterval]]:
+        """Absolute busy intervals of every *shared* node, chronologically.
+
+        Only nodes participating in two or more groups can contend, so
+        only they appear.
+        """
+        shared = set(self.instance.shared_nodes())
+        merged: Dict[str, List[ClaimInterval]] = {name: [] for name in shared}
+        for g, schedule in enumerate(self.schedules):
+            offset = self.offsets[g]
+            for name, intervals in busy_intervals(schedule).items():
+                if name in shared:
+                    merged[name].extend(
+                        ClaimInterval(name, g, kind, offset + s, offset + e)
+                        for kind, s, e in intervals
+                    )
+        for claims in merged.values():
+            claims.sort(key=lambda c: (c.start, c.end, c.group))
+        return merged
+
+    def assert_no_contention(self) -> None:
+        """Raise :class:`ContentionError` if any shared node double-books.
+
+        Within one group the single-group simulator already guarantees a
+        node never overlaps itself, so only *cross-group* pairs are
+        checked: consecutive claims from different groups must not
+        overlap (touching endpoints are fine).
+        """
+        for name, claims in self.claims().items():
+            for prev, cur in zip(claims, claims[1:]):
+                if cur.group != prev.group and cur.start < prev.end - TOLERANCE:
+                    raise ContentionError(
+                        f"shared node {name!r} is double-booked: group {prev.group} "
+                        f"{prev.kind} [{prev.start:g}, {prev.end:g}) overlaps group "
+                        f"{cur.group} {cur.kind} [{cur.start:g}, {cur.end:g})"
+                    )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultiGroupSchedule):
+            return NotImplemented
+        return (
+            self.instance == other.instance
+            and self.schedules == other.schedules
+            and self.offsets == other.offsets
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.instance, self.schedules, self.offsets))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiGroupSchedule(groups={self.instance.n_groups}, "
+            f"offsets={self.offsets}, max_makespan={self.max_makespan:g})"
+        )
+
+
+# ----------------------------------------------------------------------
+# composition strategies
+# ----------------------------------------------------------------------
+def _check_solved(instance: MultiGroupInstance, schedules: Sequence[Schedule]) -> Tuple[Schedule, ...]:
+    schedules = tuple(schedules)
+    if len(schedules) != instance.n_groups:
+        raise ContentionError(
+            f"expected {instance.n_groups} per-group schedules, got {len(schedules)}"
+        )
+    return schedules
+
+
+def plan_sequential(
+    instance: MultiGroupInstance, schedules: Sequence[Schedule]
+) -> MultiGroupSchedule:
+    """Full serialization: group ``g`` starts when group ``g-1`` completes.
+
+    The naive baseline — even groups sharing *no* nodes wait.  Its
+    max-makespan is the plain sum of per-group completions, which makes it
+    invariant under group permutation (the metamorphic property tests rely
+    on this).
+    """
+    schedules = _check_solved(instance, schedules)
+    offsets: List[float] = []
+    clock = 0.0
+    for schedule in schedules:
+        offsets.append(clock)
+        clock += schedule.reception_completion
+    return MultiGroupSchedule(instance, schedules, offsets)
+
+
+def plan_round_robin(
+    instance: MultiGroupInstance, schedules: Sequence[Schedule]
+) -> MultiGroupSchedule:
+    """Fixed-stride staggered starts: group ``g`` starts at ``g * Q``.
+
+    The stride ``Q`` is the largest group-relative time at which any
+    *shared* node is still busy in any group, so by the time group ``g+1``
+    touches a shared resource, group ``g`` is done with all of them —
+    TDMA-style interleaving.  With no shared nodes ``Q = 0`` and every
+    group runs fully in parallel.
+    """
+    schedules = _check_solved(instance, schedules)
+    shared = set(instance.shared_nodes())
+    stride = 0.0
+    for schedule in schedules:
+        for name, intervals in busy_intervals(schedule).items():
+            if name in shared:
+                stride = max(stride, max(end for _, _, end in intervals))
+    offsets = [g * stride for g in range(instance.n_groups)]
+    return MultiGroupSchedule(instance, schedules, offsets)
+
+
+def _earliest_feasible_offset(
+    rel: Mapping[str, List[Tuple[str, float, float]]],
+    claimed: Mapping[str, List[Tuple[float, float]]],
+) -> float:
+    """Smallest ``t >= 0`` shifting ``rel`` clear of every claimed interval.
+
+    Pushing ``t`` to a conflicting claim's end strictly increases it and
+    the fully-serialized offset is always feasible, so the scan
+    terminates after finitely many pushes.
+    """
+    t = 0.0
+    moved = True
+    while moved:
+        moved = False
+        for name, intervals in rel.items():
+            for cs, ce in claimed.get(name, ()):
+                for _, a, b in intervals:
+                    if t + a < ce - TOLERANCE and cs < t + b - TOLERANCE:
+                        t = ce - a
+                        moved = True
+    return t
+
+
+def plan_greedy_pack(
+    instance: MultiGroupInstance, schedules: Sequence[Schedule]
+) -> MultiGroupSchedule:
+    """Earliest-feasible-offset packing, longest groups placed first.
+
+    Groups are placed in non-increasing order of isolated completion time
+    (ties broken by group index, LPT style); each takes the smallest
+    offset at which none of its shared-node busy intervals overlaps an
+    already-claimed interval.  Disjoint groups pack at offset 0 and run
+    fully in parallel.
+    """
+    schedules = _check_solved(instance, schedules)
+    shared = set(instance.shared_nodes())
+    rel: List[Dict[str, List[Tuple[str, float, float]]]] = [
+        {n: iv for n, iv in busy_intervals(s).items() if n in shared} for s in schedules
+    ]
+    order = sorted(
+        range(instance.n_groups),
+        key=lambda g: (-schedules[g].reception_completion, g),
+    )
+    claimed: Dict[str, List[Tuple[float, float]]] = {}
+    offsets = [0.0] * instance.n_groups
+    for g in order:
+        t = _earliest_feasible_offset(rel[g], claimed)
+        offsets[g] = t
+        for name, intervals in rel[g].items():
+            claimed.setdefault(name, []).extend((t + a, t + b) for _, a, b in intervals)
+    return MultiGroupSchedule(instance, schedules, offsets)
+
+
+StrategyFn = Callable[[MultiGroupInstance, Sequence[Schedule]], MultiGroupSchedule]
+
+#: Registered composition strategies: name -> (fn, description).  The
+#: ``repro.api`` registry exposes these as capability-gated multi-group
+#: solvers named ``mg-<name>``.
+MULTI_GROUP_STRATEGIES: Dict[str, Tuple[StrategyFn, str]] = {
+    "sequential": (
+        plan_sequential,
+        "naive full serialization: each group waits for the previous one",
+    ),
+    "round-robin": (
+        plan_round_robin,
+        "fixed-stride staggered starts interleaving groups TDMA-style",
+    ),
+    "greedy-pack": (
+        plan_greedy_pack,
+        "earliest-feasible-offset packing, longest groups first",
+    ),
+}
+
+
+def available_strategies() -> List[str]:
+    """Names of the registered multi-group composition strategies."""
+    return list(MULTI_GROUP_STRATEGIES)

@@ -48,6 +48,16 @@ class SolverError(ReproError):
     """An exact solver was used outside its supported regime."""
 
 
+class ContentionError(ReproError):
+    """A cross-group contention constraint is violated or unsatisfiable.
+
+    Raised when a :class:`repro.core.contention.MultiGroupInstance` is
+    malformed (empty, inconsistent shared-node overheads, bad weights) or
+    when a :class:`repro.core.contention.MultiGroupSchedule` claims the
+    same sender's transmit slots for two groups in overlapping intervals.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload generator received unsatisfiable parameters."""
 

@@ -36,7 +36,11 @@ def run(
 ) -> List[Table]:
     """Mean completion per scheduler per size, normalized to the reference."""
     tables: List[Table] = []
-    names = [e.name for e in solver_items() if not e.capabilities.exact]
+    names = [
+        e.name
+        for e in solver_items()
+        if not e.capabilities.exact and not e.capabilities.multi_group
+    ]
     for suite_name in suites:
         sizes: Dict[int, Dict[str, List[float]]] = {}
         for n, _seed, mset in suite(suite_name).instances():

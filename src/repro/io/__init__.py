@@ -17,6 +17,8 @@ from repro.io.segments import (
 from repro.io.serialization import (
     load_multicast,
     load_schedule,
+    multi_group_from_dict,
+    multi_group_to_dict,
     multicast_from_dict,
     multicast_to_dict,
     plan_request_from_dict,
@@ -37,6 +39,8 @@ __all__ = [
     "plan_request_from_dict",
     "plan_result_to_dict",
     "plan_result_from_dict",
+    "multi_group_to_dict",
+    "multi_group_from_dict",
     "save_json",
     "load_multicast",
     "load_schedule",

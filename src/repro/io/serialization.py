@@ -35,12 +35,15 @@ __all__ = [
     "plan_request_from_dict",
     "plan_result_to_dict",
     "plan_result_from_dict",
+    "multi_group_to_dict",
+    "multi_group_from_dict",
     "save_json",
     "load_multicast",
     "load_schedule",
 ]
 
 MULTICAST_FORMAT = "repro/multicast-v1"
+MULTI_GROUP_FORMAT = "repro/multi-group-v1"
 SCHEDULE_FORMAT = "repro/schedule-v1"
 PLAN_REQUEST_FORMAT = "repro/plan-request-v1"
 PLAN_RESULT_FORMAT = "repro/plan-result-v1"
@@ -79,6 +82,31 @@ def multicast_from_dict(data: Dict[str, Any]) -> MulticastSet:
         _node_from_dict(data["source"]),
         [_node_from_dict(d) for d in data["destinations"]],
         data["latency"],
+    )
+
+
+def multi_group_to_dict(instance) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.core.contention.MultiGroupInstance`.
+
+    Groups serialize as ordinary ``repro/multicast-v1`` records; shared
+    workstations are shared *by name*, which the inverse re-validates.
+    """
+    return {
+        "format": MULTI_GROUP_FORMAT,
+        "groups": [multicast_to_dict(g) for g in instance.groups],
+        "weights": list(instance.weights),
+    }
+
+
+def multi_group_from_dict(data: Dict[str, Any]):
+    """Inverse of :func:`multi_group_to_dict` (format- and model-checked)."""
+    from repro.core.contention import MultiGroupInstance
+
+    if data.get("format") != MULTI_GROUP_FORMAT:
+        raise ReproError(f"not a {MULTI_GROUP_FORMAT} record: {data.get('format')!r}")
+    return MultiGroupInstance(
+        [multicast_from_dict(g) for g in data["groups"]],
+        data.get("weights"),
     )
 
 
@@ -180,11 +208,14 @@ def save_json(obj: Any, path: Union[str, Path]) -> Path:
     Returns the path written.
     """
     from repro.api.request import PlanRequest, PlanResult
+    from repro.core.contention import MultiGroupInstance
 
     if isinstance(obj, Schedule):
         payload = schedule_to_dict(obj)
     elif isinstance(obj, MulticastSet):
         payload = multicast_to_dict(obj)
+    elif isinstance(obj, MultiGroupInstance):
+        payload = multi_group_to_dict(obj)
     elif isinstance(obj, PlanRequest):
         payload = plan_request_to_dict(obj)
     elif isinstance(obj, PlanResult):

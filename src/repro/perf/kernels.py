@@ -556,6 +556,99 @@ def _service_throughput(mode: str, repeats: int):
     return cases, {}
 
 
+# ----------------------------------------------------------------------
+# multi_group — cross-group composition vs naive serialization
+# ----------------------------------------------------------------------
+def _multi_group(mode: str, repeats: int):
+    """Concurrent multi-group planning under shared-sender contention.
+
+    Plans one contended :func:`repro.workloads.multi_group_workload`
+    trace with every registered ``mg-*`` composition strategy through a
+    shared planner, then gates on the *machine-independent* schedule
+    quality: the best interleaved strategy's max-makespan must beat naive
+    sequential serialization by at least 1.5x (the committed floor).  The
+    workload is deterministic, so the ratio is a pure function of the
+    library — a composition regression moves the floor, not just the
+    timing.  Integrity gates: every strategy's placement passes the
+    analytic no-contention check, sequential equals the sum of group
+    completions, greedy packing never exceeds sequential (its dominance
+    guarantee holds exactly), two fresh evaluations agree bit-for-bit,
+    and the inner solves stay amortized (the shared table cache never
+    rebuilds after the first strategy's batch).
+    """
+    from repro.api.multigroup import MultiGroupPlanner
+    from repro.api.planner import Planner
+    from repro.workloads.multigroup import multi_group_workload
+
+    groups, n, seed, latency, relays = (
+        (6, 6, 0, 16, 1) if mode == "quick" else (8, 6, 0, 16, 0)
+    )
+    instance = multi_group_workload(
+        groups=groups, n=n, seed=seed, latency=latency, relays=relays
+    )
+    planner = Planner()
+    mg_planner = MultiGroupPlanner(planner)
+
+    def snapshot(results):
+        return {
+            name: (r.offsets, r.max_makespan, r.weighted_sum)
+            for name, r in results.items()
+        }
+
+    def compare():
+        return mg_planner.compare_strategies(instance, solver="dp")
+
+    # determinism gate: a fresh planner must reproduce the warm results
+    fresh = snapshot(MultiGroupPlanner(Planner()).compare_strategies(
+        instance, solver="dp"
+    ))
+    stats, results = measure(compare, repeats=repeats)
+    if snapshot(results) != fresh:
+        raise ReproError("multi_group composition is not deterministic")
+    for name, result in results.items():
+        result.schedule.assert_no_contention()
+        if not all(r.exact for r in result.group_results):
+            raise ReproError(f"{name} inner solves were not exact dp plans")
+    sequential = results["mg-sequential"].max_makespan
+    expected = sum(r.value for r in results["mg-sequential"].group_results)
+    if abs(sequential - expected) > 1e-9:
+        raise ReproError(
+            f"sequential makespan {sequential:g} != sum of completions {expected:g}"
+        )
+    if results["mg-greedy-pack"].max_makespan > sequential + 1e-9:
+        raise ReproError("greedy packing lost to sequential serialization")
+    table_stats = planner.table_cache.stats()
+    if table_stats["builds"] > groups or table_stats["evictions"]:
+        raise ReproError(
+            "multi_group inner solves were not amortized: expected at most "
+            f"one table build per group and no evictions, got {table_stats}"
+        )
+    interleaved = {
+        name: r.max_makespan
+        for name, r in results.items()
+        if name != "mg-sequential"
+    }
+    best = min(interleaved.values())
+    ratio = round(sequential / best, 3)
+    cases = [
+        CaseResult(
+            case=f"groups={groups} n={n} L={latency:g}",
+            timing=stats,
+            extra_info={
+                "groups": groups,
+                "shared_nodes": len(instance.shared_nodes()),
+                "sequential_makespan": sequential,
+                "best_interleaved_makespan": best,
+                "per_strategy": {
+                    name: results[name].max_makespan for name in sorted(results)
+                },
+                "plans_per_s": round(len(results) * groups / stats.min_s),
+            },
+        )
+    ]
+    return cases, {"makespan_ratio_vs_sequential": ratio}
+
+
 KERNELS: Dict[str, Kernel] = {
     kernel.name: kernel
     for kernel in (
@@ -593,6 +686,13 @@ KERNELS: Dict[str, Kernel] = {
             "bit-identical",
             _delta_replan,
             floors={"speedup_vs_full_replan": 5.0},
+        ),
+        Kernel(
+            "multi_group",
+            "concurrent multi-group composition vs naive serialization "
+            "under shared-sender contention",
+            _multi_group,
+            floors={"makespan_ratio_vs_sequential": 1.5},
         ),
         Kernel(
             "conformance_sweep",

@@ -10,6 +10,11 @@ from repro.simulation.trace import Trace, Interval, Flight
 from repro.simulation.network import SimNode, SimNetwork
 from repro.simulation.executor import SimResult, simulate_schedule
 from repro.simulation.jitter import uniform_jitter, proportional_jitter
+from repro.simulation.multigroup import (
+    GroupInterval,
+    MultiGroupSimResult,
+    simulate_multi_group,
+)
 
 __all__ = [
     "Simulator",
@@ -22,4 +27,7 @@ __all__ = [
     "simulate_schedule",
     "uniform_jitter",
     "proportional_jitter",
+    "GroupInterval",
+    "MultiGroupSimResult",
+    "simulate_multi_group",
 ]

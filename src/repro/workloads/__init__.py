@@ -14,6 +14,7 @@ from repro.workloads.generator import (
     multicast_from_cluster,
     random_subset_multicast,
 )
+from repro.workloads.multigroup import multi_group_workload
 from repro.workloads.suites import SUITES, Suite, instances, suite
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "SourcePolicy",
     "multicast_from_cluster",
     "random_subset_multicast",
+    "multi_group_workload",
     "Suite",
     "SUITES",
     "suite",

@@ -1,0 +1,100 @@
+"""Deterministic multi-group contention workloads.
+
+Production multicast traffic is many groups contending for the same
+senders (ROADMAP open item 2).  This module generates the canonical
+contended shape deterministically from a seed: a single *hub* workstation
+is the source of every group (its transmit slots are the contended
+resource), each group has its own destinations, and optionally *relay*
+workstations appear as destinations in two consecutive groups so
+receive-side contention is exercised too.
+
+Overheads are power-of-two sends with one global receive/send ratio, so
+every group satisfies the paper's correlation assumption by construction
+and the Section 4 DP stays applicable (few distinct types per group).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.contention import MultiGroupInstance
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node, Number
+from repro.exceptions import WorkloadError
+
+__all__ = ["multi_group_workload"]
+
+_SEND_EXPONENTS = (0, 1, 2)  # destination o_send drawn from {1, 2, 4}
+
+
+def multi_group_workload(
+    groups: int = 3,
+    n: int = 5,
+    seed: int = 0,
+    *,
+    latency: Number = 1,
+    relays: int = 0,
+    weights: bool = False,
+) -> MultiGroupInstance:
+    """A seeded multi-group instance contended on one hub sender.
+
+    Parameters
+    ----------
+    groups:
+        Number of multicast groups (>= 1), all sourced at the shared hub.
+    n:
+        Destinations per group (>= 1), named ``g<g>d<i>``.
+    seed:
+        Seed for the deterministic draw; equal arguments always yield an
+        identical instance.
+    latency:
+        Global network latency ``L`` of every group.
+    relays:
+        Number of shared relay destinations.  Relay ``j`` (``relay<j>``)
+        is a destination of groups ``j`` and ``j + 1``, replacing one
+        private destination in each, so consecutive groups also contend
+        on receive slots.  Requires ``groups >= 2`` and ``relays <
+        groups`` and at most ``n - 1`` relays touching any single group.
+    weights:
+        When ``True``, draw integer group weights from ``{1, 2, 3}``
+        instead of the all-ones default.
+    """
+    if groups < 1:
+        raise WorkloadError(f"groups must be >= 1, got {groups}")
+    if n < 1:
+        raise WorkloadError(f"n must be >= 1, got {n}")
+    if relays < 0:
+        raise WorkloadError(f"relays must be >= 0, got {relays}")
+    if relays and groups < 2:
+        raise WorkloadError("relays need at least two groups to span")
+    if relays >= max(groups, 1) and relays:
+        raise WorkloadError(f"need relays < groups, got {relays} relays for {groups} groups")
+    # a middle group can host relays j-1 and j; never displace every
+    # private destination
+    if relays and min(2, relays) > n - 1:
+        raise WorkloadError(f"n={n} is too small to host {relays} relays per group")
+
+    rng = random.Random(seed)
+    ratio = rng.choice((1, 2, 3))
+    # the hub is the slowest sender in the network: its serialized
+    # transmit slots are the contended resource
+    hub_send = 2 ** (max(_SEND_EXPONENTS) + 1)
+    hub = Node("hub", hub_send, ratio * hub_send)
+    relay_nodes = []
+    for j in range(relays):
+        send = 2 ** rng.choice(_SEND_EXPONENTS)
+        relay_nodes.append(Node(f"relay{j}", send, ratio * send))
+
+    group_sets: List[MulticastSet] = []
+    for g in range(groups):
+        dests: List[Node] = [
+            relay_nodes[j] for j in (g - 1, g) if 0 <= j < relays
+        ]
+        for i in range(n - len(dests)):
+            send = 2 ** rng.choice(_SEND_EXPONENTS)
+            dests.append(Node(f"g{g}d{i}", send, ratio * send))
+        group_sets.append(MulticastSet(hub, dests, latency))
+
+    ws = [rng.choice((1, 2, 3)) for _ in range(groups)] if weights else None
+    return MultiGroupInstance(group_sets, ws)

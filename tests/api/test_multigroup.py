@@ -1,0 +1,118 @@
+"""Registry gating and planner integration for multi-group solvers."""
+
+import pytest
+
+from repro.api import (
+    DEFAULT_STRATEGY,
+    MultiGroupPlanner,
+    Planner,
+    PlanRequest,
+    available_multi_group_solvers,
+    available_solvers,
+    capable_solvers,
+    get_solver,
+    plan_groups,
+    resolve,
+)
+from repro.api.solvers import SolverError
+from repro.core.contention import MultiGroupInstance
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node
+
+
+def _instance(n_groups=2):
+    source = Node("s", 2, 3)
+    groups = [
+        MulticastSet(source, [Node(f"g{g}d{i}", 1, 2) for i in range(3)], 1)
+        for g in range(n_groups)
+    ]
+    return MultiGroupInstance(groups)
+
+
+# ----------------------------------------------------------------------
+# capability gating
+# ----------------------------------------------------------------------
+def test_multi_group_solvers_are_registered():
+    names = available_multi_group_solvers()
+    assert names == ["mg-greedy-pack", "mg-round-robin", "mg-sequential"]
+    assert DEFAULT_STRATEGY in names
+    for name in names:
+        entry = get_solver(name)
+        assert entry.capabilities.multi_group
+        assert not entry.capabilities.exact
+        assert name in available_solvers()
+
+
+def test_multi_group_solvers_never_capture_single_group_instances():
+    mset = _instance().groups[0]
+    capable = capable_solvers(mset)
+    assert capable, "single-group solvers must stay available"
+    assert not any(name.startswith("mg-") for name in capable)
+    for name in available_multi_group_solvers():
+        assert not get_solver(name).capabilities.supports(mset)
+
+
+def test_multi_group_entry_rejects_direct_single_group_calls():
+    entry, _ = resolve("mg-sequential")
+    with pytest.raises(SolverError, match="MultiGroupPlanner"):
+        entry(_instance().groups[0])
+    with pytest.raises(SolverError, match="MultiGroupPlanner"):
+        entry(_instance())  # no schedules supplied
+    with pytest.raises(SolverError, match="takes no options"):
+        entry(_instance(), schedules=[], bogus=1)
+
+
+# ----------------------------------------------------------------------
+# MultiGroupPlanner
+# ----------------------------------------------------------------------
+def test_plan_groups_default_strategy_and_provenance():
+    instance = _instance()
+    result = MultiGroupPlanner().plan_groups(instance)
+    assert result.strategy == DEFAULT_STRATEGY
+    assert result.instance is instance
+    assert len(result.group_results) == instance.n_groups
+    assert [r.tag for r in result.group_results] == ["group-0", "group-1"]
+    assert result.max_makespan == result.schedule.max_makespan
+    assert result.weighted_sum == result.schedule.weighted_sum
+    assert result.offsets == result.schedule.offsets
+    result.schedule.assert_no_contention()
+
+
+def test_plan_groups_rejects_non_multi_group_strategy():
+    with pytest.raises(SolverError, match="not a multi-group strategy"):
+        MultiGroupPlanner().plan_groups(_instance(), "greedy")
+
+
+def test_plan_groups_rejects_non_instance():
+    with pytest.raises(SolverError, match="needs a MultiGroupInstance"):
+        MultiGroupPlanner().plan_groups(_instance().groups[0])
+
+
+def test_inner_solver_selection_is_recorded():
+    result = MultiGroupPlanner().plan_groups(_instance(), solver="dp")
+    assert result.solver == "dp"
+    assert all(r.solver == "dp" for r in result.group_results)
+    assert all(r.exact for r in result.group_results)
+
+
+def test_compare_strategies_shares_inner_solves():
+    planner = Planner()
+    results = MultiGroupPlanner(planner).compare_strategies(
+        _instance(), solver="dp"
+    )
+    assert sorted(results) == available_multi_group_solvers()
+    # 3 strategies x 2 groups = 6 inner requests; after the first strategy
+    # plans, every later request is answered from the planner cache
+    info = planner.cache_info()
+    assert info.hits >= 4
+    # the two groups are canonically equivalent (same type system), so the
+    # very first batch already collapses to one solve plus a rebind
+    assert info.canonical_hits >= 1
+    values = {name: r.max_makespan for name, r in results.items()}
+    assert min(values.values()) <= values["mg-sequential"]
+
+
+def test_module_level_plan_groups_convenience():
+    result = plan_groups(_instance(), "mg-sequential")
+    assert result.strategy == "mg-sequential"
+    assert result.offsets[0] == 0.0

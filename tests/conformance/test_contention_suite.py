@@ -1,0 +1,149 @@
+"""Cross-group conformance layer: specs, suites, digests, and records."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.conformance import (
+    MULTI_GROUP_KIND,
+    MULTI_GROUP_SUITES,
+    MultiGroupScenarioSpec,
+    available_invariants,
+    check_multi_group,
+    derive_contention_instance,
+    evaluate_multi_group,
+    multi_group_corpus,
+    multi_group_digest,
+    multi_group_record,
+    record_from_dict,
+)
+from repro.conformance.contention import (
+    check_isolated_floor,
+    check_replay_agreement,
+    check_strategy_dominance,
+    check_work_conservation,
+)
+from repro.conformance.records import _record_payload, load_record_file
+from repro.exceptions import ConformanceError
+from repro.workloads import multi_group_workload
+
+SPEC = MultiGroupScenarioSpec(groups=3, n=4, seed=0, latency=4)
+
+
+# ----------------------------------------------------------------------
+# specs and corpora
+# ----------------------------------------------------------------------
+def test_spec_builds_the_workload_deterministically():
+    built = SPEC.build()
+    again = multi_group_workload(3, 4, 0, latency=4)
+    assert built.n_groups == 3
+    assert built.groups == again.groups
+    assert built.shared_nodes() == again.shared_nodes()
+
+
+def test_spec_key_and_round_trip():
+    assert SPEC.key == "multi-group(groups=3, n=4, seed=0, L=4, relays=0)"
+    data = SPEC.to_dict()
+    assert "digest" not in data
+    assert MultiGroupScenarioSpec.from_dict(data) == SPEC
+    # digest is carried alongside and excluded from identity
+    stamped = MultiGroupScenarioSpec.from_dict(data, digest="abc")
+    assert stamped == SPEC and stamped.digest == "abc"
+    with pytest.raises(ConformanceError, match="missing field"):
+        MultiGroupScenarioSpec.from_dict({"groups": 2})
+
+
+def test_suites_are_deterministic_and_nested():
+    smoke, quick, full = (
+        multi_group_corpus(name) for name in ("smoke", "quick", "full")
+    )
+    assert 0 < len(smoke) < len(quick) < len(full)
+    assert multi_group_corpus("quick") == quick  # stable order
+    keys = {spec.key for spec in full}
+    assert {spec.key for spec in quick} <= keys
+    with pytest.raises(ConformanceError, match="unknown multi-group suite"):
+        multi_group_corpus("nope")
+
+
+def test_contention_invariants_are_registered():
+    names = available_invariants()
+    for expected in (
+        "contention-work-conservation",
+        "contention-isolated-floor",
+        "contention-replay",
+        "contention-dominance",
+    ):
+        assert expected in names
+
+
+def test_derive_contention_instance_shares_source_and_first_destination():
+    mset = SPEC.build().groups[0]
+    derived = derive_contention_instance(mset)
+    assert derived.n_groups == 3
+    shared = derived.shared_nodes()
+    assert mset.source.name in shared
+    assert mset.destinations[0].name in shared
+
+
+# ----------------------------------------------------------------------
+# checks and digests
+# ----------------------------------------------------------------------
+def test_full_check_passes_on_the_smoke_suite():
+    for spec in multi_group_corpus("smoke"):
+        assert check_multi_group(spec) == []
+
+
+def test_individual_checks_pass_on_one_outcome():
+    outcome = evaluate_multi_group(SPEC.build())
+    assert outcome.inner_solver == "dp"
+    assert all(opt is not None for opt in outcome.isolated)
+    for check in (
+        check_work_conservation,
+        check_isolated_floor,
+        check_replay_agreement,
+        check_strategy_dominance,
+    ):
+        assert check(outcome) == []
+
+
+def test_digest_is_stable_and_detects_drift():
+    digest = multi_group_digest(SPEC)
+    assert digest == multi_group_digest(SPEC)  # fresh planners agree
+    stamped = dataclasses.replace(SPEC, digest=digest)
+    assert check_multi_group(stamped) == []
+    tampered = dataclasses.replace(SPEC, digest="0" * len(digest))
+    violations = check_multi_group(tampered)
+    assert len(violations) == 1
+    assert "not bit-identical" in violations[0].message
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+def test_record_round_trip_preserves_spec_and_digest():
+    stamped = dataclasses.replace(SPEC, digest=multi_group_digest(SPEC))
+    record = multi_group_record(stamped)
+    assert record["format"] == "repro/conformance-v1"
+    assert record["kind"] == MULTI_GROUP_KIND
+    assert record["digest"] == stamped.digest
+    decoded = record_from_dict(record)
+    assert isinstance(decoded, MultiGroupScenarioSpec)
+    assert decoded == SPEC and decoded.digest == stamped.digest
+    assert _record_payload(decoded) == record
+
+
+def test_record_without_digest_omits_the_field():
+    record = multi_group_record(SPEC)
+    assert "digest" not in record
+    assert record_from_dict(record).digest is None
+
+
+def test_record_file_round_trip(tmp_path):
+    stamped = dataclasses.replace(SPEC, digest=multi_group_digest(SPEC))
+    path = tmp_path / "mg.json"
+    path.write_text(json.dumps(multi_group_record(stamped), sort_keys=True))
+    loaded = load_record_file(path)
+    assert isinstance(loaded, MultiGroupScenarioSpec)
+    assert loaded.digest == stamped.digest
+    assert check_multi_group(loaded) == []

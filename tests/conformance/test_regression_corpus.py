@@ -10,7 +10,13 @@ import pathlib
 
 import pytest
 
-from repro.conformance import ConformanceRunner, FailureRecord, ScenarioSpec
+from repro.conformance import (
+    ConformanceRunner,
+    FailureRecord,
+    MultiGroupScenarioSpec,
+    ScenarioSpec,
+    check_multi_group,
+)
 from repro.conformance.records import load_record_file
 
 CORPUS = pathlib.Path(__file__).resolve().parents[1] / "corpus"
@@ -30,6 +36,12 @@ def test_committed_record_replays_clean(path):
     if isinstance(record, ScenarioSpec):
         report = runner.run([record])
         assert report.ok, report.summary()
+    elif isinstance(record, MultiGroupScenarioSpec):
+        # cross-group checks plus the bit-identical digest replay (every
+        # committed multi-group record carries its evaluation digest)
+        assert record.digest, f"{path.name} must pin an evaluation digest"
+        violations = check_multi_group(record)
+        assert not violations, [v.message for v in violations]
     else:
         assert isinstance(record, FailureRecord)
         outcome = runner.replay(record)

@@ -1,0 +1,227 @@
+"""Unit tests for the cross-group contention model (repro.core.contention)."""
+
+import pytest
+
+from repro.core.contention import (
+    MULTI_GROUP_STRATEGIES,
+    ClaimInterval,
+    MultiGroupInstance,
+    MultiGroupSchedule,
+    available_strategies,
+    busy_intervals,
+    plan_greedy_pack,
+    plan_round_robin,
+    plan_sequential,
+)
+from repro.core.greedy import greedy_schedule
+from repro.core.multicast import MulticastSet
+from repro.core.node import Node
+from repro.exceptions import ContentionError
+
+
+def _mset(dest_names, latency=1, source=("s", 2, 3)):
+    name, send, receive = source
+    return MulticastSet(
+        Node(name, send, receive),
+        [Node(n, 1, 2) for n in dest_names],
+        latency,
+    )
+
+
+def _solved(instance):
+    return [greedy_schedule(g) for g in instance.groups]
+
+
+# ----------------------------------------------------------------------
+# MultiGroupInstance
+# ----------------------------------------------------------------------
+def test_instance_requires_at_least_one_group():
+    with pytest.raises(ContentionError, match="at least one group"):
+        MultiGroupInstance([])
+
+
+def test_instance_rejects_non_multicast_groups():
+    with pytest.raises(ContentionError, match="must be MulticastSet"):
+        MultiGroupInstance([object()])
+
+
+def test_instance_rejects_weight_length_mismatch():
+    with pytest.raises(ContentionError, match="lengths must match"):
+        MultiGroupInstance([_mset(["a"]), _mset(["b"])], weights=[1.0])
+
+
+@pytest.mark.parametrize("bad", [0, -1, float("inf"), float("nan")])
+def test_instance_rejects_non_positive_weights(bad):
+    with pytest.raises(ContentionError, match="positive and finite"):
+        MultiGroupInstance([_mset(["a"])], weights=[bad])
+
+
+def test_instance_rejects_inconsistent_shared_overheads():
+    a = _mset(["d0"])
+    b = MulticastSet(Node("s", 2, 3), [Node("d0", 4, 8)], 1)
+    with pytest.raises(ContentionError, match="inconsistent overheads"):
+        MultiGroupInstance([a, b])
+
+
+def test_shared_nodes_are_sorted_names_in_two_or_more_groups():
+    instance = MultiGroupInstance([_mset(["d0", "x"]), _mset(["d0", "y"])])
+    assert instance.shared_nodes() == ("d0", "s")
+    assert instance.n_groups == 2
+    assert instance.weights == (1.0, 1.0)
+
+
+def test_permuted_moves_weights_with_groups():
+    a, b = _mset(["a"]), _mset(["b"])
+    instance = MultiGroupInstance([a, b], weights=[1, 2])
+    flipped = instance.permuted([1, 0])
+    assert flipped.groups == (b, a)
+    assert flipped.weights == (2.0, 1.0)
+    with pytest.raises(ContentionError, match="not a permutation"):
+        instance.permuted([0, 0])
+
+
+# ----------------------------------------------------------------------
+# busy_intervals
+# ----------------------------------------------------------------------
+def test_busy_intervals_follow_the_slot_formula():
+    mset = _mset(["d0", "d1"], latency=1, source=("s", 2, 3))
+    schedule = greedy_schedule(mset)
+    intervals = busy_intervals(schedule)
+    # the source never receives; its k-th send slot occupies
+    # [r + (k-1)*o_send, r + k*o_send) with r = 0
+    sends = [iv for iv in intervals["s"] if iv[0] == "send"]
+    assert sends[0][1:] == (0.0, 2.0)
+    for kind, start, end in sends:
+        assert kind == "send" and end - start == 2.0
+    # every destination is busy receiving from delivery to reception
+    for i, node in enumerate(mset.nodes):
+        if i == 0:
+            continue
+        receives = [iv for iv in intervals[node.name] if iv[0] == "receive"]
+        assert receives == [
+            ("receive", schedule.delivery_time(i), schedule.reception_time(i))
+        ]
+
+
+# ----------------------------------------------------------------------
+# MultiGroupSchedule
+# ----------------------------------------------------------------------
+def test_schedule_validates_shapes_and_offsets():
+    instance = MultiGroupInstance([_mset(["a"]), _mset(["b"])])
+    schedules = _solved(instance)
+    with pytest.raises(ContentionError, match="expected 2 schedules"):
+        MultiGroupSchedule(instance, schedules[:1], (0.0,))
+    with pytest.raises(ContentionError, match="not over instance group"):
+        MultiGroupSchedule(instance, list(reversed(schedules)), (0.0, 0.0))
+    with pytest.raises(ContentionError, match="finite and >= 0"):
+        MultiGroupSchedule(instance, schedules, (0.0, -1.0))
+
+
+def test_objectives_and_claims():
+    instance = MultiGroupInstance(
+        [_mset(["a"]), _mset(["b"])], weights=[2, 1]
+    )
+    schedules = _solved(instance)
+    span = schedules[0].reception_completion
+    mg = MultiGroupSchedule(instance, schedules, (0.0, span))
+    assert mg.group_completion(0) == span
+    assert mg.group_completion(1) == span + schedules[1].reception_completion
+    assert mg.completions == (mg.group_completion(0), mg.group_completion(1))
+    assert mg.max_makespan == max(mg.completions)
+    assert mg.weighted_sum == 2 * mg.completions[0] + 1 * mg.completions[1]
+    claims = mg.claims()
+    # only the shared source can contend; per-group destinations are private
+    assert set(claims) == {"s"}
+    assert all(isinstance(c, ClaimInterval) for c in claims["s"])
+    starts = [c.start for c in claims["s"]]
+    assert starts == sorted(starts)
+
+
+def test_overlapping_shared_claims_are_rejected():
+    instance = MultiGroupInstance([_mset(["a"]), _mset(["b"])])
+    schedules = _solved(instance)
+    with pytest.raises(ContentionError, match="double-booked"):
+        MultiGroupSchedule(instance, schedules, (0.0, 0.0))
+    # validate=False defers the check
+    lazy = MultiGroupSchedule(instance, schedules, (0.0, 0.0), validate=False)
+    with pytest.raises(ContentionError, match="double-booked"):
+        lazy.assert_no_contention()
+
+
+def test_touching_endpoints_do_not_contend():
+    instance = MultiGroupInstance([_mset(["a"]), _mset(["b"])])
+    schedules = _solved(instance)
+    # the source's last busy moment in group 0 (group-relative)
+    last_busy = max(
+        end for _, _, end in busy_intervals(schedules[0])["s"]
+    )
+    mg = MultiGroupSchedule(instance, schedules, (0.0, last_busy))
+    mg.assert_no_contention()
+
+
+def test_schedule_equality_and_hash():
+    instance = MultiGroupInstance([_mset(["a"]), _mset(["b"])])
+    schedules = _solved(instance)
+    a = plan_sequential(instance, schedules)
+    b = plan_sequential(instance, schedules)
+    assert a == b and hash(a) == hash(b)
+    assert a != plan_round_robin(instance, schedules)
+    assert a.__eq__(object()) is NotImplemented
+
+
+# ----------------------------------------------------------------------
+# composition strategies
+# ----------------------------------------------------------------------
+def test_strategy_registry_matches_functions():
+    assert available_strategies() == ["sequential", "round-robin", "greedy-pack"]
+    assert MULTI_GROUP_STRATEGIES["sequential"][0] is plan_sequential
+    assert MULTI_GROUP_STRATEGIES["round-robin"][0] is plan_round_robin
+    assert MULTI_GROUP_STRATEGIES["greedy-pack"][0] is plan_greedy_pack
+
+
+def test_strategies_reject_wrong_schedule_count():
+    instance = MultiGroupInstance([_mset(["a"]), _mset(["b"])])
+    schedules = _solved(instance)
+    for fn, _ in MULTI_GROUP_STRATEGIES.values():
+        with pytest.raises(ContentionError, match="per-group schedules"):
+            fn(instance, schedules[:1])
+
+
+def test_sequential_offsets_are_cumulative_completions():
+    instance = MultiGroupInstance([_mset(["a"]), _mset(["b"]), _mset(["c"])])
+    schedules = _solved(instance)
+    mg = plan_sequential(instance, schedules)
+    clock = 0.0
+    for g, schedule in enumerate(schedules):
+        assert mg.offsets[g] == clock
+        clock += schedule.reception_completion
+    assert mg.max_makespan == clock
+
+
+def test_round_robin_uses_one_stride():
+    instance = MultiGroupInstance([_mset(["a"]), _mset(["b"]), _mset(["c"])])
+    mg = plan_round_robin(instance, _solved(instance))
+    stride = mg.offsets[1]
+    assert mg.offsets == (0.0, stride, 2 * stride)
+    assert stride > 0
+
+
+def test_disjoint_groups_run_fully_in_parallel():
+    a = MulticastSet(Node("s0", 2, 3), [Node("a", 1, 2)], 1)
+    b = MulticastSet(Node("s1", 2, 3), [Node("b", 1, 2)], 1)
+    instance = MultiGroupInstance([a, b])
+    assert instance.shared_nodes() == ()
+    schedules = _solved(instance)
+    assert plan_round_robin(instance, schedules).offsets == (0.0, 0.0)
+    assert plan_greedy_pack(instance, schedules).offsets == (0.0, 0.0)
+
+
+def test_greedy_pack_never_loses_to_sequential():
+    instance = MultiGroupInstance(
+        [_mset(["a", "a2"]), _mset(["b"]), _mset(["c", "c2", "c3"])]
+    )
+    schedules = _solved(instance)
+    packed = plan_greedy_pack(instance, schedules)
+    serialized = plan_sequential(instance, schedules)
+    assert packed.max_makespan <= serialized.max_makespan
+    packed.assert_no_contention()

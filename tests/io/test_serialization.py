@@ -74,6 +74,14 @@ class TestFiles:
         path = save_json(s, tmp_path / "s.json")
         assert load_schedule(path) == s
 
+    def test_save_and_load_multi_group(self, tmp_path):
+        from repro.io import multi_group_from_dict
+        from repro.workloads import multi_group_workload
+
+        mg = multi_group_workload(groups=2, n=3, seed=0, latency=1)
+        path = save_json(mg, tmp_path / "mg.json")
+        assert multi_group_from_dict(json.loads(path.read_text())) == mg
+
     def test_save_unknown_type_rejected(self, tmp_path):
         with pytest.raises(ReproError):
             save_json({"a": 1}, tmp_path / "x.json")

@@ -20,6 +20,7 @@ from typing import List, Tuple
 
 from hypothesis import strategies as st
 
+from repro.core.contention import MultiGroupInstance
 from repro.core.multicast import MulticastSet
 from repro.core.node import Node
 from repro.core.repair import MembershipDelta, apply_delta
@@ -31,6 +32,7 @@ __all__ = [
     "power_of_two_multicasts",
     "membership_deltas",
     "delta_chains",
+    "multi_group_instances",
 ]
 
 
@@ -245,9 +247,64 @@ def delta_chains(
     return base, tuple(deltas)
 
 
+@st.composite
+def multi_group_instances(
+    draw, *, min_groups: int = 2, max_groups: int = 4, **multicast_kwargs
+) -> MultiGroupInstance:
+    """Concurrent groups contending for shared senders, by construction.
+
+    One :func:`power_of_two_multicasts` template supplies the node types;
+    every group reuses the template *source node verbatim* (so at least
+    one sender is shared across all groups) and draws a non-empty subset
+    of the template destinations, each either shared verbatim with the
+    other groups or renamed into a group-private clone.  Shared names
+    keep one ``type_key`` everywhere because they are literally the same
+    :class:`~repro.core.node.Node`, which is exactly the consistency rule
+    :class:`~repro.core.contention.MultiGroupInstance` enforces.
+    Weights are drawn on half the instances so both objectives get
+    exercised.  Shrinking trims groups, then destinations per group.
+    """
+    template = draw(power_of_two_multicasts(**multicast_kwargs))
+    n_groups = draw(st.integers(min_value=min_groups, max_value=max_groups))
+    groups: List[MulticastSet] = []
+    for g in range(n_groups):
+        picks = draw(
+            st.lists(
+                st.sampled_from(range(len(template.destinations))),
+                min_size=1,
+                max_size=len(template.destinations),
+                unique=True,
+            )
+        )
+        dests: List[Node] = []
+        for i in sorted(picks):
+            node = template.destinations[i]
+            if draw(st.booleans()):
+                dests.append(node)  # shared verbatim across groups
+            else:
+                dests.append(node.renamed(f"p{g}d{i}"))
+        groups.append(
+            MulticastSet(
+                template.source,
+                dests,
+                template.latency,
+                validate_correlation=template.correlated,
+            )
+        )
+    weights = None
+    if draw(st.booleans()):
+        weights = tuple(
+            draw(st.integers(min_value=1, max_value=4)) for _ in range(n_groups)
+        )
+    return MultiGroupInstance(groups, weights=weights)
+
+
 # canonical strategy for the model type: st.from_type(MulticastSet) and
 # type inference in st.builds() draw correlated instances everywhere
 st.register_type_strategy(MulticastSet, multicast_sets())
 # and for deltas: st.from_type(MembershipDelta) draws structurally valid
 # join/leave/handover batches
 st.register_type_strategy(MembershipDelta, membership_deltas())
+# and for multi-group instances: st.from_type(MultiGroupInstance) draws
+# concurrent groups sharing sender nodes by construction
+st.register_type_strategy(MultiGroupInstance, multi_group_instances())

@@ -269,6 +269,51 @@ class TestDocsConsistency:
         assert "repro/membership-delta-v1" in service_md
         assert "session-resume" in service_md
 
+    def test_design_contention_section(self):
+        """DESIGN.md §8 documents multi-group planning under contention."""
+        design = (REPO / "DESIGN.md").read_text()
+        assert "## 8. Concurrent multi-group planning" in design
+        for token in (
+            "MultiGroupPlanner",
+            "mg-greedy-pack",
+            "mg-round-robin",
+            "mg-sequential",
+            "multi-group-scenario",
+            "derive_contention_instance",
+            "makespan_ratio_vs_sequential",
+            "repro/multi-group-v1",
+        ):
+            assert token in design, f"DESIGN.md contention section missing {token!r}"
+
+    def test_api_md_documents_multi_group_planning(self):
+        """API.md covers the multi-group facade, capability gate and CLI."""
+        from repro.api import available_multi_group_solvers
+
+        api = (REPO / "API.md").read_text()
+        assert "## Multi-group planning under shared-sender contention" in api
+        for token in (
+            "MultiGroupPlanner",
+            "plan_groups",
+            "compare_strategies",
+            "multi_group",
+            "plan-groups",
+            "repro/multi-group-v1",
+            "DEFAULT_STRATEGY",
+        ):
+            assert token in api, f"API.md multi-group docs missing {token!r}"
+        for name in available_multi_group_solvers():
+            assert f"`{name}`" in api, (
+                f"API.md multi-group docs missing strategy {name!r}"
+            )
+
+    def test_multi_group_baseline_carries_the_floor(self):
+        """The committed contention baseline enforces the >= 1.5x floor."""
+        from repro.perf import load_baseline
+
+        record = load_baseline(REPO / "BENCH_multi_group.json")
+        assert record.floors.get("makespan_ratio_vs_sequential") == 1.5
+        assert record.summary["makespan_ratio_vs_sequential"] >= 1.5
+
     def test_api_md_documents_performance_tracking(self):
         api = (REPO / "API.md").read_text()
         assert "## Performance tracking" in api
