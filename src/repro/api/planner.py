@@ -35,6 +35,7 @@ import hashlib
 import json
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -42,11 +43,12 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.api.request import DEFAULT_SOLVER, BatchResult, PlanRequest, PlanResult
 from repro.api.solvers import SolverEntry, SolverOutput, resolve
-from repro.api.tables import DEFAULT_TABLE_BUDGET, OptimalTableCache
+from repro.api.tables import OptimalTableCache, TableCacheConfig
 from repro.core.bounds import bound_report, certified_lower_bound
 from repro.core.canonical import map_schedule
 from repro.core.dp import DEFAULT_MAX_STATES, box_states, estimated_states
 from repro.core.dp_table import OptimalTable
+from repro.core.dp_vector import resolve_backend
 from repro.core.multicast import MulticastSet
 from repro.core.schedule import Schedule
 from repro.exceptions import ReproError
@@ -181,6 +183,12 @@ def _execute(
     )
 
 
+#: Solver options a table materialization honors: ``max_states`` bounds
+#: the acquire, ``backend`` only picks the build engine (both engines are
+#: bit-identical, so a table answer is valid for either).
+_TABLE_SAFE_OPTIONS = frozenset({"max_states", "backend"})
+
+
 def _table_solver_fn(
     tables: OptimalTableCache,
     entry: SolverEntry,
@@ -190,13 +198,18 @@ def _table_solver_fn(
     """The optimal-table fast path for one solve, or ``None`` to go direct.
 
     Applies when the solver declares ``reusable_table`` and its options
-    are ones the table honors (only ``max_states``).  Tables live in
-    *canonical* space (:mod:`repro.core.canonical`), so renamed and
-    power-of-two-rescaled networks share them; the materialized schedule
-    is mapped back onto the request's own instance bit-identically.
+    are ones the table honors (``max_states`` and ``backend``).  Tables
+    live in *canonical* space (:mod:`repro.core.canonical`), so renamed
+    and power-of-two-rescaled networks share them; the materialized
+    schedule is mapped back onto the request's own instance
+    bit-identically.
     """
-    if not entry.capabilities.reusable_table or (set(options) - {"max_states"}):
+    if not entry.capabilities.reusable_table or (set(options) - _TABLE_SAFE_OPTIONS):
         return None
+    if "backend" in options:
+        # Validate eagerly: a table answer satisfies any backend, but an
+        # unknown name must raise the same error as the direct path.
+        resolve_backend(str(options["backend"]))
     canon = mset.canonical_form()
     table = tables.acquire(canon.mset, options.get("max_states"))
     if table is None:
@@ -223,7 +236,39 @@ def _from_table(
 #: (:func:`_plan_standalone`) amortize repeated same-network traffic here.
 #: Results stay bit-identical to direct solves, so callers cannot observe
 #: which path ran.
-_STANDALONE_TABLES = OptimalTableCache()
+_STANDALONE_TABLES: Optional[OptimalTableCache] = OptimalTableCache()
+
+
+def configure_standalone_tables(config: Optional[TableCacheConfig]) -> None:
+    """Re-point the standalone table cache (worker-process initializer).
+
+    The planning service passes its :class:`TableCacheConfig` here when it
+    spawns shard *processes*: with a ``snapshot_dir`` configured, every
+    worker's first miss attaches the same mmap'ed snapshot instead of
+    rebuilding a private table, and write-through saves keep the file
+    warm for restarts.  ``None`` (or a default config) restores the plain
+    in-memory cache; a config with ``enabled=False`` turns the standalone
+    fast path off entirely.
+    """
+    global _STANDALONE_TABLES
+    if config is None:
+        _STANDALONE_TABLES = OptimalTableCache()
+    else:
+        _STANDALONE_TABLES = config.build_cache()
+
+
+def _plan_standalone_with(
+    tables: Optional[OptimalTableCache], request: PlanRequest
+) -> PlanResult:
+    """One planner-less solve against an explicit (or no) table cache."""
+    entry, spec_options = resolve(request.solver)
+    options = {**spec_options, **request.options}
+    solver_fn = (
+        _table_solver_fn(tables, entry, options, request.instance)
+        if tables is not None
+        else None
+    )
+    return _execute(entry, request, options, solver_fn=solver_fn)
 
 
 def _plan_standalone(request: PlanRequest) -> PlanResult:
@@ -232,10 +277,7 @@ def _plan_standalone(request: PlanRequest) -> PlanResult:
     Reuses the module-level :data:`_STANDALONE_TABLES` so a worker that
     keeps seeing the same network answers from its resident table.
     """
-    entry, spec_options = resolve(request.solver)
-    options = {**spec_options, **request.options}
-    solver_fn = _table_solver_fn(_STANDALONE_TABLES, entry, options, request.instance)
-    return _execute(entry, request, options, solver_fn=solver_fn)
+    return _plan_standalone_with(_STANDALONE_TABLES, request)
 
 
 def _plan_standalone_or_error(request: PlanRequest) -> Union[PlanResult, ReproError]:
@@ -261,19 +303,23 @@ class Planner:
         External :class:`CacheTier` instances consulted (in order) after
         an LRU miss and populated after every solve.  More can be added
         later with :meth:`add_cache_tier`.
-    reuse_tables:
-        When ``True`` (default), solvers whose capabilities declare
+    table_config:
+        One :class:`~repro.api.tables.TableCacheConfig` value holding
+        every table-cache knob: whether solvers that declare
         ``reusable_table`` (the Section 4 ``dp``) are served through a
-        shared per-type-system :class:`~repro.api.tables.OptimalTableCache`:
-        the first instance of a canonical ``(send, receive)`` type system
-        builds the network's full optimal table, and every later instance
-        over the same system is answered by an ``O(n)`` schedule
-        materialization — bit-identical to a direct solve.  Benchmarks and
+        shared per-type-system
+        :class:`~repro.api.tables.OptimalTableCache`, its resident-state
+        budget, the DP build backend, session pinning, and the snapshot
+        directory for zero-copy warm attach.  Answers through a table are
+        bit-identical to direct solves.  Defaults to
+        ``TableCacheConfig()`` (reuse on, no snapshots).
+    reuse_tables:
+        Shorthand for ``TableCacheConfig(enabled=...)``: benchmarks and
         timing experiments that must measure real solves pass ``False``.
+        Not combinable with an explicit ``table_config``.
     table_cache_states:
-        Memory budget of the shared table cache: the total DP states its
-        resident tables may hold (least-recently-used tables are evicted
-        past it).
+        Deprecated alias for ``TableCacheConfig(max_total_states=...)``;
+        emits :class:`DeprecationWarning` (removal noted in API.md).
 
     Examples
     --------
@@ -290,14 +336,37 @@ class Planner:
         default_solver: str = DEFAULT_SOLVER,
         cache_tiers: Optional[Iterable[CacheTier]] = None,
         reuse_tables: bool = True,
-        table_cache_states: int = DEFAULT_TABLE_BUDGET,
+        table_cache_states: Optional[int] = None,
+        table_config: Optional[TableCacheConfig] = None,
     ) -> None:
         if cache_size < 0:
             raise ReproError(f"cache_size must be >= 0, got {cache_size}")
-        if table_cache_states < 1:
-            raise ReproError(
-                f"table_cache_states must be >= 1, got {table_cache_states}"
-            )
+        if table_config is not None:
+            if table_cache_states is not None:
+                raise ReproError(
+                    "pass either table_config or the deprecated "
+                    "table_cache_states, not both"
+                )
+            if not reuse_tables:
+                raise ReproError(
+                    "reuse_tables=False conflicts with table_config; "
+                    "use TableCacheConfig(enabled=False)"
+                )
+            config = table_config.validate()
+        else:
+            config = TableCacheConfig(enabled=reuse_tables)
+            if table_cache_states is not None:
+                warnings.warn(
+                    "table_cache_states is deprecated; pass "
+                    "table_config=TableCacheConfig(max_total_states=...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                if table_cache_states < 1:
+                    raise ReproError(
+                        f"table_cache_states must be >= 1, got {table_cache_states}"
+                    )
+                config = replace(config, max_total_states=table_cache_states)
         self._cache: "OrderedDict[CacheKey, PlanResult]" = OrderedDict()
         self._cache_size = cache_size
         self._lock = threading.Lock()
@@ -306,12 +375,14 @@ class Planner:
         self._tier_hits = 0
         self._canonical_hits = 0
         self._tiers: List[CacheTier] = list(cache_tiers or ())
-        self._tables: Optional[OptimalTableCache] = (
-            OptimalTableCache(max_total_states=table_cache_states)
-            if reuse_tables
-            else None
-        )
+        self._table_config = config
+        self._tables: Optional[OptimalTableCache] = config.build_cache()
         self.default_solver = default_solver
+
+    @property
+    def table_config(self) -> TableCacheConfig:
+        """The resolved table-cache configuration this planner runs with."""
+        return self._table_config
 
     def add_cache_tier(self, tier: CacheTier) -> None:
         """Register an external cache tier (consulted after existing ones)."""
@@ -409,7 +480,8 @@ class Planner:
         """One real solve, routed through the optimal-table fast path.
 
         Table reuse applies when the solver declares ``reusable_table``
-        and its options are ones the table honors (only ``max_states``);
+        and its options are ones the table honors (``max_states`` and
+        ``backend``);
         everything else — including instances too large for the state
         budget — takes the direct path.  Either way the assembled result
         is bit-identical, so cache tiers and the planning service cannot
@@ -687,7 +759,7 @@ class Planner:
             except ReproError:
                 continue  # the per-request path raises the canonical error
             if not entry.capabilities.reusable_table or (
-                set(merged) - {"max_states"}
+                set(merged) - _TABLE_SAFE_OPTIONS
             ):
                 continue
             if self._cache_size > 0:
@@ -739,7 +811,9 @@ class Planner:
             return self._tables.acquire_box(type_keys, latency, counts, max_states)
         if box_states(len(type_keys), counts) > max_states:
             return None  # pragma: no cover - filtered by the bucket pass
-        return OptimalTable(type_keys, counts, latency).build()
+        return OptimalTable(
+            type_keys, counts, latency, backend=self._table_config.backend
+        ).build()
 
     def prewarm_tables(self, instances: Iterable[MulticastSet]) -> int:
         """Group-build the optimal tables a sweep of instances will need.

@@ -355,10 +355,11 @@ def _sync_schedulers() -> None:
 def _register_builtins() -> None:
     from repro.core.bounds import first_hop_lower_bound, homogeneous_relaxation_lower_bound
     from repro.core.brute_force import solve_exact
-    from repro.core.dp import solve_dp
+    from repro.core.dp_vector import solve_dp_backend
 
     def run_dp(mset: MulticastSet, **options: Any) -> SolverOutput:
-        solution = solve_dp(mset, **options)
+        backend = options.pop("backend", "auto")
+        solution = solve_dp_backend(mset, backend=backend, **options)
         return SolverOutput(
             schedule=solution.schedule,
             stats={"states_computed": solution.states_computed},
@@ -379,7 +380,7 @@ def _register_builtins() -> None:
             exact=True,
             complexity="O(n^{2k})",
             requires_k_types=4,
-            options=("max_states",),
+            options=("max_states", "backend"),
             reusable_table=True,
         ),
     )

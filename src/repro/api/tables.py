@@ -34,20 +34,44 @@ by ``(type overheads, latency)``.
 
 Benchmarks and experiments that need every plan to be a real solve
 construct their planner with ``reuse_tables=False``.
+
+Snapshot persistence (``repro/table-snapshot-v1``) gives the cache the
+same warm-start story the :class:`~repro.service.store.PlanStore` gives
+plans: with a ``snapshot_dir`` configured, every build or extension
+writes the table through to disk atomically, and a cache miss first
+tries to *attach* the network's snapshot — a zero-copy mmap
+(:meth:`~repro.core.dp_table.OptimalTable.load_snapshot`) instead of a
+rebuild, sharing one resident copy of the pages across every process
+attached to the same file (the service's shard workers in particular).
+Corrupt or torn snapshot files are rejected fail-closed and discarded,
+so the worst outcome of a crash mid-save is one cold rebuild.
+
+All the table-cache knobs live in one :class:`TableCacheConfig` value,
+which is also how :class:`~repro.api.planner.Planner` accepts them.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.dp import DEFAULT_MAX_STATES, box_states
+from repro.core.dp_vector import DP_BACKENDS
 from repro.core.dp_table import OptimalTable
 from repro.core.multicast import MulticastSet
 from repro.exceptions import ReproError
+from repro.io.segments import record_digest
 
-__all__ = ["OptimalTableCache", "DEFAULT_TABLE_BUDGET"]
+__all__ = [
+    "OptimalTableCache",
+    "TableCacheConfig",
+    "DEFAULT_TABLE_BUDGET",
+    "snapshot_filename",
+]
 
 #: Cache key: the full (send, receive) type catalogue plus the latency.
 TableKey = Tuple[Tuple[Tuple[float, float], ...], float]
@@ -56,6 +80,89 @@ TableKey = Tuple[Tuple[Tuple[float, float], ...], float]
 #: states are a float plus an argmin tuple each, so this bounds the cache
 #: to low hundreds of megabytes in the worst CPython case.
 DEFAULT_TABLE_BUDGET = 2_000_000
+
+
+def snapshot_filename(
+    type_keys: Sequence[Tuple[float, float]], latency: Union[int, float]
+) -> str:
+    """Canonical snapshot file name for one network (content-addressed).
+
+    The digest covers exactly the table cache key — type catalogue plus
+    latency — so every process planning over the same network resolves
+    the same file, which is what makes the shared mmap attach work.
+    """
+    digest = record_digest(
+        {"overheads": [list(t) for t in type_keys], "latency": latency},
+        length=24,
+    )
+    return f"table-{digest}.snap"
+
+
+@dataclass(frozen=True)
+class TableCacheConfig:
+    """Every table-cache knob of a :class:`~repro.api.planner.Planner`.
+
+    One value object instead of a growing pile of planner kwargs:
+
+    - ``enabled``: keep an :class:`OptimalTableCache` at all (the old
+      ``reuse_tables`` switch);
+    - ``max_total_states``: the cache-wide resident-state budget (the old
+      ``table_cache_states`` kwarg, now a deprecated alias);
+    - ``max_states``: default per-table state guard rail;
+    - ``backend``: DP engine for table builds — ``auto``/``scalar``/
+      ``vector``, resolved per box (bit-identical either way);
+    - ``snapshot_dir``: directory of ``repro/table-snapshot-v1`` files;
+      set, it turns on write-through persistence and zero-copy warm
+      attach on miss;
+    - ``snapshot_autosave``: write tables through on build/extension
+      (disable to manage :meth:`OptimalTableCache.save_snapshots`
+      explicitly);
+    - ``pin_sessions``: whether membership sessions pin their network's
+      table against eviction while a repair stream is live
+      (:mod:`repro.service.sessions`).
+    """
+
+    enabled: bool = True
+    max_total_states: int = DEFAULT_TABLE_BUDGET
+    max_states: int = DEFAULT_MAX_STATES
+    backend: str = "auto"
+    snapshot_dir: Optional[Union[str, Path]] = None
+    snapshot_autosave: bool = True
+    pin_sessions: bool = True
+
+    def validate(self) -> "TableCacheConfig":
+        """Raise :class:`~repro.exceptions.ReproError` on nonsense values."""
+        if self.max_total_states < 1:
+            raise ReproError(
+                f"max_total_states must be >= 1, got {self.max_total_states}"
+            )
+        if self.max_states < 1:
+            raise ReproError(f"max_states must be >= 1, got {self.max_states}")
+        if self.backend not in DP_BACKENDS:
+            raise ReproError(
+                f"unknown table backend {self.backend!r}; "
+                f"expected one of {', '.join(DP_BACKENDS)}"
+            )
+        return self
+
+    def build_cache(self) -> Optional["OptimalTableCache"]:
+        """The configured cache, or ``None`` when table reuse is off."""
+        self.validate()
+        if not self.enabled:
+            return None
+        return OptimalTableCache(
+            max_total_states=self.max_total_states,
+            max_states=self.max_states,
+            backend=self.backend,
+            snapshot_dir=self.snapshot_dir,
+            snapshot_autosave=self.snapshot_autosave,
+        )
+
+    def with_snapshot_dir(
+        self, snapshot_dir: Optional[Union[str, Path]]
+    ) -> "TableCacheConfig":
+        """A copy pointing at ``snapshot_dir`` (convenience for services)."""
+        return replace(self, snapshot_dir=snapshot_dir)
 
 
 class OptimalTableCache:
@@ -72,26 +179,50 @@ class OptimalTableCache:
         ``dp`` solver's ``max_states`` option; the cache never *grows* a
         table past the effective budget and returns ``None`` instead,
         letting the caller fall back to a direct solve).
+    backend:
+        DP engine handed to table builds (``auto``/``scalar``/``vector``).
+    snapshot_dir:
+        When set, misses first try a zero-copy mmap attach of the
+        network's ``repro/table-snapshot-v1`` file, and (with
+        ``snapshot_autosave``) builds and extensions write through to it.
+    snapshot_autosave:
+        Persist tables write-through on build/extension; off, snapshots
+        are only written by an explicit :meth:`save_snapshots`.
     """
 
     def __init__(
         self,
         max_total_states: int = DEFAULT_TABLE_BUDGET,
         max_states: int = DEFAULT_MAX_STATES,
+        *,
+        backend: str = "auto",
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        snapshot_autosave: bool = True,
     ) -> None:
         if max_total_states < 1:
             raise ReproError(
                 f"max_total_states must be >= 1, got {max_total_states}"
             )
+        if backend not in DP_BACKENDS:
+            raise ReproError(
+                f"unknown table backend {backend!r}; "
+                f"expected one of {', '.join(DP_BACKENDS)}"
+            )
         self._tables: "OrderedDict[TableKey, OptimalTable]" = OrderedDict()
         self._pins: Dict[TableKey, int] = {}
         self._max_total_states = max_total_states
         self._max_states = max_states
+        self._backend = backend
+        self._snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None else None
+        self._snapshot_autosave = snapshot_autosave
         self._lock = threading.Lock()
         self._hits = 0
         self._builds = 0
         self._extensions = 0
         self._evictions = 0
+        self._attaches = 0
+        self._snapshot_saves = 0
+        self._snapshot_rejects = 0
 
     @property
     def hits(self) -> int:
@@ -112,6 +243,16 @@ class OptimalTableCache:
     def evictions(self) -> int:
         """Tables dropped to respect the total-states budget."""
         return self._evictions
+
+    @property
+    def attaches(self) -> int:
+        """Misses answered by a zero-copy snapshot attach (no rebuild)."""
+        return self._attaches
+
+    @property
+    def snapshot_dir(self) -> Optional[Path]:
+        """The snapshot directory, when persistence is configured."""
+        return self._snapshot_dir
 
     @property
     def states_held(self) -> int:
@@ -139,6 +280,9 @@ class OptimalTableCache:
                 "extensions": self._extensions,
                 "evictions": self._evictions,
                 "pins": sum(self._pins.values()),
+                "attaches": self._attaches,
+                "snapshot_saves": self._snapshot_saves,
+                "snapshot_rejects": self._snapshot_rejects,
             }
 
     def _budget(self, max_states: Optional[int]) -> int:
@@ -201,32 +345,124 @@ class OptimalTableCache:
         key: TableKey = (tuple(tuple(t) for t in type_keys), latency)
         with self._lock:
             table = self._tables.get(key)
+            attached = False
+            if table is None and self._snapshot_dir is not None:
+                table = self._attach_snapshot(key, budget)
+                attached = table is not None
             if table is not None:
-                self._tables.move_to_end(key)
+                if not attached:
+                    self._tables.move_to_end(key)
                 spec = table.spec
                 if all(c <= m for c, m in zip(counts, spec.max_counts)):
-                    self._hits += 1
+                    if not attached:
+                        self._hits += 1
+                        if pin:
+                            self._pins[key] = self._pins.get(key, 0) + 1
+                        return table
+                    self._attaches += 1
+                    self._tables[key] = table
+                    self._tables.move_to_end(key)
                     if pin:
                         self._pins[key] = self._pins.get(key, 0) + 1
+                    self._evict_over_budget()
                     return table
                 grown = tuple(max(c, m) for c, m in zip(counts, spec.max_counts))
                 if box_states(len(type_keys), grown) > budget:
                     # growth would bust the budget; keep the old table for
                     # the shapes it already serves and solve this directly
+                    # (a speculative snapshot attach is simply dropped)
                     return None
                 # incremental extension: a *new* table object (readers of
                 # the old one stay consistent) computing only the margin
                 table = table.extended(grown)
                 self._extensions += 1
+                if attached:
+                    self._attaches += 1
             else:
-                table = OptimalTable(key[0], counts, latency).build()
+                table = OptimalTable(
+                    key[0], counts, latency, backend=self._backend
+                ).build()
                 self._builds += 1
+            self._save_through(key, table)
             self._tables[key] = table
             self._tables.move_to_end(key)
             if pin:
                 self._pins[key] = self._pins.get(key, 0) + 1
             self._evict_over_budget()
             return table
+
+    # ------------------------------------------------------------------
+    # snapshot persistence
+    # ------------------------------------------------------------------
+    def _snapshot_path(self, key: TableKey) -> Path:
+        assert self._snapshot_dir is not None
+        return self._snapshot_dir / snapshot_filename(key[0], key[1])
+
+    def _attach_snapshot(self, key: TableKey, budget: int) -> Optional[OptimalTable]:
+        """Try a zero-copy attach of ``key``'s snapshot file (miss path).
+
+        Fail-closed loading means a truncated or tampered file raises; the
+        recovery here mirrors ``repair_torn_tail``: the bad file is
+        discarded (counted in ``snapshot_rejects``) so the rebuild's
+        write-through replaces it, and planning proceeds cold.
+        """
+        path = self._snapshot_path(key)
+        if not path.is_file():
+            return None
+        try:
+            table = OptimalTable.load_snapshot(path)
+        except ReproError:
+            self._snapshot_rejects += 1
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - repair is best-effort
+                pass
+            return None
+        if table.spec.types.overheads != key[0] or table.spec.latency != key[1]:
+            # content-addressed name and content disagree: treat as corrupt
+            self._snapshot_rejects += 1
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - repair is best-effort
+                pass
+            return None
+        if table.entries > budget:
+            return None
+        return table
+
+    def _save_through(self, key: TableKey, table: OptimalTable) -> None:
+        """Write-through persistence after a build or extension."""
+        if self._snapshot_dir is None or not self._snapshot_autosave:
+            return
+        self._snapshot_dir.mkdir(parents=True, exist_ok=True)
+        table.save_snapshot(self._snapshot_path(key))
+        self._snapshot_saves += 1
+
+    def save_snapshots(self, directory: Optional[Union[str, Path]] = None) -> int:
+        """Persist every resident table as a snapshot; returns files written.
+
+        Tables that already came from (or were saved to) their snapshot
+        file unchanged are skipped.  With no ``directory`` argument the
+        cache's configured ``snapshot_dir`` is used.
+        """
+        target = Path(directory) if directory is not None else self._snapshot_dir
+        if target is None:
+            raise ReproError(
+                "save_snapshots needs a directory (none configured on the cache)"
+            )
+        target.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            items = list(self._tables.items())
+        written = 0
+        for key, table in items:
+            path = target / snapshot_filename(key[0], key[1])
+            if table._snapshot_origin == (path, table.entries):
+                continue
+            table.save_snapshot(path)
+            written += 1
+        with self._lock:
+            self._snapshot_saves += written
+        return written
 
     def release_box(
         self,
@@ -281,3 +517,6 @@ class OptimalTableCache:
             self._builds = 0
             self._extensions = 0
             self._evictions = 0
+            self._attaches = 0
+            self._snapshot_saves = 0
+            self._snapshot_rejects = 0

@@ -135,6 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="admission queue cap across all clients")
     srv.add_argument("--segment-records", type=int, default=512,
                      help="records per store segment before rotation")
+    srv.add_argument("--table-snapshots", default=None, metavar="DIR",
+                     help="directory of mmap table snapshots: optimal tables "
+                          "warm-start from it and are saved back write-through")
 
     sbm = sub.add_parser("submit", help="plan instances through a running service")
     sbm.add_argument("instances", nargs="+", help="instance JSON paths")
@@ -531,6 +534,11 @@ def _cmd_fig1(_args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import PlanningService
 
+    table_config = None
+    if args.table_snapshots:
+        from repro.api.tables import TableCacheConfig
+
+        table_config = TableCacheConfig(snapshot_dir=args.table_snapshots)
     service = PlanningService(
         store_path=args.store,
         num_shards=args.shards,
@@ -538,10 +546,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         cache_size=args.cache_size,
         segment_max_records=args.segment_records,
+        table_config=table_config,
     )
     if args.store and service.store is not None:
         warm = len(service.store)
         print(f"plan store {args.store}: {warm} plans warm-started", flush=True)
+    if args.table_snapshots:
+        from pathlib import Path
+
+        count = len(list(Path(args.table_snapshots).glob("table-*.snap")))
+        print(f"table snapshots {args.table_snapshots}: "
+              f"{count} tables attachable", flush=True)
 
     def ready(address) -> None:
         print(f"planning service listening on {address[0]}:{address[1]} "

@@ -476,6 +476,36 @@ def estimated_states(mset: MulticastSet) -> int:
     return box_states(mset.num_types, mset.destination_type_counts())
 
 
+def _solve_with_core_cls(core_cls, mset: MulticastSet, max_states: int) -> DPSolution:
+    """The solve scaffolding shared by every recurrence engine.
+
+    ``core_cls`` is any class with the :class:`_DPCore` surface (the
+    vectorized backend in :mod:`repro.core.dp_vector` plugs in here); the
+    guard rail, schedule binding and the reconstruction consistency check
+    are engine-independent.
+    """
+    types = TypeSystem.of(mset)
+    counts = mset.destination_type_counts()
+    est = estimated_states(mset)
+    if est > max_states:
+        raise SolverError(
+            f"DP state space too large: ~{est} states for k={types.k}, n={mset.n} "
+            f"(limit {max_states}); use greedy or raise max_states"
+        )
+    core = core_cls(types, mset.latency)
+    source_type = mset.type_of(0)
+    value = core.tau(source_type, counts)
+    schedule = _bind_schedule(core, mset, source_type, counts)
+    if abs(schedule.reception_completion - value) > 1e-9:
+        raise SolverError(
+            "DP reconstruction inconsistent with DP value: "
+            f"{schedule.reception_completion} != {value}"
+        )  # pragma: no cover - internal invariant
+    return DPSolution(
+        value=value, schedule=schedule, states_computed=core.states_filled
+    )
+
+
 def solve_dp(mset: MulticastSet, *, max_states: int = DEFAULT_MAX_STATES) -> DPSolution:
     """Solve ``mset`` optimally via the Section 4 dynamic program.
 
@@ -494,26 +524,7 @@ def solve_dp(mset: MulticastSet, *, max_states: int = DEFAULT_MAX_STATES) -> DPS
     DPSolution with the optimal reception completion time and an explicit
     optimal schedule whose ``reception_completion`` equals the DP value.
     """
-    types = TypeSystem.of(mset)
-    counts = mset.destination_type_counts()
-    est = estimated_states(mset)
-    if est > max_states:
-        raise SolverError(
-            f"DP state space too large: ~{est} states for k={types.k}, n={mset.n} "
-            f"(limit {max_states}); use greedy or raise max_states"
-        )
-    core = _DPCore(types, mset.latency)
-    source_type = mset.type_of(0)
-    value = core.tau(source_type, counts)
-    schedule = _bind_schedule(core, mset, source_type, counts)
-    if abs(schedule.reception_completion - value) > 1e-9:
-        raise SolverError(
-            "DP reconstruction inconsistent with DP value: "
-            f"{schedule.reception_completion} != {value}"
-        )  # pragma: no cover - internal invariant
-    return DPSolution(
-        value=value, schedule=schedule, states_computed=core.states_filled
-    )
+    return _solve_with_core_cls(_DPCore, mset, max_states)
 
 
 def optimal_completion_dp(mset: MulticastSet, **kwargs) -> float:

@@ -20,17 +20,25 @@ count vector ``i <= n`` bottom-up.  Afterwards:
 
 from __future__ import annotations
 
+import sys
+from array import array
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
 
-from repro.core.dp import TypeSystem, _DPCore
+from repro.core.dp import TypeSystem, _DPCore, box_states
+from repro.core.dp_vector import _VectorCore, _numpy, core_cls_for
 from repro.core.multicast import MulticastSet
 from repro.core.schedule import Schedule
-from repro.exceptions import SolverError
+from repro.exceptions import ReproError, SolverError
+from repro.io.segments import read_snapshot, write_snapshot
 
-__all__ = ["OptimalTable"]
+__all__ = ["OptimalTable", "TABLE_SNAPSHOT_FORMAT"]
 
 Counts = Tuple[int, ...]
+
+#: Record format of on-disk DP table snapshots (see :meth:`OptimalTable.save_snapshot`).
+TABLE_SNAPSHOT_FORMAT = "repro/table-snapshot-v1"
 
 
 @dataclass(frozen=True)
@@ -53,6 +61,12 @@ class OptimalTable:
         ``n_j``: how many workstations of each type the network contains.
     latency:
         The network latency ``L``.
+    backend:
+        Recurrence engine: ``"scalar"``, ``"vector"`` or the default
+        ``"auto"`` (the vectorized core for large boxes when numpy is
+        importable).  Both engines are bit-identical — values, argmin
+        choices, schedules *and* snapshot bytes — so the choice only
+        affects build speed.
     """
 
     def __init__(
@@ -60,6 +74,8 @@ class OptimalTable:
         type_overheads: Sequence[Tuple[float, float]],
         max_counts: Sequence[int],
         latency: float,
+        *,
+        backend: str = "auto",
     ) -> None:
         overheads = tuple(sorted(tuple(t) for t in type_overheads))
         if len(set(overheads)) != len(overheads):
@@ -73,8 +89,18 @@ class OptimalTable:
             max_counts=tuple(int(c) for c in max_counts),
             latency=latency,
         )
-        self._core = _DPCore(self.spec.types, latency)
+        self.backend = backend
+        core_cls = core_cls_for(
+            backend,
+            k=len(overheads),
+            states=box_states(len(overheads), self.spec.max_counts),
+        )
+        self._core = core_cls(self.spec.types, latency)
         self._built = False
+        #: Set when this table came from / was saved to a snapshot file:
+        #: ``(path, entries at that time)`` — lets the cache skip
+        #: re-writing unchanged tables.
+        self._snapshot_origin: Union[Tuple[Path, int], None] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -111,14 +137,103 @@ class OptimalTable:
         grown = tuple(max(c, m) for c, m in zip(counts, self.spec.max_counts))
         table = OptimalTable.__new__(OptimalTable)
         table.spec = replace(self.spec, max_counts=grown)
+        table.backend = self.backend
         table._core = self._core.extended_to(grown)
         table._built = True
+        table._snapshot_origin = None
         return table
 
     @property
     def entries(self) -> int:
         """Number of table entries currently materialized."""
         return self._core.states_filled
+
+    # ------------------------------------------------------------------
+    # snapshots (``repro/table-snapshot-v1``)
+    # ------------------------------------------------------------------
+    def save_snapshot(self, path: Union[str, Path]) -> Path:
+        """Persist the built table as a ``repro/table-snapshot-v1`` file.
+
+        The body holds, per source type, the three flat packed planes of
+        the vectorized layout — ``float64`` values, ``int8`` first-child
+        types, ``int64`` packed splits — always little-endian, so the
+        bytes are identical no matter which engine built the table (the
+        scalar core's list storage is converted on the way out).  Writing
+        is atomic (temp file + rename); see
+        :func:`repro.io.segments.write_snapshot`.
+        """
+        self.build()
+        path = Path(path)
+        core = self._core
+        k = self.spec.types.k
+        sections: List[Tuple[str, bytes]] = []
+        for s in range(k):
+            tau, ell, ysp = _core_planes(core, s)
+            sections.append((f"tau-{s}", _plane_bytes(tau)))
+            sections.append((f"ell-{s}", _plane_bytes(ell)))
+            sections.append((f"ysplit-{s}", _plane_bytes(ysp)))
+        header = {
+            "format": TABLE_SNAPSHOT_FORMAT,
+            "overheads": [list(t) for t in self.spec.types.overheads],
+            "max_counts": list(self.spec.max_counts),
+            "latency": self.spec.latency,
+            "entries": core.states_filled,
+            "endian": "little",
+        }
+        write_snapshot(path, header, sections)
+        self._snapshot_origin = (path, core.states_filled)
+        return path
+
+    @classmethod
+    def load_snapshot(cls, path: Union[str, Path]) -> "OptimalTable":
+        """Attach a saved table zero-copy (fail-closed on any corruption).
+
+        The snapshot body is mmap'ed and the planes are wrapped directly
+        as the table's storage — no parsing, no copying, and every
+        process attaching the same file shares one resident copy of the
+        pages.  Integrity (header digest, exact length, body sha256) is
+        verified by :func:`repro.io.segments.read_snapshot` before any
+        entry is served; a truncated or bit-flipped file raises
+        :class:`~repro.exceptions.ReproError`.
+        """
+        path = Path(path)
+        snap = read_snapshot(path, expected_format=TABLE_SNAPSHOT_FORMAT)
+        header = snap.header
+        try:
+            overheads = [tuple(t) for t in header["overheads"]]
+            max_counts = tuple(int(c) for c in header["max_counts"])
+            latency = header["latency"]
+            entries = int(header["entries"])
+        except (KeyError, TypeError, ValueError):
+            raise ReproError(
+                f"snapshot {path.name} is missing table metadata"
+            ) from None
+        if header.get("endian") != "little":
+            raise ReproError(
+                f"snapshot {path.name} has unsupported byte order"
+            )  # pragma: no cover - written little-endian everywhere
+        table = cls(overheads, max_counts, latency, backend="vector")
+        k = table.spec.types.k
+        if entries != box_states(k, max_counts):
+            raise ReproError(f"snapshot {path.name} entry count is inconsistent")
+        np = _numpy()
+        taus, ells, ysps = [], [], []
+        for s in range(k):
+            raw = (snap.view(f"tau-{s}"), snap.view(f"ell-{s}"), snap.view(f"ysplit-{s}"))
+            if np is not None:
+                taus.append(np.frombuffer(raw[0], dtype="<f8"))
+                ells.append(np.frombuffer(raw[1], dtype=np.int8))
+                ysps.append(np.frombuffer(raw[2], dtype="<i8"))
+            else:
+                taus.append(raw[0].cast("d"))
+                ells.append(raw[1].cast("b"))
+                ysps.append(raw[2].cast("q"))
+        table._core = _VectorCore.from_flat(
+            table.spec.types, latency, max_counts, taus, ells, ysps, owner=snap
+        )
+        table._built = True
+        table._snapshot_origin = (path, entries)
+        return table
 
     # ------------------------------------------------------------------
     # queries
@@ -177,6 +292,35 @@ class OptimalTable:
         # table's, so translate via a counts vector in table-type space and
         # an index-pool in instance space keyed by table type ids.
         return _TableBinder(self._core, table_keys).bind(mset, source_type, counts)
+
+
+def _core_planes(core, s: int):
+    """The three flat packed planes of source type ``s`` (any engine).
+
+    A scalar core's list-of-tuples choice storage converts to the flat
+    ``(ell, ysplit)`` planes here — ``None`` becomes ``(-1, 0)`` exactly
+    as the vector core stores it, so both engines snapshot to identical
+    bytes.
+    """
+    if isinstance(core, _VectorCore):
+        return core._tau[s], core._ell[s], core._ysplit[s]
+    tau = array("d", core._tau[s])
+    ell = array("b", [-1 if c is None else c[0] for c in core._choice[s]])
+    ysp = array("q", [0 if c is None else c[1] for c in core._choice[s]])
+    return tau, ell, ysp
+
+
+def _plane_bytes(plane) -> bytes:
+    """Little-endian raw bytes of one plane (numpy / array / memoryview)."""
+    if isinstance(plane, array):
+        if sys.byteorder != "little":  # pragma: no cover - LE everywhere we run
+            plane = array(plane.typecode, plane)
+            plane.byteswap()
+        return plane.tobytes()
+    if isinstance(plane, memoryview):
+        return plane.tobytes()
+    dtype = plane.dtype.newbyteorder("<")
+    return plane.astype(dtype, copy=False).tobytes()
 
 
 class _TableBinder:

@@ -12,15 +12,30 @@ an unclean shutdown.
 These helpers are deliberately independent of what the records mean; the
 store layers keys and the ``repro/plan-result-v1`` payload format
 (:mod:`repro.io.serialization`) on top.
+
+Alongside the text substrate lives a *binary* one:
+:func:`write_snapshot` / :func:`read_snapshot` implement digest-stamped
+single-record container files — one JSON header line followed by an
+8-byte-aligned binary body of named sections.  The body is written so a
+reader can ``mmap`` the file and hand out zero-copy views; the header
+carries the same ``record_digest`` stamp the JSONL records use plus a
+sha256 of the body, and reading is *fail-closed*: a truncated, torn or
+bit-flipped file raises :class:`ReproError` rather than yielding partial
+data (the binary analogue of :func:`repair_torn_tail` — except snapshots
+are whole-file records, so the only repair is to discard and rebuild).
+``repro/table-snapshot-v1`` DP-table snapshots
+(:mod:`repro.core.dp_table`) layer their layout on top of this container.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import mmap
+import os
 import re
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple, Union
 
 from repro.exceptions import ReproError
 
@@ -34,6 +49,9 @@ __all__ = [
     "iter_jsonl",
     "repair_torn_tail",
     "record_digest",
+    "Snapshot",
+    "write_snapshot",
+    "read_snapshot",
 ]
 
 
@@ -161,3 +179,164 @@ def iter_jsonl(
                 f"got {type(record).__name__}"
             )
         yield number, record
+
+
+# ----------------------------------------------------------------------
+# binary snapshot container
+# ----------------------------------------------------------------------
+_SNAPSHOT_ALIGN = 8
+
+
+def _align(offset: int) -> int:
+    return (offset + _SNAPSHOT_ALIGN - 1) // _SNAPSHOT_ALIGN * _SNAPSHOT_ALIGN
+
+
+class Snapshot:
+    """A verified, mmap'ed snapshot file: header dict + zero-copy sections.
+
+    Produced only by :func:`read_snapshot` (which performs every
+    fail-closed check first).  The mmap stays open for the object's
+    lifetime; :meth:`view` returns :class:`memoryview` windows into it, so
+    every consumer of the same file shares one set of resident pages.
+    """
+
+    def __init__(self, path: Path, header: Dict[str, Any], mm: mmap.mmap, body_start: int):
+        self.path = path
+        self.header = header
+        self.mmap = mm
+        self._body_start = body_start
+        self._sections = {
+            s["name"]: (int(s["offset"]), int(s["length"])) for s in header["sections"]
+        }
+
+    def section_names(self) -> List[str]:
+        return [s["name"] for s in self.header["sections"]]
+
+    def view(self, name: str) -> memoryview:
+        """Zero-copy read-only bytes of one named section."""
+        try:
+            offset, length = self._sections[name]
+        except KeyError:
+            raise ReproError(
+                f"snapshot {self.path.name} has no section {name!r}"
+            ) from None
+        start = self._body_start + offset
+        return memoryview(self.mmap)[start : start + length]
+
+    def close(self) -> None:
+        """Release the mapping (outstanding views must be dropped first)."""
+        self.mmap.close()
+
+
+def write_snapshot(
+    path: Union[str, Path],
+    header: Dict[str, Any],
+    sections: Sequence[Tuple[str, bytes]],
+) -> Path:
+    """Atomically write a digest-stamped binary snapshot file.
+
+    ``header`` is caller metadata (it must carry a ``format`` key naming
+    the record format, e.g. ``repro/table-snapshot-v1``); ``sections`` are
+    ``(name, payload)`` pairs laid out 8-byte-aligned in order.  The
+    function adds the section directory, the body sha256 and the
+    :func:`record_digest` stamp, then writes via a temp file, fsync and
+    rename — a crash at any point leaves either the old complete file or
+    none, never a half-written one (readers additionally verify, so even
+    external truncation is caught).
+    """
+    path = Path(path)
+    if "format" not in header:
+        raise ReproError("snapshot header must carry a 'format' key")
+    directory: List[Dict[str, Any]] = []
+    offset = 0
+    seen = set()
+    for name, payload in sections:
+        if name in seen:
+            raise ReproError(f"duplicate snapshot section {name!r}")
+        seen.add(name)
+        offset = _align(offset)
+        directory.append({"name": name, "offset": offset, "length": len(payload)})
+        offset += len(payload)
+    body = bytearray(_align(offset))
+    for entry, (_, payload) in zip(directory, sections):
+        body[entry["offset"] : entry["offset"] + len(payload)] = payload
+    stamped = dict(header)
+    stamped["sections"] = directory
+    stamped["body_length"] = len(body)
+    stamped["body_sha256"] = hashlib.sha256(bytes(body)).hexdigest()
+    stamped["digest"] = record_digest(stamped)
+    line = (json.dumps(stamped, sort_keys=True) + "\n").encode("utf-8")
+    pad = b"\x00" * (_align(len(line)) - len(line))
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        fh.write(line)
+        fh.write(pad)
+        fh.write(bytes(body))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_snapshot(
+    path: Union[str, Path], *, expected_format: Union[str, None] = None
+) -> Snapshot:
+    """``mmap`` a snapshot written by :func:`write_snapshot`, fail-closed.
+
+    Every integrity property is checked before any section is exposed:
+    the header must parse, its :func:`record_digest` stamp must verify,
+    the file must have exactly the recorded body length (a short file is
+    a torn write), and the body sha256 must match.  Any violation raises
+    :class:`ReproError`; there is no partial success.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ReproError(f"snapshot {path} does not exist")
+    fh = open(path, "rb")
+    try:
+        size = os.fstat(fh.fileno()).st_size
+        if size == 0:
+            raise ReproError(f"snapshot {path.name} is empty")
+        mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    finally:
+        # the mapping (when created) keeps the file open; the fd can go
+        fh.close()
+    try:
+        newline = mm.find(b"\n", 0, min(size, 1 << 20))
+        if newline < 0:
+            raise ReproError(f"snapshot {path.name} has no header line")
+        try:
+            header = json.loads(mm[:newline].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ReproError(f"snapshot {path.name} header is not valid JSON") from None
+        if not isinstance(header, dict) or "sections" not in header:
+            raise ReproError(f"snapshot {path.name} header is not a snapshot record")
+        if expected_format is not None and header.get("format") != expected_format:
+            raise ReproError(
+                f"snapshot {path.name} has format {header.get('format')!r}, "
+                f"expected {expected_format!r}"
+            )
+        unstamped = dict(header)
+        digest = unstamped.pop("digest", None)
+        if digest != record_digest(unstamped):
+            raise ReproError(f"snapshot {path.name} header digest mismatch")
+        body_start = _align(newline + 1)
+        body_length = int(header["body_length"])
+        if size != body_start + body_length:
+            raise ReproError(
+                f"snapshot {path.name} is truncated or padded: "
+                f"{size} bytes on disk, {body_start + body_length} recorded"
+            )
+        if hashlib.sha256(mm[body_start:]).hexdigest() != header["body_sha256"]:
+            raise ReproError(f"snapshot {path.name} body sha256 mismatch")
+        for entry in header["sections"]:
+            end = int(entry["offset"]) + int(entry["length"])
+            if end > body_length:
+                raise ReproError(
+                    f"snapshot {path.name} section {entry.get('name')!r} "
+                    "overruns the body"
+                )
+    except Exception:
+        mm.close()
+        raise
+    return Snapshot(path, header, mm, body_start)

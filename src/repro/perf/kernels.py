@@ -70,7 +70,7 @@ def _limited_instance(k: int, n: int):
 # dp_scaling — E4: the Section 4 DP across (k, n)
 # ----------------------------------------------------------------------
 def _dp_scaling(mode: str, repeats: int):
-    from repro.core.dp import solve_dp
+    from repro.core.dp_vector import solve_dp_backend
     from repro.perf.reference import reference_solve_dp
 
     configs = (
@@ -82,8 +82,9 @@ def _dp_scaling(mode: str, repeats: int):
     new_total = ref_total = 0.0
     for k, n in configs:
         mset = _limited_instance(k, n)
+        # the production hot path: auto backend (vector where it wins)
         (stats, solution), (ref_stats, (ref_value, _ref_schedule)) = measure_pair(
-            lambda: solve_dp(mset),
+            lambda: solve_dp_backend(mset, backend="auto"),
             lambda: reference_solve_dp(mset),
             repeats=repeats,
         )
@@ -147,6 +148,147 @@ def _dp_table(mode: str, repeats: int):
             )
         )
     return cases, {}
+
+
+# ----------------------------------------------------------------------
+# dp_vector — the slab-vectorized DP engine vs the scalar scan
+# ----------------------------------------------------------------------
+def _dp_vector(mode: str, repeats: int):
+    """``dp(backend=vector)`` vs ``dp(backend=scalar)`` on large slabs.
+
+    Times the numpy slab engine against the scalar per-state scan on
+    general-``k`` boxes past the auto-dispatch crossover, gating the
+    machine-independent ``speedup_vs_scalar`` floor.  Integrity gate:
+    each vector solve must be *bit-identical* to the scalar solve —
+    value, schedule and ``states_computed`` — so a vectorization change
+    that drifts numerically fails the kernel, not just conformance.
+    """
+    from repro.core.dp import solve_dp
+    from repro.core.dp_vector import numpy_available, solve_dp_vector
+
+    if not numpy_available():
+        raise ReproError(
+            "dp_vector kernel needs the numpy slab engine (the 'speed' "
+            "extra); the stdlib-array fallback is covered by the no-numpy "
+            "test leg, not by this floor"
+        )
+    configs = (
+        [(2, 64), (2, 80)] if mode == "quick" else [(2, 64), (2, 96), (3, 36)]
+    )
+    cases: List[CaseResult] = []
+    vec_total = scalar_total = 0.0
+    for k, n in configs:
+        mset = _limited_instance(k, n)
+        (stats, solution), (ref_stats, ref_solution) = measure_pair(
+            lambda: solve_dp_vector(mset),
+            lambda: solve_dp(mset),
+            repeats=repeats,
+        )
+        if (
+            solution.value != ref_solution.value
+            or solution.schedule != ref_solution.schedule
+            or solution.states_computed != ref_solution.states_computed
+        ):
+            raise ReproError(
+                f"vector DP diverged from scalar on k={k}, n={n}: "
+                f"{solution.value} != {ref_solution.value} or schedule/"
+                "states mismatch"
+            )
+        vec_total += stats.min_s
+        scalar_total += ref_stats.min_s
+        cases.append(
+            CaseResult(
+                case=f"k={k},n={n}",
+                timing=stats,
+                extra_info={
+                    "k": k,
+                    "n": n,
+                    "states": solution.states_computed,
+                    "optimum": solution.value,
+                    "scalar_min_s": ref_stats.min_s,
+                    "speedup_vs_scalar": round(ref_stats.min_s / stats.min_s, 3),
+                },
+            )
+        )
+    summary = {"speedup_vs_scalar": round(scalar_total / vec_total, 3)}
+    return cases, summary
+
+
+# ----------------------------------------------------------------------
+# table_snapshot — mmap warm-attach vs cold table rebuild
+# ----------------------------------------------------------------------
+def _table_snapshot(mode: str, repeats: int):
+    """:meth:`OptimalTable.load_snapshot` vs a cold ``build()``.
+
+    Writes one ``repro/table-snapshot-v1`` file in setup, then times the
+    zero-copy mmap attach against rebuilding the same table from scratch
+    (with the auto backend — the cold path a restarted service would
+    actually pay).  Integrity gates: the loaded table must answer every
+    sampled completion bit-identically to the freshly built one and bind
+    the same full-box schedule, so a snapshot codec regression fails the
+    kernel rather than surviving as a fast-but-wrong warm start.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.dp_table import OptimalTable
+    from repro.experiments.dp_scaling import TYPE_SETS
+
+    k, max_counts = (2, (32, 32)) if mode == "quick" else (2, (48, 48))
+    types = TYPE_SETS[k]
+    cases: List[CaseResult] = []
+    with tempfile.TemporaryDirectory(prefix="repro-snap-") as tmp:
+        path = Path(tmp) / "table.snap"
+        built = OptimalTable(types, max_counts, latency=1).build()
+        built.save_snapshot(path)
+
+        def cold_build():
+            return OptimalTable(types, max_counts, latency=1).build()
+
+        def warm_attach():
+            return OptimalTable.load_snapshot(path)
+
+        (stats, loaded), (ref_stats, rebuilt) = measure_pair(
+            warm_attach, cold_build, repeats=repeats
+        )
+        samples = [
+            (s, counts)
+            for s in range(k)
+            for counts in (
+                max_counts,
+                tuple(c // 2 for c in max_counts),
+                (max_counts[0], 0),
+                (0, max_counts[1]),
+            )
+        ]
+        for s, counts in samples:
+            if loaded.completion(s, counts) != rebuilt.completion(s, counts):
+                raise ReproError(
+                    f"snapshot-loaded table diverged from rebuild at "
+                    f"s={s}, counts={counts}"
+                )
+        from repro.workloads.clusters import limited_type_cluster
+        from repro.workloads.generator import multicast_from_cluster
+
+        nodes = limited_type_cluster(types, list(max_counts))
+        full_box = multicast_from_cluster(nodes, latency=1, source="slowest")
+        if loaded.schedule_for(full_box) != rebuilt.schedule_for(full_box):
+            raise ReproError("snapshot-loaded schedule binding diverged")
+        speedup = round(ref_stats.min_s / stats.min_s, 3)
+        cases.append(
+            CaseResult(
+                case=f"k={k},counts={'x'.join(map(str, max_counts))}",
+                timing=stats,
+                extra_info={
+                    "k": k,
+                    "entries": loaded.entries,
+                    "snapshot_bytes": path.stat().st_size,
+                    "cold_build_min_s": ref_stats.min_s,
+                    "speedup_vs_cold_build": speedup,
+                },
+            )
+        )
+    return cases, {"speedup_vs_cold_build": speedup}
 
 
 # ----------------------------------------------------------------------
@@ -662,6 +804,18 @@ KERNELS: Dict[str, Kernel] = {
             "dp_table",
             "Theorem 2 closing-note table builds + O(1) queries",
             _dp_table,
+        ),
+        Kernel(
+            "dp_vector",
+            "slab-vectorized DP engine vs the scalar scan, bit-identical",
+            _dp_vector,
+            floors={"speedup_vs_scalar": 2.0},
+        ),
+        Kernel(
+            "table_snapshot",
+            "mmap table-snapshot warm attach vs cold rebuild, bit-identical",
+            _table_snapshot,
+            floors={"speedup_vs_cold_build": 5.0},
         ),
         Kernel(
             "greedy_scaling",

@@ -55,6 +55,7 @@ from pathlib import Path
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.api.planner import CacheKey, Planner
+from repro.api.tables import TableCacheConfig
 from repro.api.request import PlanRequest, PlanResult
 from repro.core.repair import MembershipDelta
 from repro.exceptions import ReproError, ServiceError
@@ -172,6 +173,14 @@ class PlanningService:
         solving, across all shards); cache hits are never capped.
     cache_size / segment_max_records:
         Forwarded to the built planner / store when those are not supplied.
+    table_config:
+        Optimal-table policy (:class:`~repro.api.tables.TableCacheConfig`)
+        applied to the built planner *and* to the worker shards.  With a
+        ``snapshot_dir`` set, tables warm-start from mmap-backed snapshot
+        files at startup the same way plans warm-start from the store, and
+        process-mode shards attach the same resident snapshots instead of
+        rebuilding private copies.  A caller-supplied ``planner`` keeps its
+        own table policy; the config then only governs the shards.
     """
 
     def __init__(
@@ -184,15 +193,23 @@ class PlanningService:
         max_pending: int = 1024,
         cache_size: int = 1024,
         segment_max_records: int = 512,
+        table_config: Optional[TableCacheConfig] = None,
     ) -> None:
-        self.planner = planner if planner is not None else Planner(cache_size=cache_size)
+        if planner is not None:
+            self.planner = planner
+        elif table_config is not None:
+            self.planner = Planner(cache_size=cache_size, table_config=table_config)
+        else:
+            self.planner = Planner(cache_size=cache_size)
         self.store: Optional[PlanStore] = None
         if store_path is not None:
             # attached as a cache tier while the service runs (_startup),
             # detached on shutdown so a caller-supplied planner is handed
             # back unmodified
             self.store = PlanStore(store_path, segment_max_records=segment_max_records)
-        self.router = ShardRouter(num_shards, mode=worker_mode)
+        self.router = ShardRouter(
+            num_shards, mode=worker_mode, table_config=table_config
+        )
         self.metrics = MetricsRegistry()
         # group sessions repair against the *service* planner (its table
         # cache + tiers), sharing the service's metrics registry

@@ -50,7 +50,7 @@ import threading
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
-from repro.api.planner import Planner
+from repro.api.planner import _TABLE_SAFE_OPTIONS, Planner
 from repro.api.request import PlanRequest, PlanResult
 from repro.api.solvers import resolve
 from repro.core.repair import MembershipDelta, apply_delta
@@ -290,17 +290,21 @@ class SessionManager:
         if (
             tables is not None
             and entry.capabilities.reusable_table
-            and not (set(merged) - {"max_states"})
+            and not (set(merged) - _TABLE_SAFE_OPTIONS)
         ):
             canon = request.instance.canonical_form()
             box = (canon.mset.type_keys(), canon.mset.latency)
+            # TableCacheConfig.pin_sessions=False opts a deployment out of
+            # session pinning: repairs still prefer the resident table but
+            # eviction pressure may drop it between deltas
+            pinning = planner.table_config.pin_sessions
             table = tables.acquire(
                 canon.mset,
                 merged.get("max_states"),
-                pin=box != session.pinned_box,
+                pin=pinning and box != session.pinned_box,
             )
             if table is not None:
-                if box != session.pinned_box:
+                if pinning and box != session.pinned_box:
                     old = session.pinned_box
                     session.pinned_box = box
                     if old is not None:

@@ -19,6 +19,15 @@ Each shard owns one single-worker executor, created lazily:
   parallelism but keeps the event loop responsive);
 - ``mode="inline"`` — solve on the caller's thread (tests and examples;
   blocks the event loop, so never the server default).
+
+A :class:`~repro.api.tables.TableCacheConfig` threads table policy down
+to the workers.  Process-mode workers are initialized with
+:func:`repro.api.planner.configure_standalone_tables`, so every shard
+process applies the same policy — and when the config names a
+``snapshot_dir``, each process *attaches* the directory's mmap-backed
+table snapshots instead of rebuilding private copies: the OS shares the
+resident pages across all shard processes.  Thread/inline workers share
+one router-local cache built from the same config.
 """
 
 from __future__ import annotations
@@ -27,8 +36,13 @@ import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, Optional
 
-from repro.api.planner import _plan_standalone
+from repro.api.planner import (
+    _plan_standalone,
+    _plan_standalone_with,
+    configure_standalone_tables,
+)
 from repro.api.request import PlanRequest, PlanResult
+from repro.api.tables import OptimalTableCache, TableCacheConfig
 from repro.exceptions import ReproError
 
 __all__ = ["ShardRouter", "WORKER_MODES"]
@@ -39,7 +53,13 @@ WORKER_MODES = ("thread", "process", "inline")
 class ShardRouter:
     """Route plan requests to ``num_shards`` single-worker executors."""
 
-    def __init__(self, num_shards: int = 4, *, mode: str = "thread") -> None:
+    def __init__(
+        self,
+        num_shards: int = 4,
+        *,
+        mode: str = "thread",
+        table_config: Optional[TableCacheConfig] = None,
+    ) -> None:
         if num_shards < 1:
             raise ReproError(f"num_shards must be >= 1, got {num_shards}")
         if mode not in WORKER_MODES:
@@ -48,6 +68,14 @@ class ShardRouter:
             )
         self.num_shards = num_shards
         self.mode = mode
+        self.table_config = (
+            table_config.validate() if table_config is not None else None
+        )
+        # thread/inline workers share one router-local cache; process-mode
+        # workers get their own via the executor initializer instead
+        self._tables: Optional[OptimalTableCache] = (
+            self.table_config.build_cache() if self.table_config is not None else None
+        )
         self._lock = threading.Lock()
         self._executors: Dict[int, Executor] = {}
         self._supervisors: Dict[int, Executor] = {}
@@ -75,7 +103,16 @@ class ShardRouter:
             executor = self._executors.get(shard)
             if executor is None:
                 if self.mode == "process":
-                    executor = ProcessPoolExecutor(max_workers=1)
+                    if self.table_config is not None:
+                        # same table policy in every shard process; with a
+                        # snapshot_dir the workers mmap-attach shared tables
+                        executor = ProcessPoolExecutor(
+                            max_workers=1,
+                            initializer=configure_standalone_tables,
+                            initargs=(self.table_config,),
+                        )
+                    else:
+                        executor = ProcessPoolExecutor(max_workers=1)
                 else:
                     executor = ThreadPoolExecutor(
                         max_workers=1, thread_name_prefix=f"repro-shard-{shard}"
@@ -122,6 +159,8 @@ class ShardRouter:
             executor = self._executor(shard)
             assert executor is not None
             return executor.submit(_plan_standalone, request).result()
+        if self.table_config is not None:
+            return _plan_standalone_with(self._tables, request)
         return _plan_standalone(request)
 
     def solve_sync(self, request: PlanRequest) -> PlanResult:
@@ -136,6 +175,16 @@ class ShardRouter:
         if executor is None:  # inline mode
             return self.solve_in_worker(shard, request)
         return executor.submit(self.solve_in_worker, shard, request).result()
+
+    @property
+    def tables(self) -> Optional[OptimalTableCache]:
+        """The router-local table cache (thread/inline modes, config given).
+
+        ``None`` without a ``table_config`` (workers then share the
+        module-level standalone cache) and in ``process`` mode (each
+        worker process owns its own cache, seeded by the initializer).
+        """
+        return self._tables
 
     def stats(self) -> Dict[str, int]:
         """Per-shard dispatch counters, e.g. ``{"shard_0": 12, ...}``."""

@@ -167,8 +167,9 @@ class TestGuards:
         assert (cache.extensions, cache.evictions) == (0, 0)
 
     def test_table_cache_states_validated(self):
-        with pytest.raises(ReproError, match="table_cache_states"):
-            Planner(table_cache_states=0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ReproError, match="table_cache_states"):
+                Planner(table_cache_states=0)
 
 
 class TestPins:

@@ -19,6 +19,7 @@ from pathlib import Path
 import pytest
 
 from repro.api import Planner, PlanRequest
+from repro.api.tables import TableCacheConfig
 from repro.conformance.invariants import canonical_result_payload
 from repro.core.multicast import MulticastSet
 from repro.core.node import Node
@@ -158,7 +159,9 @@ class TestEvictionDuringRepair:
         # budget 60: the session's 18-state table plus any one unrelated
         # 50-state table overflows it, so without the pin the unrelated
         # traffic would evict the session's network mid-stream
-        planner = Planner(cache_size=0, table_cache_states=60)
+        planner = Planner(
+            cache_size=0, table_config=TableCacheConfig(max_total_states=60)
+        )
         manager = SessionManager(planner)
         opened = manager.open(PlanRequest(instance=_base(), solver="dp"))
         sid = opened.session_id
@@ -191,7 +194,9 @@ class TestEvictionDuringRepair:
         assert cache.stats()["pins"] == 0
 
     def test_unpinned_traffic_still_evicts_normally(self):
-        planner = Planner(cache_size=0, table_cache_states=60)
+        planner = Planner(
+            cache_size=0, table_config=TableCacheConfig(max_total_states=60)
+        )
         for latency in (1, 2):
             mset = MulticastSet.from_overheads(
                 source=(2, 3),

@@ -314,6 +314,60 @@ class TestDocsConsistency:
         assert record.floors.get("makespan_ratio_vs_sequential") == 1.5
         assert record.summary["makespan_ratio_vs_sequential"] >= 1.5
 
+    def test_design_vector_snapshot_section(self):
+        """DESIGN.md §9 documents the vector backend + table snapshots."""
+        design = (REPO / "DESIGN.md").read_text()
+        assert "## 9. Vectorized DP backend & table snapshots" in design
+        for token in (
+            "backend=vector",
+            "slab",
+            "bit-identical",
+            "REPRO_NO_NUMPY",
+            "repro/table-snapshot-v1",
+            "mmap",
+            "zero-copy",
+            "snapshot_dir",
+            "dp_vector",
+            "table_snapshot",
+            "speedup_vs_scalar",
+            "speedup_vs_cold_build",
+        ):
+            assert token in design, (
+                f"DESIGN.md vector/snapshot section missing {token!r}"
+            )
+
+    def test_api_md_documents_dp_backends_and_table_config(self):
+        """API.md covers backend specs, TableCacheConfig and snapshots."""
+        api = (REPO / "API.md").read_text()
+        for token in (
+            "dp(backend=vector)",
+            "dp(backend=scalar)",
+            "TableCacheConfig",
+            "table_config",
+            "snapshot_dir",
+            "save_snapshot",
+            "load_snapshot",
+            "--table-snapshots",
+            "deprecated",
+        ):
+            assert token in api, f"API.md backend/snapshot docs missing {token!r}"
+
+    def test_dp_vector_baseline_carries_the_floor(self):
+        """The committed vector-engine baseline enforces the >= 2x floor."""
+        from repro.perf import load_baseline
+
+        record = load_baseline(REPO / "BENCH_dp_vector.json")
+        assert record.floors.get("speedup_vs_scalar") == 2.0
+        assert record.summary["speedup_vs_scalar"] >= 2.0
+
+    def test_table_snapshot_baseline_carries_the_floor(self):
+        """The committed warm-attach baseline enforces the >= 5x floor."""
+        from repro.perf import load_baseline
+
+        record = load_baseline(REPO / "BENCH_table_snapshot.json")
+        assert record.floors.get("speedup_vs_cold_build") == 5.0
+        assert record.summary["speedup_vs_cold_build"] >= 5.0
+
     def test_api_md_documents_performance_tracking(self):
         api = (REPO / "API.md").read_text()
         assert "## Performance tracking" in api
