@@ -59,6 +59,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.core.dp import DEFAULT_MAX_STATES, box_states
 from repro.core.dp_vector import DP_BACKENDS
 from repro.core.dp_table import OptimalTable
@@ -435,8 +436,13 @@ class OptimalTableCache:
         if self._snapshot_dir is None or not self._snapshot_autosave:
             return
         self._snapshot_dir.mkdir(parents=True, exist_ok=True)
-        table.save_snapshot(self._snapshot_path(key))
+        path = self._snapshot_path(key)
+        table.save_snapshot(path)
         self._snapshot_saves += 1
+        if faults.ACTIVE is not None and faults.ACTIVE.fire("snapshot.corrupt"):
+            # chaos: tamper with the just-written snapshot; the digest
+            # check in _attach_snapshot must reject it and rebuild cold
+            faults.corrupt_file(path)
 
     def save_snapshots(self, directory: Optional[Union[str, Path]] = None) -> int:
         """Persist every resident table as a snapshot; returns files written.

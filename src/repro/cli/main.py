@@ -138,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--table-snapshots", default=None, metavar="DIR",
                      help="directory of mmap table snapshots: optimal tables "
                           "warm-start from it and are saved back write-through")
+    srv.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                     help="per-request solve budget; a solve past it answers "
+                          "with a greedy plan + bounds, marked degraded "
+                          "(default: no deadline)")
 
     sbm = sub.add_parser("submit", help="plan instances through a running service")
     sbm.add_argument("instances", nargs="+", help="instance JSON paths")
@@ -206,6 +210,25 @@ def build_parser() -> argparse.ArgumentParser:
                        "bit-identically")
     crep.add_argument("path",
                       help="a records directory or a single JSON record file")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: seeded fault plans over the corpus "
+             "(see SERVICE.md, Resilience & operations)")
+    chaos.add_argument("--suite", default="smoke",
+                       help="corpus suite name (default smoke)")
+    chaos.add_argument("--plans", type=int, default=5,
+                       help="number of seeded fault plans (default 5)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed for the fault-plan battery")
+    chaos.add_argument("--deadline", type=float, default=0.2,
+                       help="solve deadline on the service under test "
+                            "(default 0.2s)")
+    chaos.add_argument("--call-timeout", type=float, default=2.0,
+                       help="client socket timeout per call (default 2s)")
+    chaos.add_argument("--budget", default=None,
+                       help="overall wall-clock budget, e.g. 90s or 5m "
+                            "(default: sweep everything)")
 
     perf = sub.add_parser(
         "perf", help="benchmark baselines (see DESIGN.md, Performance)")
@@ -547,6 +570,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         segment_max_records=args.segment_records,
         table_config=table_config,
+        solve_deadline_s=args.deadline,
     )
     if args.store and service.store is not None:
         warm = len(service.store)
@@ -780,6 +804,29 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.conformance import default_fault_plans, generate_corpus, run_chaos
+
+    specs = generate_corpus(args.suite)
+    plans = default_fault_plans(args.plans, seed=args.seed)
+    budget = _parse_budget(args.budget) if args.budget else None
+    print(f"chaos sweep: suite {args.suite!r} ({len(specs)} scenarios) x "
+          f"{len(plans)} fault plans, deadline {args.deadline:g}s")
+    report = run_chaos(
+        specs,
+        plans,
+        suite=args.suite,
+        solve_deadline_s=args.deadline,
+        call_timeout_s=args.call_timeout,
+        budget_s=budget,
+        progress=print,
+    )
+    print(report.summary())
+    for violation in report.violations:
+        print(f"VIOLATION {violation}")
+    return 0 if report.ok else 1
+
+
 def _parse_tolerance(text: str) -> float:
     """``25%`` / ``0.25`` -> 0.25."""
     text = text.strip()
@@ -908,6 +955,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "store": _cmd_store,
     "conformance": _cmd_conformance,
+    "chaos": _cmd_chaos,
     "perf": _cmd_perf,
 }
 

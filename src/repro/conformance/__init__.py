@@ -75,6 +75,13 @@ from repro.conformance.contention import (
     multi_group_digest,
     multi_group_record,
 )
+from repro.conformance.chaos import (
+    ChaosReport,
+    ChaosViolation,
+    PlanRunSummary,
+    default_fault_plans,
+    run_chaos,
+)
 from repro.conformance.records import (
     CONFORMANCE_FORMAT,
     FailureRecord,
@@ -118,6 +125,12 @@ __all__ = [
     "multi_group_corpus",
     "multi_group_digest",
     "multi_group_record",
+    # chaos
+    "ChaosReport",
+    "ChaosViolation",
+    "PlanRunSummary",
+    "default_fault_plans",
+    "run_chaos",
     # records
     "CONFORMANCE_FORMAT",
     "FailureRecord",

@@ -1,0 +1,343 @@
+"""Chaos conformance: seeded fault sweeps over the planning service.
+
+The functional conformance engine proves the service answers exactly like
+a direct :class:`~repro.api.Planner` when nothing goes wrong.  This
+module proves the *resilience* claim: under injected failures —
+transport drops, torn frames, solver faults, stalled solves, torn store
+appends — every **completed** response is still byte-identical to the
+direct planner's answer, or is an *explicitly* degraded answer honouring
+the bounds-sandwich contract, or is a well-formed error.  Never a silent
+wrong answer, never a hang, never a corrupted store.
+
+One :func:`run_chaos` sweep:
+
+1. builds the scenario corpus once and a shared reference planner;
+2. for each seeded :class:`~repro.faults.FaultPlan`, boots a fresh TCP
+   :class:`~repro.service.server.PlanningService` (real sockets — the
+   transport faults need a wire) with a persistent store and a solve
+   deadline, and plans every scenario through a
+   :class:`~repro.service.client.ServiceClient` carrying a
+   :class:`~repro.service.client.RetryPolicy`;
+3. classifies each outcome (*completed* / *degraded* / *errored*) and
+   checks the matching contract;
+4. after stopping the service, reloads and :meth:`~repro.service.store.
+   PlanStore.verify`-checks the store — injected torn appends must never
+   leave an unreadable store behind.
+
+Every blocking operation is timeout-bounded (socket timeouts, bounded
+retries, per-plan watchdog), so the sweep itself cannot hang — a stuck
+service surfaces as an error or a watchdog violation, not a wedged CI
+job.  Determinism: fault decisions replay from each plan's seed, so a
+failing ``(plan, scenario)`` pair reproduces exactly.
+
+CLI: ``hnow-multicast chaos [--suite quick] [--deadline 0.2]``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import faults
+from repro.api.planner import Planner
+from repro.api.request import PlanRequest, PlanResult
+from repro.conformance.corpus import ScenarioSpec, generate_corpus
+from repro.conformance.invariants import canonical_result_payload
+from repro.exceptions import ConformanceError, ServiceError
+from repro.faults import FaultPlan, FaultSpec
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.server import PlanningService
+from repro.service.store import PlanStore
+
+__all__ = [
+    "ChaosViolation",
+    "PlanRunSummary",
+    "ChaosReport",
+    "default_fault_plans",
+    "run_chaos",
+]
+
+#: Scenario size below which chaos also sweeps the exact ``dp`` solver.
+DP_MAX_N = 8
+
+
+@dataclass(frozen=True)
+class ChaosViolation:
+    """One broken resilience contract: which plan, scenario and how."""
+
+    plan: str
+    scenario: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.plan}] {self.scenario}: {self.message}"
+
+
+@dataclass
+class PlanRunSummary:
+    """Outcome counts for one fault plan's sweep."""
+
+    plan: str
+    seed: int
+    scenarios: int = 0
+    completed: int = 0
+    degraded: int = 0
+    errors: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos sweep observed."""
+
+    suite: str
+    runs: List[PlanRunSummary] = field(default_factory=list)
+    violations: List[ChaosViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every contract held under every fault plan."""
+        return not self.violations
+
+    @property
+    def total_injected(self) -> int:
+        """Faults actually fired across all plans (sanity: should be > 0)."""
+        return sum(sum(run.injected.values()) for run in self.runs)
+
+    def summary(self) -> str:
+        """One line per plan plus the verdict, for CLI output."""
+        lines = []
+        for run in self.runs:
+            fired = ", ".join(
+                f"{site}={n}" for site, n in sorted(run.injected.items()) if n
+            )
+            lines.append(
+                f"{run.plan} (seed {run.seed}): {run.scenarios} scenarios, "
+                f"{run.completed} exact, {run.degraded} degraded, "
+                f"{run.errors} errors, injected [{fired or 'none'}] "
+                f"in {run.elapsed_s:.1f}s"
+            )
+        verdict = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        lines.append(f"chaos[{self.suite}]: {verdict}")
+        return "\n".join(lines)
+
+
+def default_fault_plans(count: int = 5, *, seed: int = 0) -> List[FaultPlan]:
+    """The standard chaos battery: ``count`` distinct seeded fault plans.
+
+    The first five cover one failure family each (transport loss, torn
+    frames, solver faults, torn store appends, deadline storms); further
+    plans recycle the families with shifted seeds, so a fuzz budget can
+    keep widening coverage deterministically.
+    """
+    if count < 1:
+        raise ConformanceError(f"fault plan count must be >= 1, got {count}")
+    builders: List[Callable[[int], FaultPlan]] = [
+        lambda s: FaultPlan(
+            [FaultSpec("client.drop_send", rate=0.25, count=10, after=2)],
+            seed=s,
+            name="transport-drop",
+        ),
+        lambda s: FaultPlan(
+            [FaultSpec("client.partial_send", rate=0.3, count=25, after=1)],
+            seed=s,
+            name="partial-frames",
+        ),
+        lambda s: FaultPlan(
+            [
+                FaultSpec("solver.error", rate=0.25, count=30),
+                FaultSpec("solver.delay", rate=0.15, count=30, delay_s=0.03),
+            ],
+            seed=s,
+            name="solver-chaos",
+        ),
+        lambda s: FaultPlan(
+            [FaultSpec("store.torn_append", rate=0.3, count=30)],
+            seed=s,
+            name="torn-store",
+        ),
+        # delay_s far past any deadline: each firing burns the full solve
+        # budget and must come back explicitly degraded, never wrong
+        lambda s: FaultPlan(
+            [FaultSpec("solver.delay", rate=0.2, count=15, delay_s=60.0)],
+            seed=s,
+            name="deadline-storm",
+        ),
+    ]
+    plans = []
+    for index in range(count):
+        build = builders[index % len(builders)]
+        plan = build(seed + index)
+        if index >= len(builders):
+            plan.name = f"{plan.name}-{index // len(builders)}"
+        plans.append(plan)
+    return plans
+
+
+def _chaos_requests(spec: ScenarioSpec) -> List[PlanRequest]:
+    """The requests chaos sends for one scenario (greedy always, dp small)."""
+    mset = spec.build()
+    requests = [PlanRequest(instance=mset, solver="greedy+reversal")]
+    if len(mset.destinations) <= DP_MAX_N:
+        requests.append(PlanRequest(instance=mset, solver="dp"))
+    return requests
+
+
+def _check_degraded(
+    result: PlanResult, run: PlanRunSummary, scenario: str, report: ChaosReport
+) -> None:
+    """The degraded-response contract: marked, bounded, sandwich valid."""
+    if result.provenance.get("degraded") is not True:
+        report.violations.append(
+            ChaosViolation(run.plan, scenario, "degraded reply lacks provenance mark")
+        )
+    if result.bounds is None:
+        report.violations.append(
+            ChaosViolation(run.plan, scenario, "degraded reply carries no bounds")
+        )
+        return
+    # opt_value is the certified Theorem 1 lower bound (or the exact
+    # optimum); either way it must sit under the degraded plan's value
+    lower = result.bounds.opt_value
+    if lower > result.value + 1e-9:
+        report.violations.append(
+            ChaosViolation(
+                run.plan,
+                scenario,
+                f"degraded bounds sandwich broken: max lower bound {lower:g} "
+                f"> value {result.value:g}",
+            )
+        )
+
+
+def run_chaos(
+    specs: Optional[Sequence[ScenarioSpec]] = None,
+    plans: Optional[Sequence[FaultPlan]] = None,
+    *,
+    suite: str = "smoke",
+    solve_deadline_s: float = 0.2,
+    call_timeout_s: float = 2.0,
+    watchdog_s: float = 600.0,
+    budget_s: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Sweep every fault plan over the corpus; returns the full report.
+
+    Parameters
+    ----------
+    specs:
+        Scenario corpus (default: ``generate_corpus(suite)``).
+    plans:
+        Fault plans to inject (default: :func:`default_fault_plans`).
+    suite:
+        Corpus suite name used when ``specs`` is omitted.
+    solve_deadline_s:
+        Per-request solve budget on the service under test; injected
+        stalls past it must surface as explicit degradation.
+    call_timeout_s:
+        Client socket timeout — the first line of the no-hang watchdog.
+    watchdog_s:
+        Hard wall-clock bound per fault plan; overruns are recorded as
+        violations (the sweep aborts that plan rather than hang CI).
+    budget_s:
+        Optional overall time budget (fuzz mode): once spent, remaining
+        plans are skipped — coverage shrinks, contracts never relax.
+    """
+    corpus = list(specs) if specs is not None else generate_corpus(suite)
+    battery = list(plans) if plans is not None else default_fault_plans()
+    reference = Planner()  # shared across plans: the ground truth
+    report = ChaosReport(suite=suite)
+    sweep_started = time.monotonic()
+    for plan in battery:
+        if budget_s is not None and time.monotonic() - sweep_started > budget_s:
+            break
+        plan.reset()
+        run = PlanRunSummary(plan=plan.name, seed=plan.seed)
+        report.runs.append(run)
+        plan_started = time.monotonic()
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            service = PlanningService(
+                planner=Planner(cache_size=0),
+                store_path=tmp,
+                num_shards=2,
+                worker_mode="thread",
+                solve_deadline_s=solve_deadline_s,
+            )
+            address = service.start_background(tcp=True)
+            assert address is not None
+            client = ServiceClient(
+                address[0],
+                address[1],
+                client_id=f"chaos-{plan.name}",
+                timeout=call_timeout_s,
+                retry=RetryPolicy(
+                    attempts=5,
+                    base_delay_s=0.02,
+                    max_delay_s=0.2,
+                    seed=plan.seed,
+                ),
+            )
+            try:
+                with faults.inject(plan):
+                    for spec in corpus:
+                        if time.monotonic() - plan_started > watchdog_s:
+                            report.violations.append(
+                                ChaosViolation(
+                                    run.plan,
+                                    spec.key,
+                                    f"watchdog: plan exceeded {watchdog_s:g}s",
+                                )
+                            )
+                            break
+                        for request in _chaos_requests(spec):
+                            run.scenarios += 1
+                            scenario = f"{spec.key} solver={request.solver}"
+                            try:
+                                served = client.plan(request)
+                            except ServiceError:
+                                # a *well-formed* failure: allowed, counted
+                                run.errors += 1
+                                continue
+                            if served.degraded:
+                                run.degraded += 1
+                                _check_degraded(
+                                    served.result, run, scenario, report
+                                )
+                                continue
+                            run.completed += 1
+                            expected = reference.plan(request)
+                            if canonical_result_payload(
+                                served.result
+                            ) != canonical_result_payload(expected):
+                                report.violations.append(
+                                    ChaosViolation(
+                                        run.plan,
+                                        scenario,
+                                        "completed response differs from the "
+                                        "direct Planner answer",
+                                    )
+                                )
+            finally:
+                client.close()
+                service.stop()
+                run.injected = plan.fired()
+                run.elapsed_s = time.monotonic() - plan_started
+            # durability contract: whatever was injected, the store a
+            # restarted server would load from must verify clean
+            try:
+                PlanStore(tmp).verify()
+            except Exception as exc:  # noqa: BLE001 - report, don't mask
+                report.violations.append(
+                    ChaosViolation(run.plan, "<store>", f"store verify failed: {exc}")
+                )
+        if progress is not None:
+            fired = run.injected
+            progress(
+                f"{run.plan}: {run.scenarios} scenarios, "
+                f"{run.completed} exact / {run.degraded} degraded / "
+                f"{run.errors} errors, {sum(fired.values())} faults fired"
+            )
+    return report

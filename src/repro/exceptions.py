@@ -81,3 +81,27 @@ class ServiceError(ReproError):
     errors the server reports back over the JSON-lines protocol.
     """
 
+
+class ServiceRetryableError(ServiceError):
+    """A transient service failure that is safe to retry.
+
+    Raised for transport-level losses (connect failures, read timeouts,
+    dropped connections, out-of-order streams), admission-control
+    rejections and worker-death failures — conditions where retrying an
+    *idempotent* request (``plan``, ``ping``, ``metrics``,
+    ``session-resume``; canonical cache keys make repeated plans
+    side-effect-free) cannot produce a wrong answer.  The client-side
+    :class:`repro.service.client.RetryPolicy` retries exactly this class;
+    everything else fails fast.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A per-request solve deadline elapsed before the solver finished.
+
+    Internal signal of the graceful-degradation path: the service catches
+    it and answers with a fast greedy plan plus the Theorem 1 bounds
+    sandwich, explicitly marked ``degraded`` — never a silent timeout and
+    never a silently wrong answer.
+    """
+

@@ -1,0 +1,259 @@
+"""Deterministic fault injection for resilience testing (``repro.faults``).
+
+Production failures — dropped frames, dead workers, stuck solves, torn
+writes, flipped bits — are rare by construction, so code that handles
+them is the least-exercised code in the system.  This module makes those
+failures *injectable on purpose*: a seeded :class:`FaultPlan` decides,
+reproducibly, which of a fixed set of hook **sites** fire and when, and
+the hook points scattered through :mod:`repro.service`, the
+:class:`~repro.service.store.PlanStore` and the table-snapshot writer
+consult it.
+
+Design rules:
+
+- **Zero overhead when disabled.**  Every hook site guards on the module
+  global :data:`ACTIVE` being non-``None`` before doing anything::
+
+      if faults.ACTIVE is not None and faults.ACTIVE.fire("solver.error"):
+          ...
+
+  With no plan installed the whole fault layer costs one attribute load
+  and an ``is not None`` test per hook site.
+- **Deterministic.**  A plan's decision stream is a pure function of its
+  seed and the order sites are consulted; replaying the same single-
+  threaded workload under the same plan fires the same faults.
+- **Explicit sites.**  Plans may only name sites from :data:`SITES`;
+  a typo is an error at construction, not a silently-dead fault.
+
+The plan itself never performs the fault — the hook *site* interprets
+the returned :class:`FaultSpec` (sleep ``delay_s``, kill the worker,
+tear the append), so each site's failure mode is visible in the code
+that owns the resource.  See DESIGN.md §10 for the site-by-site matrix.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Sequence, Union
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "SITES",
+    "FaultSpec",
+    "FaultPlan",
+    "ACTIVE",
+    "inject",
+    "fire",
+    "corrupt_file",
+    "torn_append",
+]
+
+#: Every hook point wired into the library.  A :class:`FaultSpec` naming
+#: any other site is rejected at plan construction.
+SITES = (
+    # transport (ServiceClient._roundtrip)
+    "client.drop_send",     # swallow the outgoing frame: the read times out
+    "client.partial_send",  # send a truncated frame, then fail the socket
+    # shard workers (ShardRouter.solve_in_worker)
+    "worker.kill",          # SIGKILL a process-mode shard worker pre-solve
+    "solver.delay",         # sleep delay_s before the solve (deadline tests)
+    "solver.error",         # raise in place of the solve (retryable error)
+    # durability (PlanStore._append_locked, OptimalTableCache._save_through)
+    "store.torn_append",    # tear a segment append mid-line (crash mid-write)
+    "snapshot.corrupt",     # flip bytes in a just-written table snapshot
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's injection policy inside a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    site:
+        A hook point from :data:`SITES`.
+    rate:
+        Probability each consultation fires, drawn from the plan's seeded
+        stream (``1.0`` = every time).
+    count:
+        Maximum number of firings (``None`` = unlimited).
+    after:
+        Skip the first ``after`` consultations before becoming eligible
+        (stage a fault mid-workload deterministically).
+    delay_s:
+        For ``solver.delay``: how long the injected stall sleeps.
+    """
+
+    site: str
+    rate: float = 1.0
+    count: Optional[int] = None
+    after: int = 0
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ReproError(
+                f"unknown fault site {self.site!r}; available: {list(SITES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ReproError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.count is not None and self.count < 1:
+            raise ReproError(f"fault count must be >= 1, got {self.count}")
+        if self.after < 0:
+            raise ReproError(f"fault after must be >= 0, got {self.after}")
+        if self.delay_s < 0:
+            raise ReproError(f"fault delay_s must be >= 0, got {self.delay_s}")
+
+
+class FaultPlan:
+    """A seeded, reproducible schedule of fault injections.
+
+    The plan holds one :class:`FaultSpec` per site (at most) and a
+    ``random.Random(seed)`` that drives every probabilistic decision, so
+    two runs of the same workload under equal plans inject identically.
+    Thread-safe: concurrent hook sites serialize on one lock, which keeps
+    the decision stream well-defined (though its interleaving across
+    threads follows the workload's own scheduling).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        *,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        by_site: Dict[str, FaultSpec] = {}
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise ReproError(
+                    f"FaultPlan specs must be FaultSpec, got {type(spec).__name__}"
+                )
+            if spec.site in by_site:
+                raise ReproError(f"duplicate fault spec for site {spec.site!r}")
+            by_site[spec.site] = spec
+        self.specs = tuple(specs)
+        self.seed = seed
+        self.name = name if name is not None else f"fault-plan-{seed}"
+        self._by_site = by_site
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._seen: Dict[str, int] = {site: 0 for site in by_site}
+        self._fired: Dict[str, int] = {site: 0 for site in by_site}
+
+    def fire(self, site: str) -> Optional[FaultSpec]:
+        """Consult the plan at ``site``; the firing spec or ``None``.
+
+        The *site code* performs the fault when a spec comes back — the
+        plan only decides and counts.
+        """
+        spec = self._by_site.get(site)
+        if spec is None:
+            return None
+        with self._lock:
+            self._seen[site] += 1
+            if self._seen[site] <= spec.after:
+                return None
+            if spec.count is not None and self._fired[site] >= spec.count:
+                return None
+            if spec.rate < 1.0 and self._rng.random() >= spec.rate:
+                return None
+            self._fired[site] += 1
+            return spec
+
+    def fired(self) -> Dict[str, int]:
+        """Firings so far per site (sites that never fired report 0)."""
+        with self._lock:
+            return dict(sorted(self._fired.items()))
+
+    def total_fired(self) -> int:
+        """Total injections performed under this plan."""
+        with self._lock:
+            return sum(self._fired.values())
+
+    def reset(self) -> None:
+        """Rewind the decision stream to the seed (fresh counters too)."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self._seen = {site: 0 for site in self._by_site}
+            self._fired = {site: 0 for site in self._by_site}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sites = ", ".join(sorted(self._by_site))
+        return f"FaultPlan({self.name!r}, seed={self.seed}, sites=[{sites}])"
+
+
+#: The installed plan, or ``None`` (the hot-path disabled state).  Hook
+#: sites read this directly; install via :func:`inject`, never by hand.
+ACTIVE: Optional[FaultPlan] = None
+
+_INSTALL_LOCK = threading.Lock()
+
+
+@contextlib.contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of the ``with`` block.
+
+    Only one plan may be active at a time (nesting would make the
+    decision streams ambiguous); the previous state — always ``None`` —
+    is restored on exit even if the block raises.
+    """
+    global ACTIVE
+    with _INSTALL_LOCK:
+        if ACTIVE is not None:
+            raise ReproError(
+                f"a fault plan is already active ({ACTIVE.name!r}); "
+                "fault plans do not nest"
+            )
+        ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        ACTIVE = None
+
+
+def fire(site: str) -> Optional[FaultSpec]:
+    """Convenience: consult the active plan (``None`` when disabled)."""
+    plan = ACTIVE
+    return None if plan is None else plan.fire(site)
+
+
+# ----------------------------------------------------------------------
+# fault effects shared by hook sites and tests
+# ----------------------------------------------------------------------
+def corrupt_file(path: Union[str, Path], *, nbytes: int = 4) -> None:
+    """Flip ``nbytes`` bytes in the middle of ``path`` (deterministic).
+
+    Used by the ``snapshot.corrupt`` hook: readers with integrity checks
+    (the ``repro/table-snapshot-v1`` digest) must fail closed and rebuild
+    rather than serve the tampered content.
+    """
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if not data:
+        return
+    start = len(data) // 2
+    for offset in range(nbytes):
+        data[(start + offset) % len(data)] ^= 0xFF
+    target.write_bytes(bytes(data))
+
+
+def torn_append(path: Union[str, Path], line: str, *, fraction: float = 0.5) -> None:
+    """Append a torn prefix of ``line`` to ``path`` (crash mid-write).
+
+    Writes the first ``fraction`` of the record *without* its trailing
+    newline — exactly the residue a process killed mid-``write`` leaves —
+    so :func:`repro.io.segments.repair_torn_tail` must recover it.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ReproError(f"torn fraction must be in (0, 1), got {fraction}")
+    payload = line.rstrip("\n")
+    cut = max(1, int(len(payload) * fraction))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(payload[:cut])
+        handle.flush()

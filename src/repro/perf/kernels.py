@@ -699,6 +699,116 @@ def _service_throughput(mode: str, repeats: int):
 
 
 # ----------------------------------------------------------------------
+# service_resilience — throughput recovery after an injected fault storm
+# ----------------------------------------------------------------------
+def _service_resilience(mode: str, repeats: int):
+    """Post-fault recovery of the TCP service under a retrying client.
+
+    Three phases against one long-lived service: (1) a timed fault-free
+    baseline of cold solves over the wire; (2) an *untimed* storm — a
+    seeded fault plan drops client frames and injects solver errors, and
+    every request must still complete through the client's
+    :class:`~repro.service.client.RetryPolicy` (the kernel fails if no
+    fault fired or no retry happened, so the resilience path is provably
+    on the measured service); (3) a timed recovery phase.  The committed
+    floor is the machine-independent ratio ``baseline / recovery``: after
+    the storm the same service must serve at >= 0.5x its fault-free
+    throughput — a service that leaks broken state (dead workers, wedged
+    queues, poisoned connections) fails the floor, not just a timing.
+    """
+    from repro import faults
+    from repro.api import Planner, PlanRequest
+    from repro.core.multicast import MulticastSet
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.service import PlanningService
+    from repro.service.client import RetryPolicy, ServiceClient
+
+    sizes = (8, 12) if mode == "quick" else (8, 12, 16, 20)
+    requests = [
+        PlanRequest(
+            instance=MulticastSet.from_overheads(
+                source=(2, 3),
+                destinations=[(1, 1)] * (n // 2) + [(2, 3)] * (n - n // 2),
+                latency=1,
+            ),
+            solver=solver,
+            tag=f"{n}/{solver}",
+        )
+        for n in sizes
+        for solver in ("greedy", "greedy+reversal")
+    ]
+    repeats = min(repeats, 3)
+    service = PlanningService(
+        planner=Planner(cache_size=0, reuse_tables=False),
+        num_shards=2,
+        worker_mode="thread",
+    )
+    address = service.start_background(tcp=True)
+    assert address is not None
+    client = ServiceClient(
+        address[0],
+        address[1],
+        client_id="perf-resilience",
+        timeout=0.75,
+        retry=RetryPolicy(
+            attempts=5, base_delay_s=0.01, max_delay_s=0.1, seed=0
+        ),
+    )
+    try:
+
+        def serve_all():
+            plans = [client.plan(request) for request in requests]
+            if not all(plan.tier == "solve" for plan in plans):
+                raise ReproError("resilience kernel saw non-solve tiers")
+            return plans
+
+        baseline, _ = measure(serve_all, repeats=repeats)
+        storm = FaultPlan(
+            [
+                FaultSpec("client.drop_send", rate=0.3, count=3),
+                FaultSpec("solver.error", rate=0.3, count=4),
+            ],
+            seed=11,
+            name="perf-storm",
+        )
+        with faults.inject(storm):
+            served = serve_all()  # untimed: completion under faults is the point
+        if len(served) != len(requests):
+            raise ReproError("fault storm lost requests")
+        if storm.total_fired() == 0:
+            raise ReproError("resilience kernel injected no faults")
+        if client.local_metrics.get("retries") == 0:
+            raise ReproError("fault storm exercised no client retries")
+        recovery, _ = measure(serve_all, repeats=repeats)
+    finally:
+        client.close()
+        service.stop()
+    ratio = round(baseline.min_s / recovery.min_s, 3)
+    cases = [
+        CaseResult(
+            case="fault-free-baseline",
+            timing=baseline,
+            extra_info={
+                "requests": len(requests),
+                "requests_per_s": round(len(requests) / baseline.min_s),
+            },
+        ),
+        CaseResult(
+            case="post-storm-recovery",
+            timing=recovery,
+            extra_info={
+                "requests": len(requests),
+                "requests_per_s": round(len(requests) / recovery.min_s),
+                "faults_fired": storm.total_fired(),
+                "retries": client.local_metrics.get("retries"),
+                "reconnects": client.local_metrics.get("reconnects"),
+            },
+        ),
+    ]
+    return cases, {"recovery_throughput_ratio": ratio}
+
+
+# ----------------------------------------------------------------------
 # multi_group — cross-group composition vs naive serialization
 # ----------------------------------------------------------------------
 def _multi_group(mode: str, repeats: int):
@@ -857,6 +967,13 @@ KERNELS: Dict[str, Kernel] = {
             "service_throughput",
             "planning service cold-solve round trips (in-process client)",
             _service_throughput,
+        ),
+        Kernel(
+            "service_resilience",
+            "post-fault-storm service throughput recovery with a retrying "
+            "wire client",
+            _service_resilience,
+            floors={"recovery_throughput_ratio": 0.5},
         ),
     )
 }

@@ -12,7 +12,10 @@ control plane (see SERVICE.md for the operator view):
   memory → store → solve lookups and warm starts across restarts;
 - :class:`~repro.service.client.ServiceClient` /
   :class:`~repro.service.client.InProcessClient` — wire and embedded
-  clients with one surface (``repro submit`` uses the former);
+  clients with one surface (``repro submit`` uses the former); a
+  :class:`~repro.service.client.RetryPolicy` adds bounded retries with
+  seeded backoff and automatic reconnects (SERVICE.md, "Resilience &
+  operations");
 - :class:`~repro.service.sessions.SessionManager` — group sessions under
   membership churn: delta streams repaired from pinned optimal tables,
   bit-identical to cold re-plans;
@@ -30,7 +33,12 @@ Quickstart
 ...     served.result.value, served.tier                         # doctest: +SKIP
 """
 
-from repro.service.client import InProcessClient, ServedPlan, ServiceClient
+from repro.service.client import (
+    InProcessClient,
+    RetryPolicy,
+    ServedPlan,
+    ServiceClient,
+)
 from repro.service.metrics import MetricsRegistry
 from repro.service.server import FairQueue, PlanningService
 from repro.service.sessions import GroupSession, SessionManager, SessionUpdate
@@ -46,6 +54,7 @@ __all__ = [
     "MetricsRegistry",
     "ServiceClient",
     "InProcessClient",
+    "RetryPolicy",
     "ServedPlan",
     "SessionManager",
     "GroupSession",

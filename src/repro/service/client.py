@@ -13,36 +13,130 @@ skips the socket and calls straight into a background
 :class:`~repro.service.server.PlanningService` — same admission queue,
 shards and cache tiers, no serialization of the instance beyond the
 fingerprint.
+
+Failure handling
+----------------
+A request abandoned mid-flight (read timeout, transport error,
+out-of-order response) poisons the stream: its stale response may still
+arrive, so the connection fails closed.  Recovery is explicit —
+:meth:`ServiceClient.reconnect` drops the old socket and opens a fresh
+one with a fresh id counter (drain-safe: stale responses can never match
+a new id on a new connection) — or automatic, by constructing the client
+with a :class:`RetryPolicy`: idempotent verbs (``plan``, ``ping``,
+``metrics``, ``session-resume``) are then retried with exponential
+backoff and seeded jitter under a per-call deadline budget, reconnecting
+as needed.  Non-idempotent verbs (``session-open``/``delta``/``close``)
+are never replayed automatically; after a delta timeout, callers resume
+the session (exact duplicates are idempotent server-side) instead.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
-from typing import Any, Dict, List, Optional, Union
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
+from repro import faults
 from repro.api.request import PlanRequest, PlanResult
 from repro.core.multicast import MulticastSet
 from repro.core.repair import MembershipDelta
-from repro.exceptions import ServiceError
+from repro.exceptions import ReproError, ServiceError, ServiceRetryableError
 from repro.service import protocol
+from repro.service.metrics import MetricsRegistry
 from repro.service.server import PlanningService
 from repro.service.sessions import SessionUpdate
 
-__all__ = ["ServiceClient", "InProcessClient", "ServedPlan"]
+__all__ = ["RetryPolicy", "ServiceClient", "InProcessClient", "ServedPlan"]
 
 Plannable = Union[PlanRequest, MulticastSet]
 
 
-class ServedPlan:
-    """A service response: the :class:`PlanResult` plus the serving tier."""
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
 
-    def __init__(self, result: PlanResult, tier: str) -> None:
+    Parameters
+    ----------
+    attempts:
+        Total tries per call (first attempt included); ``1`` disables
+        retrying while keeping automatic reconnects.
+    base_delay_s / multiplier / max_delay_s:
+        Backoff schedule: attempt ``i`` (0-based) sleeps
+        ``min(max_delay_s, base_delay_s * multiplier**i)`` before retrying.
+    jitter:
+        Fraction of extra randomized delay (``0.5`` adds up to +50%),
+        drawn from a ``random.Random(seed)`` so schedules replay
+        deterministically in tests and fault sweeps.
+    deadline_s:
+        Per-call budget: a retry is abandoned (the last error re-raised)
+        once sleeping again would overrun this many seconds since the
+        call started.  ``None`` bounds the call by ``attempts`` alone.
+    """
+
+    def __init__(
+        self,
+        *,
+        attempts: int = 3,
+        base_delay_s: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay_s: float = 2.0,
+        jitter: float = 0.5,
+        deadline_s: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        if attempts < 1:
+            raise ReproError(f"retry attempts must be >= 1, got {attempts}")
+        if base_delay_s < 0:
+            raise ReproError(f"base_delay_s must be >= 0, got {base_delay_s}")
+        if multiplier < 1.0:
+            raise ReproError(f"multiplier must be >= 1, got {multiplier}")
+        if max_delay_s < base_delay_s:
+            raise ReproError(
+                f"max_delay_s ({max_delay_s}) must be >= base_delay_s "
+                f"({base_delay_s})"
+            )
+        if not 0.0 <= jitter <= 1.0:
+            raise ReproError(f"jitter must be in [0, 1], got {jitter}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ReproError(f"deadline_s must be positive, got {deadline_s}")
+        self.attempts = attempts
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self.deadline_s = deadline_s
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def delays(self) -> Iterator[float]:
+        """The backoff sleeps between attempts (``attempts - 1`` values)."""
+        for attempt in range(self.attempts - 1):
+            delay = min(
+                self.max_delay_s, self.base_delay_s * self.multiplier**attempt
+            )
+            if self.jitter:
+                delay *= 1.0 + self.jitter * self._rng.random()
+            yield delay
+
+
+class ServedPlan:
+    """A service response: the :class:`PlanResult` plus the serving tier.
+
+    ``degraded`` is ``True`` when the service answered past its solve
+    deadline with the fast-fallback plan (greedy + bounds sandwich)
+    instead of the requested solver — see SERVICE.md, "Resilience &
+    operations".
+    """
+
+    def __init__(self, result: PlanResult, tier: str, degraded: bool = False) -> None:
         self.result = result
         self.tier = tier
+        self.degraded = degraded
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ServedPlan(value={self.result.value:g}, tier={self.tier!r})"
+        flag = ", degraded=True" if self.degraded else ""
+        return f"ServedPlan(value={self.result.value:g}, tier={self.tier!r}{flag})"
 
 
 def _as_request(job: Plannable, solver: Optional[str], options: Dict[str, Any]) -> PlanRequest:
@@ -62,6 +156,18 @@ def _as_request(job: Plannable, solver: Optional[str], options: Dict[str, Any]) 
     )
 
 
+def _retryable_wire_error(text: str) -> bool:
+    """Whether a server-reported error is safe to retry.
+
+    The server marks transient refusals — admission-control rejections
+    and worker-death failures — with ``retry``/``retryable`` in the
+    message; solver and protocol errors are deterministic and retrying
+    them would just repeat the failure.
+    """
+    lowered = text.lower()
+    return "retry later" in lowered or "retryable" in lowered
+
+
 class ServiceClient:
     """Blocking JSON-lines client of a TCP planning service.
 
@@ -70,6 +176,12 @@ class ServiceClient:
     >>> with ServiceClient("127.0.0.1", 7421) as client:      # doctest: +SKIP
     ...     served = client.plan(mset, solver="dp")           # doctest: +SKIP
     ...     served.result.value, served.tier                  # doctest: +SKIP
+
+    Pass ``retry=RetryPolicy(...)`` to retry idempotent verbs through
+    transport failures (with automatic reconnects) instead of failing
+    closed on the first abandoned request.  Client-side resilience
+    counters (``retries`` / ``reconnects`` / ``timeouts``) accumulate in
+    :attr:`local_metrics`.
     """
 
     def __init__(
@@ -79,21 +191,46 @@ class ServiceClient:
         *,
         client_id: Optional[str] = None,
         timeout: Optional[float] = 60.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.client_id = client_id
+        self.timeout = timeout
+        self.retry = retry
+        self.local_metrics = MetricsRegistry()
         self._ids = itertools.count(1)
         self._broken = False
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise ServiceError(
-                f"cannot connect to planning service at {host}:{port}: {exc}"
-            ) from None
-        self._file = self._sock.makefile("rb")
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
+        self._connect()
 
     # -- transport ------------------------------------------------------
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceRetryableError(
+                f"cannot connect to planning service at {self.host}:{self.port}: {exc}"
+            ) from None
+        self._file = self._sock.makefile("rb")
+        self._broken = False
+
+    def reconnect(self) -> None:
+        """Drop the connection and open a fresh one (drain-safe recovery).
+
+        The old socket is closed (any stale in-flight response dies with
+        it) and the id counter restarts, so a response to an abandoned
+        request can never be matched against a new request's id.  Raises
+        :class:`ServiceRetryableError` when the service is unreachable.
+        """
+        self.close()
+        self._ids = itertools.count(1)
+        self._connect()
+        self.local_metrics.inc("reconnects")
+
     def _abandon(self) -> None:
         # once a request is abandoned mid-flight (timeout, transport
         # error) the stream may hold its stale response; fail closed
@@ -103,30 +240,87 @@ class ServiceClient:
 
     def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
         if self._broken:
-            raise ServiceError(
+            raise ServiceRetryableError(
                 "connection closed after an earlier timeout or transport "
-                "error; create a new ServiceClient"
+                "error; call reconnect() or create a new ServiceClient"
             )
         message_id = message.get("id")
         try:
-            self._sock.sendall(protocol.encode(message))
+            payload = protocol.encode(message)
+            if faults.ACTIVE is not None:
+                if faults.ACTIVE.fire("client.partial_send"):
+                    # a write that dies mid-frame: the server sees a torn
+                    # line (a protocol error at worst), the client a
+                    # failed socket — recovery must reconnect
+                    assert self._sock is not None
+                    self._sock.sendall(payload[: max(1, len(payload) // 2)])
+                    raise OSError("fault injected: connection lost mid-frame")
+                if faults.ACTIVE.fire("client.drop_send"):
+                    payload = b""  # swallowed frame: the read below times out
+            assert self._sock is not None and self._file is not None
+            if payload:
+                self._sock.sendall(payload)
             while True:
                 line = self._file.readline()
                 if not line:
                     self._abandon()
-                    raise ServiceError("service closed the connection")
+                    raise ServiceRetryableError("service closed the connection")
                 response = protocol.decode(line)
                 if response.get("id") == message_id:
+                    if response.get("type") == "error":
+                        text = response.get("error", "unknown service error")
+                        if _retryable_wire_error(text):
+                            raise ServiceRetryableError(text)
+                        raise ServiceError(text)
                     return response
                 # a response to a request this client never sent: protocol bug
                 self._abandon()
-                raise ServiceError(
+                raise ServiceRetryableError(
                     f"out-of-order response id {response.get('id')!r} "
                     f"(expected {message_id!r})"
                 )
         except OSError as exc:
+            if isinstance(exc, socket.timeout):
+                self.local_metrics.inc("timeouts")
             self._abandon()
-            raise ServiceError(f"service connection failed: {exc}") from None
+            raise ServiceRetryableError(f"service connection failed: {exc}") from None
+
+    def _request(
+        self, build: Callable[[int], Dict[str, Any]], *, idempotent: bool
+    ) -> Dict[str, Any]:
+        """One logical request, with retry/reconnect when policy allows.
+
+        Without a :class:`RetryPolicy` this is exactly one round trip
+        (fail-closed, the historical behaviour).  With one, transient
+        failures (:class:`ServiceRetryableError`) on *idempotent* verbs
+        are retried under the policy's backoff schedule and deadline
+        budget, reconnecting a broken transport before each attempt;
+        non-idempotent verbs still get the automatic reconnect (the
+        previous request is dead either way) but never a replay.
+        """
+        policy = self.retry
+        if policy is None:
+            return self._roundtrip(build(next(self._ids)))
+        started = time.monotonic()
+        delays = policy.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self._broken:
+                    self.reconnect()
+                return self._roundtrip(build(next(self._ids)))
+            except ServiceRetryableError:
+                if not idempotent or attempt >= policy.attempts:
+                    raise
+                pause = next(delays)
+                if (
+                    policy.deadline_s is not None
+                    and time.monotonic() + pause - started > policy.deadline_s
+                ):
+                    raise
+                self.local_metrics.inc("retries")
+                time.sleep(pause)
 
     # -- surface --------------------------------------------------------
     def plan(
@@ -134,23 +328,26 @@ class ServiceClient:
     ) -> ServedPlan:
         """Plan one multicast through the service; returns result + tier."""
         request = _as_request(job, solver, options)
-        message = protocol.plan_message(
-            request, id=next(self._ids), client=self.client_id
+        response = self._request(
+            lambda message_id: protocol.plan_message(
+                request, id=message_id, client=self.client_id
+            ),
+            idempotent=True,
         )
-        response = self._roundtrip(message)
-        if response["type"] == "error":
-            raise ServiceError(response.get("error", "unknown service error"))
         result = protocol.parse_plan_result(response)
-        return ServedPlan(result, response.get("tier", "unknown"))
+        return ServedPlan(
+            result,
+            response.get("tier", "unknown"),
+            degraded=bool(response.get("degraded", False)),
+        )
 
     def plan_batch(self, jobs: List[Plannable]) -> List[ServedPlan]:
         """Plan many jobs over this connection (submission order kept)."""
         return [self.plan(job) for job in jobs]
 
     # -- group sessions -------------------------------------------------
-    def _session_update(self, response: Dict[str, Any]) -> SessionUpdate:
-        if response["type"] == "error":
-            raise ServiceError(response.get("error", "unknown service error"))
+    @staticmethod
+    def _session_update(response: Dict[str, Any]) -> SessionUpdate:
         return protocol.parse_session_update(response)
 
     def open_session(
@@ -163,51 +360,73 @@ class ServiceClient:
     ) -> SessionUpdate:
         """Open a group session; returns the opening update (seq 0)."""
         request = _as_request(job, solver, options)
-        message = protocol.session_open_message(
-            request, id=next(self._ids), client=self.client_id, session=session_id
+        response = self._request(
+            lambda message_id: protocol.session_open_message(
+                request, id=message_id, client=self.client_id, session=session_id
+            ),
+            idempotent=False,
         )
-        return self._session_update(self._roundtrip(message))
+        return self._session_update(response)
 
     def send_delta(self, session_id: str, delta: MembershipDelta) -> SessionUpdate:
         """Stream one membership delta; returns the repaired update."""
-        message = protocol.session_delta_message(
-            session_id, delta, id=next(self._ids), client=self.client_id
+        response = self._request(
+            lambda message_id: protocol.session_delta_message(
+                session_id, delta, id=message_id, client=self.client_id
+            ),
+            idempotent=False,
         )
-        return self._session_update(self._roundtrip(message))
+        return self._session_update(response)
 
     def resume_session(self, session_id: str) -> SessionUpdate:
         """Reconnect: the session's last acknowledged update."""
-        message = protocol.session_resume_message(session_id, id=next(self._ids))
-        return self._session_update(self._roundtrip(message))
+        response = self._request(
+            lambda message_id: protocol.session_resume_message(
+                session_id, id=message_id
+            ),
+            idempotent=True,
+        )
+        return self._session_update(response)
 
     def close_session(self, session_id: str) -> None:
         """Close an open session."""
-        message = protocol.session_close_message(session_id, id=next(self._ids))
-        response = self._roundtrip(message)
-        if response["type"] == "error":
-            raise ServiceError(response.get("error", "unknown service error"))
+        response = self._request(
+            lambda message_id: protocol.session_close_message(
+                session_id, id=message_id
+            ),
+            idempotent=False,
+        )
         if response.get("type") != "session-closed":
             raise ServiceError(f"unexpected response {response.get('type')!r}")
 
     def ping(self) -> bool:
         """Liveness probe; ``True`` when the service answers ``pong``."""
-        response = self._roundtrip(protocol.ping_message(id=next(self._ids)))
+        response = self._request(
+            lambda message_id: protocol.ping_message(id=message_id),
+            idempotent=True,
+        )
         return response.get("type") == "pong"
 
     def metrics(self) -> Dict[str, Any]:
         """The service's counters snapshot (see SERVICE.md)."""
-        response = self._roundtrip(protocol.metrics_message(id=next(self._ids)))
+        response = self._request(
+            lambda message_id: protocol.metrics_message(id=message_id),
+            idempotent=True,
+        )
         if response.get("type") != "metrics":
             raise ServiceError(f"unexpected response {response.get('type')!r}")
         return response.get("metrics", {})
 
     def close(self) -> None:
-        """Close the connection (idempotent)."""
-        try:
-            self._file.close()
-            self._sock.close()
-        except OSError:  # pragma: no cover - best-effort teardown
-            pass
+        """Close the connection (idempotent; safe on a half-built client)."""
+        for attribute in ("_file", "_sock"):
+            handle = getattr(self, attribute, None)
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:  # pragma: no cover - best-effort teardown
+                    pass
+                setattr(self, attribute, None)
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -244,7 +463,7 @@ class InProcessClient:
         result, tier = self.service.submit_sync(
             request, client_id=self.client_id, timeout=self.timeout
         )
-        return ServedPlan(result, tier)
+        return ServedPlan(result, tier, degraded=tier == "degraded")
 
     def plan_batch(self, jobs: List[Plannable]) -> List[ServedPlan]:
         """Plan many jobs (submission order kept)."""

@@ -5,8 +5,11 @@ point-in-time gauges, snapshotted as a plain dict so they can be shipped
 over the wire protocol's ``metrics`` message and printed by ``repro
 submit --metrics``.  No external dependency, no histogram machinery —
 just enough to observe the cache-tier split (``hits_memory`` /
-``hits_store`` / ``solves``), admission behaviour (``rejected``) and
-per-shard dispatch balance.
+``hits_store`` / ``solves``), admission behaviour (``rejected``),
+per-shard dispatch balance and fault handling (``errors_total``,
+``timeouts``, ``degraded_served``, ``worker_restarts`` server-side;
+``retries``/``reconnects`` client-side in
+:attr:`repro.service.client.ServiceClient.local_metrics`).
 """
 
 from __future__ import annotations
@@ -39,6 +42,20 @@ class MetricsRegistry:
             value = self._counters.get(name, 0) + amount
             self._counters[name] = value
             return value
+
+    def inc_error(self, kind: str = "errors") -> int:
+        """Count one failure under ``kind`` *and* the ``errors_total`` roll-up.
+
+        Every error path in the service funnels through this method so
+        operators can alert on one counter (``errors_total``) while still
+        seeing the per-kind split (``errors``, ``protocol_errors``, ...).
+        Returns the new ``errors_total``.
+        """
+        with self._lock:
+            self._counters[kind] = self._counters.get(kind, 0) + 1
+            total = self._counters.get("errors_total", 0) + 1
+            self._counters["errors_total"] = total
+            return total
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""

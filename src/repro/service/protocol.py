@@ -28,8 +28,10 @@ Server -> client message types:
 
 ====================  ========================================================
 ``result``            ``{"type": "result", "id": ..., "tier":
-                      "memory"|"store"|"solve", "result":
-                      {repro/plan-result-v1}}``
+                      "memory"|"store"|"solve"|"degraded", "result":
+                      {repro/plan-result-v1}}`` — plus ``"degraded":
+                      true`` when a solve deadline forced a greedy
+                      fallback answer (key absent otherwise)
 ``error``             ``{"type": "error", "id": ..., "error": "..."}``
 ``pong``              answer to ``ping``
 ``metrics``           ``{"type": "metrics", "metrics": {...}}``
@@ -218,14 +220,25 @@ def session_close_message(session: str, *, id: Any = None) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # server-side constructors
 # ----------------------------------------------------------------------
-def result_message(result: PlanResult, tier: str, *, id: Any = None) -> Dict[str, Any]:
-    """Envelope a :class:`PlanResult` (with its serving tier) as ``result``."""
-    return {
+def result_message(
+    result: PlanResult, tier: str, *, id: Any = None, degraded: bool = False
+) -> Dict[str, Any]:
+    """Envelope a :class:`PlanResult` (with its serving tier) as ``result``.
+
+    ``degraded=True`` marks a deadline-degraded answer: the server ran
+    out of solve budget and returned a fast greedy plan plus the bounds
+    sandwich instead of the requested solver's answer.  The key is only
+    present when set, so pre-resilience clients parse unchanged.
+    """
+    message: Dict[str, Any] = {
         "type": "result",
         "id": id,
         "tier": tier,
         "result": plan_result_to_dict(result),
     }
+    if degraded:
+        message["degraded"] = True
+    return message
 
 
 def error_message(error: str, *, id: Any = None) -> Dict[str, Any]:

@@ -47,18 +47,20 @@ clients observe identical semantics.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import contextlib
 import functools
 import threading
 from collections import deque
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 
-from repro.api.planner import CacheKey, Planner
+from repro.api.planner import CacheKey, Planner, _plan_standalone
 from repro.api.tables import TableCacheConfig
 from repro.api.request import PlanRequest, PlanResult
 from repro.core.repair import MembershipDelta
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import DeadlineExceededError, ReproError, ServiceError
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
     decode,
@@ -80,6 +82,9 @@ __all__ = ["FairQueue", "PlanningService"]
 
 #: Tier label for responses that required a real solve.
 TIER_SOLVE = "solve"
+
+#: Tier label for deadline-degraded responses (greedy fallback + bounds).
+TIER_DEGRADED = "degraded"
 
 
 class FairQueue:
@@ -181,6 +186,15 @@ class PlanningService:
         process-mode shards attach the same resident snapshots instead of
         rebuilding private copies.  A caller-supplied ``planner`` keeps its
         own table policy; the config then only governs the shards.
+    solve_deadline_s:
+        Per-request solve budget.  A miss whose solve exceeds it is
+        answered with a fast greedy plan plus the Theorem 1 bounds
+        sandwich, explicitly marked ``degraded`` on the wire — never a
+        silent timeout, never cached.  ``None`` (default) never degrades.
+    startup_timeout_s / shutdown_timeout_s:
+        How long :meth:`start_background` / :meth:`stop` wait for each
+        lifecycle phase before raising a :class:`ServiceError` that names
+        the stuck phase.
     """
 
     def __init__(
@@ -194,7 +208,25 @@ class PlanningService:
         cache_size: int = 1024,
         segment_max_records: int = 512,
         table_config: Optional[TableCacheConfig] = None,
+        solve_deadline_s: Optional[float] = None,
+        startup_timeout_s: float = 10.0,
+        shutdown_timeout_s: float = 10.0,
     ) -> None:
+        if solve_deadline_s is not None and solve_deadline_s <= 0:
+            raise ReproError(
+                f"solve_deadline_s must be positive, got {solve_deadline_s}"
+            )
+        if startup_timeout_s <= 0:
+            raise ReproError(
+                f"startup_timeout_s must be positive, got {startup_timeout_s}"
+            )
+        if shutdown_timeout_s <= 0:
+            raise ReproError(
+                f"shutdown_timeout_s must be positive, got {shutdown_timeout_s}"
+            )
+        self.solve_deadline_s = solve_deadline_s
+        self.startup_timeout_s = startup_timeout_s
+        self.shutdown_timeout_s = shutdown_timeout_s
         if planner is not None:
             self.planner = planner
         elif table_config is not None:
@@ -207,10 +239,15 @@ class PlanningService:
             # detached on shutdown so a caller-supplied planner is handed
             # back unmodified
             self.store = PlanStore(store_path, segment_max_records=segment_max_records)
-        self.router = ShardRouter(
-            num_shards, mode=worker_mode, table_config=table_config
-        )
         self.metrics = MetricsRegistry()
+        # the router shares the service registry so worker supervision
+        # (worker_restarts) surfaces in the metrics wire verb
+        self.router = ShardRouter(
+            num_shards,
+            mode=worker_mode,
+            table_config=table_config,
+            metrics=self.metrics,
+        )
         # group sessions repair against the *service* planner (its table
         # cache + tiers), sharing the service's metrics registry
         self.sessions = SessionManager(self.planner, metrics=self.metrics)
@@ -253,7 +290,7 @@ class PlanningService:
         except (asyncio.CancelledError, ServiceError):
             raise
         except Exception:
-            self.metrics.inc("errors")
+            self.metrics.inc_error()
             raise
         if hit is not None:
             result, tier = hit
@@ -311,7 +348,7 @@ class PlanningService:
                     future.set_exception(ServiceError("service shutting down"))
                 raise
             except Exception as exc:  # noqa: BLE001 - the worker must survive
-                self.metrics.inc("errors")
+                self.metrics.inc_error()
                 if not future.done():
                     future.set_exception(exc)
                 continue
@@ -319,6 +356,8 @@ class PlanningService:
                 _result, tier = payload
                 if tier == TIER_SOLVE:
                     self.metrics.inc("solves")
+                elif tier == TIER_DEGRADED:
+                    pass  # counted at the degradation site (degraded_served)
                 else:
                     # an identical request solved while this one queued: dedup
                     self.metrics.inc("coalesced")
@@ -338,9 +377,36 @@ class PlanningService:
         hit = self.planner.cache_lookup(request, key)
         if hit is not None:
             return hit
-        result = self.router.solve_in_worker(shard, request)
+        try:
+            result = self.router.solve_in_worker(
+                shard, request, deadline_s=self.solve_deadline_s
+            )
+        except DeadlineExceededError:
+            # graceful degradation: answer with a fast greedy plan plus
+            # the bounds sandwich, explicitly marked — never cached, so a
+            # retry after the storm gets the real solver's answer
+            self.metrics.inc("timeouts")
+            self.metrics.inc("degraded_served")
+            return self._degraded_result(request), TIER_DEGRADED
         self.planner.cache_store(request, result, key)
         return result, TIER_SOLVE
+
+    def _degraded_result(self, request: PlanRequest) -> PlanResult:
+        """The deadline-degraded answer: greedy/FNF plan + bounds sandwich.
+
+        Greedy is O(n log n) and capable on every valid instance (the
+        correlation assumption is enforced at construction), so this path
+        is effectively instant relative to any deadline worth setting.
+        """
+        fallback = replace(
+            request.with_solver("greedy+reversal"), include_bounds=True
+        )
+        result = _plan_standalone(fallback)
+        provenance = dict(result.provenance)
+        provenance["degraded"] = True
+        provenance["deadline_s"] = self.solve_deadline_s
+        provenance["requested_solver"] = request.solver
+        return replace(result, provenance=provenance)
 
     # ------------------------------------------------------------------
     # group sessions (runs on the service event loop)
@@ -514,21 +580,53 @@ class PlanningService:
             target=run, name="repro-service", daemon=True
         )
         self._thread.start()
-        started.wait(timeout=10)
+        if not started.wait(timeout=self.startup_timeout_s):
+            raise ServiceError(
+                f"service startup stuck in phase 'event-loop startup' "
+                f"after {self.startup_timeout_s:g}s"
+            )
         future = asyncio.run_coroutine_threadsafe(
             self._startup(host if tcp else None, port), loop
         )
-        return future.result(timeout=10)
+        try:
+            return future.result(timeout=self.startup_timeout_s)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ServiceError(
+                f"service startup stuck in phase 'listener/dispatcher "
+                f"startup' after {self.startup_timeout_s:g}s"
+            ) from None
 
     def stop(self) -> None:
-        """Stop the background service and release every worker."""
-        loop, self._loop = self._loop, None
+        """Stop the background service and release every worker.
+
+        Each phase is bounded by ``shutdown_timeout_s``; a phase that
+        overruns raises a :class:`ServiceError` naming it, with the
+        service state left intact so a retry (e.g. with a longer timeout)
+        still has a loop to shut down.
+        """
+        loop = self._loop
         if loop is None:
             return
-        asyncio.run_coroutine_threadsafe(self._shutdown(), loop).result(timeout=10)
+        future = asyncio.run_coroutine_threadsafe(self._shutdown(), loop)
+        try:
+            future.result(timeout=self.shutdown_timeout_s)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ServiceError(
+                f"service stop stuck in phase 'graceful shutdown' after "
+                f"{self.shutdown_timeout_s:g}s (loop left running; call "
+                f"stop() again or raise shutdown_timeout_s)"
+            ) from None
+        self._loop = None
         loop.call_soon_threadsafe(loop.stop)
         if self._thread is not None:
-            self._thread.join(timeout=10)
+            self._thread.join(timeout=self.shutdown_timeout_s)
+            if self._thread.is_alive():
+                raise ServiceError(
+                    f"service stop stuck in phase 'event-loop join' after "
+                    f"{self.shutdown_timeout_s:g}s (daemon thread abandoned)"
+                )
             self._thread = None
         loop.close()
         self.router.shutdown()
@@ -550,8 +648,6 @@ class PlanningService:
             raise ServiceError(
                 "service is not running; call start_background() first"
             )
-        import concurrent.futures
-
         future = asyncio.run_coroutine_threadsafe(coro_factory(), loop)
         try:
             return future.result(timeout=timeout)
@@ -683,7 +779,7 @@ class PlanningService:
                 try:
                     message = decode(line)
                 except ServiceError as exc:
-                    self.metrics.inc("protocol_errors")
+                    self.metrics.inc_error("protocol_errors")
                     await send(error_message(str(exc)))
                     continue
                 kind = message["type"]
@@ -720,7 +816,7 @@ class PlanningService:
                     task.add_done_callback(plan_tasks.discard)
                     task.add_done_callback(self._conn_tasks.discard)
                 else:
-                    self.metrics.inc("protocol_errors")
+                    self.metrics.inc_error("protocol_errors")
                     await send(
                         error_message(
                             f"unknown message type {kind!r}", id=message_id
@@ -748,7 +844,11 @@ class PlanningService:
             request = parse_plan_request(message)
             client_id = str(message.get("client") or default_client)
             result, tier = await self.submit(request, client_id=client_id)
-            await send(result_message(result, tier, id=message_id))
+            await send(
+                result_message(
+                    result, tier, id=message_id, degraded=(tier == TIER_DEGRADED)
+                )
+            )
         except asyncio.CancelledError:
             raise
         except ReproError as exc:

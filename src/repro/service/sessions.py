@@ -192,7 +192,7 @@ class SessionManager:
                 assert session.last_update is not None
                 return session.last_update
             if delta.seq != session.last_seq + 1:
-                self.metrics.inc("session_rejects")
+                self.metrics.inc_error("session_rejects")
                 raise ServiceError(
                     f"session {session_id!r}: out-of-order delta seq "
                     f"{delta.seq} (expected {session.last_seq + 1})"
@@ -200,7 +200,7 @@ class SessionManager:
             try:
                 new_mset = apply_delta(session.request.instance, delta)
             except ReproError as exc:
-                self.metrics.inc("session_rejects")
+                self.metrics.inc_error("session_rejects")
                 raise ServiceError(
                     f"session {session_id!r}: rejected delta {delta.seq}: {exc}"
                 ) from exc

@@ -28,14 +28,37 @@ process applies the same policy — and when the config names a
 table snapshots instead of rebuilding private copies: the OS shares the
 resident pages across all shard processes.  Thread/inline workers share
 one router-local cache built from the same config.
+
+Resilience
+----------
+Process-mode workers are *supervised*: a worker that dies mid-solve
+(OOM-killed, segfaulted, ``SIGKILL``-ed — surfacing as a broken process
+pool) is detected, the shard's pool is rebuilt through the same
+``configure_standalone_tables`` initializer, ``worker_restarts`` is
+counted, and the in-flight request is requeued onto the fresh worker
+once.  A second consecutive death fails the request closed with a
+*retryable* :class:`ServiceError` instead of looping.  Solves may also
+carry a per-request deadline: :meth:`ShardRouter.solve_in_worker` raises
+:class:`~repro.exceptions.DeadlineExceededError` when it elapses, which
+the service converts into an explicitly-``degraded`` response.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Dict, Optional
 
+from repro import faults
 from repro.api.planner import (
     _plan_standalone,
     _plan_standalone_with,
@@ -43,7 +66,12 @@ from repro.api.planner import (
 )
 from repro.api.request import PlanRequest, PlanResult
 from repro.api.tables import OptimalTableCache, TableCacheConfig
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceRetryableError,
+)
+from repro.service.metrics import MetricsRegistry
 
 __all__ = ["ShardRouter", "WORKER_MODES"]
 
@@ -59,6 +87,7 @@ class ShardRouter:
         *,
         mode: str = "thread",
         table_config: Optional[TableCacheConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_shards < 1:
             raise ReproError(f"num_shards must be >= 1, got {num_shards}")
@@ -68,6 +97,7 @@ class ShardRouter:
             )
         self.num_shards = num_shards
         self.mode = mode
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.table_config = (
             table_config.validate() if table_config is not None else None
         )
@@ -79,6 +109,7 @@ class ShardRouter:
         self._lock = threading.Lock()
         self._executors: Dict[int, Executor] = {}
         self._supervisors: Dict[int, Executor] = {}
+        self._deadline_runners: Dict[int, Executor] = {}
         self._dispatched: Dict[int, int] = {s: 0 for s in range(num_shards)}
 
     def shard_of(self, routing_key: str) -> int:
@@ -144,24 +175,134 @@ class ShardRouter:
                 self._supervisors[shard] = supervisor
             return supervisor
 
-    def solve_in_worker(self, shard: int, request: PlanRequest) -> PlanResult:
+    def _deadline_runner(self, shard: int) -> Executor:
+        """A one-thread pool that runs deadline-bounded thread/inline solves.
+
+        The serving thread cannot await itself, so a deadline in thread
+        mode needs a second thread to run the solve while the serving
+        thread keeps the clock.  An abandoned solve keeps running on this
+        thread until it finishes (Python threads cannot be killed);
+        subsequent solves for the shard queue behind it, which the
+        admission cap already bounds.
+        """
+        with self._lock:
+            runner = self._deadline_runners.get(shard)
+            if runner is None:
+                runner = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix=f"repro-shard-{shard}-deadline",
+                )
+                self._deadline_runners[shard] = runner
+            return runner
+
+    def _restart_shard(self, shard: int, broken: Executor) -> None:
+        """Replace a dead process pool; the next `_executor` call rebuilds.
+
+        The rebuilt pool runs the same ``configure_standalone_tables``
+        initializer, so the fresh worker re-applies table policy (and
+        re-attaches mmap snapshots) exactly like a restarted server.
+        """
+        with self._lock:
+            if self._executors.get(shard) is broken:
+                del self._executors[shard]
+        broken.shutdown(wait=False)
+        self.metrics.inc("worker_restarts")
+
+    @staticmethod
+    def _kill_worker(executor: Executor) -> None:
+        """Fault effect for ``worker.kill``: SIGKILL the pool's process."""
+        processes = dict(getattr(executor, "_processes", {}) or {})
+        if not processes:
+            # spin the pool up so there is a worker to kill
+            executor.submit(int, 0).result()
+            processes = dict(getattr(executor, "_processes", {}) or {})
+        for process in processes.values():
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):  # pragma: no cover - raced exit
+                pass
+
+    def _solve_local(self, request: PlanRequest) -> PlanResult:
+        if self.table_config is not None:
+            return _plan_standalone_with(self._tables, request)
+        return _plan_standalone(request)
+
+    def _solve_in_process(
+        self, shard: int, request: PlanRequest, deadline_s: Optional[float]
+    ) -> PlanResult:
+        for attempt in (1, 2):
+            executor = self._executor(shard)
+            assert executor is not None
+            if faults.ACTIVE is not None and faults.ACTIVE.fire("worker.kill"):
+                self._kill_worker(executor)
+            try:
+                future = executor.submit(_plan_standalone, request)
+                return future.result(deadline_s)
+            except FuturesTimeoutError:
+                raise DeadlineExceededError(
+                    f"solve exceeded the {deadline_s:g}s deadline on shard {shard}"
+                ) from None
+            except BrokenExecutor:
+                # the worker process died mid-solve; rebuild the pool and
+                # requeue this request onto the fresh worker once
+                self._restart_shard(shard, executor)
+                if attempt == 1:
+                    continue
+                raise ServiceRetryableError(
+                    f"shard {shard} worker died twice in a row; retry later"
+                ) from None
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def solve_in_worker(
+        self,
+        shard: int,
+        request: PlanRequest,
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> PlanResult:
         """Solve when already on the shard's serving thread.
 
         ``thread``/``inline`` modes run the solver directly (submitting to
         the shard's own single-worker pool from its own thread would
-        deadlock); ``process`` mode blocks on the shard's process pool.
+        deadlock); ``process`` mode blocks on the shard's process pool
+        under supervision (see the module docstring).  With ``deadline_s``
+        the solve is bounded: :class:`DeadlineExceededError` is raised
+        when it elapses and the solver has not finished.
         """
         if not 0 <= shard < self.num_shards:
             raise ReproError(f"shard must be in [0, {self.num_shards}), got {shard}")
         with self._lock:
             self._dispatched[shard] += 1
+        if faults.ACTIVE is not None:
+            spec = faults.ACTIVE.fire("solver.delay")
+            if spec is not None and spec.delay_s > 0:
+                # an injected stall models a slow solver, so it spends the
+                # request's deadline budget: a stall past the deadline
+                # waits the budget out, then times out like a real one
+                if deadline_s is not None and spec.delay_s >= deadline_s:
+                    time.sleep(deadline_s)
+                    raise DeadlineExceededError(
+                        f"solve exceeded the {deadline_s:g}s deadline on "
+                        f"shard {shard} (injected stall)"
+                    )
+                time.sleep(spec.delay_s)
+                if deadline_s is not None:
+                    deadline_s -= spec.delay_s
+            if faults.ACTIVE.fire("solver.error"):
+                raise ServiceRetryableError(
+                    "fault injected: solver error (retryable)"
+                )
         if self.mode == "process":
-            executor = self._executor(shard)
-            assert executor is not None
-            return executor.submit(_plan_standalone, request).result()
-        if self.table_config is not None:
-            return _plan_standalone_with(self._tables, request)
-        return _plan_standalone(request)
+            return self._solve_in_process(shard, request, deadline_s)
+        if deadline_s is not None:
+            future = self._deadline_runner(shard).submit(self._solve_local, request)
+            try:
+                return future.result(deadline_s)
+            except FuturesTimeoutError:
+                raise DeadlineExceededError(
+                    f"solve exceeded the {deadline_s:g}s deadline on shard {shard}"
+                ) from None
+        return self._solve_local(request)
 
     def solve_sync(self, request: PlanRequest) -> PlanResult:
         """Route and solve one request, blocking (tests, one-shots).
@@ -196,5 +337,10 @@ class ShardRouter:
         with self._lock:
             executors, self._executors = dict(self._executors), {}
             supervisors, self._supervisors = dict(self._supervisors), {}
-        for executor in (*supervisors.values(), *executors.values()):
+            runners, self._deadline_runners = dict(self._deadline_runners), {}
+        for executor in (
+            *supervisors.values(),
+            *runners.values(),
+            *executors.values(),
+        ):
             executor.shutdown(wait=True)

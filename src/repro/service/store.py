@@ -36,9 +36,10 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro import faults
 from repro.api.planner import CacheKey
 from repro.api.request import PlanResult
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ServiceRetryableError
 from repro.io.segments import (
     append_jsonl,
     iter_jsonl,
@@ -114,6 +115,10 @@ class PlanStore:
         self._total_records = 0
         self._active_index = 1
         self._active_records = 0
+        # set when an injected crash tore the active segment's tail; the
+        # next append repairs before writing (a real crashed writer gets
+        # the same repair from _load on restart)
+        self._torn_tail = False
         self._load()
 
     # ------------------------------------------------------------------
@@ -182,7 +187,22 @@ class PlanStore:
 
     def _append_locked(self, flat: str, payload: Dict[str, Any]) -> None:
         record = {"format": PLAN_STORE_FORMAT, "key": flat, "result": payload}
-        append_jsonl(self.root / segment_name(self._active_index), [record])
+        segment = self.root / segment_name(self._active_index)
+        if self._torn_tail:
+            # a prior injected crash left a torn line; appending onto it
+            # would glue two records into one corrupt interior line, so
+            # repair first — exactly what _load does for a real crash
+            repair_torn_tail(segment)
+            self._torn_tail = False
+        if faults.ACTIVE is not None and faults.ACTIVE.fire("store.torn_append"):
+            faults.torn_append(segment, json.dumps(record, sort_keys=True) + "\n")
+            self._torn_tail = True
+            # raised before the index/counters update, so in-memory state
+            # matches what a reload of the repaired segment would rebuild
+            raise ServiceRetryableError(
+                "fault injected: plan-store append torn mid-write; retry later"
+            )
+        append_jsonl(segment, [record])
         self._index[flat] = payload
         self._total_records += 1
         self._active_records += 1

@@ -1,0 +1,88 @@
+"""Chaos conformance: the resilience invariant over the scenario corpus.
+
+The invariant (ISSUE/SERVICE.md "Resilience & operations"): under every
+seeded fault plan, each completed response is byte-identical to the
+direct planner's answer, or explicitly degraded with a valid bounds
+sandwich, or a well-formed error — and the plan store always verifies
+clean afterwards.  The nightly chaos-fuzz CI step sets
+``REPRO_CHAOS_FUZZ_S`` to widen the sweep (quick corpus, more plans)
+under a hard time budget.
+"""
+
+import os
+
+import pytest
+
+from repro.conformance import default_fault_plans, generate_corpus, run_chaos
+from repro.exceptions import ConformanceError
+
+_FUZZ = int(os.environ.get("REPRO_CHAOS_FUZZ_S", "0"))
+
+
+class TestFaultPlanBattery:
+    def test_rejects_empty_battery(self):
+        with pytest.raises(ConformanceError, match="count"):
+            default_fault_plans(0)
+
+    def test_five_distinct_families(self):
+        plans = default_fault_plans(5, seed=3)
+        assert [plan.name for plan in plans] == [
+            "transport-drop",
+            "partial-frames",
+            "solver-chaos",
+            "torn-store",
+            "deadline-storm",
+        ]
+        assert [plan.seed for plan in plans] == [3, 4, 5, 6, 7]
+
+    def test_extra_plans_recycle_families_with_fresh_seeds(self):
+        plans = default_fault_plans(7)
+        assert plans[5].name == "transport-drop-1"
+        assert plans[6].name == "partial-frames-1"
+        assert len({plan.seed for plan in plans}) == 7
+
+
+class TestChaosInvariant:
+    def test_smoke_corpus_survives_the_standard_battery(self):
+        """The chaos acceptance invariant, sized for the tier-1 suite."""
+        report = run_chaos(
+            suite="smoke", solve_deadline_s=0.2, call_timeout_s=0.5
+        )
+        assert report.ok, report.summary()
+        assert len(report.runs) == 5
+        # every plan must actually have injected something, or the sweep
+        # proved nothing about that failure family
+        for run in report.runs:
+            assert sum(run.injected.values()) > 0, run.plan
+            assert run.scenarios > 0
+        assert report.total_injected >= 5
+        # most traffic still completes exactly...
+        assert sum(run.completed for run in report.runs) > 0
+        # ...and the deadline storm actually exercised degradation
+        [storm] = [run for run in report.runs if run.plan == "deadline-storm"]
+        assert storm.degraded > 0
+
+    def test_budget_bounds_the_sweep(self):
+        """A spent budget skips remaining plans instead of overrunning."""
+        report = run_chaos(
+            specs=generate_corpus("smoke")[:2],
+            solve_deadline_s=0.2,
+            call_timeout_s=0.5,
+            budget_s=0.0,
+        )
+        assert report.runs == []
+        assert report.ok  # nothing ran, nothing violated
+
+
+@pytest.mark.skipif(not _FUZZ, reason="set REPRO_CHAOS_FUZZ_S to enable")
+def test_chaos_fuzz_widened_sweep():
+    """Nightly: quick corpus, a doubled battery, hard wall-clock budget."""
+    report = run_chaos(
+        suite="quick",
+        plans=default_fault_plans(10, seed=int(os.environ.get("SEED", "0"))),
+        solve_deadline_s=0.2,
+        call_timeout_s=1.0,
+        budget_s=float(_FUZZ),
+    )
+    assert report.ok, report.summary()
+    assert report.total_injected > 0

@@ -1,0 +1,152 @@
+"""Solve deadlines and graceful degradation: bounded answers, never hangs."""
+
+import time
+import uuid
+
+import pytest
+
+from repro import faults
+from repro.api import (
+    PlanRequest,
+    SolverCapabilities,
+    SolverOutput,
+    register_solver,
+    unregister_solver,
+)
+from repro.api.planner import _plan_standalone
+from repro.core.greedy import greedy_schedule
+from repro.exceptions import ReproError
+from repro.faults import FaultPlan, FaultSpec
+from repro.service.client import InProcessClient, ServiceClient
+from repro.service.server import PlanningService
+
+
+@pytest.fixture()
+def slow_solver():
+    """A registered solver that always overruns a sub-100ms deadline."""
+    name = f"sluggish-{uuid.uuid4().hex[:8]}"
+
+    @register_solver(name, "test: always slower than the solve deadline",
+                     capabilities=SolverCapabilities(max_n=0))
+    def _sluggish(mset, **options):
+        time.sleep(0.4)
+        return SolverOutput(schedule=greedy_schedule(mset))
+
+    yield name
+    unregister_solver(name)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("deadline", [0.0, -1.0])
+    def test_rejects_non_positive_deadline(self, deadline):
+        with pytest.raises(ReproError, match="solve_deadline_s"):
+            PlanningService(solve_deadline_s=deadline)
+
+    def test_no_deadline_by_default(self):
+        assert PlanningService().solve_deadline_s is None
+
+
+class TestDegradedServing:
+    def test_overrun_solve_degrades_with_bounds_sandwich(
+        self, fig1_mset, slow_solver
+    ):
+        service = PlanningService(num_shards=1, solve_deadline_s=0.05)
+        service.start_background()
+        client = InProcessClient(service)
+        try:
+            served = client.plan(fig1_mset, solver=slow_solver)
+            assert served.degraded
+            assert served.tier == "degraded"
+            result = served.result
+            # the fallback is the paper's fast greedy plan, bounds attached
+            assert result.solver == "greedy+reversal"
+            assert result.bounds is not None
+            assert result.bounds.opt_value <= result.value + 1e-9
+            assert result.provenance["degraded"] is True
+            assert result.provenance["requested_solver"] == slow_solver
+            assert result.provenance["deadline_s"] == 0.05
+            fallback = _plan_standalone(
+                PlanRequest(
+                    instance=fig1_mset,
+                    solver="greedy+reversal",
+                    include_bounds=True,
+                )
+            )
+            assert result.value == fallback.value
+            assert result.schedule == fallback.schedule
+            metrics = service.describe_metrics()
+            assert metrics["timeouts"] == 1
+            assert metrics["degraded_served"] == 1
+        finally:
+            service.stop()
+
+    def test_degraded_answers_are_never_cached(self, fig1_mset, slow_solver):
+        service = PlanningService(num_shards=1, solve_deadline_s=0.05)
+        service.start_background()
+        client = InProcessClient(service)
+        try:
+            assert client.plan(fig1_mset, solver=slow_solver).degraded
+            # same request again: re-solved (and re-degraded), not served
+            # from the memory/store tiers
+            again = client.plan(fig1_mset, solver=slow_solver)
+            assert again.degraded
+            assert service.describe_metrics()["degraded_served"] == 2
+        finally:
+            service.stop()
+
+    def test_fast_requests_still_serve_exactly(self, fig1_mset, slow_solver):
+        service = PlanningService(num_shards=1, solve_deadline_s=0.5)
+        service.start_background()
+        client = InProcessClient(service)
+        try:
+            served = client.plan(fig1_mset, solver="greedy+reversal")
+            assert not served.degraded
+            assert served.tier == "solve"
+            direct = _plan_standalone(
+                PlanRequest(instance=fig1_mset, solver="greedy+reversal")
+            )
+            assert served.result.value == direct.value
+            assert served.result.schedule == direct.schedule
+            assert "degraded_served" not in service.describe_metrics()
+        finally:
+            service.stop()
+
+
+class TestDegradedOnTheWire:
+    def test_tcp_response_carries_the_degraded_flag(self, fig1_mset):
+        service = PlanningService(num_shards=1, solve_deadline_s=0.1)
+        host, port = service.start_background(tcp=True)
+        client = ServiceClient(host, port, timeout=5.0)
+        storm = FaultPlan([FaultSpec("solver.delay", delay_s=60.0, count=1)])
+        try:
+            with faults.inject(storm):
+                served = client.plan(fig1_mset, solver="dp")
+            assert served.degraded
+            assert served.tier == "degraded"
+            assert served.result.provenance["degraded"] is True
+            assert served.result.bounds is not None
+            assert served.result.bounds.opt_value <= served.result.value + 1e-9
+            # the injected stall is charged against the deadline, so the
+            # call returns in deadline time, not stall time
+            clean = client.plan(fig1_mset, solver="dp")
+            assert not clean.degraded
+            assert clean.result.exact
+        finally:
+            client.close()
+            service.stop()
+
+    def test_injected_stall_respects_remaining_deadline(self, fig1_mset):
+        service = PlanningService(num_shards=1, solve_deadline_s=0.2)
+        service.start_background()
+        client = InProcessClient(service)
+        try:
+            started = time.monotonic()
+            with faults.inject(
+                FaultPlan([FaultSpec("solver.delay", delay_s=60.0, count=1)])
+            ):
+                served = client.plan(fig1_mset, solver="greedy")
+            elapsed = time.monotonic() - started
+            assert served.degraded
+            assert elapsed < 5.0  # the 60s stall was clamped to the budget
+        finally:
+            service.stop()

@@ -1,0 +1,62 @@
+"""Bounded service lifecycle: startup/stop timeouts name the stuck phase."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.server import PlanningService
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize("field", ["startup_timeout_s", "shutdown_timeout_s"])
+    @pytest.mark.parametrize("value", [0.0, -5.0])
+    def test_rejects_non_positive_timeouts(self, field, value):
+        with pytest.raises(ReproError, match=field):
+            PlanningService(**{field: value})
+
+    def test_timeouts_are_constructor_surfaced(self):
+        service = PlanningService(startup_timeout_s=3.0, shutdown_timeout_s=7.0)
+        assert service.startup_timeout_s == 3.0
+        assert service.shutdown_timeout_s == 7.0
+        # the historical defaults are preserved
+        default = PlanningService()
+        assert default.startup_timeout_s == 10.0
+        assert default.shutdown_timeout_s == 10.0
+
+
+class TestStuckPhases:
+    def test_hung_startup_names_its_phase(self, monkeypatch):
+        async def hang(self, host, port):
+            await asyncio.sleep(60)
+
+        monkeypatch.setattr(PlanningService, "_startup", hang)
+        service = PlanningService(startup_timeout_s=0.2)
+        with pytest.raises(
+            ServiceError, match="stuck in phase 'listener/dispatcher startup'"
+        ):
+            service.start_background()
+        # the loop survives the failed startup, so cleanup still works
+        monkeypatch.undo()
+        service.stop()
+        assert not service.is_running
+
+    def test_hung_shutdown_names_its_phase_and_keeps_state(self, monkeypatch):
+        service = PlanningService(num_shards=1, shutdown_timeout_s=0.2)
+        service.start_background()
+        real_shutdown = PlanningService._shutdown
+
+        async def hang(self):
+            await asyncio.sleep(60)
+
+        monkeypatch.setattr(PlanningService, "_shutdown", hang)
+        with pytest.raises(ServiceError, match="stuck in phase 'graceful shutdown'"):
+            service.stop()
+        # state left intact: a retry with the hang cleared succeeds
+        assert service.is_running
+        monkeypatch.setattr(PlanningService, "_shutdown", real_shutdown)
+        service.stop()
+        assert not service.is_running
+
+    def test_stop_is_a_no_op_when_never_started(self):
+        PlanningService().stop()  # must not raise

@@ -1,0 +1,137 @@
+"""Shard-worker supervision: SIGKILLed workers restart, work is re-served."""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import uuid
+
+import pytest
+
+from repro import faults
+from repro.api import (
+    PlanRequest,
+    SolverCapabilities,
+    SolverOutput,
+    register_solver,
+    unregister_solver,
+)
+from repro.api.planner import _plan_standalone
+from repro.core.greedy import greedy_schedule
+from repro.exceptions import ServiceRetryableError
+from repro.faults import FaultPlan, FaultSpec
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.metrics import MetricsRegistry
+from repro.service.server import PlanningService
+from repro.service.shard import ShardRouter
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="test solvers reach worker processes via fork inheritance",
+)
+
+
+class TestRouterSupervision:
+    def test_killed_worker_restarts_and_reserves_bit_identically(self, fig1_mset):
+        metrics = MetricsRegistry()
+        router = ShardRouter(1, mode="process", metrics=metrics)
+        request = PlanRequest(instance=fig1_mset, solver="dp")
+        try:
+            with faults.inject(FaultPlan([FaultSpec("worker.kill", count=1)])):
+                result = router.solve_sync(request)
+            direct = _plan_standalone(request)
+            assert result.value == direct.value
+            assert result.schedule == direct.schedule
+            assert result.exact == direct.exact
+            assert metrics.get("worker_restarts") == 1
+        finally:
+            router.shutdown()
+
+    def test_second_consecutive_death_fails_closed_retryably(self, fig1_mset):
+        metrics = MetricsRegistry()
+        router = ShardRouter(1, mode="process", metrics=metrics)
+        request = PlanRequest(instance=fig1_mset, solver="greedy")
+        try:
+            with faults.inject(FaultPlan([FaultSpec("worker.kill", count=2)])):
+                with pytest.raises(
+                    ServiceRetryableError, match="died twice in a row; retry later"
+                ):
+                    router.solve_sync(request)
+            assert metrics.get("worker_restarts") == 2
+            # the shard is not poisoned: the next solve gets a fresh worker
+            assert router.solve_sync(request).value == _plan_standalone(request).value
+        finally:
+            router.shutdown()
+
+    @fork_only
+    def test_sigkill_mid_solve_recovers(self, fig1_mset):
+        """The hard case: the OS reaps the worker while a solve is running."""
+        name = f"napping-{uuid.uuid4().hex[:8]}"
+
+        @register_solver(name, "test: long enough to be killed mid-solve",
+                         capabilities=SolverCapabilities(max_n=0))
+        def _napping(mset, **options):
+            time.sleep(0.6)
+            return SolverOutput(schedule=greedy_schedule(mset))
+
+        metrics = MetricsRegistry()
+        router = ShardRouter(1, mode="process", metrics=metrics)
+        request = PlanRequest(instance=fig1_mset, solver=name)
+        try:
+            # warm the pool (forks the worker with the solver registered)
+            router.solve_sync(PlanRequest(instance=fig1_mset, solver="greedy"))
+            [executor] = router._executors.values()
+            [pid] = [process.pid for process in executor._processes.values()]
+
+            outcome = {}
+
+            def solve():
+                try:
+                    outcome["result"] = router.solve_sync(request)
+                except Exception as exc:  # pragma: no cover - fails the test
+                    outcome["error"] = exc
+
+            solver_thread = threading.Thread(target=solve)
+            solver_thread.start()
+            time.sleep(0.2)  # well inside the 0.6s nap
+            os.kill(pid, signal.SIGKILL)
+            solver_thread.join(timeout=10.0)
+            assert not solver_thread.is_alive()
+            assert "error" not in outcome, outcome.get("error")
+            direct = _plan_standalone(request)
+            assert outcome["result"].value == direct.value
+            assert outcome["result"].schedule == direct.schedule
+            assert metrics.get("worker_restarts") >= 1
+        finally:
+            router.shutdown()
+            unregister_solver(name)
+
+
+class TestServiceSupervision:
+    def test_client_retry_rides_through_a_double_worker_death(self, fig1_mset):
+        service = PlanningService(num_shards=1, worker_mode="process")
+        host, port = service.start_background(tcp=True)
+        client = ServiceClient(
+            host,
+            port,
+            timeout=30.0,
+            retry=RetryPolicy(attempts=3, base_delay_s=0.02, jitter=0.0),
+        )
+        try:
+            # two consecutive deaths exhaust the server-side requeue and
+            # surface a retryable error; the client's policy resubmits and
+            # the third pass (faults spent) serves exactly
+            with faults.inject(FaultPlan([FaultSpec("worker.kill", count=2)])):
+                served = client.plan(fig1_mset, solver="dp")
+            direct = _plan_standalone(PlanRequest(instance=fig1_mset, solver="dp"))
+            assert served.result.value == direct.value
+            assert served.result.schedule == direct.schedule
+            assert not served.degraded
+            assert client.local_metrics.get("retries") >= 1
+            metrics = client.metrics()
+            assert metrics["worker_restarts"] == 2
+            assert metrics["errors_total"] >= 1
+        finally:
+            client.close()
+            service.stop()

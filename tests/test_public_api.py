@@ -368,6 +368,61 @@ class TestDocsConsistency:
         assert record.floors.get("speedup_vs_cold_build") == 5.0
         assert record.summary["speedup_vs_cold_build"] >= 5.0
 
+    def test_design_resilience_section(self):
+        """DESIGN.md §10 documents fault injection site by site."""
+        from repro.faults import SITES
+
+        design = (REPO / "DESIGN.md").read_text()
+        assert "## 10. Fault injection & resilience" in design
+        for site in SITES:
+            assert f"`{site}`" in design, (
+                f"DESIGN.md resilience section missing fault site {site!r}"
+            )
+        for token in (
+            "FaultPlan",
+            "inject()",
+            "zero overhead",
+            "chaos",
+            "service_resilience",
+            "recovery_throughput_ratio",
+        ):
+            assert token in design, (
+                f"DESIGN.md resilience section missing {token!r}"
+            )
+
+    def test_service_md_documents_resilience_operations(self):
+        """SERVICE.md covers retries, degradation, supervision, chaos."""
+        service_md = (REPO / "SERVICE.md").read_text()
+        assert "## Resilience & operations" in service_md
+        for token in (
+            "RetryPolicy",
+            "reconnect()",
+            "idempotent",
+            "solve_deadline_s",
+            "--deadline",
+            "`degraded: true`",
+            "startup_timeout_s",
+            "shutdown_timeout_s",
+            "worker_restarts",
+            "errors_total",
+            "degraded_served",
+            "local_metrics",
+            "hnow-multicast chaos",
+            "REPRO_CHAOS_FUZZ_S",
+            "recovery_throughput_ratio",
+        ):
+            assert token in service_md, (
+                f"SERVICE.md resilience section missing {token!r}"
+            )
+
+    def test_service_resilience_baseline_carries_the_floor(self):
+        """The committed recovery baseline enforces the >= 0.5x floor."""
+        from repro.perf import load_baseline
+
+        record = load_baseline(REPO / "BENCH_service_resilience.json")
+        assert record.floors.get("recovery_throughput_ratio") == 0.5
+        assert record.summary["recovery_throughput_ratio"] >= 0.5
+
     def test_api_md_documents_performance_tracking(self):
         api = (REPO / "API.md").read_text()
         assert "## Performance tracking" in api
